@@ -1,0 +1,167 @@
+//! Criterion benches for the computation-side experiments (E4, E5, E6).
+//!
+//! Virtual-time measurements (see `benches/interfaces.rs` for the
+//! convention): per-request latency of the Figure-2 pipeline under each
+//! placement strategy, per-variant inference latency, and per-request
+//! latency under the two provisioning modes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pcsi_cloud::pipelines::{ModelServing, Strategy};
+use pcsi_cloud::CloudBuilder;
+use pcsi_net::NodeId;
+use pcsi_sim::Sim;
+
+const SEED: u64 = 0x5245_5354;
+const WEIGHTS: usize = 64 << 20;
+const UPLOAD: usize = 8 << 20;
+
+/// E4: one warm pipeline request per strategy.
+fn pipeline_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/pipeline-request");
+    g.sample_size(10);
+    for strategy in Strategy::ALL {
+        g.bench_function(strategy.label(), |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                    let app = ModelServing::deploy(&cloud, NodeId(0), WEIGHTS)
+                        .await
+                        .unwrap();
+                    let report = app.run(strategy, 2, iters, UPLOAD, "gpu").await.unwrap();
+                    Duration::from_nanos((report.latency.mean() * report.requests as f64) as u64)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E6: the same pipeline stage on each accelerator variant.
+fn inference_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6/infer-variant");
+    g.sample_size(10);
+    for variant in ["cpu", "gpu", "tpu"] {
+        g.bench_function(variant, |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                    let mut app = ModelServing::deploy(&cloud, NodeId(0), WEIGHTS)
+                        .await
+                        .unwrap();
+                    app.add_infer_variant(pcsi_cloud::pipelines::tpu_variant(40.0));
+                    let report = app
+                        .run(Strategy::Colocated, 2, iters, UPLOAD, variant)
+                        .await
+                        .unwrap();
+                    Duration::from_nanos((report.latency.mean() * report.requests as f64) as u64)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E5: per-invocation latency under the two provisioning modes at a
+/// steady medium load (the cost/efficiency side lives in the report).
+fn provisioning_modes(c: &mut Criterion) {
+    use bytes::Bytes;
+    use pcsi_cloud::workload::{boxed, drive_open_loop, RateShape};
+    use pcsi_core::api::{CreateOptions, InvokeRequest};
+    use pcsi_core::{CloudInterface, Consistency, Mutability, ObjectKind};
+    use pcsi_faas::function::{FunctionImage, WorkModel};
+    use pcsi_faas::scheduler::PlacementPolicy;
+
+    let mut g = c.benchmark_group("e5/request-under-load");
+    g.sample_size(10);
+    for (label, policy, keep_alive) in [
+        (
+            "scavenged",
+            PlacementPolicy::Scavenge,
+            Duration::from_secs(3),
+        ),
+        (
+            "dedicated",
+            PlacementPolicy::LoadBalance,
+            Duration::from_secs(100_000),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new()
+                        .placement(policy)
+                        .keep_alive(keep_alive)
+                        .deterministic_network()
+                        .build(&h);
+                    cloud.kernel.register_body(
+                        "svc",
+                        std::rc::Rc::new(|ctx| {
+                            Box::pin(async move {
+                                ctx.compute(Duration::from_millis(10)).await;
+                                Ok(Bytes::new())
+                            })
+                        }),
+                    );
+                    let client = cloud.kernel.client(NodeId(0), "a");
+                    let image = FunctionImage::simple(
+                        "svc",
+                        WorkModel::fixed(Duration::from_millis(10)),
+                        2,
+                    );
+                    let f = client
+                        .create(CreateOptions {
+                            kind: ObjectKind::Function,
+                            mutability: Mutability::Mutable,
+                            consistency: Consistency::Linearizable,
+                            initial: image.encode(),
+                        })
+                        .await
+                        .unwrap();
+                    let rng = h.rng().stream("bench-driver");
+                    let run_for = Duration::from_secs_f64((iters as f64 / 100.0).clamp(1.0, 30.0));
+                    let stats =
+                        drive_open_loop(&h, &rng, RateShape::Steady { rps: 100.0 }, run_for, {
+                            let client = client.clone();
+                            let f = f.clone();
+                            move |_| {
+                                let client = client.clone();
+                                let f = f.clone();
+                                boxed(async move {
+                                    client
+                                        .invoke(&f, InvokeRequest::default())
+                                        .await
+                                        .map(|_| ())
+                                        .map_err(|e| e.to_string())
+                                })
+                            }
+                        })
+                        .await;
+                    Duration::from_nanos((stats.latency.mean() * iters as f64) as u64)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = pipeline_strategies, inference_variants, provisioning_modes
+}
+criterion_main!(benches);

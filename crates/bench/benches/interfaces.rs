@@ -1,0 +1,213 @@
+//! Criterion benches for the interface comparisons (E2, E8, E9).
+//!
+//! These report **virtual time**: each `iter_custom` call runs one
+//! deterministic simulation performing `iters` operations and returns the
+//! summed simulated latency, so criterion's statistics are statistics of
+//! the modeled system, not of the host.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pcsi_cloud::nfs::NfsServer;
+use pcsi_cloud::rest::RestGateway;
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency};
+use pcsi_net::{NetworkGeneration, NodeId};
+use pcsi_proto::sign::Credentials;
+use pcsi_sim::Sim;
+
+const SEED: u64 = 0x5245_5354;
+
+/// E2: 1 KB fetch through each interface (2021 network).
+fn fetch_1k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2/fetch-1k");
+    g.sample_size(10);
+
+    g.bench_function("nfs-stateful", |b| {
+        b.iter_custom(|iters| {
+            let mut sim = Sim::new(SEED);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                let nfs =
+                    NfsServer::deploy(cloud.fabric.clone(), cloud.billing.clone(), NodeId(6), b"s");
+                let m = nfs.mount(NodeId(0), b"s", "a").await.unwrap();
+                let fh = m.lookup("f", true).await.unwrap();
+                m.write(fh, 0, &vec![1u8; 1024]).await.unwrap();
+                let t0 = h.now();
+                for _ in 0..iters {
+                    m.read(fh, 0, 1024).await.unwrap();
+                }
+                h.now() - t0
+            })
+        });
+    });
+
+    g.bench_function("rest-signed", |b| {
+        b.iter_custom(|iters| {
+            let mut sim = Sim::new(SEED);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                let mut keys = HashMap::new();
+                keys.insert("AK".to_owned(), Credentials::new("AK", b"k".to_vec()));
+                let rest = RestGateway::deploy(
+                    cloud.fabric.clone(),
+                    cloud.store.clone(),
+                    cloud.billing.clone(),
+                    NodeId(1),
+                    NodeId(5),
+                    keys,
+                );
+                let rc = rest.client(NodeId(0), Credentials::new("AK", b"k".to_vec()));
+                rc.kv_put("t", "k", &vec![1u8; 1024]).await.unwrap();
+                let t0 = h.now();
+                for _ in 0..iters {
+                    rc.kv_get("t", "k").await.unwrap();
+                }
+                h.now() - t0
+            })
+        });
+    });
+
+    g.bench_function("pcsi-native", |b| {
+        b.iter_custom(|iters| {
+            let mut sim = Sim::new(SEED);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                let kc = cloud.kernel.client(NodeId(0), "a");
+                let obj = kc
+                    .create(
+                        CreateOptions::regular()
+                            .with_consistency(Consistency::Eventual)
+                            .with_initial(vec![1u8; 1024]),
+                    )
+                    .await
+                    .unwrap();
+                let t0 = h.now();
+                for _ in 0..iters {
+                    kc.read(&obj, 0, 1024).await.unwrap();
+                }
+                h.now() - t0
+            })
+        });
+    });
+    g.finish();
+}
+
+/// E9: the PCSI-native fetch across network generations — watch the
+/// number track the hardware (the REST equivalent barely moves; see the
+/// report for the side-by-side).
+fn crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/pcsi-fetch-by-network");
+    g.sample_size(10);
+    for generation in NetworkGeneration::ALL {
+        g.bench_function(format!("{generation:?}"), |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new()
+                        .network(generation)
+                        .deterministic_network()
+                        .build(&h);
+                    let kc = cloud.kernel.client(NodeId(0), "a");
+                    let obj = kc
+                        .create(
+                            CreateOptions::regular()
+                                .with_consistency(Consistency::Eventual)
+                                .with_initial(vec![1u8; 1024]),
+                        )
+                        .await
+                        .unwrap();
+                    let t0 = h.now();
+                    for _ in 0..iters {
+                        kc.read(&obj, 0, 1024).await.unwrap();
+                    }
+                    h.now() - t0
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E8: consistency-menu operation costs (write path).
+fn consistency_menu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/write-1k");
+    g.sample_size(10);
+    for consistency in Consistency::ALL {
+        g.bench_function(consistency.as_str(), |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                    let kc = cloud.kernel.client(NodeId(0), "a");
+                    let obj = kc
+                        .create(
+                            CreateOptions::regular()
+                                .with_consistency(consistency)
+                                .with_initial(vec![0u8; 1024]),
+                        )
+                        .await
+                        .unwrap();
+                    let t0 = h.now();
+                    for i in 0..iters {
+                        kc.write(&obj, 0, bytes::Bytes::from(vec![i as u8; 1024]))
+                            .await
+                            .unwrap();
+                    }
+                    h.now() - t0
+                })
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e7/read-1k");
+    g.sample_size(10);
+    for consistency in Consistency::ALL {
+        g.bench_function(consistency.as_str(), |b| {
+            b.iter_custom(|iters| {
+                let mut sim = Sim::new(SEED);
+                let h = sim.handle();
+                sim.block_on(async move {
+                    let cloud = CloudBuilder::new().deterministic_network().build(&h);
+                    let kc = cloud.kernel.client(NodeId(0), "a");
+                    let obj = kc
+                        .create(
+                            CreateOptions::regular()
+                                .with_consistency(consistency)
+                                .with_initial(vec![0u8; 1024]),
+                        )
+                        .await
+                        .unwrap();
+                    let t0 = h.now();
+                    for _ in 0..iters {
+                        kc.read(&obj, 0, 1024).await.unwrap();
+                    }
+                    h.now() - t0
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fetch_1k, crossover, consistency_menu
+}
+criterion_main!(benches);

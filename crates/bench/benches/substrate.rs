@@ -1,0 +1,117 @@
+//! Criterion benches for the substrate itself (supporting, wall-clock).
+//!
+//! These keep the simulator honest: the executor, channels, histogram and
+//! storage-engine hot paths must be cheap enough that large experiments
+//! (millions of simulated events) run in seconds of host time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_core::{Mutability, ObjectId};
+use pcsi_sim::metrics::Histogram;
+use pcsi_sim::Sim;
+use pcsi_store::engine::{MediaTier, Mutation, StorageEngine};
+use pcsi_store::version::Tag;
+
+fn executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/executor");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("spawn-join-10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let mut joins = Vec::with_capacity(10_000);
+                for i in 0..10_000u64 {
+                    joins.push(h.spawn(async move { i }));
+                }
+                let mut acc = 0u64;
+                for j in joins {
+                    acc = acc.wrapping_add(j.await);
+                }
+                acc
+            })
+        });
+    });
+    g.bench_function("timer-wheel-10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let mut joins = Vec::with_capacity(10_000);
+                for i in 0..10_000u64 {
+                    let h2 = h.clone();
+                    joins.push(h.spawn(async move {
+                        h2.sleep(Duration::from_nanos(i % 977)).await;
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+            })
+        });
+    });
+    g.finish();
+}
+
+fn metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/metrics");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("histogram-record", |b| {
+        let h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(x % 10_000_000));
+        });
+    });
+    g.bench_function("histogram-p99", |b| {
+        let h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i * 37 % 5_000_000);
+        }
+        b.iter(|| h.quantile(black_box(0.99)));
+    });
+    g.finish();
+}
+
+fn storage_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/engine");
+    let id = ObjectId::from_parts(1, 1);
+    g.bench_function("put-1k", |b| {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        let mut seq = 0u64;
+        let data = Bytes::from(vec![7u8; 1024]);
+        b.iter(|| {
+            seq += 1;
+            e.apply(
+                id,
+                Tag { seq, writer: 0 },
+                &Mutation::PutFull {
+                    data: data.clone(),
+                    mutability: Mutability::Mutable,
+                },
+            )
+            .unwrap();
+        });
+    });
+    g.bench_function("read-1k", |b| {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        e.apply(
+            id,
+            Tag { seq: 1, writer: 0 },
+            &Mutation::PutFull {
+                data: Bytes::from(vec![7u8; 1024]),
+                mutability: Mutability::Mutable,
+            },
+        )
+        .unwrap();
+        b.iter(|| e.read(black_box(id), 0, 1024).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, executor, metrics, storage_engine);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! E9 — §2.1's motivation: "web service overheads will certainly become
+//! prohibitive on future fast networks."
+//!
+//! For each Table-1 network generation, measure a 1 KB fetch through the
+//! signed-REST interface and through PCSI-native, and split the latency
+//! into the hardware floor (network RTTs at that generation) versus
+//! interface overhead. As the fabric speeds up 1000×, the REST path
+//! barely improves — protocol CPU dominates — while the PCSI path tracks
+//! the hardware. That divergence is the paper's opening argument.
+
+use std::collections::HashMap;
+
+use pcsi_cloud::rest::RestGateway;
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency};
+use pcsi_net::{NetworkGeneration, NodeId};
+use pcsi_proto::sign::Credentials;
+use pcsi_sim::metrics::Histogram;
+use pcsi_sim::Sim;
+
+/// One generation × interface measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Network generation.
+    pub generation: NetworkGeneration,
+    /// Interface label.
+    pub interface: &'static str,
+    /// Mean 1 KB fetch latency (ns).
+    pub mean_ns: f64,
+    /// The generation's cross-rack RTT (ns), the hardware floor unit.
+    pub rtt_ns: f64,
+}
+
+impl Point {
+    /// Latency as a multiple of the generation's RTT: ~small constant for
+    /// an interface that tracks the hardware, exploding for one that
+    /// does not.
+    pub fn rtt_multiple(&self) -> f64 {
+        self.mean_ns / self.rtt_ns
+    }
+}
+
+/// Runs both interfaces at every generation.
+pub fn run(seed: u64, ops: u32) -> Vec<Point> {
+    let mut out = Vec::new();
+    for generation in NetworkGeneration::ALL {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        let (pcsi_ns, rest_ns) = sim.block_on(async move {
+            let cloud = CloudBuilder::new()
+                .network(generation)
+                .deterministic_network()
+                .build(&h);
+            let payload = vec![9u8; 1024];
+
+            let kc = cloud.kernel.client(NodeId(0), "e9");
+            let obj = kc
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Eventual)
+                        .with_initial(payload.clone()),
+                )
+                .await
+                .unwrap();
+            let pcsi = Histogram::new();
+            for _ in 0..ops {
+                let t0 = h.now();
+                kc.read(&obj, 0, 1024).await.unwrap();
+                pcsi.record_duration(h.now() - t0);
+            }
+
+            let mut keys = HashMap::new();
+            keys.insert("AK1".to_owned(), Credentials::new("AK1", b"k".to_vec()));
+            let rest = RestGateway::deploy(
+                cloud.fabric.clone(),
+                cloud.store.clone(),
+                cloud.billing.clone(),
+                NodeId(1),
+                NodeId(5),
+                keys,
+            );
+            let rc = rest.client(NodeId(0), Credentials::new("AK1", b"k".to_vec()));
+            rc.kv_put("t", "k", &payload).await.unwrap();
+            let resth = Histogram::new();
+            for _ in 0..ops {
+                let t0 = h.now();
+                rc.kv_get("t", "k").await.unwrap();
+                resth.record_duration(h.now() - t0);
+            }
+            (pcsi.mean(), resth.mean())
+        });
+        let rtt_ns = generation.rtt().as_nanos() as f64;
+        out.push(Point {
+            generation,
+            interface: "PCSI-native",
+            mean_ns: pcsi_ns,
+            rtt_ns,
+        });
+        out.push(Point {
+            generation,
+            interface: "signed REST",
+            mean_ns: rest_ns,
+            rtt_ns,
+        });
+    }
+    out
+}
+
+/// The killer-microseconds shape, machine-checkable.
+pub fn shape_holds(points: &[Point]) -> Result<(), String> {
+    let get = |generation: NetworkGeneration, iface: &str| -> f64 {
+        points
+            .iter()
+            .find(|p| p.generation == generation && p.interface == iface)
+            .map(|p| p.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = |iface: &str| -> f64 {
+        get(NetworkGeneration::Dc2005, iface) / get(NetworkGeneration::FastEmerging, iface)
+    };
+    // PCSI rides the hardware improvement; REST mostly does not.
+    let pcsi_gain = speedup("PCSI-native");
+    let rest_gain = speedup("signed REST");
+    if pcsi_gain < 2.0 * rest_gain {
+        return Err(format!(
+            "PCSI should gain far more from fast networks: {pcsi_gain:.1}x vs {rest_gain:.1}x"
+        ));
+    }
+    // On the fast network the gap is an order of magnitude or more.
+    let fast_ratio = get(NetworkGeneration::FastEmerging, "signed REST")
+        / get(NetworkGeneration::FastEmerging, "PCSI-native");
+    if fast_ratio < 10.0 {
+        return Err(format!(
+            "on the fast network REST should be >=10x PCSI (got {fast_ratio:.1}x)"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn killer_microseconds_shape() {
+        let points = run(DEFAULT_SEED, 50);
+        shape_holds(&points).unwrap();
+    }
+
+    #[test]
+    fn rtt_multiples_ordered_sanely() {
+        let points = run(DEFAULT_SEED, 20);
+        for p in &points {
+            // Eventual reads go to the *closest* replica, so the mean can
+            // sit well below one cross-rack RTT; it cannot be free.
+            assert!(p.rtt_multiple() > 0.05, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! E5 — §4.2: scavenged pay-per-use vs a peak-provisioned fleet.
+//!
+//! "Rather than wait for a large enough server ... the provider is free
+//! to scavenge underutilized resources from around the cluster for each
+//! function independently. Even though this may affect performance, it
+//! makes much more efficient use of expensive resources."
+//!
+//! Both modes serve the *same* bursty open-loop workload. The dedicated
+//! fleet is sized for the peak with standard 2× headroom and paid for
+//! every second; the scavenged mode scales from zero, pays cold starts at
+//! burst fronts, and is billed only for held instance-time. Reported:
+//! dollars, efficiency (useful-work seconds / paid seconds), p99, and
+//! SLO attainment.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_cloud::workload::{boxed, drive_open_loop, RateShape};
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::{CreateOptions, InvokeRequest};
+use pcsi_core::{CloudInterface, Consistency, Mutability, ObjectKind};
+use pcsi_faas::function::{FunctionImage, WorkModel};
+use pcsi_faas::registry::CostModel;
+use pcsi_faas::scheduler::PlacementPolicy;
+use pcsi_net::node::Resources;
+use pcsi_net::NodeId;
+use pcsi_sim::Sim;
+
+/// Per-invocation work and footprint of the benchmark function.
+pub const WORK: Duration = Duration::from_millis(20);
+/// Cores per instance.
+pub const CORES: u32 = 2;
+
+/// Provisioning mode under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// PCSI serverless: scale from zero, scavenging placement, short
+    /// keep-alive.
+    Scavenged,
+    /// Dedicated fleet: pre-warmed for peak, never scaled down.
+    Dedicated,
+}
+
+impl Mode {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Scavenged => "PCSI scavenged (pay-per-use)",
+            Mode::Dedicated => "dedicated fleet (peak-provisioned)",
+        }
+    }
+}
+
+/// Results for one mode.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// Which mode.
+    pub mode: Mode,
+    /// Requests completed.
+    pub completed: u64,
+    /// p50 latency (ns).
+    pub p50_ns: u64,
+    /// p99 latency (ns).
+    pub p99_ns: u64,
+    /// p99.9 latency (ns) — where burst-front cold starts live.
+    pub p999_ns: u64,
+    /// Fraction of requests within the SLO.
+    pub slo_attainment: f64,
+    /// Dollars paid for compute over the run.
+    pub cost_usd: f64,
+    /// Useful-work core-seconds / paid core-seconds.
+    pub efficiency: f64,
+    /// Cold starts paid.
+    pub cold_starts: u64,
+}
+
+/// The workload: 10 s bursts at `burst_rps` alternating with near-idle.
+fn shape(burst_rps: f64) -> RateShape {
+    RateShape::OnOff {
+        burst_rps,
+        idle_rps: burst_rps / 50.0,
+        period: Duration::from_secs(10),
+    }
+}
+
+/// The SLO both modes are judged against.
+pub const SLO: Duration = Duration::from_millis(300);
+
+/// Runs one mode.
+pub fn run_mode(seed: u64, mode: Mode, burst_rps: f64, run_for: Duration) -> ModeResult {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let (policy, keep_alive) = match mode {
+            Mode::Scavenged => (PlacementPolicy::Scavenge, Duration::from_secs(3)),
+            Mode::Dedicated => (PlacementPolicy::LoadBalance, Duration::from_secs(100_000)),
+        };
+        let cloud = CloudBuilder::new()
+            .placement(policy)
+            .keep_alive(keep_alive)
+            .build(&h);
+        cloud.kernel.register_body(
+            "svc",
+            Rc::new(|ctx| {
+                Box::pin(async move {
+                    ctx.compute(WORK).await;
+                    Ok(Bytes::new())
+                })
+            }),
+        );
+        let client = cloud.kernel.client(NodeId(0), "svc-acct");
+        let image = FunctionImage::simple("svc", WorkModel::fixed(WORK), CORES);
+        let f = client
+            .create(CreateOptions {
+                kind: ObjectKind::Function,
+                mutability: Mutability::Mutable,
+                consistency: Consistency::Linearizable,
+                initial: image.encode(),
+            })
+            .await
+            .unwrap();
+
+        // Peak sizing: concurrent demand at the burst = rps x service
+        // time; 3x headroom absorbs Poisson spikes (the point of a
+        // dedicated fleet is that it never boots under load).
+        let peak_instances = ((burst_rps * WORK.as_secs_f64()) * 3.0).ceil().max(1.0) as usize;
+
+        if mode == Mode::Dedicated {
+            // Pre-warm the fleet: one concurrent invocation per instance.
+            let mut joins = Vec::new();
+            for _ in 0..peak_instances {
+                let c = client.clone();
+                let f = f.clone();
+                joins.push(h.spawn(async move {
+                    c.invoke(&f, InvokeRequest::default()).await.unwrap();
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+        }
+        let warmup_cold = cloud.runtime.cold_starts();
+        let billed_before = cloud.billing.invoice("svc-acct").compute;
+
+        let rng = h.rng().stream("efficiency-driver");
+        let t_start = h.now();
+        let stats = drive_open_loop(&h, &rng, shape(burst_rps), run_for, {
+            let client = client.clone();
+            let f = f.clone();
+            move |_| {
+                let client = client.clone();
+                let f = f.clone();
+                boxed(async move {
+                    client
+                        .invoke(&f, InvokeRequest::default())
+                        .await
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
+            }
+        })
+        .await;
+        let elapsed = h.now() - t_start;
+
+        // Paid core-seconds.
+        let prices = CostModel::default();
+        let demand = Resources::cpu(CORES, 2 * CORES);
+        let (cost, paid_core_s) = match mode {
+            Mode::Scavenged => {
+                // Billed per held instance-time (the meter already saw it).
+                let usd = cloud.billing.invoice("svc-acct").compute - billed_before;
+                (usd, usd / (prices.rate(&demand) / f64::from(CORES)))
+            }
+            Mode::Dedicated => {
+                // The fleet is paid for wall time regardless of use.
+                let core_s = f64::from(CORES) * peak_instances as f64 * elapsed.as_secs_f64();
+                let usd = prices.rate(&demand) * peak_instances as f64 * elapsed.as_secs_f64();
+                (usd, core_s)
+            }
+        };
+        let useful_core_s = stats.ok.get() as f64 * WORK.as_secs_f64() * f64::from(CORES);
+
+        ModeResult {
+            mode,
+            completed: stats.ok.get(),
+            p50_ns: stats.latency.quantile(0.50),
+            p99_ns: stats.latency.quantile(0.99),
+            p999_ns: stats.latency.quantile(0.999),
+            slo_attainment: stats.slo_attainment(SLO),
+            cost_usd: cost,
+            efficiency: (useful_core_s / paid_core_s).min(1.0),
+            cold_starts: cloud.runtime.cold_starts() - warmup_cold,
+        }
+    })
+}
+
+/// Runs both modes on identical workloads.
+pub fn run(seed: u64, burst_rps: f64, run_for: Duration) -> (ModeResult, ModeResult) {
+    (
+        run_mode(seed, Mode::Scavenged, burst_rps, run_for),
+        run_mode(seed, Mode::Dedicated, burst_rps, run_for),
+    )
+}
+
+/// One sweep point: burstiness vs the cost advantage of scavenging.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Burst rate (requests per second during the on-phase).
+    pub burst_rps: f64,
+    /// Dedicated-fleet cost / scavenged cost.
+    pub cost_advantage: f64,
+    /// Scavenged-mode SLO attainment.
+    pub scavenged_slo: f64,
+}
+
+/// Sweeps burst intensity: the spikier the load, the more a fleet sized
+/// for the peak wastes, and the bigger scavenging's advantage.
+pub fn sweep(seed: u64, run_for: Duration) -> Vec<SweepPoint> {
+    [50.0f64, 100.0, 200.0, 400.0]
+        .into_iter()
+        .map(|burst_rps| {
+            let (s, d) = run(seed, burst_rps, run_for);
+            SweepPoint {
+                burst_rps,
+                cost_advantage: d.cost_usd / s.cost_usd,
+                scavenged_slo: s.slo_attainment,
+            }
+        })
+        .collect()
+}
+
+/// §4.2's claims, machine-checkable.
+pub fn shape_holds(scavenged: &ModeResult, dedicated: &ModeResult) -> Result<(), String> {
+    if scavenged.cost_usd >= dedicated.cost_usd {
+        return Err(format!(
+            "scavenged (${:.6}) should cost less than dedicated (${:.6})",
+            scavenged.cost_usd, dedicated.cost_usd
+        ));
+    }
+    if scavenged.efficiency <= dedicated.efficiency {
+        return Err(format!(
+            "scavenged efficiency ({:.2}) should beat dedicated ({:.2})",
+            scavenged.efficiency, dedicated.efficiency
+        ));
+    }
+    if scavenged.slo_attainment < 0.9 {
+        return Err(format!(
+            "scavenged must still hold the SLO (got {:.1}%)",
+            100.0 * scavenged.slo_attainment
+        ));
+    }
+    // The price of efficiency: burst-front cold starts live in the far
+    // tail (a 250 ms boot against a 20 ms service time).
+    if scavenged.p999_ns <= dedicated.p999_ns {
+        return Err("scavenged p99.9 should exceed dedicated's (cold starts)".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn scavenged_cheaper_dedicated_faster_tail() {
+        let (s, d) = run(DEFAULT_SEED, 200.0, Duration::from_secs(30));
+        shape_holds(&s, &d).unwrap();
+        assert!(s.completed > 1000);
+        assert!(d.completed > 1000);
+        assert!(
+            d.cold_starts <= 5,
+            "dedicated fleet must (almost) never boot: {}",
+            d.cold_starts
+        );
+        assert!(s.cold_starts > 0, "scavenged pays cold starts");
+    }
+}

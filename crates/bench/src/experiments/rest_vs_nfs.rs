@@ -1,0 +1,187 @@
+//! E2 — §2.1's in-text comparison: 1 KB fetch via NFS vs DynamoDB-style
+//! REST (plus PCSI-native on the same replicated store).
+//!
+//! Paper: "fetching a 1KB object via the NFS protocol takes 1.5 ms and
+//! costs 0.003 USD/M ... whereas fetching the same data from DynamoDB
+//! takes 4.3 ms and costs 0.18 USD/M."
+//!
+//! Shape target: REST ≈ 3× NFS latency and tens-of-× NFS cost. Absolute
+//! values differ (our simulated 2021 fabric is faster than the authors'
+//! WAN-adjacent testbed); ratios are the claim.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pcsi_cloud::nfs::NfsServer;
+use pcsi_cloud::rest::RestGateway;
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency};
+use pcsi_net::NodeId;
+use pcsi_proto::sign::Credentials;
+use pcsi_sim::metrics::Histogram;
+use pcsi_sim::Sim;
+
+/// Results for one interface.
+#[derive(Debug, Clone)]
+pub struct InterfaceResult {
+    /// Interface label.
+    pub label: &'static str,
+    /// Mean fetch latency (ns).
+    pub mean_ns: f64,
+    /// p99 fetch latency (ns).
+    pub p99_ns: f64,
+    /// Metered compute cost per million fetches (USD).
+    pub usd_per_million: f64,
+}
+
+/// The full E2 result set.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// NFS-like stateful protocol.
+    pub nfs: InterfaceResult,
+    /// DynamoDB-like REST.
+    pub rest: InterfaceResult,
+    /// PCSI-native (references + binary data plane).
+    pub pcsi: InterfaceResult,
+}
+
+impl Results {
+    /// REST latency / NFS latency (paper: 4.3 / 1.5 ≈ 2.9).
+    pub fn latency_ratio(&self) -> f64 {
+        self.rest.mean_ns / self.nfs.mean_ns
+    }
+
+    /// REST cost / NFS cost (paper: 0.18 / 0.003 = 60).
+    pub fn cost_ratio(&self) -> f64 {
+        self.rest.usd_per_million / self.nfs.usd_per_million
+    }
+}
+
+/// Runs `fetches` 1 KB GETs on each interface.
+pub fn run(seed: u64, fetches: u32) -> Results {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let cloud = CloudBuilder::new().build(&h);
+        let billing = cloud.billing.clone();
+        let mut keys = HashMap::new();
+        keys.insert("AK1".to_owned(), Credentials::new("AK1", b"k".to_vec()));
+        let rest = RestGateway::deploy(
+            cloud.fabric.clone(),
+            cloud.store.clone(),
+            billing.clone(),
+            NodeId(1),
+            NodeId(5),
+            keys,
+        );
+        let nfs = NfsServer::deploy(
+            cloud.fabric.clone(),
+            billing.clone(),
+            NodeId(6),
+            b"nfs-secret",
+        );
+        let payload = vec![0x5Au8; 1024];
+        let client_node = NodeId(0);
+
+        // --- NFS ---
+        let mount = nfs.mount(client_node, b"nfs-secret", "nfs").await.unwrap();
+        let fh = mount.lookup("bench-1k", true).await.unwrap();
+        mount.write(fh, 0, &payload).await.unwrap();
+        let nfs_hist = Histogram::new();
+        for _ in 0..fetches {
+            let t0 = h.now();
+            mount.read(fh, 0, 1024).await.unwrap();
+            nfs_hist.record_duration(h.now() - t0);
+        }
+
+        // --- REST ---
+        let rc = rest.client(client_node, Credentials::new("AK1", b"k".to_vec()));
+        rc.kv_put("bench", "obj-1k", &payload).await.unwrap();
+        let rest_hist = Histogram::new();
+        let rest_reqs_before = billing.request_count("AK1");
+        let rest_cost_before = billing.invoice("AK1").compute;
+        for _ in 0..fetches {
+            let t0 = h.now();
+            rc.kv_get("bench", "obj-1k").await.unwrap();
+            rest_hist.record_duration(h.now() - t0);
+        }
+        let rest_reqs = billing.request_count("AK1") - rest_reqs_before;
+        // Compute-metered provider cost only: the flat API-metering fee
+        // (0.20 USD/M, REST-only) is reported separately by the report
+        // binary; the paper's 60x is about work per request.
+        let rest_cost = billing.invoice("AK1").compute - rest_cost_before;
+
+        // --- PCSI-native ---
+        let kc = cloud.kernel.client(client_node, "pcsi");
+        let obj = kc
+            .create(
+                CreateOptions::regular()
+                    .with_consistency(Consistency::Eventual)
+                    .with_initial(payload.clone()),
+            )
+            .await
+            .unwrap();
+        let pcsi_hist = Histogram::new();
+        for _ in 0..fetches {
+            let t0 = h.now();
+            kc.read(&obj, 0, 1024).await.unwrap();
+            pcsi_hist.record_duration(h.now() - t0);
+        }
+
+        // Cost accounting. NFS: per-op compute metered at the server.
+        // PCSI: we meter the replica-side CPU analogously (binary decode +
+        // handle work ~ the same 3 us class as NFS; charge it explicitly
+        // so the comparison is apples-to-apples).
+        let nfs_cost = billing.invoice("nfs").compute;
+        let pcsi_per_op = Duration::from_micros(2); // Capability table hit + dispatch.
+        let pcsi_cost = pcsi_per_op.as_secs_f64() * (0.048 / 3600.0) * f64::from(fetches);
+
+        let per_m = |total: f64, n: f64| total / n * 1e6;
+        Results {
+            nfs: InterfaceResult {
+                label: "NFS-like stateful protocol",
+                mean_ns: nfs_hist.mean(),
+                p99_ns: nfs_hist.quantile(0.99) as f64,
+                usd_per_million: per_m(nfs_cost, f64::from(fetches + 2)),
+            },
+            rest: InterfaceResult {
+                label: "DynamoDB-like REST",
+                mean_ns: rest_hist.mean(),
+                p99_ns: rest_hist.quantile(0.99) as f64,
+                usd_per_million: per_m(rest_cost, rest_reqs as f64),
+            },
+            pcsi: InterfaceResult {
+                label: "PCSI-native (reference + binary)",
+                mean_ns: pcsi_hist.mean(),
+                p99_ns: pcsi_hist.quantile(0.99) as f64,
+                usd_per_million: per_m(pcsi_cost, f64::from(fetches)),
+            },
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn ratios_match_paper_shape() {
+        let r = run(DEFAULT_SEED, 200);
+        let lat = r.latency_ratio();
+        let cost = r.cost_ratio();
+        assert!((2.0..5.0).contains(&lat), "latency ratio {lat:.2}");
+        assert!((20.0..200.0).contains(&cost), "cost ratio {cost:.1}");
+        // PCSI-native beats both on the *replicated* store.
+        assert!(r.pcsi.mean_ns < r.rest.mean_ns / 2.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(7, 50);
+        let b = run(7, 50);
+        assert_eq!(a.rest.mean_ns, b.rest.mean_ns);
+        assert_eq!(a.nfs.p99_ns, b.nfs.p99_ns);
+    }
+}

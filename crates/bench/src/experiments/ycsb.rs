@@ -1,0 +1,215 @@
+//! Supporting experiment — YCSB-style KV workloads on both interfaces.
+//!
+//! Not a paper table, but the standard way to characterize a cloud KV
+//! data plane: Zipf-popular keys, workload mixes A (50/50 read/update),
+//! B (95/5) and C (read-only), run against the PCSI-native path and the
+//! signed-REST gateway over the *same* replicated store. The per-op gap
+//! from E2/E8 holds across mixes and skew, which is the generalization
+//! the §2.1 argument needs.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use pcsi_cloud::rest::RestGateway;
+use pcsi_cloud::workload::ZipfKeys;
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency, Reference};
+use pcsi_net::NodeId;
+use pcsi_proto::sign::Credentials;
+use pcsi_sim::metrics::Histogram;
+use pcsi_sim::Sim;
+
+/// Number of keys in the table.
+pub const KEYS: u64 = 200;
+/// Value size in bytes.
+pub const VALUE: usize = 1024;
+
+/// A YCSB workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% reads / 50% updates.
+    A,
+    /// 95% reads / 5% updates.
+    B,
+    /// 100% reads.
+    C,
+}
+
+impl Mix {
+    /// All mixes.
+    pub const ALL: [Mix; 3] = [Mix::A, Mix::B, Mix::C];
+
+    /// Read fraction.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Mix::A => 0.5,
+            Mix::B => 0.95,
+            Mix::C => 1.0,
+        }
+    }
+
+    /// Label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::A => "A (50/50)",
+            Mix::B => "B (95/5)",
+            Mix::C => "C (read-only)",
+        }
+    }
+}
+
+/// One `(mix, interface)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload mix.
+    pub mix: Mix,
+    /// Interface label.
+    pub interface: &'static str,
+    /// Mean operation latency (ns).
+    pub mean_ns: f64,
+    /// p99 operation latency (ns).
+    pub p99_ns: f64,
+}
+
+/// Runs all mixes on both interfaces with `ops` operations each.
+pub fn run(seed: u64, ops: u32) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for mix in Mix::ALL {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        let (pcsi, rest) = sim.block_on(async move {
+            let cloud = CloudBuilder::new().build(&h);
+            let value = vec![0x42u8; VALUE];
+
+            // PCSI: one object per key, eventual consistency (the
+            // DynamoDB-default equivalent), references bound once.
+            let kc = cloud.kernel.client(NodeId(0), "ycsb");
+            let mut refs: Vec<Reference> = Vec::with_capacity(KEYS as usize);
+            for _ in 0..KEYS {
+                refs.push(
+                    kc.create(
+                        CreateOptions::regular()
+                            .with_consistency(Consistency::Eventual)
+                            .with_initial(value.clone()),
+                    )
+                    .await
+                    .unwrap(),
+                );
+            }
+
+            let zipf = ZipfKeys::new(h.rng().stream("ycsb-keys"), KEYS, 0.99);
+            let coin = h.rng().stream("ycsb-mix");
+            let pcsi_hist = Histogram::new();
+            for _ in 0..ops {
+                let key = zipf.next_key() as usize;
+                let is_read = coin.bool(mix.read_fraction());
+                let t0 = h.now();
+                if is_read {
+                    kc.read(&refs[key], 0, VALUE as u64).await.unwrap();
+                } else {
+                    kc.write(&refs[key], 0, Bytes::from(value.clone()))
+                        .await
+                        .unwrap();
+                }
+                pcsi_hist.record_duration(h.now() - t0);
+            }
+
+            // REST on the same store.
+            let mut keys = HashMap::new();
+            keys.insert("AK".to_owned(), Credentials::new("AK", b"k".to_vec()));
+            let rest = RestGateway::deploy(
+                cloud.fabric.clone(),
+                cloud.store.clone(),
+                cloud.billing.clone(),
+                NodeId(1),
+                NodeId(5),
+                keys,
+            );
+            let rc = rest.client(NodeId(0), Credentials::new("AK", b"k".to_vec()));
+            for k in 0..KEYS {
+                rc.kv_put("ycsb", &format!("k{k}"), &value).await.unwrap();
+            }
+            let zipf = ZipfKeys::new(h.rng().stream("ycsb-keys-rest"), KEYS, 0.99);
+            let coin = h.rng().stream("ycsb-mix-rest");
+            let rest_hist = Histogram::new();
+            for _ in 0..ops {
+                let key = zipf.next_key();
+                let name = format!("k{key}");
+                let is_read = coin.bool(mix.read_fraction());
+                let t0 = h.now();
+                if is_read {
+                    rc.kv_get("ycsb", &name).await.unwrap();
+                } else {
+                    rc.kv_put("ycsb", &name, &value).await.unwrap();
+                }
+                rest_hist.record_duration(h.now() - t0);
+            }
+            (
+                (pcsi_hist.mean(), pcsi_hist.quantile(0.99) as f64),
+                (rest_hist.mean(), rest_hist.quantile(0.99) as f64),
+            )
+        });
+        out.push(Cell {
+            mix,
+            interface: "PCSI-native",
+            mean_ns: pcsi.0,
+            p99_ns: pcsi.1,
+        });
+        out.push(Cell {
+            mix,
+            interface: "signed REST",
+            mean_ns: rest.0,
+            p99_ns: rest.1,
+        });
+    }
+    out
+}
+
+/// The generalization claim: REST pays a multiple of PCSI on every mix.
+pub fn shape_holds(cells: &[Cell]) -> Result<(), String> {
+    for mix in Mix::ALL {
+        let get = |iface: &str| {
+            cells
+                .iter()
+                .find(|c| c.mix == mix && c.interface == iface)
+                .map(|c| c.mean_ns)
+                .unwrap_or(f64::NAN)
+        };
+        let ratio = get("signed REST") / get("PCSI-native");
+        if !(2.0..20.0).contains(&ratio) {
+            return Err(format!(
+                "mix {:?}: REST/PCSI ratio {ratio:.2} outside (2, 20)",
+                mix
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn rest_tax_holds_across_mixes() {
+        let cells = run(DEFAULT_SEED, 150);
+        shape_holds(&cells).unwrap();
+    }
+
+    #[test]
+    fn write_heavier_mixes_are_slower() {
+        let cells = run(DEFAULT_SEED, 150);
+        let mean = |mix: Mix, iface: &str| {
+            cells
+                .iter()
+                .find(|c| c.mix == mix && c.interface == iface)
+                .unwrap()
+                .mean_ns
+        };
+        // Writes replicate; reads hit the closest replica. A must cost
+        // more than C on the PCSI path.
+        assert!(mean(Mix::A, "PCSI-native") > mean(Mix::C, "PCSI-native"));
+    }
+}

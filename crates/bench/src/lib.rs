@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # pcsi-bench — the experiment harness
+//!
+//! One module per table/figure/claim of the paper (see `DESIGN.md`'s
+//! experiment index). Each experiment is a pure function of a seed that
+//! runs a deterministic simulation and returns structured results; the
+//! `report` binary renders them next to the paper's numbers, and the
+//! criterion benches in `benches/` re-measure the same operations —
+//! wall-clock for the real protocol code, virtual-time (via
+//! `iter_custom`) for the simulated systems.
+//!
+//! | module | artifact |
+//! |--------|----------|
+//! | [`experiments::table1`] | Table 1 — representative operation latencies |
+//! | [`experiments::rest_vs_nfs`] | §2.1 — NFS vs DynamoDB-style fetch (E2) |
+//! | [`experiments::mutability`] | Figure 1 — transition matrix (E3) |
+//! | [`experiments::pipeline`] | Figure 2 / §4.1 — placement strategies (E4) |
+//! | [`experiments::efficiency`] | §4.2 — scavenged vs provisioned (E5) |
+//! | [`experiments::flexibility`] | §4.3 — variant swap + optimizer (E6) |
+//! | [`experiments::consistency`] | §3.3 — the consistency menu (E7) |
+//! | [`experiments::capability`] | §3.2 — stateful refs vs per-request auth (E8) |
+//! | [`experiments::crossover`] | §2.1 — overhead share as networks speed up (E9) |
+
+pub mod experiments;
+pub mod reportfmt;

@@ -1,0 +1,97 @@
+//! Plain-text/markdown table rendering for the report binary.
+
+/// Formats nanoseconds with a human unit (aligned, fixed width).
+pub fn ns(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.0} ns")
+    } else if v < 1e6 {
+        format!("{:.1} us", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2} ms", v / 1e6)
+    } else {
+        format!("{:.2} s", v / 1e9)
+    }
+}
+
+/// A markdown-ish table printer with aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units() {
+        assert_eq!(ns(17.0), "17 ns");
+        assert_eq!(ns(50_000.0), "50.0 us");
+        assert_eq!(ns(4_300_000.0), "4.30 ms");
+        assert_eq!(ns(2.5e9), "2.50 s");
+    }
+
+    #[test]
+    fn table_aligns() {
+        let mut t = Table::new(&["op", "latency"]);
+        t.row(&["read".into(), "1 ns".into()]);
+        t.row(&["a-much-longer-op".into(), "2 ns".into()]);
+        let r = t.render();
+        assert!(r.contains("| op               | latency |"), "{r}");
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Pay-per-use billing.
+//!
+//! §2.1 observes that a 1 KB fetch costs 0.003 USD/M via NFS but
+//! 0.18 USD/M via DynamoDB, and speculates "that a part of the cost
+//! difference comes from the cloud provider passing the cost of providing
+//! a RESTful web service interface on to the customer." The ledger here
+//! makes that mechanism explicit: every request is charged the *compute
+//! time the provider spent on it* (gateway parsing, marshaling, signature
+//! checks, storage I/O) at resource rates, plus flat per-request and
+//! per-byte components. The REST path simply burns more provider CPU per
+//! operation — the 60× emerges rather than being hard-coded.
+//!
+//! Prices are 2021-era public-cloud approximations, all in one place so
+//! calibration is auditable.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use pcsi_faas::registry::CostModel;
+use pcsi_net::node::Resources;
+
+/// Price sheet beyond raw resource-seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceSheet {
+    /// Resource-second rates (CPU/GPU/TPU/memory).
+    pub resources: CostModel,
+    /// Flat request-routing fee per million API requests (front-door
+    /// load balancer + metering), USD.
+    pub per_million_requests: f64,
+    /// Storage at rest, USD per GiB-month (≈ S3 standard).
+    pub storage_gib_month: f64,
+    /// Cross-rack egress, USD per GiB (intra-region replication rate).
+    pub transfer_gib: f64,
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        PriceSheet {
+            resources: CostModel::default(),
+            per_million_requests: 0.20,
+            storage_gib_month: 0.023,
+            transfer_gib: 0.01,
+        }
+    }
+}
+
+/// One tenant's accumulated charges, by category (USD).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Invoice {
+    /// Compute time (all resource kinds).
+    pub compute: f64,
+    /// Flat request fees.
+    pub requests: f64,
+    /// Storage at rest.
+    pub storage: f64,
+    /// Data transfer.
+    pub transfer: f64,
+}
+
+impl Invoice {
+    /// Grand total.
+    pub fn total(&self) -> f64 {
+        self.compute + self.requests + self.storage + self.transfer
+    }
+}
+
+/// The provider's metering service. Cheap to clone; clones share ledgers.
+#[derive(Clone, Default)]
+pub struct Billing {
+    inner: Rc<RefCell<Inner>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    prices: Option<PriceSheet>,
+    ledgers: BTreeMap<String, Invoice>,
+    request_counts: BTreeMap<String, u64>,
+}
+
+impl Billing {
+    /// A meter with default prices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A meter with custom prices.
+    pub fn with_prices(prices: PriceSheet) -> Self {
+        let b = Billing::new();
+        b.inner.borrow_mut().prices = Some(prices);
+        b
+    }
+
+    fn prices(&self) -> PriceSheet {
+        self.inner.borrow().prices.unwrap_or_default()
+    }
+
+    /// Charges `account` for holding `demand` for `d`.
+    pub fn charge_compute(&self, account: &str, demand: &Resources, d: Duration) {
+        let usd = self.prices().resources.charge(demand, d);
+        self.entry(account, |inv| inv.compute += usd);
+    }
+
+    /// Charges one flat-rate API request.
+    pub fn charge_request(&self, account: &str) {
+        let usd = self.prices().per_million_requests / 1e6;
+        self.entry(account, |inv| inv.requests += usd);
+        *self
+            .inner
+            .borrow_mut()
+            .request_counts
+            .entry(account.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// Charges storage-at-rest: `gib` held for `d`.
+    pub fn charge_storage(&self, account: &str, gib: f64, d: Duration) {
+        let month = 30.0 * 24.0 * 3600.0;
+        let usd = self.prices().storage_gib_month * gib * (d.as_secs_f64() / month);
+        self.entry(account, |inv| inv.storage += usd);
+    }
+
+    /// Charges data transfer of `bytes`.
+    pub fn charge_transfer(&self, account: &str, bytes: u64) {
+        let usd = self.prices().transfer_gib * (bytes as f64 / (1u64 << 30) as f64);
+        self.entry(account, |inv| inv.transfer += usd);
+    }
+
+    fn entry(&self, account: &str, f: impl FnOnce(&mut Invoice)) {
+        let mut inner = self.inner.borrow_mut();
+        f(inner.ledgers.entry(account.to_owned()).or_default());
+    }
+
+    /// The invoice for an account (zero if never charged).
+    pub fn invoice(&self, account: &str) -> Invoice {
+        self.inner
+            .borrow()
+            .ledgers
+            .get(account)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Requests metered for an account.
+    pub fn request_count(&self, account: &str) -> u64 {
+        self.inner
+            .borrow()
+            .request_counts
+            .get(account)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// USD per million requests, the unit §2.1 uses.
+    ///
+    /// Returns `None` until at least one request was metered.
+    pub fn usd_per_million(&self, account: &str) -> Option<f64> {
+        let n = self.request_count(account);
+        if n == 0 {
+            return None;
+        }
+        Some(self.invoice(account).total() / n as f64 * 1e6)
+    }
+
+    /// All accounts with charges, sorted.
+    pub fn accounts(&self) -> Vec<String> {
+        self.inner.borrow().ledgers.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_charges_scale_with_time_and_demand() {
+        let b = Billing::new();
+        b.charge_compute("t1", &Resources::cpu(2, 0), Duration::from_secs(3600));
+        let inv = b.invoice("t1");
+        assert!((inv.compute - 2.0 * 0.048).abs() < 1e-9, "{inv:?}");
+        assert_eq!(b.invoice("other"), Invoice::default());
+    }
+
+    #[test]
+    fn per_million_math() {
+        let b = Billing::new();
+        for _ in 0..1000 {
+            b.charge_request("t1");
+        }
+        assert_eq!(b.request_count("t1"), 1000);
+        // Flat component alone: 0.20 USD/M.
+        let per_m = b.usd_per_million("t1").unwrap();
+        assert!((per_m - 0.20).abs() < 1e-9, "{per_m}");
+        assert_eq!(b.usd_per_million("nobody"), None);
+    }
+
+    #[test]
+    fn storage_and_transfer() {
+        let b = Billing::new();
+        // 1 GiB for one month = 0.023 USD.
+        b.charge_storage("t1", 1.0, Duration::from_secs(30 * 24 * 3600));
+        // 1 GiB transferred = 0.01 USD.
+        b.charge_transfer("t1", 1 << 30);
+        let inv = b.invoice("t1");
+        assert!((inv.storage - 0.023).abs() < 1e-9);
+        assert!((inv.transfer - 0.01).abs() < 1e-9);
+        assert!((inv.total() - 0.033).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accounts_are_separate_and_shared_across_clones() {
+        let b = Billing::new();
+        let b2 = b.clone();
+        b.charge_request("a");
+        b2.charge_request("b");
+        assert_eq!(b.accounts(), vec!["a", "b"]);
+        assert_eq!(b.request_count("a"), 1);
+        assert_eq!(b.request_count("b"), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! One-call deployment of a simulated cloud.
+//!
+//! [`CloudBuilder`] wires the substrates together in the right order:
+//! topology → fabric → replicated store → cluster state → runtime →
+//! kernel → baselines. Experiments and examples construct everything
+//! through it so configurations stay comparable.
+
+use std::time::Duration;
+
+use pcsi_faas::cluster::ClusterState;
+use pcsi_faas::registry::Goal;
+use pcsi_faas::runtime::{Runtime, RuntimeConfig};
+use pcsi_faas::scheduler::PlacementPolicy;
+use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, Topology};
+use pcsi_sim::SimHandle;
+use pcsi_store::{ReplicatedStore, StoreConfig};
+
+use crate::billing::Billing;
+use crate::kernel::Kernel;
+
+/// Registers the standard device classes every namespace can expect
+/// (§3.2's "device interfaces to system services").
+///
+/// * `clock` — read returns the current virtual time as nanoseconds
+///   (little-endian u64),
+/// * `random` — read returns 32 deterministic pseudo-random bytes from
+///   the simulation's `device-random` stream,
+/// * `null` — accepts and discards writes, reads empty,
+/// * `log` — writes append to a kernel-held diagnostic log; reads return
+///   the whole log (bounded at 64 KiB).
+fn register_standard_devices(kernel: &Kernel, handle: &SimHandle) {
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let h = handle.clone();
+    kernel.register_device(
+        "clock",
+        Rc::new(move |_input| Ok(Bytes::from(h.now().as_nanos().to_le_bytes().to_vec()))),
+    );
+
+    let rng = handle.rng().stream("device-random");
+    kernel.register_device(
+        "random",
+        Rc::new(move |_input| {
+            let mut buf = vec![0u8; 32];
+            rng.fill_bytes(&mut buf);
+            Ok(Bytes::from(buf))
+        }),
+    );
+
+    kernel.register_device("null", Rc::new(|_input| Ok(Bytes::new())));
+
+    let log: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    kernel.register_device(
+        "log",
+        Rc::new(move |input: Bytes| {
+            let mut l = log.borrow_mut();
+            if input.is_empty() {
+                return Ok(Bytes::from(l.clone()));
+            }
+            if l.len() + input.len() <= 64 * 1024 {
+                l.extend_from_slice(&input);
+            }
+            Ok(Bytes::new())
+        }),
+    );
+}
+
+/// Configuration for a simulated cloud deployment.
+#[derive(Clone)]
+pub struct CloudBuilder {
+    topology: Topology,
+    generation: NetworkGeneration,
+    deterministic_net: bool,
+    store: StoreConfig,
+    runtime: RuntimeConfig,
+    goal: Goal,
+}
+
+impl Default for CloudBuilder {
+    fn default() -> Self {
+        CloudBuilder {
+            topology: Topology::heterogeneous(2, 4),
+            generation: NetworkGeneration::Dc2021,
+            deterministic_net: false,
+            store: StoreConfig::default(),
+            runtime: RuntimeConfig::default(),
+            goal: Goal::Balanced,
+        }
+    }
+}
+
+impl CloudBuilder {
+    /// Starts from defaults: 2 compute racks × 4 nodes plus a GPU rack
+    /// and a TPU rack, 2021 network, 3-replica NVMe store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the cluster topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the network generation.
+    pub fn network(mut self, g: NetworkGeneration) -> Self {
+        self.generation = g;
+        self
+    }
+
+    /// Disables network jitter (calibration runs).
+    pub fn deterministic_network(mut self) -> Self {
+        self.deterministic_net = true;
+        self
+    }
+
+    /// Sets the store configuration.
+    pub fn store(mut self, c: StoreConfig) -> Self {
+        self.store = c;
+        self
+    }
+
+    /// Sets the runtime configuration.
+    pub fn runtime(mut self, c: RuntimeConfig) -> Self {
+        self.runtime = c;
+        self
+    }
+
+    /// Sets the placement policy (shorthand over [`CloudBuilder::runtime`]).
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.runtime.policy = p;
+        self
+    }
+
+    /// Sets the instance keep-alive window.
+    pub fn keep_alive(mut self, d: Duration) -> Self {
+        self.runtime.keep_alive = d;
+        self
+    }
+
+    /// Sets the kernel's default variant-selection goal.
+    pub fn goal(mut self, g: Goal) -> Self {
+        self.goal = g;
+        self
+    }
+
+    /// Deploys the cloud onto a simulation.
+    pub fn build(self, handle: &SimHandle) -> Cloud {
+        let latency = if self.deterministic_net {
+            LatencyModel::deterministic(self.generation)
+        } else {
+            LatencyModel::new(self.generation)
+        };
+        let fabric = Fabric::new(handle.clone(), self.topology, latency);
+        let store =
+            ReplicatedStore::launch(fabric.clone(), fabric.topology().node_ids(), self.store);
+        let cluster = ClusterState::new(fabric.topology());
+        let runtime = Runtime::new(handle.clone(), cluster, self.runtime);
+        let billing = Billing::new();
+        let kernel = Kernel::new(
+            fabric.clone(),
+            store.clone(),
+            runtime.clone(),
+            billing.clone(),
+            self.goal,
+        );
+        register_standard_devices(&kernel, handle);
+        Cloud {
+            fabric,
+            store,
+            runtime,
+            billing,
+            kernel,
+        }
+    }
+}
+
+/// A deployed simulated cloud.
+#[derive(Clone)]
+pub struct Cloud {
+    /// The datacenter network.
+    pub fabric: Fabric,
+    /// The replicated object store.
+    pub store: ReplicatedStore,
+    /// The FaaS runtime.
+    pub runtime: Runtime,
+    /// The billing meter.
+    pub billing: Billing,
+    /// The PCSI kernel.
+    pub kernel: Kernel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcsi_sim::Sim;
+
+    #[test]
+    fn default_build_deploys_everything() {
+        let sim = Sim::new(1);
+        let cloud = CloudBuilder::new().build(&sim.handle());
+        assert_eq!(cloud.fabric.topology().len(), 2 * 4 + 4 + 4);
+        assert_eq!(cloud.store.replicas().len(), cloud.fabric.topology().len());
+        assert_eq!(cloud.kernel.live_objects(), 0);
+    }
+
+    #[test]
+    fn standard_devices_are_registered() {
+        use pcsi_core::api::CreateOptions;
+        use pcsi_core::{CloudInterface, Consistency, Mutability, ObjectKind};
+        use pcsi_net::NodeId;
+
+        let mut sim = Sim::new(3);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let cloud = CloudBuilder::new().deterministic_network().build(&h);
+            let c = cloud.kernel.client(NodeId(0), "t");
+            let mk = |class: &str| CreateOptions {
+                kind: ObjectKind::Device(class.into()),
+                mutability: Mutability::Immutable,
+                consistency: Consistency::Eventual,
+                initial: bytes::Bytes::new(),
+            };
+            // clock advances with virtual time.
+            let clock = c.create(mk("clock")).await.unwrap();
+            let t1 = c.read(&clock, 0, 8).await.unwrap();
+            h.sleep(std::time::Duration::from_micros(50)).await;
+            let t2 = c.read(&clock, 0, 8).await.unwrap();
+            let n1 = u64::from_le_bytes(t1[..8].try_into().unwrap());
+            let n2 = u64::from_le_bytes(t2[..8].try_into().unwrap());
+            assert!(n2 > n1);
+
+            // random yields fresh bytes per read.
+            let random = c.create(mk("random")).await.unwrap();
+            let r1 = c.read(&random, 0, 32).await.unwrap();
+            let r2 = c.read(&random, 0, 32).await.unwrap();
+            assert_eq!(r1.len(), 32);
+            assert_ne!(r1, r2);
+
+            // log accumulates writes and reads them back.
+            let log = c.create(mk("log")).await.unwrap();
+            c.write(&log, 0, bytes::Bytes::from_static(b"alpha;"))
+                .await
+                .unwrap();
+            c.write(&log, 0, bytes::Bytes::from_static(b"beta;"))
+                .await
+                .unwrap();
+            assert_eq!(&c.read(&log, 0, 64).await.unwrap()[..], b"alpha;beta;");
+
+            // null swallows everything.
+            let null = c.create(mk("null")).await.unwrap();
+            c.write(&null, 0, bytes::Bytes::from_static(b"void"))
+                .await
+                .unwrap();
+            assert!(c.read(&null, 0, 8).await.unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let sim = Sim::new(1);
+        let cloud = CloudBuilder::new()
+            .topology(Topology::uniform(1, 3))
+            .network(NetworkGeneration::FastEmerging)
+            .deterministic_network()
+            .placement(PlacementPolicy::LoadBalance)
+            .build(&sim.handle());
+        assert_eq!(cloud.fabric.topology().len(), 3);
+        assert_eq!(
+            cloud.fabric.latency().generation(),
+            NetworkGeneration::FastEmerging
+        );
+    }
+}

@@ -1,0 +1,783 @@
+//! The PCSI kernel: `CloudInterface` over the simulated provider.
+//!
+//! The kernel owns the control plane — object metadata, capability
+//! generations, FIFO queues, device handlers, the id allocator — and
+//! delegates the data plane to the replicated store and the FaaS runtime.
+//! Consistent with the paper's stateful-reference argument (§3.2),
+//! **capability checks are local table lookups** (free), while **data
+//! movement is always charged**: store RPCs, cache I/O time, invocation
+//! dispatch hops. Contrast with the REST gateway in [`crate::rest`],
+//! which re-authenticates cryptographically on every request.
+//!
+//! Clients are per-node: [`Kernel::client`] binds an origin node (and a
+//! billing account), so every operation pays the network distance from
+//! where it actually runs. Function bodies get a client bound to the node
+//! the scheduler picked — data locality is visible to them too.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use pcsi_core::api::{CreateOptions, InvokeRequest, InvokeResponse};
+use pcsi_core::id::IdAllocator;
+use pcsi_core::{
+    CloudInterface, Consistency, Mutability, ObjectId, ObjectKind, ObjectMeta, PcsiError,
+    Reference, Rights,
+};
+use pcsi_faas::function::{DataPlane, FunctionImage};
+use pcsi_faas::registry::{choose_variant, Goal};
+use pcsi_faas::runtime::Runtime;
+use pcsi_fs::device::{DeviceHandler, DeviceRegistry};
+use pcsi_fs::{DirEntry, Directory, FifoQueue};
+use pcsi_net::{Fabric, NodeId, Transport};
+use pcsi_sim::executor::LocalBoxFuture;
+use pcsi_store::cache::ObjectCache;
+use pcsi_store::engine::MediaTier;
+use pcsi_store::{gc, ReplicatedStore};
+
+use crate::billing::Billing;
+
+/// Per-node cache budget (bytes).
+const CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+struct MetaEntry {
+    meta: ObjectMeta,
+}
+
+struct Inner {
+    fabric: Fabric,
+    store: ReplicatedStore,
+    runtime: Runtime,
+    billing: Billing,
+    alloc: RefCell<IdAllocator>,
+    meta: RefCell<HashMap<ObjectId, MetaEntry>>,
+    fifos: RefCell<HashMap<ObjectId, FifoQueue>>,
+    devices: RefCell<DeviceRegistry>,
+    caches: RefCell<HashMap<NodeId, ObjectCache>>,
+    goal: Goal,
+}
+
+/// The provider kernel. Cheap to clone.
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Rc<Inner>,
+}
+
+impl Kernel {
+    /// Assembles a kernel over deployed substrates.
+    pub fn new(
+        fabric: Fabric,
+        store: ReplicatedStore,
+        runtime: Runtime,
+        billing: Billing,
+        goal: Goal,
+    ) -> Self {
+        let realm = fabric.handle().rng().seed() ^ 0x5043_5349; // "PCSI"
+        Kernel {
+            inner: Rc::new(Inner {
+                fabric,
+                store,
+                runtime,
+                billing,
+                alloc: RefCell::new(IdAllocator::new(realm)),
+                meta: RefCell::new(HashMap::new()),
+                fifos: RefCell::new(HashMap::new()),
+                devices: RefCell::new(DeviceRegistry::new()),
+                caches: RefCell::new(HashMap::new()),
+                goal,
+            }),
+        }
+    }
+
+    /// A client whose operations originate from `node`, billed to
+    /// `account`.
+    pub fn client(&self, node: NodeId, account: &str) -> KernelClient {
+        KernelClient {
+            kernel: self.clone(),
+            node,
+            account: account.to_owned(),
+        }
+    }
+
+    /// Registers a host body for a function image name.
+    pub fn register_body(&self, name: &str, body: pcsi_faas::function::FunctionBody) {
+        self.inner.runtime.register_body(name, body);
+    }
+
+    /// Registers a device class handler.
+    pub fn register_device(&self, class: &str, handler: DeviceHandler) {
+        self.inner.devices.borrow_mut().register(class, handler);
+    }
+
+    /// The FaaS runtime (experiments read its stats).
+    pub fn runtime(&self) -> &Runtime {
+        &self.inner.runtime
+    }
+
+    /// The billing meter.
+    pub fn billing(&self) -> &Billing {
+        &self.inner.billing
+    }
+
+    /// The store (tests and GC sweeps).
+    pub fn store(&self) -> &ReplicatedStore {
+        &self.inner.store
+    }
+
+    /// The datacenter fabric (graph executors charge cross-group hops).
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// Number of live (metadata-tracked) objects.
+    pub fn live_objects(&self) -> usize {
+        self.inner.meta.borrow().len()
+    }
+
+    /// Revokes every outstanding reference to `id` by bumping its
+    /// generation; the holder of a newer reference must be re-issued one
+    /// through a namespace or delegation.
+    pub fn revoke(&self, id: ObjectId) -> Result<Reference, PcsiError> {
+        let mut meta = self.inner.meta.borrow_mut();
+        let entry = meta.get_mut(&id).ok_or(PcsiError::NotFound(id))?;
+        entry.meta.generation += 1;
+        Ok(Reference::mint(id, Rights::ALL, entry.meta.generation))
+    }
+
+    /// Runs a reachability GC from `roots`.
+    ///
+    /// Edges come from directory contents; unreachable objects lose their
+    /// metadata, store replicas, FIFO queues and cache entries. Returns
+    /// the collected object count.
+    pub fn run_gc(&self, roots: &[Reference]) -> usize {
+        let edges = |id: ObjectId| -> Vec<ObjectId> {
+            let is_dir = {
+                let meta = self.inner.meta.borrow();
+                matches!(
+                    meta.get(&id).map(|e| &e.meta.kind),
+                    Some(ObjectKind::Directory)
+                )
+            };
+            if !is_dir {
+                return Vec::new();
+            }
+            // Provider-internal read straight from any replica engine.
+            for replica in self.inner.store.replicas() {
+                let bytes = replica.with_engine(|e| e.get(id).map(|o| o.data.clone()));
+                if let Some(bytes) = bytes {
+                    if let Ok(dir) = Directory::decode(&bytes) {
+                        return dir.target_ids();
+                    }
+                }
+            }
+            Vec::new()
+        };
+        let all: Vec<ObjectId> = self.inner.meta.borrow().keys().copied().collect();
+        let dead = gc::mark(roots.iter().map(Reference::id), edges, all);
+        gc::sweep(&self.inner.store, &dead);
+        let mut meta = self.inner.meta.borrow_mut();
+        let mut fifos = self.inner.fifos.borrow_mut();
+        let mut caches = self.inner.caches.borrow_mut();
+        for id in &dead {
+            meta.remove(id);
+            fifos.remove(id);
+            for cache in caches.values_mut() {
+                cache.invalidate(*id);
+            }
+        }
+        dead.len()
+    }
+
+    fn check(&self, r: &Reference, needed: Rights) -> Result<ObjectMeta, PcsiError> {
+        let meta = self.inner.meta.borrow();
+        let entry = meta.get(&r.id()).ok_or(PcsiError::NotFound(r.id()))?;
+        if entry.meta.generation != r.generation() {
+            return Err(PcsiError::InvalidReference(format!(
+                "reference to {:?} was revoked (generation {} != {})",
+                r.id(),
+                r.generation(),
+                entry.meta.generation
+            )));
+        }
+        r.require(needed)?;
+        Ok(entry.meta.clone())
+    }
+
+    fn update_meta(&self, id: ObjectId, f: impl FnOnce(&mut ObjectMeta)) {
+        if let Some(entry) = self.inner.meta.borrow_mut().get_mut(&id) {
+            f(&mut entry.meta);
+        }
+    }
+}
+
+/// A per-origin, per-account kernel client.
+#[derive(Clone)]
+pub struct KernelClient {
+    kernel: Kernel,
+    node: NodeId,
+    account: String,
+}
+
+impl KernelClient {
+    /// The node this client's operations originate from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The billing account.
+    pub fn account(&self) -> &str {
+        &self.account
+    }
+
+    /// The kernel behind this client.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    fn inner(&self) -> &Inner {
+        &self.kernel.inner
+    }
+
+    fn store_client(&self) -> pcsi_store::StoreClient {
+        self.inner().store.client(self.node)
+    }
+
+    /// Cache lookup for this client's node.
+    fn cache_get(&self, id: ObjectId, offset: u64, len: u64) -> Option<Bytes> {
+        let mut caches = self.inner().caches.borrow_mut();
+        caches
+            .entry(self.node)
+            .or_insert_with(|| ObjectCache::new(CACHE_BYTES))
+            .get(id, offset, len)
+    }
+
+    fn cache_admit(&self, id: ObjectId, mutability: Mutability, data: Bytes) {
+        let mut caches = self.inner().caches.borrow_mut();
+        caches
+            .entry(self.node)
+            .or_insert_with(|| ObjectCache::new(CACHE_BYTES))
+            .admit(id, mutability, data);
+    }
+
+    fn cache_invalidate_all(&self, id: ObjectId) {
+        for cache in self.inner().caches.borrow_mut().values_mut() {
+            cache.invalidate(id);
+        }
+    }
+
+    /// Reads the complete contents of a byte object (helper used by
+    /// lookups, invoke, and the public `read`).
+    async fn read_raw(&self, id: ObjectId, meta: &ObjectMeta) -> Result<Bytes, PcsiError> {
+        if let Some(hit) = self.cache_get(id, 0, meta.size) {
+            // Node-local cache: charge DRAM time only.
+            let t = MediaTier::Dram.io_time(hit.len());
+            self.inner().fabric.handle().sleep(t).await;
+            return Ok(hit);
+        }
+        let (_tag, data) = self
+            .read_with_fallback(id, 0, u64::MAX, meta.consistency)
+            .await?;
+        self.cache_admit(id, meta.mutability, data.clone());
+        Ok(data)
+    }
+
+    /// Store read honoring the consistency menu, with one escape hatch:
+    /// an *eventual* read that finds no replica copy retries at quorum
+    /// strength before reporting `NotFound` — absence of a live object is
+    /// a replication race, not legitimate staleness.
+    async fn read_with_fallback(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        consistency: Consistency,
+    ) -> Result<(pcsi_store::Tag, Bytes), PcsiError> {
+        match self.store_client().read(id, offset, len, consistency).await {
+            Err(PcsiError::NotFound(_)) if consistency == Consistency::Eventual => {
+                self.store_client()
+                    .read(id, offset, len, Consistency::Linearizable)
+                    .await
+            }
+            other => other,
+        }
+    }
+
+    /// Loads and decodes a directory object.
+    async fn load_dir(&self, id: ObjectId, meta: &ObjectMeta) -> Result<Directory, PcsiError> {
+        if meta.kind != ObjectKind::Directory {
+            return Err(PcsiError::WrongKind {
+                id,
+                expected: "directory",
+                actual: meta.kind.name(),
+            });
+        }
+        let bytes = self.read_raw(id, meta).await?;
+        Directory::decode(&bytes)
+    }
+
+    /// Persists a directory object (directories are linearizable).
+    async fn store_dir(&self, id: ObjectId, dir: &Directory) -> Result<(), PcsiError> {
+        let bytes = dir.encode();
+        let size = bytes.len() as u64;
+        self.store_client()
+            .put(id, bytes, Mutability::Mutable, Consistency::Linearizable)
+            .await?;
+        self.kernel.update_meta(id, |m| {
+            m.size = size;
+            m.version += 1;
+        });
+        Ok(())
+    }
+
+    /// Resolves a path through a **union** of directory layers, topmost
+    /// first (§3.2: "PCSI will include support for union file systems,
+    /// allowing one namespace to be superimposed on top of another").
+    ///
+    /// Each path segment is looked up in every layer top-down; a whiteout
+    /// in a higher layer hides the name in all lower ones. Once a segment
+    /// resolves in some layer, deeper segments resolve within that
+    /// subtree only (overlayfs semantics for non-merged subdirectories).
+    pub async fn lookup_union(
+        &self,
+        layers: &[Reference],
+        path: &str,
+    ) -> Result<Reference, PcsiError> {
+        let segments = pcsi_fs::path::split(path)?;
+        let mut current: Vec<Reference> = layers.to_vec();
+        if current.is_empty() {
+            return Err(PcsiError::BadPayload("union lookup needs layers".into()));
+        }
+        let mut resolved = current[0].clone();
+        for seg in &segments {
+            let mut found: Option<Reference> = None;
+            for layer in &current {
+                let meta = self.kernel.check(layer, Rights::READ)?;
+                let dir = self.load_dir(layer.id(), &meta).await?;
+                match dir.get(seg) {
+                    Some(e) if e.whiteout => break, // Hidden below this layer.
+                    Some(e) => {
+                        let gen = {
+                            let meta = self.inner().meta.borrow();
+                            meta.get(&e.id)
+                                .ok_or(PcsiError::NotFound(e.id))?
+                                .meta
+                                .generation
+                        };
+                        found = Some(Reference::mint(e.id, e.rights, gen));
+                        break;
+                    }
+                    None => continue,
+                }
+            }
+            resolved = found.ok_or_else(|| PcsiError::NameNotFound(seg.clone()))?;
+            current = vec![resolved.clone()];
+        }
+        Ok(resolved)
+    }
+
+    /// Invokes with an explicit optimizer goal (the `CloudInterface`
+    /// method uses the kernel default).
+    pub async fn invoke_goal(
+        &self,
+        f: &Reference,
+        req: InvokeRequest,
+        goal: Goal,
+    ) -> Result<InvokeResponse, PcsiError> {
+        let meta = self.kernel.check(f, Rights::INVOKE)?;
+        if meta.kind != ObjectKind::Function {
+            return Err(PcsiError::WrongKind {
+                id: f.id(),
+                expected: "function",
+                actual: meta.kind.name(),
+            });
+        }
+        let image_bytes = self.read_raw(f.id(), &meta).await?;
+        let image = FunctionImage::decode(&image_bytes)?;
+
+        let runtime = &self.inner().runtime;
+        let warm = |v: &str| !runtime.warm_nodes(&image.name, v).is_empty();
+        let variant = choose_variant(&image, req.body.len(), goal, warm)?.clone();
+
+        // Warm instances are always preferred (their resources are pinned
+        // and they skip the boot); the placement policy governs where new
+        // instances go. Placement and reservation share one synchronous
+        // section, so concurrent invocations cannot race each other onto
+        // a single slot and spuriously overload a node. (The runtime's
+        // policy is the kernel's policy — both come from the builder.)
+        let lease = runtime
+            .reserve_placed(&image, &variant, Some(self.node))
+            .map_err(|e| match e {
+                PcsiError::Overloaded(_) => PcsiError::Overloaded(format!(
+                    "no capacity for {}/{}",
+                    image.name, variant.name
+                )),
+                other => other,
+            })?;
+        let node = lease.node();
+
+        // Dispatch hop: request body travels to the chosen node (the slot
+        // is already held, so awaiting here is safe).
+        if node != self.node {
+            self.inner()
+                .fabric
+                .transfer(self.node, node, req.body.len().max(64), Transport::Rdma)
+                .await
+                .map_err(|e| PcsiError::Fault(e.to_string()))?;
+        }
+
+        // The body's data plane originates from the execution node.
+        let body_client: Rc<dyn DataPlane> = Rc::new(KernelClient {
+            kernel: self.kernel.clone(),
+            node,
+            account: self.account.clone(),
+        });
+        let (resp, ran_on) = runtime
+            .run_lease(lease, &image, &variant, req, body_client)
+            .await?;
+
+        // Response hop back.
+        if ran_on != self.node {
+            self.inner()
+                .fabric
+                .transfer(ran_on, self.node, resp.body.len().max(64), Transport::Rdma)
+                .await
+                .map_err(|e| PcsiError::Fault(e.to_string()))?;
+        }
+
+        self.inner().billing.charge_request(&self.account);
+        self.inner().billing.charge_compute(
+            &self.account,
+            &variant.demand,
+            std::time::Duration::from_nanos(resp.billed_ns),
+        );
+        Ok(resp)
+    }
+}
+
+impl CloudInterface for KernelClient {
+    async fn create(&self, opts: CreateOptions) -> Result<Reference, PcsiError> {
+        if !matches!(opts.kind, ObjectKind::Regular | ObjectKind::Function)
+            && !opts.initial.is_empty()
+        {
+            return Err(PcsiError::BadPayload(format!(
+                "{} objects cannot take initial contents",
+                opts.kind
+            )));
+        }
+        if let ObjectKind::Device(class) = &opts.kind {
+            if !self.inner().devices.borrow().has(class) {
+                return Err(PcsiError::NameNotFound(format!("device class {class:?}")));
+            }
+        }
+        let id = self.inner().alloc.borrow_mut().alloc();
+        let now = self.inner().fabric.handle().now().as_nanos();
+        let mut meta = ObjectMeta::new(opts.kind.clone(), opts.mutability, opts.consistency, now);
+        meta.size = opts.initial.len() as u64;
+
+        match &opts.kind {
+            ObjectKind::Regular | ObjectKind::Function => {
+                // Creation is always durably replicated (majority sync):
+                // an object must be readable everywhere the moment its
+                // reference exists, whatever its steady-state consistency.
+                self.store_client()
+                    .put(id, opts.initial, opts.mutability, Consistency::Linearizable)
+                    .await?;
+            }
+            ObjectKind::Directory => {
+                let dir = Directory::new();
+                let bytes = dir.encode();
+                meta.size = bytes.len() as u64;
+                self.store_client()
+                    .put(id, bytes, Mutability::Mutable, Consistency::Linearizable)
+                    .await?;
+            }
+            ObjectKind::Fifo | ObjectKind::Socket => {
+                self.inner()
+                    .fifos
+                    .borrow_mut()
+                    .insert(id, FifoQueue::unbounded());
+            }
+            ObjectKind::Device(_) => {}
+        }
+        self.inner()
+            .meta
+            .borrow_mut()
+            .insert(id, MetaEntry { meta });
+        Ok(Reference::mint(id, Rights::ALL, 0))
+    }
+
+    async fn read(&self, r: &Reference, offset: u64, len: u64) -> Result<Bytes, PcsiError> {
+        let meta = self.kernel.check(r, Rights::READ)?;
+        match &meta.kind {
+            ObjectKind::Regular | ObjectKind::Function | ObjectKind::Directory => {
+                if let Some(hit) = self.cache_get(r.id(), offset, len) {
+                    let t = MediaTier::Dram.io_time(hit.len());
+                    self.inner().fabric.handle().sleep(t).await;
+                    return Ok(hit);
+                }
+                let (_tag, data) = self
+                    .read_with_fallback(r.id(), offset, len, meta.consistency)
+                    .await?;
+                if offset == 0 {
+                    // Whole-prefix reads are cache-admissible.
+                    self.cache_admit(r.id(), meta.mutability, data.clone());
+                }
+                Ok(data)
+            }
+            ObjectKind::Device(class) => {
+                self.inner().devices.borrow().dispatch(class, Bytes::new())
+            }
+            ObjectKind::Fifo | ObjectKind::Socket => Err(PcsiError::WrongKind {
+                id: r.id(),
+                expected: "byte object (use pop for FIFOs)",
+                actual: meta.kind.name(),
+            }),
+        }
+    }
+
+    async fn write(&self, r: &Reference, offset: u64, data: Bytes) -> Result<(), PcsiError> {
+        let meta = self.kernel.check(r, Rights::WRITE)?;
+        match &meta.kind {
+            ObjectKind::Regular | ObjectKind::Function => {
+                let end = offset + data.len() as u64;
+                self.store_client()
+                    .write_at(r.id(), offset, data, meta.consistency)
+                    .await?;
+                self.kernel.update_meta(r.id(), |m| {
+                    m.size = m.size.max(end);
+                    m.version += 1;
+                });
+                self.cache_invalidate_all(r.id());
+                Ok(())
+            }
+            ObjectKind::Device(class) => {
+                self.inner().devices.borrow().dispatch(class, data)?;
+                Ok(())
+            }
+            ObjectKind::Socket => {
+                let fifo = self
+                    .inner()
+                    .fifos
+                    .borrow()
+                    .get(&r.id())
+                    .cloned()
+                    .ok_or(PcsiError::NotFound(r.id()))?;
+                fifo.push(data)
+            }
+            other => Err(PcsiError::WrongKind {
+                id: r.id(),
+                expected: "writable object",
+                actual: other.name(),
+            }),
+        }
+    }
+
+    async fn append(&self, r: &Reference, data: Bytes) -> Result<u64, PcsiError> {
+        let meta = self.kernel.check(r, Rights::APPEND)?;
+        match &meta.kind {
+            ObjectKind::Regular | ObjectKind::Function => {
+                let len = data.len() as u64;
+                self.store_client()
+                    .append(r.id(), data, meta.consistency)
+                    .await?;
+                let mut at = 0;
+                self.kernel.update_meta(r.id(), |m| {
+                    at = m.size;
+                    m.size += len;
+                    m.version += 1;
+                });
+                Ok(at)
+            }
+            ObjectKind::Fifo | ObjectKind::Socket => {
+                let fifo = self
+                    .inner()
+                    .fifos
+                    .borrow()
+                    .get(&r.id())
+                    .cloned()
+                    .ok_or(PcsiError::NotFound(r.id()))?;
+                // FIFO messages traverse the fabric to the queue's home
+                // (placement primary), so distance matters.
+                let home = self.inner().store.placement().primary(r.id());
+                if home != self.node {
+                    self.inner()
+                        .fabric
+                        .transfer(self.node, home, data.len().max(64), Transport::Rdma)
+                        .await
+                        .map_err(|e| PcsiError::Fault(e.to_string()))?;
+                }
+                let at = fifo.total_pushed();
+                fifo.push(data)?;
+                self.kernel.update_meta(r.id(), |m| {
+                    m.size += 1;
+                    m.version += 1;
+                });
+                Ok(at)
+            }
+            other => Err(PcsiError::WrongKind {
+                id: r.id(),
+                expected: "appendable object",
+                actual: other.name(),
+            }),
+        }
+    }
+
+    async fn pop(&self, r: &Reference) -> Result<Bytes, PcsiError> {
+        let meta = self.kernel.check(r, Rights::READ)?;
+        if !matches!(meta.kind, ObjectKind::Fifo | ObjectKind::Socket) {
+            return Err(PcsiError::WrongKind {
+                id: r.id(),
+                expected: "fifo or socket",
+                actual: meta.kind.name(),
+            });
+        }
+        let fifo = self
+            .inner()
+            .fifos
+            .borrow()
+            .get(&r.id())
+            .cloned()
+            .ok_or(PcsiError::NotFound(r.id()))?;
+        let msg = fifo.pop().await?;
+        let home = self.inner().store.placement().primary(r.id());
+        if home != self.node {
+            self.inner()
+                .fabric
+                .transfer(home, self.node, msg.len().max(64), Transport::Rdma)
+                .await
+                .map_err(|e| PcsiError::Fault(e.to_string()))?;
+        }
+        self.kernel
+            .update_meta(r.id(), |m| m.size = m.size.saturating_sub(1));
+        Ok(msg)
+    }
+
+    async fn stat(&self, r: &Reference) -> Result<ObjectMeta, PcsiError> {
+        self.kernel.check(r, Rights::READ)
+    }
+
+    async fn set_mutability(&self, r: &Reference, to: Mutability) -> Result<(), PcsiError> {
+        let meta = self.kernel.check(r, Rights::MANAGE)?;
+        // Validate the Figure-1 transition before touching the store.
+        meta.mutability.transition_to(to)?;
+        if matches!(meta.kind, ObjectKind::Regular | ObjectKind::Function) {
+            self.store_client()
+                .set_mutability(r.id(), to, meta.consistency)
+                .await?;
+        }
+        self.kernel.update_meta(r.id(), |m| {
+            m.mutability = to;
+            m.version += 1;
+        });
+        Ok(())
+    }
+
+    async fn delete(&self, r: &Reference) -> Result<(), PcsiError> {
+        let meta = self.kernel.check(r, Rights::MANAGE)?;
+        if matches!(
+            meta.kind,
+            ObjectKind::Regular | ObjectKind::Function | ObjectKind::Directory
+        ) {
+            self.store_client().delete(r.id()).await?;
+        }
+        self.inner().meta.borrow_mut().remove(&r.id());
+        self.inner().fifos.borrow_mut().remove(&r.id());
+        self.cache_invalidate_all(r.id());
+        Ok(())
+    }
+
+    async fn link(&self, dir: &Reference, name: &str, target: &Reference) -> Result<(), PcsiError> {
+        let dmeta = self.kernel.check(dir, Rights::WRITE)?;
+        // Publishing a name delegates the target: GRANT required.
+        self.kernel.check(target, Rights::GRANT)?;
+        let mut d = self.load_dir(dir.id(), &dmeta).await?;
+        d.link(name, DirEntry::new(target.id(), target.rights()))?;
+        self.store_dir(dir.id(), &d).await
+    }
+
+    async fn unlink(&self, dir: &Reference, name: &str) -> Result<(), PcsiError> {
+        let dmeta = self.kernel.check(dir, Rights::WRITE)?;
+        let mut d = self.load_dir(dir.id(), &dmeta).await?;
+        d.unlink(name)?;
+        self.store_dir(dir.id(), &d).await
+    }
+
+    async fn lookup(&self, dir: &Reference, path: &str) -> Result<Reference, PcsiError> {
+        let segments = pcsi_fs::path::split(path)?;
+        let mut current = dir.clone();
+        for seg in &segments {
+            let meta = self.kernel.check(&current, Rights::READ)?;
+            let d = self.load_dir(current.id(), &meta).await?;
+            let entry = d
+                .get(seg)
+                .filter(|e| !e.whiteout)
+                .ok_or_else(|| PcsiError::NameNotFound(seg.clone()))?;
+            let gen = {
+                let meta = self.inner().meta.borrow();
+                meta.get(&entry.id)
+                    .ok_or(PcsiError::NotFound(entry.id))?
+                    .meta
+                    .generation
+            };
+            current = Reference::mint(entry.id, entry.rights, gen);
+        }
+        Ok(current)
+    }
+
+    async fn list(&self, dir: &Reference) -> Result<Vec<String>, PcsiError> {
+        let meta = self.kernel.check(dir, Rights::READ)?;
+        let d = self.load_dir(dir.id(), &meta).await?;
+        Ok(d.names())
+    }
+
+    async fn invoke(&self, f: &Reference, req: InvokeRequest) -> Result<InvokeResponse, PcsiError> {
+        self.invoke_goal(f, req, self.inner().goal).await
+    }
+}
+
+impl DataPlane for KernelClient {
+    fn read(
+        &self,
+        r: &Reference,
+        offset: u64,
+        len: u64,
+    ) -> LocalBoxFuture<Result<Bytes, PcsiError>> {
+        let this = self.clone();
+        let r = r.clone();
+        Box::pin(async move { CloudInterface::read(&this, &r, offset, len).await })
+    }
+
+    fn write(
+        &self,
+        r: &Reference,
+        offset: u64,
+        data: Bytes,
+    ) -> LocalBoxFuture<Result<(), PcsiError>> {
+        let this = self.clone();
+        let r = r.clone();
+        Box::pin(async move { CloudInterface::write(&this, &r, offset, data).await })
+    }
+
+    fn append(&self, r: &Reference, data: Bytes) -> LocalBoxFuture<Result<u64, PcsiError>> {
+        let this = self.clone();
+        let r = r.clone();
+        Box::pin(async move { CloudInterface::append(&this, &r, data).await })
+    }
+
+    fn pop(&self, r: &Reference) -> LocalBoxFuture<Result<Bytes, PcsiError>> {
+        let this = self.clone();
+        let r = r.clone();
+        Box::pin(async move { CloudInterface::pop(&this, &r).await })
+    }
+
+    fn invoke(
+        &self,
+        f: &Reference,
+        req: InvokeRequest,
+    ) -> LocalBoxFuture<Result<InvokeResponse, PcsiError>> {
+        let this = self.clone();
+        let f = f.clone();
+        Box::pin(async move { CloudInterface::invoke(&this, &f, req).await })
+    }
+}

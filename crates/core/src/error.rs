@@ -1,0 +1,161 @@
+//! The PCSI error vocabulary.
+//!
+//! Every fallible interface operation returns `Result<_, PcsiError>`; the
+//! variants are the "errno" set of the system. Unlike POSIX errno, errors
+//! carry enough structure to be actionable programmatically (which object,
+//! which rights were missing, which transition was rejected).
+
+use std::fmt;
+
+use crate::id::ObjectId;
+use crate::mutability::Mutability;
+use crate::rights::Rights;
+
+/// Errors surfaced by the Portable Cloud System Interface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcsiError {
+    /// The object does not exist (or was reclaimed by the GC).
+    NotFound(ObjectId),
+    /// The reference lacks required rights.
+    AccessDenied {
+        /// Target object.
+        id: ObjectId,
+        /// Rights the operation needed.
+        needed: Rights,
+        /// Rights the reference held.
+        held: Rights,
+    },
+    /// The requested mutability change violates Figure 1.
+    InvalidMutabilityTransition {
+        /// Current level.
+        from: Mutability,
+        /// Requested level.
+        to: Mutability,
+    },
+    /// A write/append/resize conflicts with the object's mutability level.
+    MutabilityViolation {
+        /// Target object.
+        id: ObjectId,
+        /// Its current level.
+        level: Mutability,
+        /// The operation that was rejected (e.g. `"write"`).
+        op: &'static str,
+    },
+    /// The operation does not apply to this object kind (e.g. reading a
+    /// directory as a byte stream).
+    WrongKind {
+        /// Target object.
+        id: ObjectId,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What the object actually is.
+        actual: &'static str,
+    },
+    /// Directory entry already exists.
+    AlreadyExists(String),
+    /// Path or directory-entry name not found during resolution.
+    NameNotFound(String),
+    /// A quorum could not be assembled (too many replicas unreachable).
+    QuorumUnavailable {
+        /// Responses needed.
+        needed: usize,
+        /// Responses obtained before the deadline.
+        got: usize,
+    },
+    /// The operation timed out.
+    Timeout,
+    /// A function invocation failed inside the function body.
+    FunctionFailed(String),
+    /// No implementation variant of a function satisfies the request
+    /// (e.g. no variant fits the latency goal).
+    NoViableVariant(String),
+    /// Admission control rejected the request (overload / quota).
+    Overloaded(String),
+    /// Attempted capability amplification or use of a revoked reference.
+    InvalidReference(String),
+    /// The payload was malformed (codec errors crossing the interface).
+    BadPayload(String),
+    /// Catch-all for substrate faults injected by tests.
+    Fault(String),
+}
+
+impl fmt::Display for PcsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcsiError::NotFound(id) => write!(f, "object {id:?} not found"),
+            PcsiError::AccessDenied { id, needed, held } => write!(
+                f,
+                "access denied on {id:?}: needed {needed}, reference holds {held}"
+            ),
+            PcsiError::InvalidMutabilityTransition { from, to } => {
+                write!(f, "mutability transition {from} -> {to} not allowed")
+            }
+            PcsiError::MutabilityViolation { id, level, op } => {
+                write!(f, "cannot {op} {id:?}: object is {level}")
+            }
+            PcsiError::WrongKind {
+                id,
+                expected,
+                actual,
+            } => write!(f, "{id:?} is a {actual}, operation needs a {expected}"),
+            PcsiError::AlreadyExists(name) => write!(f, "entry {name:?} already exists"),
+            PcsiError::NameNotFound(name) => write!(f, "name {name:?} not found"),
+            PcsiError::QuorumUnavailable { needed, got } => {
+                write!(f, "quorum unavailable: needed {needed}, got {got}")
+            }
+            PcsiError::Timeout => f.write_str("operation timed out"),
+            PcsiError::FunctionFailed(msg) => write!(f, "function failed: {msg}"),
+            PcsiError::NoViableVariant(msg) => write!(f, "no viable variant: {msg}"),
+            PcsiError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            PcsiError::InvalidReference(msg) => write!(f, "invalid reference: {msg}"),
+            PcsiError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+            PcsiError::Fault(msg) => write!(f, "substrate fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PcsiError {}
+
+impl PcsiError {
+    /// True for errors a client can sensibly retry (transient overload,
+    /// timeouts, missing quorum).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PcsiError::Timeout
+                | PcsiError::QuorumUnavailable { .. }
+                | PcsiError::Overloaded(_)
+                | PcsiError::Fault(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let id = ObjectId::from_parts(1, 1);
+        let e = PcsiError::AccessDenied {
+            id,
+            needed: Rights::WRITE,
+            held: Rights::READ,
+        };
+        let text = e.to_string();
+        assert!(text.contains("WRITE") && text.contains("READ"), "{text}");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(PcsiError::Timeout.is_retryable());
+        assert!(PcsiError::QuorumUnavailable { needed: 2, got: 1 }.is_retryable());
+        assert!(PcsiError::Overloaded("busy".into()).is_retryable());
+        assert!(!PcsiError::NotFound(ObjectId::NIL).is_retryable());
+        assert!(!PcsiError::InvalidMutabilityTransition {
+            from: Mutability::Immutable,
+            to: Mutability::Mutable
+        }
+        .is_retryable());
+    }
+}

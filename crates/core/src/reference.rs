@@ -1,0 +1,208 @@
+//! Capability references — the primary access method for objects (§3.2).
+//!
+//! "References are the primary method for accessing objects as names are
+//! optional in PCSI. References also provide a capability-oriented
+//! security mechanism, as Capsicum does for POSIX file descriptors."
+//!
+//! A [`Reference`] couples an object id with a rights set and a generation
+//! number. References make the API *stateful*: the kernel validates a
+//! reference once when it is bound (opened) and subsequent data-plane
+//! operations use a cheap handle — the contrast to REST's per-request
+//! re-authentication measured in experiment E8.
+//!
+//! Capability discipline is enforced structurally:
+//!
+//! * a reference can only be **attenuated** ([`Reference::attenuate`]),
+//!   never amplified;
+//! * **delegation** ([`Reference::delegate`]) requires the `GRANT` right
+//!   and strips `GRANT` unless explicitly re-granted;
+//! * the kernel tracks live references for **reachability GC** — an
+//!   object unreachable from any live reference or namespace is
+//!   reclaimable (`pcsi-store::gc`).
+
+use std::fmt;
+
+use crate::error::PcsiError;
+use crate::id::ObjectId;
+use crate::rights::Rights;
+
+/// An unforgeable-in-spirit handle to an object plus the rights to use it.
+///
+/// Within this codebase references are minted by the kernel
+/// ([`Reference::mint`] is called from `pcsi-cloud` only) and all kernel
+/// entry points re-validate the reference against the kernel's capability
+/// table, so fabricating a `Reference` value grants nothing.
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_core::{ObjectId, Reference, Rights};
+///
+/// let root = Reference::mint(ObjectId::from_parts(1, 1), Rights::ALL, 0);
+/// let read_only = root.attenuate(Rights::READ).unwrap();
+/// assert!(read_only.rights().contains(Rights::READ));
+/// assert!(!read_only.rights().contains(Rights::WRITE));
+/// // Amplification is rejected:
+/// assert!(read_only.attenuate(Rights::WRITE).is_err());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Reference {
+    id: ObjectId,
+    rights: Rights,
+    /// Generation stamp; the kernel bumps an object's generation to revoke
+    /// every outstanding reference at once.
+    generation: u32,
+}
+
+impl Reference {
+    /// Mints a reference. Kernel use only; see the type-level discussion.
+    pub fn mint(id: ObjectId, rights: Rights, generation: u32) -> Reference {
+        Reference {
+            id,
+            rights,
+            generation,
+        }
+    }
+
+    /// The referenced object.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The rights this reference carries.
+    pub fn rights(&self) -> Rights {
+        self.rights
+    }
+
+    /// The revocation generation this reference was minted under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Returns a copy restricted to `rights`.
+    ///
+    /// Fails with [`PcsiError::InvalidReference`] if `rights` is not a
+    /// subset of the current rights (capability amplification).
+    pub fn attenuate(&self, rights: Rights) -> Result<Reference, PcsiError> {
+        if !rights.is_subset_of(self.rights) {
+            return Err(PcsiError::InvalidReference(format!(
+                "attenuation would amplify rights: {} -> {}",
+                self.rights, rights
+            )));
+        }
+        Ok(Reference {
+            id: self.id,
+            rights,
+            generation: self.generation,
+        })
+    }
+
+    /// Produces a reference suitable for handing to another principal.
+    ///
+    /// Requires `GRANT`. The delegate's rights are the intersection of the
+    /// requested rights with this reference's rights, minus `GRANT` (a
+    /// delegate cannot re-delegate unless `GRANT` is explicitly included
+    /// in `rights` *and* held here).
+    pub fn delegate(&self, rights: Rights) -> Result<Reference, PcsiError> {
+        if !self.rights.contains(Rights::GRANT) {
+            return Err(PcsiError::AccessDenied {
+                id: self.id,
+                needed: Rights::GRANT,
+                held: self.rights,
+            });
+        }
+        let granted = rights.intersect(self.rights);
+        Ok(Reference {
+            id: self.id,
+            rights: granted,
+            generation: self.generation,
+        })
+    }
+
+    /// Checks that this reference carries `needed`, with a structured
+    /// error otherwise.
+    pub fn require(&self, needed: Rights) -> Result<(), PcsiError> {
+        if self.rights.contains(needed) {
+            Ok(())
+        } else {
+            Err(PcsiError::AccessDenied {
+                id: self.id,
+                needed,
+                held: self.rights,
+            })
+        }
+    }
+}
+
+impl fmt::Debug for Reference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ref({:?}, {}, gen {})",
+            self.id, self.rights, self.generation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Reference {
+        Reference::mint(ObjectId::from_parts(9, 9), Rights::ALL, 3)
+    }
+
+    #[test]
+    fn attenuation_shrinks_only() {
+        let r = root().attenuate(Rights::READ | Rights::APPEND).unwrap();
+        assert_eq!(r.rights(), Rights::READ | Rights::APPEND);
+        assert_eq!(r.generation(), 3);
+        assert!(r.attenuate(Rights::READ).is_ok());
+        assert!(r.attenuate(Rights::WRITE).is_err());
+        assert!(r.attenuate(Rights::ALL).is_err());
+    }
+
+    #[test]
+    fn delegation_requires_grant() {
+        let no_grant = root().attenuate(Rights::READ | Rights::WRITE).unwrap();
+        assert!(matches!(
+            no_grant.delegate(Rights::READ),
+            Err(PcsiError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn delegation_intersects_and_defaults_to_no_regrant() {
+        let r = root();
+        let d = r.delegate(Rights::READ | Rights::INVOKE).unwrap();
+        assert_eq!(d.rights(), Rights::READ | Rights::INVOKE);
+        assert!(!d.rights().contains(Rights::GRANT));
+        // Explicit re-grant is possible when the grantor holds GRANT.
+        let d2 = r.delegate(Rights::READ | Rights::GRANT).unwrap();
+        assert!(d2.rights().contains(Rights::GRANT));
+        // A delegate with GRANT can itself delegate, but never beyond its
+        // own rights.
+        let d3 = d2.delegate(Rights::ALL).unwrap();
+        assert_eq!(d3.rights(), Rights::READ | Rights::GRANT);
+    }
+
+    #[test]
+    fn require_reports_structured_denial() {
+        let r = root().attenuate(Rights::READ).unwrap();
+        assert!(r.require(Rights::READ).is_ok());
+        match r.require(Rights::WRITE | Rights::READ) {
+            Err(PcsiError::AccessDenied { needed, held, .. }) => {
+                assert_eq!(needed, Rights::WRITE | Rights::READ);
+                assert_eq!(held, Rights::READ);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_preserved_through_derivations() {
+        let r = root();
+        assert_eq!(r.attenuate(Rights::READ).unwrap().generation(), 3);
+        assert_eq!(r.delegate(Rights::READ).unwrap().generation(), 3);
+    }
+}

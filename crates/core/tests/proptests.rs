@@ -1,0 +1,136 @@
+//! Property-based tests for the PCSI interface invariants.
+
+use proptest::prelude::*;
+
+use pcsi_core::{Mutability, ObjectId, Reference, Rights};
+
+fn arb_mutability() -> impl Strategy<Value = Mutability> {
+    prop_oneof![
+        Just(Mutability::Mutable),
+        Just(Mutability::FixedSize),
+        Just(Mutability::AppendOnly),
+        Just(Mutability::Immutable),
+    ]
+}
+
+fn arb_rights() -> impl Strategy<Value = Rights> {
+    any::<u8>().prop_map(Rights::from_bits)
+}
+
+proptest! {
+    /// Figure 1 is a partial order: transitions are reflexive,
+    /// antisymmetric (no two distinct levels reach each other), and
+    /// transitive.
+    #[test]
+    fn mutability_transitions_form_a_partial_order(
+        a in arb_mutability(),
+        b in arb_mutability(),
+        c in arb_mutability(),
+    ) {
+        prop_assert!(a.can_transition_to(a));
+        if a != b && a.can_transition_to(b) {
+            prop_assert!(!b.can_transition_to(a), "{a} <-> {b}");
+        }
+        if a.can_transition_to(b) && b.can_transition_to(c) {
+            prop_assert!(a.can_transition_to(c), "{a} -> {b} -> {c} not transitive");
+        }
+    }
+
+    /// Transitions only remove capabilities, never add them.
+    #[test]
+    fn mutability_transitions_are_monotone(
+        a in arb_mutability(),
+        b in arb_mutability(),
+    ) {
+        if a.can_transition_to(b) {
+            prop_assert!(a.allows_write() || !b.allows_write());
+            prop_assert!(a.allows_append() || !b.allows_append());
+            prop_assert!(a.allows_resize() || !b.allows_resize());
+        }
+    }
+
+    /// Rights form a lattice under intersection/union.
+    #[test]
+    fn rights_lattice_laws(a in arb_rights(), b in arb_rights(), c in arb_rights()) {
+        // Intersection is a lower bound.
+        prop_assert!(a.intersect(b).is_subset_of(a));
+        prop_assert!(a.intersect(b).is_subset_of(b));
+        // Union is an upper bound.
+        prop_assert!(a.is_subset_of(a | b));
+        prop_assert!(b.is_subset_of(a | b));
+        // Associativity/commutativity.
+        prop_assert_eq!(a & (b & c), (a & b) & c);
+        prop_assert_eq!(a | b, b | a);
+        // Subset is a partial order with NONE/ALL as bottom/top.
+        prop_assert!(Rights::NONE.is_subset_of(a));
+        prop_assert!(a.is_subset_of(Rights::ALL));
+        if a.is_subset_of(b) && b.is_subset_of(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Attenuation can only shrink rights, and any chain of attenuations
+    /// stays within the original rights.
+    #[test]
+    fn attenuation_never_amplifies(
+        initial in arb_rights(),
+        steps in proptest::collection::vec(arb_rights(), 0..6),
+    ) {
+        let root = Reference::mint(ObjectId::from_parts(1, 1), initial, 0);
+        let mut current = root.clone();
+        for want in steps {
+            match current.attenuate(want) {
+                Ok(next) => {
+                    prop_assert!(next.rights().is_subset_of(current.rights()));
+                    prop_assert!(next.rights().is_subset_of(initial));
+                    current = next;
+                }
+                Err(_) => {
+                    // Rejected means it would have amplified.
+                    prop_assert!(!want.is_subset_of(current.rights()));
+                }
+            }
+        }
+    }
+
+    /// Delegation requires GRANT, intersects rights, and preserves the
+    /// revocation generation.
+    #[test]
+    fn delegation_laws(
+        initial in arb_rights(),
+        want in arb_rights(),
+        generation in any::<u32>(),
+    ) {
+        let r = Reference::mint(ObjectId::from_parts(2, 2), initial, generation);
+        match r.delegate(want) {
+            Ok(d) => {
+                prop_assert!(initial.contains(Rights::GRANT));
+                prop_assert!(d.rights().is_subset_of(initial));
+                prop_assert!(d.rights().is_subset_of(want));
+                prop_assert_eq!(d.generation(), generation);
+            }
+            Err(_) => prop_assert!(!initial.contains(Rights::GRANT)),
+        }
+    }
+
+    /// Id allocation is injective across realms and serials.
+    #[test]
+    fn object_ids_injective(
+        r1 in any::<u64>(), s1 in 1u64..1_000_000,
+        r2 in any::<u64>(), s2 in 1u64..1_000_000,
+    ) {
+        let a = ObjectId::from_parts(r1, s1);
+        let b = ObjectId::from_parts(r2, s2);
+        if (r1, s1) != (r2, s2) {
+            prop_assert_ne!(a, b);
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Rights bits roundtrip through the wire form.
+    #[test]
+    fn rights_bits_roundtrip(a in arb_rights()) {
+        prop_assert_eq!(Rights::from_bits(a.bits()), a);
+    }
+}

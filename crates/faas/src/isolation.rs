@@ -1,0 +1,95 @@
+//! Execution platforms and their isolation costs.
+//!
+//! §3.1: "A wide and evolving range of platforms may be used to implement
+//! functions (e.g., accelerators, containers, unikernels, WebAssembly)."
+//! Table 1 quantifies the per-call isolation boundary costs this module
+//! encodes; cold-start times follow published measurements for each
+//! platform class (Firecracker ~125 ms, containers ~250 ms, Wasm ~1 ms,
+//! unikernels ~30 ms).
+
+use std::time::Duration;
+
+/// An isolation platform a function variant runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// OS containers: syscall-grade boundary (Table 1: 500 ns).
+    Container,
+    /// MicroVMs: hypervisor-call boundary (Table 1: 700 ns).
+    MicroVm,
+    /// WebAssembly in-process sandboxes (Table 1: 17 ns).
+    Wasm,
+    /// Unikernels on a hypervisor (700 ns boundary, fast boot).
+    Unikernel,
+}
+
+impl Backend {
+    /// All backends.
+    pub const ALL: [Backend; 4] = [
+        Backend::Container,
+        Backend::MicroVm,
+        Backend::Wasm,
+        Backend::Unikernel,
+    ];
+
+    /// Cost of crossing the isolation boundary once (Table 1 rows
+    /// "Linux system call" / "KVM Hypervisor call" / "WebAssembly call").
+    pub fn call_overhead(self) -> Duration {
+        match self {
+            Backend::Container => Duration::from_nanos(500),
+            Backend::MicroVm | Backend::Unikernel => Duration::from_nanos(700),
+            Backend::Wasm => Duration::from_nanos(17),
+        }
+    }
+
+    /// Time to bring a fresh instance up (image pull amortized away;
+    /// boot + runtime init).
+    pub fn cold_start(self) -> Duration {
+        match self {
+            Backend::Container => Duration::from_millis(250),
+            Backend::MicroVm => Duration::from_millis(125),
+            Backend::Wasm => Duration::from_millis(1),
+            Backend::Unikernel => Duration::from_millis(30),
+        }
+    }
+
+    /// Table-1-style row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Container => "container (syscall boundary)",
+            Backend::MicroVm => "microVM (hypervisor boundary)",
+            Backend::Wasm => "WebAssembly sandbox",
+            Backend::Unikernel => "unikernel (hypervisor boundary)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_call_overheads() {
+        assert_eq!(
+            Backend::Container.call_overhead(),
+            Duration::from_nanos(500)
+        );
+        assert_eq!(Backend::MicroVm.call_overhead(), Duration::from_nanos(700));
+        assert_eq!(Backend::Wasm.call_overhead(), Duration::from_nanos(17));
+    }
+
+    #[test]
+    fn wasm_is_cheapest_boundary_and_fastest_boot() {
+        for b in Backend::ALL {
+            assert!(Backend::Wasm.call_overhead() <= b.call_overhead());
+            assert!(Backend::Wasm.cold_start() <= b.cold_start());
+        }
+    }
+
+    #[test]
+    fn cold_starts_dwarf_call_overheads() {
+        // The asymmetry that makes warm pools worth modeling.
+        for b in Backend::ALL {
+            assert!(b.cold_start() > b.call_overhead() * 1000, "{b:?}");
+        }
+    }
+}

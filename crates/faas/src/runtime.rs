@@ -1,0 +1,733 @@
+//! The function runtime: warm pools, cold starts, autoscaling.
+//!
+//! The runtime realizes serverless execution semantics on the simulated
+//! cluster: instances are created on demand (scale from zero), pay a
+//! backend-specific cold start, serve one invocation at a time, linger
+//! warm for a keep-alive window, and are reaped afterwards — releasing
+//! their resources back to the cluster. "Abstraction that hides servers,
+//! pay-per-use without capacity reservations, and autoscaling from zero"
+//! (§2.4) falls out of this lifecycle.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::time::Duration;
+
+use pcsi_core::api::{InvokeRequest, InvokeResponse};
+use pcsi_core::PcsiError;
+use pcsi_net::NodeId;
+use pcsi_sim::metrics::Counter;
+use pcsi_sim::{SimHandle, SimTime};
+
+use crate::cluster::ClusterState;
+use crate::function::{DataPlane, FnCtx, FunctionImage, Variant};
+use crate::registry::{choose_variant, FunctionRegistry, Goal};
+use crate::scheduler::{place, PlacementPolicy, PlacementRequest};
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Placement policy for new instances.
+    pub policy: PlacementPolicy,
+    /// How long an idle instance stays warm.
+    pub keep_alive: Duration,
+    /// How often the reaper scans for idle instances.
+    pub reap_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            policy: PlacementPolicy::Locality,
+            keep_alive: Duration::from_secs(60),
+            reap_interval: Duration::from_secs(5),
+        }
+    }
+}
+
+type PoolKey = (String, String); // (function name, variant name)
+
+struct WarmInstance {
+    node: NodeId,
+    idle_since: SimTime,
+    demand: pcsi_net::node::Resources,
+}
+
+/// A reserved instance slot (see [`Runtime::reserve`]).
+///
+/// Holding a lease means either a warm instance was taken out of the
+/// pool or resources were allocated for a cold boot; `run_lease` turns it
+/// back into a warm pool entry when the invocation finishes.
+#[derive(Debug)]
+pub struct Lease {
+    key: PoolKey,
+    node: NodeId,
+    cold_start: bool,
+    #[allow(dead_code)] // Recorded for debugging leaked leases.
+    demand: pcsi_net::node::Resources,
+}
+
+impl Lease {
+    /// The node this lease is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True if running this lease will pay a cold start.
+    pub fn is_cold(&self) -> bool {
+        self.cold_start
+    }
+}
+
+/// The deployed function runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Rc<Inner>,
+}
+
+struct Inner {
+    handle: SimHandle,
+    cluster: ClusterState,
+    registry: RefCell<FunctionRegistry>,
+    config: RuntimeConfig,
+    pools: RefCell<HashMap<PoolKey, VecDeque<WarmInstance>>>,
+    invocations: Counter,
+    cold_starts: Counter,
+    rejections: Counter,
+    in_flight: std::cell::Cell<u32>,
+    peak_in_flight: std::cell::Cell<u32>,
+}
+
+impl Runtime {
+    /// Creates the runtime and starts its reaper task.
+    pub fn new(handle: SimHandle, cluster: ClusterState, config: RuntimeConfig) -> Self {
+        let rt = Runtime {
+            inner: Rc::new(Inner {
+                handle: handle.clone(),
+                cluster,
+                registry: RefCell::new(FunctionRegistry::new()),
+                config,
+                pools: RefCell::new(HashMap::new()),
+                invocations: Counter::new(),
+                cold_starts: Counter::new(),
+                rejections: Counter::new(),
+                in_flight: std::cell::Cell::new(0),
+                peak_in_flight: std::cell::Cell::new(0),
+            }),
+        };
+        rt.start_reaper();
+        rt
+    }
+
+    /// Registers a host body for an image name.
+    pub fn register_body(&self, name: &str, body: crate::function::FunctionBody) {
+        self.inner.registry.borrow_mut().register(name, body);
+    }
+
+    /// The cluster allocation state (experiments sample utilization here).
+    pub fn cluster(&self) -> &ClusterState {
+        &self.inner.cluster
+    }
+
+    /// Total invocations served.
+    pub fn invocations(&self) -> u64 {
+        self.inner.invocations.get()
+    }
+
+    /// Invocations that paid a cold start.
+    pub fn cold_starts(&self) -> u64 {
+        self.inner.cold_starts.get()
+    }
+
+    /// Invocations rejected for lack of resources.
+    pub fn rejections(&self) -> u64 {
+        self.inner.rejections.get()
+    }
+
+    /// Highest concurrent in-flight invocation count observed.
+    pub fn peak_concurrency(&self) -> u32 {
+        self.inner.peak_in_flight.get()
+    }
+
+    /// Nodes currently holding a warm instance of a variant (the kernel
+    /// feeds these to the placement policy).
+    pub fn warm_nodes(&self, function: &str, variant: &str) -> Vec<NodeId> {
+        self.inner
+            .pools
+            .borrow()
+            .get(&(function.to_owned(), variant.to_owned()))
+            .map(|p| p.iter().map(|w| w.node).collect())
+            .unwrap_or_default()
+    }
+
+    /// Count of currently warm (idle) instances of a variant.
+    pub fn warm_count(&self, function: &str, variant: &str) -> usize {
+        self.inner
+            .pools
+            .borrow()
+            .get(&(function.to_owned(), variant.to_owned()))
+            .map(VecDeque::len)
+            .unwrap_or(0)
+    }
+
+    /// Invokes `image`, letting the optimizer pick the variant for `goal`
+    /// and the placement policy pick the node (optionally biased toward
+    /// `hint`). Returns the response and the node that served it.
+    pub async fn invoke(
+        &self,
+        image: &FunctionImage,
+        goal: Goal,
+        req: InvokeRequest,
+        data: Rc<dyn DataPlane>,
+        hint: Option<NodeId>,
+    ) -> Result<(InvokeResponse, NodeId), PcsiError> {
+        let variant = {
+            let pools = self.inner.pools.borrow();
+            let warm = |vname: &str| {
+                pools
+                    .get(&(image.name.clone(), vname.to_owned()))
+                    .map(|p| !p.is_empty())
+                    .unwrap_or(false)
+            };
+            choose_variant(image, req.body.len(), goal, warm)?.clone()
+        };
+        self.invoke_variant(image, &variant, req, data, hint).await
+    }
+
+    /// Invokes a specific variant with placement.
+    pub async fn invoke_variant(
+        &self,
+        image: &FunctionImage,
+        variant: &Variant,
+        req: InvokeRequest,
+        data: Rc<dyn DataPlane>,
+        hint: Option<NodeId>,
+    ) -> Result<(InvokeResponse, NodeId), PcsiError> {
+        let key: PoolKey = (image.name.clone(), variant.name.clone());
+        let warm_nodes: Vec<NodeId> = self
+            .inner
+            .pools
+            .borrow()
+            .get(&key)
+            .map(|p| p.iter().map(|w| w.node).collect())
+            .unwrap_or_default();
+        // Warm instances are always preferred — their resources are
+        // already pinned and they skip the boot. The placement policy
+        // governs where *new* instances go. Prefer a warm instance on the
+        // hint node, then the lowest-id warm node (deterministic).
+        let warm_choice = hint
+            .filter(|h| warm_nodes.contains(h))
+            .or_else(|| warm_nodes.iter().copied().min());
+        let node = warm_choice
+            .or_else(|| {
+                place(
+                    &self.inner.cluster,
+                    self.inner.config.policy,
+                    &PlacementRequest {
+                        demand: variant.demand,
+                        prefer_node: hint,
+                        warm_nodes: Vec::new(),
+                    },
+                )
+            })
+            .ok_or_else(|| {
+                self.inner.rejections.incr();
+                PcsiError::Overloaded(format!(
+                    "no node fits {:?} for {}/{}",
+                    variant.demand, image.name, variant.name
+                ))
+            })?;
+        // `place` and `reserve` share this synchronous section: no other
+        // task can interleave between the decision and the allocation.
+        let lease = self.reserve(image, variant, node)?;
+        self.run_lease(lease, image, variant, req, data).await
+    }
+
+    /// Invokes a specific variant on a specific node (graph executors use
+    /// this for explicit co-location).
+    pub async fn invoke_on(
+        &self,
+        image: &FunctionImage,
+        variant: &Variant,
+        node: NodeId,
+        req: InvokeRequest,
+        data: Rc<dyn DataPlane>,
+    ) -> Result<(InvokeResponse, NodeId), PcsiError> {
+        let lease = self.reserve(image, variant, node)?;
+        self.run_lease(lease, image, variant, req, data).await
+    }
+
+    /// Reserves an instance slot on `node` **synchronously**: a warm
+    /// instance is taken from the pool, or resources are allocated for a
+    /// cold boot. Because no `await` separates the placement decision
+    /// from the reservation, callers that place-then-reserve in one
+    /// synchronous section cannot race each other onto the same slot.
+    ///
+    /// The lease must be passed to [`Runtime::run_lease`] (which releases
+    /// it into the warm pool afterwards); dropping it leaks the slot
+    /// until the node is evicted.
+    pub fn reserve(
+        &self,
+        image: &FunctionImage,
+        variant: &Variant,
+        node: NodeId,
+    ) -> Result<Lease, PcsiError> {
+        let key: PoolKey = (image.name.clone(), variant.name.clone());
+        let warm = {
+            let mut pools = self.inner.pools.borrow_mut();
+            match pools.get_mut(&key) {
+                Some(pool) => {
+                    let pos = pool.iter().position(|w| w.node == node);
+                    pos.map(|i| pool.remove(i).expect("position valid"))
+                }
+                None => None,
+            }
+        };
+        let cold_start = warm.is_none();
+        if cold_start && !self.inner.cluster.try_allocate(node, &variant.demand) {
+            self.inner.rejections.incr();
+            return Err(PcsiError::Overloaded(format!(
+                "node {node} cannot fit {:?}",
+                variant.demand
+            )));
+        }
+        Ok(Lease {
+            key,
+            node,
+            cold_start,
+            demand: variant.demand,
+        })
+    }
+
+    /// Reserves wherever the policy puts it: warm-first, then placement.
+    /// One synchronous section — safe under concurrency.
+    pub fn reserve_placed(
+        &self,
+        image: &FunctionImage,
+        variant: &Variant,
+        hint: Option<NodeId>,
+    ) -> Result<Lease, PcsiError> {
+        let warm_nodes = self.warm_nodes(&image.name, &variant.name);
+        let node = hint
+            .filter(|h| warm_nodes.contains(h))
+            .or_else(|| warm_nodes.iter().copied().min())
+            .or_else(|| {
+                place(
+                    &self.inner.cluster,
+                    self.inner.config.policy,
+                    &PlacementRequest {
+                        demand: variant.demand,
+                        prefer_node: hint,
+                        warm_nodes: Vec::new(),
+                    },
+                )
+            })
+            .ok_or_else(|| {
+                self.inner.rejections.incr();
+                PcsiError::Overloaded(format!(
+                    "no node fits {:?} for {}/{}",
+                    variant.demand, image.name, variant.name
+                ))
+            })?;
+        self.reserve(image, variant, node)
+    }
+
+    /// Runs an invocation on a reserved lease.
+    pub async fn run_lease(
+        &self,
+        lease: Lease,
+        image: &FunctionImage,
+        variant: &Variant,
+        req: InvokeRequest,
+        data: Rc<dyn DataPlane>,
+    ) -> Result<(InvokeResponse, NodeId), PcsiError> {
+        let body = self.inner.registry.borrow().body(&image.name)?;
+        let Lease {
+            key,
+            node,
+            cold_start,
+            demand: _,
+        } = lease;
+        let started = self.inner.handle.now();
+        if cold_start {
+            self.inner.cold_starts.incr();
+            self.inner.handle.sleep(variant.backend.cold_start()).await;
+        }
+
+        self.inner.invocations.incr();
+        let in_flight = self.inner.in_flight.get() + 1;
+        self.inner.in_flight.set(in_flight);
+        self.inner
+            .peak_in_flight
+            .set(self.inner.peak_in_flight.get().max(in_flight));
+
+        // The isolation boundary crossing.
+        self.inner
+            .handle
+            .sleep(variant.backend.call_overhead())
+            .await;
+
+        let ctx = FnCtx {
+            body: req.body,
+            inputs: req.inputs,
+            outputs: req.outputs,
+            data,
+            handle: self.inner.handle.clone(),
+            speedup: variant.speedup,
+        };
+        let result = body(ctx).await;
+        self.inner.in_flight.set(self.inner.in_flight.get() - 1);
+
+        // Return the instance to the warm pool regardless of outcome
+        // (a failed invocation does not destroy the sandbox).
+        self.inner
+            .pools
+            .borrow_mut()
+            .entry(key)
+            .or_default()
+            .push_back(WarmInstance {
+                node,
+                idle_since: self.inner.handle.now(),
+                demand: variant.demand,
+            });
+
+        let out = result?;
+        let billed = self.inner.handle.now() - started;
+        Ok((
+            InvokeResponse {
+                body: out,
+                billed_ns: billed.as_nanos() as u64,
+                cold_start,
+            },
+            node,
+        ))
+    }
+
+    /// Evicts every warm instance on `node` and releases its resources —
+    /// the control plane's reaction to a node crash. In-flight
+    /// invocations on the node fail through their own paths; this purges
+    /// the pools so routing stops sending work there.
+    pub fn evict_node(&self, node: NodeId) {
+        let mut pools = self.inner.pools.borrow_mut();
+        for pool in pools.values_mut() {
+            let mut kept = VecDeque::new();
+            while let Some(w) = pool.pop_front() {
+                if w.node == node {
+                    self.inner.cluster.release(w.node, &w.demand);
+                } else {
+                    kept.push_back(w);
+                }
+            }
+            *pool = kept;
+        }
+    }
+
+    fn start_reaper(&self) {
+        let inner = Rc::clone(&self.inner);
+        let h = self.inner.handle.clone();
+        h.clone().spawn(async move {
+            loop {
+                h.sleep(inner.config.reap_interval).await;
+                let now = h.now();
+                let mut pools = inner.pools.borrow_mut();
+                for pool in pools.values_mut() {
+                    let keep_alive = inner.config.keep_alive;
+                    let mut kept = VecDeque::new();
+                    while let Some(w) = pool.pop_front() {
+                        if now.saturating_since(w.idle_since) > keep_alive {
+                            inner.cluster.release(w.node, &w.demand);
+                        } else {
+                            kept.push_back(w);
+                        }
+                    }
+                    *pool = kept;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::WorkModel;
+    use bytes::Bytes;
+    use pcsi_core::Reference;
+    use pcsi_net::Topology;
+    use pcsi_sim::executor::LocalBoxFuture;
+    use pcsi_sim::Sim;
+
+    /// A data plane that refuses everything (bodies in these tests only
+    /// compute).
+    struct NoData;
+
+    impl DataPlane for NoData {
+        fn read(&self, _: &Reference, _: u64, _: u64) -> LocalBoxFuture<Result<Bytes, PcsiError>> {
+            Box::pin(async { Err(PcsiError::Fault("no data plane".into())) })
+        }
+        fn write(&self, _: &Reference, _: u64, _: Bytes) -> LocalBoxFuture<Result<(), PcsiError>> {
+            Box::pin(async { Err(PcsiError::Fault("no data plane".into())) })
+        }
+        fn append(&self, _: &Reference, _: Bytes) -> LocalBoxFuture<Result<u64, PcsiError>> {
+            Box::pin(async { Err(PcsiError::Fault("no data plane".into())) })
+        }
+        fn pop(&self, _: &Reference) -> LocalBoxFuture<Result<Bytes, PcsiError>> {
+            Box::pin(async { Err(PcsiError::Fault("no data plane".into())) })
+        }
+        fn invoke(
+            &self,
+            _: &Reference,
+            _: InvokeRequest,
+        ) -> LocalBoxFuture<Result<InvokeResponse, PcsiError>> {
+            Box::pin(async { Err(PcsiError::Fault("no data plane".into())) })
+        }
+    }
+
+    fn setup(sim: &Sim) -> Runtime {
+        let cluster = ClusterState::new(&Topology::uniform(2, 2));
+        let rt = Runtime::new(
+            sim.handle(),
+            cluster,
+            RuntimeConfig {
+                policy: PlacementPolicy::Locality,
+                keep_alive: Duration::from_secs(10),
+                reap_interval: Duration::from_secs(1),
+            },
+        );
+        rt.register_body(
+            "work",
+            Rc::new(|ctx: FnCtx| {
+                Box::pin(async move {
+                    ctx.compute(Duration::from_millis(10)).await;
+                    Ok(ctx.body)
+                })
+            }),
+        );
+        rt
+    }
+
+    fn image() -> FunctionImage {
+        FunctionImage::simple("work", WorkModel::fixed(Duration::from_millis(10)), 4)
+    }
+
+    fn request() -> InvokeRequest {
+        InvokeRequest::with_body(&b"payload"[..])
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let h = sim.handle();
+        let (first, second) = sim.block_on({
+            let rt = rt.clone();
+            async move {
+                let img = image();
+                let t0 = h.now();
+                let (r1, n1) = rt
+                    .invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap();
+                let d1 = h.now() - t0;
+                let t1 = h.now();
+                let (r2, n2) = rt
+                    .invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap();
+                let d2 = h.now() - t1;
+                assert!(r1.cold_start);
+                assert!(!r2.cold_start);
+                assert_eq!(n1, n2, "warm reuse should stay on the same node");
+                assert_eq!(&r2.body[..], b"payload");
+                (d1, d2)
+            }
+        });
+        // Cold pays the 250 ms container boot; warm is ~10 ms of work.
+        assert!(first > Duration::from_millis(250), "first {first:?}");
+        assert!(second < Duration::from_millis(15), "second {second:?}");
+        assert_eq!(rt.cold_starts(), 1);
+        assert_eq!(rt.invocations(), 2);
+        assert_eq!(rt.warm_count("work", "cpu"), 1);
+    }
+
+    #[test]
+    fn concurrency_scales_instances() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let h = sim.handle();
+        sim.block_on({
+            let rt = rt.clone();
+            let h = h.clone();
+            async move {
+                let img = image();
+                let mut joins = Vec::new();
+                for _ in 0..8 {
+                    let rt = rt.clone();
+                    let img = img.clone();
+                    joins.push(h.spawn(async move {
+                        rt.invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                            .await
+                            .unwrap()
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+            }
+        });
+        // 8 concurrent requests, one instance each (FaaS concurrency=1).
+        assert_eq!(rt.cold_starts(), 8);
+        assert_eq!(rt.peak_concurrency(), 8);
+        assert_eq!(rt.warm_count("work", "cpu"), 8);
+    }
+
+    #[test]
+    fn keep_alive_reaping_frees_resources() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let h = sim.handle();
+        sim.block_on({
+            let rt = rt.clone();
+            let h = h.clone();
+            async move {
+                let img = image();
+                rt.invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap();
+                let allocated: u32 = rt
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .map(|&n| rt.cluster().allocated(n).cpu)
+                    .sum();
+                assert_eq!(allocated, 4, "instance pins its cores while warm");
+                // Sleep past keep-alive + reap interval.
+                h.sleep(Duration::from_secs(15)).await;
+                let allocated: u32 = rt
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .map(|&n| rt.cluster().allocated(n).cpu)
+                    .sum();
+                assert_eq!(allocated, 0, "reaper must release idle instances");
+                assert_eq!(rt.warm_count("work", "cpu"), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn exhaustion_yields_overloaded() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        // 4 nodes x 32 cores, 4 cores per instance: 32 instances fit.
+        let h = sim.handle();
+        let errors = sim.block_on({
+            let rt = rt.clone();
+            let h = h.clone();
+            async move {
+                let img = image();
+                let mut joins = Vec::new();
+                for _ in 0..40 {
+                    let rt = rt.clone();
+                    let img = img.clone();
+                    joins.push(h.spawn(async move {
+                        rt.invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                            .await
+                    }));
+                }
+                let mut errs = 0;
+                for j in joins {
+                    if j.await.is_err() {
+                        errs += 1;
+                    }
+                }
+                errs
+            }
+        });
+        assert_eq!(errors, 8);
+        assert_eq!(rt.rejections(), 8);
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let node = sim.block_on({
+            let rt = rt.clone();
+            async move {
+                let img = image();
+                let variant = img.variant("cpu").unwrap().clone();
+                let (_, node) = rt
+                    .invoke_on(&img, &variant, NodeId(3), request(), Rc::new(NoData))
+                    .await
+                    .unwrap();
+                node
+            }
+        });
+        assert_eq!(node, NodeId(3));
+    }
+
+    #[test]
+    fn failing_body_surfaces_error_but_keeps_instance() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        rt.register_body(
+            "boom",
+            Rc::new(|_ctx| Box::pin(async { Err(PcsiError::FunctionFailed("kaput".into())) })),
+        );
+        let err = sim.block_on({
+            let rt = rt.clone();
+            async move {
+                let img = FunctionImage::simple("boom", WorkModel::fixed(Duration::ZERO), 1);
+                rt.invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap_err()
+            }
+        });
+        assert!(matches!(err, PcsiError::FunctionFailed(_)));
+        assert_eq!(rt.warm_count("boom", "cpu"), 1);
+    }
+
+    #[test]
+    fn billed_time_reflects_execution() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let (cold_billed, warm_billed) = sim.block_on({
+            let rt = rt.clone();
+            async move {
+                let img = image();
+                let (r1, _) = rt
+                    .invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap();
+                let (r2, _) = rt
+                    .invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap();
+                (r1.billed_ns, r2.billed_ns)
+            }
+        });
+        // Cold includes the 250 ms boot; warm is just the ~10 ms of work.
+        assert!(cold_billed > 250_000_000);
+        assert!(
+            (9_000_000..15_000_000).contains(&warm_billed),
+            "{warm_billed}"
+        );
+    }
+
+    #[test]
+    fn unknown_body_is_an_error() {
+        let mut sim = Sim::new(1);
+        let rt = setup(&sim);
+        let err = sim.block_on({
+            let rt = rt.clone();
+            async move {
+                let img = FunctionImage::simple("ghost", WorkModel::fixed(Duration::ZERO), 1);
+                rt.invoke(&img, Goal::MinLatency, request(), Rc::new(NoData), None)
+                    .await
+                    .unwrap_err()
+            }
+        });
+        assert!(matches!(err, PcsiError::FunctionFailed(_)));
+    }
+}

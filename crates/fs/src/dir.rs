@@ -1,0 +1,308 @@
+//! Directory objects.
+//!
+//! A directory is a sorted name → entry map. Each entry records the target
+//! object *and the rights the name conveys*: looking a name up yields a
+//! reference attenuated to those rights, which is how namespaces delegate
+//! capabilities (§3.2 — an object is accessible to whoever holds a
+//! reference *or a namespace containing it*).
+//!
+//! Directories serialize to a compact byte format so they live in the
+//! replicated store like any other object.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{Bytes, BytesMut};
+use pcsi_core::{ObjectId, PcsiError, Rights};
+
+/// One directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Target object.
+    pub id: ObjectId,
+    /// Rights conveyed by resolving this name.
+    pub rights: Rights,
+    /// Whiteout marker: in a union upper layer, hides a lower entry.
+    pub whiteout: bool,
+}
+
+impl DirEntry {
+    /// A normal entry.
+    pub fn new(id: ObjectId, rights: Rights) -> Self {
+        DirEntry {
+            id,
+            rights,
+            whiteout: false,
+        }
+    }
+
+    /// A whiteout entry (hides `name` in lower union layers).
+    pub fn whiteout() -> Self {
+        DirEntry {
+            id: ObjectId::NIL,
+            rights: Rights::NONE,
+            whiteout: true,
+        }
+    }
+}
+
+/// A directory: deterministic, serializable name → entry map.
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_fs::{Directory, DirEntry};
+/// use pcsi_core::{ObjectId, Rights};
+///
+/// let mut d = Directory::new();
+/// d.link("weights", DirEntry::new(ObjectId::from_parts(1, 1), Rights::READ)).unwrap();
+/// let bytes = d.encode();
+/// let d2 = Directory::decode(&bytes).unwrap();
+/// assert_eq!(d2.get("weights").unwrap().rights, Rights::READ);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Directory {
+    entries: BTreeMap<String, DirEntry>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates an entry name: non-empty, no `/`, not `.` or `..`, and
+    /// at most 255 bytes.
+    pub fn validate_name(name: &str) -> Result<(), PcsiError> {
+        if name.is_empty() || name == "." || name == ".." {
+            return Err(PcsiError::BadPayload(format!(
+                "invalid directory entry name {name:?}"
+            )));
+        }
+        if name.contains('/') {
+            return Err(PcsiError::BadPayload(format!(
+                "entry name {name:?} contains '/'"
+            )));
+        }
+        if name.len() > 255 {
+            return Err(PcsiError::BadPayload("entry name too long".into()));
+        }
+        Ok(())
+    }
+
+    /// Adds an entry; fails if the name exists (use [`Directory::relink`]
+    /// to replace).
+    pub fn link(&mut self, name: &str, entry: DirEntry) -> Result<(), PcsiError> {
+        Self::validate_name(name)?;
+        if self.entries.contains_key(name) {
+            return Err(PcsiError::AlreadyExists(name.to_owned()));
+        }
+        self.entries.insert(name.to_owned(), entry);
+        Ok(())
+    }
+
+    /// Adds or replaces an entry.
+    pub fn relink(&mut self, name: &str, entry: DirEntry) -> Result<(), PcsiError> {
+        Self::validate_name(name)?;
+        self.entries.insert(name.to_owned(), entry);
+        Ok(())
+    }
+
+    /// Removes an entry.
+    pub fn unlink(&mut self, name: &str) -> Result<DirEntry, PcsiError> {
+        self.entries
+            .remove(name)
+            .ok_or_else(|| PcsiError::NameNotFound(name.to_owned()))
+    }
+
+    /// Looks an entry up.
+    pub fn get(&self, name: &str) -> Option<&DirEntry> {
+        self.entries.get(name)
+    }
+
+    /// Entry names in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Iterates `(name, entry)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DirEntry)> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of all non-whiteout targets (GC edge set).
+    pub fn target_ids(&self) -> Vec<ObjectId> {
+        self.entries
+            .values()
+            .filter(|e| !e.whiteout)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Serializes to bytes.
+    ///
+    /// Format per entry: `u16 name_len | name | u128 id | u8 rights |
+    /// u8 flags`, preceded by a `u32` entry count.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.entries.len() * 32);
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, e) in &self.entries {
+            buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+            buf.extend_from_slice(&e.id.as_u128().to_le_bytes());
+            buf.extend_from_slice(&[e.rights.bits(), u8::from(e.whiteout)]);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from bytes produced by [`Directory::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Directory, PcsiError> {
+        fn bad(msg: &str) -> PcsiError {
+            PcsiError::BadPayload(format!("directory decode: {msg}"))
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], PcsiError> {
+            if bytes.len() - *pos < n {
+                return Err(bad("truncated"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut pos, name_len)?)
+                .map_err(|_| bad("name not UTF-8"))?
+                .to_owned();
+            let id =
+                ObjectId::from_u128(u128::from_le_bytes(take(&mut pos, 16)?.try_into().unwrap()));
+            let meta = take(&mut pos, 2)?;
+            entries.insert(
+                name,
+                DirEntry {
+                    id,
+                    rights: Rights::from_bits(meta[0]),
+                    whiteout: meta[1] != 0,
+                },
+            );
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Directory { entries })
+    }
+}
+
+impl fmt::Display for Directory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dir[{} entries]", self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_parts(8, n)
+    }
+
+    #[test]
+    fn link_get_unlink() {
+        let mut d = Directory::new();
+        d.link("a", DirEntry::new(oid(1), Rights::READ)).unwrap();
+        assert_eq!(d.get("a").unwrap().id, oid(1));
+        assert!(matches!(
+            d.link("a", DirEntry::new(oid(2), Rights::READ)),
+            Err(PcsiError::AlreadyExists(_))
+        ));
+        d.relink("a", DirEntry::new(oid(2), Rights::ALL)).unwrap();
+        assert_eq!(d.get("a").unwrap().id, oid(2));
+        d.unlink("a").unwrap();
+        assert!(matches!(d.unlink("a"), Err(PcsiError::NameNotFound(_))));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn names_rejected() {
+        let mut d = Directory::new();
+        for bad in ["", ".", "..", "a/b"] {
+            assert!(
+                d.link(bad, DirEntry::new(oid(1), Rights::READ)).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+        let long = "x".repeat(256);
+        assert!(d.link(&long, DirEntry::new(oid(1), Rights::READ)).is_err());
+        let ok = "x".repeat(255);
+        assert!(d.link(&ok, DirEntry::new(oid(1), Rights::READ)).is_ok());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = Directory::new();
+        d.link("weights", DirEntry::new(oid(1), Rights::READ))
+            .unwrap();
+        d.link(
+            "uploads",
+            DirEntry::new(oid(2), Rights::READ | Rights::APPEND),
+        )
+        .unwrap();
+        d.link("münchen", DirEntry::new(oid(3), Rights::ALL))
+            .unwrap();
+        d.relink("hidden", DirEntry::whiteout()).unwrap();
+        let decoded = Directory::decode(&d.encode()).unwrap();
+        assert_eq!(decoded, d);
+        assert!(decoded.get("hidden").unwrap().whiteout);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut d = Directory::new();
+        d.link("a", DirEntry::new(oid(1), Rights::READ)).unwrap();
+        let wire = d.encode();
+        for cut in 1..wire.len() {
+            assert!(Directory::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = wire.to_vec();
+        extra.push(0);
+        assert!(Directory::decode(&extra).is_err());
+        assert!(Directory::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let d = Directory::new();
+        assert_eq!(Directory::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn target_ids_skip_whiteouts() {
+        let mut d = Directory::new();
+        d.link("a", DirEntry::new(oid(1), Rights::READ)).unwrap();
+        d.relink("gone", DirEntry::whiteout()).unwrap();
+        assert_eq!(d.target_ids(), vec![oid(1)]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut d = Directory::new();
+        for name in ["zeta", "alpha", "mid"] {
+            d.link(name, DirEntry::new(oid(1), Rights::READ)).unwrap();
+        }
+        assert_eq!(d.names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,236 @@
+//! FIFO objects.
+//!
+//! A FIFO connects pipeline stages: producers append messages, consumers
+//! pop them in order, waiting when the queue is empty (Figure 2 feeds its
+//! post-processing function through one). The implementation is
+//! waker-based and executor-agnostic; the kernel charges transport time
+//! separately, so the queue itself is pure coordination.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use bytes::Bytes;
+use pcsi_core::PcsiError;
+
+struct FifoState {
+    queue: VecDeque<Bytes>,
+    waiters: VecDeque<Waker>,
+    closed: bool,
+    capacity: Option<usize>,
+    total_pushed: u64,
+}
+
+/// A multi-producer, multi-consumer byte-message FIFO.
+///
+/// Clones share the queue.
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_fs::FifoQueue;
+/// use bytes::Bytes;
+///
+/// let f = FifoQueue::unbounded();
+/// f.push(Bytes::from_static(b"m1")).unwrap();
+/// assert_eq!(f.try_pop().unwrap(), Bytes::from_static(b"m1"));
+/// assert!(f.try_pop().is_none());
+/// ```
+#[derive(Clone)]
+pub struct FifoQueue {
+    state: Rc<RefCell<FifoState>>,
+}
+
+impl FifoQueue {
+    /// A FIFO with no capacity bound.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// A FIFO rejecting pushes beyond `capacity` queued messages.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        FifoQueue {
+            state: Rc::new(RefCell::new(FifoState {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+                capacity,
+                total_pushed: 0,
+            })),
+        }
+    }
+
+    /// Enqueues a message, waking one waiting consumer.
+    ///
+    /// Fails with [`PcsiError::Overloaded`] when a bounded FIFO is full
+    /// and with [`PcsiError::InvalidReference`] after close.
+    pub fn push(&self, msg: Bytes) -> Result<(), PcsiError> {
+        let mut s = self.state.borrow_mut();
+        if s.closed {
+            return Err(PcsiError::InvalidReference("fifo is closed".into()));
+        }
+        if let Some(cap) = s.capacity {
+            if s.queue.len() >= cap {
+                return Err(PcsiError::Overloaded(format!("fifo full ({cap} messages)")));
+            }
+        }
+        s.queue.push_back(msg);
+        s.total_pushed += 1;
+        if let Some(w) = s.waiters.pop_front() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<Bytes> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Pops the next message, waiting while the queue is empty.
+    ///
+    /// Resolves to `Err` if the FIFO is closed while empty.
+    pub fn pop(&self) -> Pop {
+        Pop {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Closes the FIFO: pending and future pops of an empty queue fail,
+    /// already-queued messages still drain.
+    pub fn close(&self) {
+        let mut s = self.state.borrow_mut();
+        s.closed = true;
+        for w in s.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total messages ever pushed (metrics).
+    pub fn total_pushed(&self) -> u64 {
+        self.state.borrow().total_pushed
+    }
+}
+
+/// Future returned by [`FifoQueue::pop`].
+pub struct Pop {
+    state: Rc<RefCell<FifoState>>,
+}
+
+impl Future for Pop {
+    type Output = Result<Bytes, PcsiError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.borrow_mut();
+        if let Some(msg) = s.queue.pop_front() {
+            return Poll::Ready(Ok(msg));
+        }
+        if s.closed {
+            return Poll::Ready(Err(PcsiError::InvalidReference("fifo is closed".into())));
+        }
+        s.waiters.push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let f = FifoQueue::unbounded();
+        for i in 0..5u8 {
+            f.push(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..5u8 {
+            assert_eq!(f.try_pop().unwrap()[0], i);
+        }
+        assert_eq!(f.total_pushed(), 5);
+    }
+
+    #[test]
+    fn bounded_rejects_overflow() {
+        let f = FifoQueue::bounded(2);
+        f.push(Bytes::from_static(b"a")).unwrap();
+        f.push(Bytes::from_static(b"b")).unwrap();
+        assert!(matches!(
+            f.push(Bytes::from_static(b"c")),
+            Err(PcsiError::Overloaded(_))
+        ));
+        f.try_pop();
+        assert!(f.push(Bytes::from_static(b"c")).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let f = FifoQueue::unbounded();
+        f.push(Bytes::from_static(b"last")).unwrap();
+        f.close();
+        assert!(f.push(Bytes::from_static(b"x")).is_err());
+        assert_eq!(f.try_pop().unwrap(), Bytes::from_static(b"last"));
+        assert!(f.try_pop().is_none());
+    }
+
+    /// Async behaviour is exercised with a trivial single-future executor
+    /// to keep this crate free of a pcsi-sim dependency.
+    fn poll_once<F: Future>(fut: &mut Pin<Box<F>>) -> Poll<F::Output> {
+        use std::task::Wake;
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: std::sync::Arc<Self>) {}
+        }
+        let waker = std::task::Waker::from(std::sync::Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        fut.as_mut().poll(&mut cx)
+    }
+
+    #[test]
+    fn pop_waits_until_push() {
+        let f = FifoQueue::unbounded();
+        let mut pop = Box::pin(f.pop());
+        assert!(poll_once(&mut pop).is_pending());
+        f.push(Bytes::from_static(b"late")).unwrap();
+        match poll_once(&mut pop) {
+            Poll::Ready(Ok(b)) => assert_eq!(b, Bytes::from_static(b"late")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_on_closed_empty_fails() {
+        let f = FifoQueue::unbounded();
+        let mut pop = Box::pin(f.pop());
+        assert!(poll_once(&mut pop).is_pending());
+        f.close();
+        match poll_once(&mut pop) {
+            Poll::Ready(Err(PcsiError::InvalidReference(_))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FifoQueue::unbounded();
+        let g = f.clone();
+        f.push(Bytes::from_static(b"shared")).unwrap();
+        assert_eq!(g.try_pop().unwrap(), Bytes::from_static(b"shared"));
+    }
+}

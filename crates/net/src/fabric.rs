@@ -1,0 +1,625 @@
+//! The message fabric: delivery, queueing, transports, RPC, faults.
+//!
+//! [`Fabric`] is the one component every distributed piece of the system
+//! talks through. It charges each message
+//!
+//! 1. **transport overhead** — the Table-1 "socket overhead" (5 µs) per
+//!    endpoint for TCP-like messages; RDMA-like messages skip it,
+//! 2. **egress serialization** — a per-node NIC queue at the generation's
+//!    line rate, so concurrent senders on one node contend realistically,
+//! 3. **propagation** — the hop-class one-way delay with jitter.
+//!
+//! Fault injection (node crashes, partitions) lives here too, because the
+//! network is where faults are observed.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_sim::executor::LocalBoxFuture;
+use pcsi_sim::metrics::Counter;
+use pcsi_sim::{SimHandle, SimTime};
+
+use crate::latency::LatencyModel;
+use crate::node::NodeId;
+use crate::topology::Topology;
+
+/// Table 1: "Socket overhead — 5,000 ns", charged per TCP-like endpoint.
+pub const SOCKET_OVERHEAD: Duration = Duration::from_nanos(5_000);
+
+/// Per-message overhead of the RDMA-like transport (doorbell + completion).
+pub const RDMA_OVERHEAD: Duration = Duration::from_nanos(300);
+
+/// Message transports with different per-message costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Kernel TCP sockets: per-endpoint socket overhead.
+    Tcp,
+    /// Kernel-bypass, RDMA-like: near-zero per-message overhead. The
+    /// "emerging fast network" only pays off with this transport — the
+    /// paper's point that web-service overheads will dominate otherwise.
+    Rdma,
+}
+
+impl Transport {
+    /// Per-endpoint processing overhead.
+    pub fn endpoint_overhead(self) -> Duration {
+        match self {
+            Transport::Tcp => SOCKET_OVERHEAD,
+            Transport::Rdma => RDMA_OVERHEAD,
+        }
+    }
+}
+
+/// Network-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination node is crashed.
+    NodeDown(NodeId),
+    /// A partition separates the endpoints.
+    Partitioned(NodeId, NodeId),
+    /// No service with that name is bound on the destination.
+    NoService(String),
+    /// The peer closed the connection.
+    Closed,
+    /// Application-level failure surfaced through the RPC layer.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::Partitioned(a, b) => write!(f, "network partition between {a} and {b}"),
+            NetError::NoService(s) => write!(f, "no service {s:?} bound"),
+            NetError::Closed => f.write_str("connection closed"),
+            NetError::Remote(m) => write!(f, "remote error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Context passed to RPC handlers.
+#[derive(Debug, Clone, Copy)]
+pub struct CallCtx {
+    /// The caller's node.
+    pub from: NodeId,
+    /// The node the handler runs on.
+    pub to: NodeId,
+}
+
+/// An RPC handler bound to a `(node, service)` pair.
+pub type RpcHandler = Rc<dyn Fn(Bytes, CallCtx) -> LocalBoxFuture<Result<Bytes, NetError>>>;
+
+struct State {
+    services: HashMap<(NodeId, String), RpcHandler>,
+    down: HashSet<NodeId>,
+    /// Symmetric set of blocked node pairs (stored with a <= b).
+    blocked: HashSet<(NodeId, NodeId)>,
+    egress_busy_until: Vec<SimTime>,
+}
+
+/// The shared message fabric. Cheap to clone.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Rc<FabricInner>,
+}
+
+struct FabricInner {
+    handle: SimHandle,
+    topology: Topology,
+    latency: LatencyModel,
+    state: RefCell<State>,
+    messages: Counter,
+    bytes: Counter,
+}
+
+impl Fabric {
+    /// Creates a fabric over `topology` with the given latency model.
+    pub fn new(handle: SimHandle, topology: Topology, latency: LatencyModel) -> Self {
+        let n = topology.len();
+        Fabric {
+            inner: Rc::new(FabricInner {
+                handle,
+                topology,
+                latency,
+                state: RefCell::new(State {
+                    services: HashMap::new(),
+                    down: HashSet::new(),
+                    blocked: HashSet::new(),
+                    egress_busy_until: vec![SimTime::ZERO; n],
+                }),
+                messages: Counter::new(),
+                bytes: Counter::new(),
+            }),
+        }
+    }
+
+    /// The cluster layout.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.inner.latency
+    }
+
+    /// The simulation handle (for components built on the fabric).
+    pub fn handle(&self) -> &SimHandle {
+        &self.inner.handle
+    }
+
+    /// Total messages delivered so far.
+    pub fn message_count(&self) -> u64 {
+        self.inner.messages.get()
+    }
+
+    /// Total payload bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.inner.bytes.get()
+    }
+
+    /// Binds `handler` as `service` on `node`, replacing any previous
+    /// binding.
+    pub fn bind(&self, node: NodeId, service: &str, handler: RpcHandler) {
+        self.inner
+            .state
+            .borrow_mut()
+            .services
+            .insert((node, service.to_owned()), handler);
+    }
+
+    /// Marks a node crashed (`true`) or recovered (`false`).
+    pub fn set_node_down(&self, node: NodeId, down: bool) {
+        let mut s = self.inner.state.borrow_mut();
+        if down {
+            s.down.insert(node);
+        } else {
+            s.down.remove(&node);
+        }
+    }
+
+    /// Installs a partition separating every node in `a` from every node
+    /// in `b` (both directions).
+    pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
+        let mut s = self.inner.state.borrow_mut();
+        for &x in a {
+            for &y in b {
+                s.blocked.insert(ordered(x, y));
+            }
+        }
+    }
+
+    /// Removes all partitions (crashed nodes stay crashed).
+    pub fn heal_partitions(&self) {
+        self.inner.state.borrow_mut().blocked.clear();
+    }
+
+    fn check_reachable(&self, from: NodeId, to: NodeId) -> Result<(), NetError> {
+        let s = self.inner.state.borrow();
+        if s.down.contains(&to) {
+            return Err(NetError::NodeDown(to));
+        }
+        if s.down.contains(&from) {
+            return Err(NetError::NodeDown(from));
+        }
+        if s.blocked.contains(&ordered(from, to)) {
+            return Err(NetError::Partitioned(from, to));
+        }
+        Ok(())
+    }
+
+    /// Delivers one message worth of delay: transport overhead, egress
+    /// queueing, propagation. Local messages skip the NIC entirely.
+    async fn deliver(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        transport: Transport,
+    ) -> Result<(), NetError> {
+        self.check_reachable(from, to)?;
+        let h = &self.inner.handle;
+        self.inner.messages.incr();
+        self.inner.bytes.add(bytes as u64);
+
+        let hop = self.inner.topology.hop_class(from, to);
+        if hop == crate::topology::HopClass::Local {
+            // Same machine: no NIC, no propagation; charge endpoint
+            // overhead once (loopback still crosses the socket layer).
+            h.sleep(transport.endpoint_overhead()).await;
+            return Ok(());
+        }
+
+        // Sender-side endpoint overhead.
+        h.sleep(transport.endpoint_overhead()).await;
+
+        // Egress NIC queue: serialize after everything already queued.
+        let ser = self.inner.latency.serialization(bytes);
+        let tx_done = {
+            let mut s = self.inner.state.borrow_mut();
+            let busy = s.egress_busy_until[from.0 as usize].max(h.now());
+            let done = busy + ser;
+            s.egress_busy_until[from.0 as usize] = done;
+            done
+        };
+        h.sleep_until(tx_done).await;
+
+        // Propagation with jitter (serialization already charged above).
+        let prop = self
+            .inner
+            .latency
+            .one_way(hop, 0, &h.rng().stream("net-jitter"));
+        h.sleep(prop).await;
+
+        // Receiver may have died while the message was in flight.
+        self.check_reachable(from, to)?;
+
+        // Receiver-side endpoint overhead.
+        h.sleep(transport.endpoint_overhead()).await;
+        Ok(())
+    }
+
+    /// Moves `bytes` from `from` to `to`, returning the transfer time.
+    ///
+    /// Used for bulk data movement (object replication, intermediate
+    /// results); the paper's §4.1 data-movement argument is measured with
+    /// this call.
+    pub async fn transfer(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        transport: Transport,
+    ) -> Result<Duration, NetError> {
+        let start = self.inner.handle.now();
+        self.deliver(from, to, bytes, transport).await?;
+        Ok(self.inner.handle.now() - start)
+    }
+
+    /// Performs an RPC: request delivery, handler execution, response
+    /// delivery.
+    pub async fn call(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        transport: Transport,
+        payload: Bytes,
+    ) -> Result<Bytes, NetError> {
+        let req_len = payload.len();
+        self.deliver(from, to, req_len, transport).await?;
+
+        let handler = {
+            let s = self.inner.state.borrow();
+            s.services
+                .get(&(to, service.to_owned()))
+                .cloned()
+                .ok_or_else(|| NetError::NoService(service.to_owned()))?
+        };
+        let response = handler(payload, CallCtx { from, to }).await?;
+
+        let resp_len = response.len();
+        self.deliver(to, from, resp_len, transport).await?;
+        Ok(response)
+    }
+
+    /// Opens a connection (TCP handshake: 1.5 RTT); subsequent round trips
+    /// on the connection skip the handshake, modeling connection reuse.
+    pub async fn connect(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+    ) -> Result<Connection, NetError> {
+        self.check_reachable(from, to)?;
+        let hop = self.inner.topology.hop_class(from, to);
+        let one_way = self.inner.latency.base_one_way(hop);
+        // SYN, SYN-ACK, ACK piggybacked on first data: 1.5 RTT ≈ 3 one-way.
+        self.inner.handle.sleep(one_way * 3).await;
+        Ok(Connection {
+            fabric: self.clone(),
+            from,
+            to,
+            service: service.to_owned(),
+            open: std::cell::Cell::new(true),
+        })
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// An established TCP-like connection to a service.
+pub struct Connection {
+    fabric: Fabric,
+    from: NodeId,
+    to: NodeId,
+    service: String,
+    open: std::cell::Cell<bool>,
+}
+
+impl Connection {
+    /// The remote node.
+    pub fn peer(&self) -> NodeId {
+        self.to
+    }
+
+    /// Sends a request and awaits the response on this connection.
+    pub async fn roundtrip(&self, payload: Bytes) -> Result<Bytes, NetError> {
+        if !self.open.get() {
+            return Err(NetError::Closed);
+        }
+        self.fabric
+            .call(self.from, self.to, &self.service, Transport::Tcp, payload)
+            .await
+    }
+
+    /// Closes the connection; further round trips fail with
+    /// [`NetError::Closed`].
+    pub fn close(&self) {
+        self.open.set(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::NetworkGeneration;
+    use pcsi_sim::Sim;
+
+    fn echo_handler() -> RpcHandler {
+        Rc::new(|payload, _ctx| Box::pin(async move { Ok(payload) }))
+    }
+
+    fn build(sim: &Sim, generation: NetworkGeneration) -> Fabric {
+        Fabric::new(
+            sim.handle(),
+            Topology::uniform(2, 2),
+            LatencyModel::deterministic(generation),
+        )
+    }
+
+    #[test]
+    fn rpc_roundtrip_echoes() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let out = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(2),
+                        "echo",
+                        Transport::Tcp,
+                        Bytes::from_static(b"hi"),
+                    )
+                    .await
+            }
+        });
+        assert_eq!(out.unwrap(), Bytes::from_static(b"hi"));
+        assert_eq!(fabric.message_count(), 2);
+    }
+
+    #[test]
+    fn cross_rack_rpc_costs_about_one_rtt_plus_sockets() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let h = sim.handle();
+        let elapsed = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let t0 = h.now();
+                fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(2),
+                        "echo",
+                        Transport::Tcp,
+                        Bytes::from_static(b"x"),
+                    )
+                    .await
+                    .unwrap();
+                h.now() - t0
+            }
+        });
+        // RTT 200us + 4 socket overheads (2 per direction) = 220us.
+        let expect = Duration::from_micros(220);
+        let err =
+            (elapsed.as_nanos() as f64 - expect.as_nanos() as f64).abs() / expect.as_nanos() as f64;
+        assert!(err < 0.02, "elapsed {elapsed:?} expected ~{expect:?}");
+    }
+
+    #[test]
+    fn rdma_is_cheaper_than_tcp() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::FastEmerging);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let h = sim.handle();
+        let (tcp, rdma) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let t0 = h.now();
+                fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap();
+                let tcp = h.now() - t0;
+                let t1 = h.now();
+                fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Rdma, Bytes::new())
+                    .await
+                    .unwrap();
+                (tcp, h.now() - t1)
+            }
+        });
+        // On the fast network the socket overhead dominates: TCP pays
+        // 4 x 5us = 20us, RDMA pays ~1.2us + RTT.
+        assert!(tcp > rdma * 5, "tcp {tcp:?} rdma {rdma:?}");
+    }
+
+    #[test]
+    fn local_delivery_skips_the_network() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2005);
+        fabric.bind(NodeId(0), "echo", echo_handler());
+        let h = sim.handle();
+        let elapsed = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let t0 = h.now();
+                fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(0),
+                        "echo",
+                        Transport::Tcp,
+                        Bytes::from_static(b"x"),
+                    )
+                    .await
+                    .unwrap();
+                h.now() - t0
+            }
+        });
+        // Two endpoint overheads only, far below the 1ms RTT.
+        assert!(elapsed < Duration::from_micros(15), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn egress_queue_serializes_bulk_transfers() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        let h = sim.handle();
+        // Two 10 MB transfers from the same node must take ~2x one.
+        let mb = 10 * 1024 * 1024;
+        let (one, two) = sim.block_on({
+            let fabric = fabric.clone();
+            let h = h.clone();
+            async move {
+                let t0 = h.now();
+                fabric
+                    .transfer(NodeId(0), NodeId(2), mb, Transport::Rdma)
+                    .await
+                    .unwrap();
+                let one = h.now() - t0;
+                let t1 = h.now();
+                let f2 = fabric.clone();
+                let a = h.spawn({
+                    let f = f2.clone();
+                    async move { f.transfer(NodeId(0), NodeId(2), mb, Transport::Rdma).await }
+                });
+                let b = h.spawn({
+                    let f = f2.clone();
+                    async move { f.transfer(NodeId(0), NodeId(3), mb, Transport::Rdma).await }
+                });
+                a.await.unwrap();
+                b.await.unwrap();
+                (one, h.now() - t1)
+            }
+        });
+        let ratio = two.as_secs_f64() / one.as_secs_f64();
+        assert!((1.8..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn downed_node_unreachable_until_recovery() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(1), "echo", echo_handler());
+        let out = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                fabric.set_node_down(NodeId(1), true);
+                let err = fabric
+                    .call(NodeId(0), NodeId(1), "echo", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap_err();
+                fabric.set_node_down(NodeId(1), false);
+                let ok = fabric
+                    .call(NodeId(0), NodeId(1), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                (err, ok.is_ok())
+            }
+        });
+        assert_eq!(out.0, NetError::NodeDown(NodeId(1)));
+        assert!(out.1);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_and_heals() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(0), "echo", echo_handler());
+        fabric.bind(NodeId(3), "echo", echo_handler());
+        let results = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                fabric.partition(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+                let a = fabric
+                    .call(NodeId(0), NodeId(3), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                let b = fabric
+                    .call(NodeId(3), NodeId(0), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                // Same side still works.
+                let c = fabric
+                    .call(NodeId(1), NodeId(0), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                fabric.heal_partitions();
+                let d = fabric
+                    .call(NodeId(0), NodeId(3), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                (a.is_err(), b.is_err(), c.is_ok(), d.is_ok())
+            }
+        });
+        assert_eq!(results, (true, true, true, true));
+    }
+
+    #[test]
+    fn missing_service_reported() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        let err = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                fabric
+                    .call(NodeId(0), NodeId(1), "ghost", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap_err()
+            }
+        });
+        assert_eq!(err, NetError::NoService("ghost".into()));
+    }
+
+    #[test]
+    fn connection_reuse_and_close() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "svc", echo_handler());
+        let (first, closed) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let conn = fabric.connect(NodeId(0), NodeId(2), "svc").await.unwrap();
+                let first = conn.roundtrip(Bytes::from_static(b"a")).await;
+                conn.close();
+                let closed = conn.roundtrip(Bytes::from_static(b"b")).await;
+                (first, closed)
+            }
+        });
+        assert!(first.is_ok());
+        assert_eq!(closed.unwrap_err(), NetError::Closed);
+    }
+}

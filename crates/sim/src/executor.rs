@@ -1,0 +1,682 @@
+//! The virtual-time async executor.
+//!
+//! [`Sim`] owns the run loop; [`SimHandle`] is the cheap, clonable capability
+//! that simulated components use to read the clock, sleep, and spawn tasks.
+//!
+//! The scheduling discipline is: poll every runnable task until none remain,
+//! then advance the clock to the earliest pending timer and wake it. Within
+//! one instant, tasks run in FIFO wake order and timers fire in
+//! (deadline, registration-sequence) order, which makes runs deterministic.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::rng::RngStreams;
+use crate::sync::oneshot;
+use crate::time::SimTime;
+
+/// A non-`Send` boxed future, the unit of spawning in the simulator.
+pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T> + 'static>>;
+
+type TaskId = usize;
+
+/// The error returned by [`SimHandle::timeout`] when the deadline fires
+/// before the inner future resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutError;
+
+impl fmt::Display for TimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("simulated operation timed out")
+    }
+}
+
+impl std::error::Error for TimeoutError {}
+
+/// The multi-producer ready queue shared between the executor and wakers.
+///
+/// Wakers may be invoked from inside a task poll (while the executor's
+/// `RefCell` state is borrowed), so this queue deliberately lives behind a
+/// `Mutex` rather than the `RefCell`. The mutex is never contended — the
+/// simulation is single-threaded — it only provides the `Sync` contract the
+/// `Waker` API requires.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+/// Per-task waker: pushes the task id onto the shared ready queue.
+///
+/// The `queued` flag collapses redundant wakes between polls so a task woken
+/// by several channels in one instant is polled once.
+struct TaskWaker {
+    id: TaskId,
+    ready: Weak<ReadyQueue>,
+    queued: AtomicBool,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            if let Some(ready) = self.ready.upgrade() {
+                ready.push(self.id);
+            }
+        }
+    }
+}
+
+struct Task {
+    future: LocalBoxFuture<()>,
+    waker: Arc<TaskWaker>,
+}
+
+/// A timer entry; ordered by `(deadline, seq)` for deterministic firing.
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Inner {
+    now: SimTime,
+    tasks: Vec<Option<Task>>,
+    free: Vec<TaskId>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    live_tasks: usize,
+    polls: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            now: SimTime::ZERO,
+            tasks: Vec::new(),
+            free: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            live_tasks: 0,
+            polls: 0,
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation instance.
+///
+/// Construct one per experiment with a seed, obtain a [`SimHandle`], build
+/// the simulated world, and drive it with [`Sim::block_on`].
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_sim::Sim;
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(7);
+/// let h = sim.handle();
+/// let sum = sim.block_on(async move {
+///     let a = h.spawn({
+///         let h = h.clone();
+///         async move {
+///             h.sleep(Duration::from_micros(10)).await;
+///             1u32
+///         }
+///     });
+///     let b = h.spawn(async { 2u32 });
+///     a.await + b.await
+/// });
+/// assert_eq!(sum, 3);
+/// ```
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+    rng: RngStreams,
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner::new())),
+            ready: Arc::new(ReadyQueue::default()),
+            rng: RngStreams::new(seed),
+        }
+    }
+
+    /// Returns a clonable handle for use inside the simulated world.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Rc::clone(&self.inner),
+            ready: Arc::clone(&self.ready),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Runs `root` to completion, advancing virtual time as needed.
+    ///
+    /// Background tasks spawned via [`SimHandle::spawn`] keep running while
+    /// the root future is pending, but the loop exits as soon as the root
+    /// completes (remaining background tasks are dropped with the `Sim`
+    /// unless the caller blocks on them too).
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock: the root future is pending but no task is
+    /// runnable and no timer is outstanding.
+    pub fn block_on<T: 'static>(&mut self, root: impl Future<Output = T> + 'static) -> T {
+        let h = self.handle();
+        let join = h.spawn(root);
+        let mut join = Box::pin(join);
+
+        loop {
+            self.drain_ready();
+
+            // Check the root before advancing time.
+            let waker = Waker::from(Arc::new(NoopWaker));
+            let mut cx = Context::from_waker(&waker);
+            if let Poll::Ready(v) = join.as_mut().poll(&mut cx) {
+                return v;
+            }
+
+            if !self.advance_to_next_timer() {
+                panic!(
+                    "simulation deadlock at {}: root future pending, \
+                     no runnable tasks, no timers",
+                    self.inner.borrow().now
+                );
+            }
+        }
+    }
+
+    /// Polls runnable tasks until the ready queue is empty.
+    fn drain_ready(&mut self) {
+        while let Some(id) = self.ready.pop() {
+            self.poll_task(id);
+        }
+    }
+
+    /// Advances the clock to the earliest timer and wakes it.
+    ///
+    /// Returns `false` if no timers are pending.
+    fn advance_to_next_timer(&mut self) -> bool {
+        let entry = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.timers.pop() {
+                Some(Reverse(e)) => {
+                    debug_assert!(e.deadline >= inner.now, "timer in the past");
+                    inner.now = e.deadline.max(inner.now);
+                    e
+                }
+                None => return false,
+            }
+        };
+        entry.waker.wake();
+        true
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        // Take the future out so the task can re-borrow `inner` (to spawn,
+        // register timers, ...) while being polled.
+        let task = {
+            let mut inner = self.inner.borrow_mut();
+            inner.polls += 1;
+            match inner.tasks.get_mut(id).and_then(Option::take) {
+                Some(t) => t,
+                // Already completed; a stale wake.
+                None => return,
+            }
+        };
+        task.waker.queued.store(false, Ordering::Release);
+
+        let waker = Waker::from(Arc::clone(&task.waker));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = task.future;
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut inner = self.inner.borrow_mut();
+                inner.free.push(id);
+                inner.live_tasks -= 1;
+            }
+            Poll::Pending => {
+                let mut inner = self.inner.borrow_mut();
+                inner.tasks[id] = Some(Task {
+                    future,
+                    waker: task.waker,
+                });
+            }
+        }
+    }
+
+    /// Total number of task polls performed so far (a determinism probe).
+    pub fn poll_count(&self) -> u64 {
+        self.inner.borrow().polls
+    }
+}
+
+/// No-op waker used when polling the root join handle directly: progress is
+/// always driven by the ready queue and timers, so the root needs no wake.
+struct NoopWaker;
+
+impl Wake for NoopWaker {
+    fn wake(self: Arc<Self>) {}
+}
+
+/// A clonable capability for interacting with the simulation from inside it.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+    rng: RngStreams,
+}
+
+impl SimHandle {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// The number of live (spawned, not yet finished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.borrow().live_tasks
+    }
+
+    /// The simulation's named RNG streams.
+    pub fn rng(&self) -> &RngStreams {
+        &self.rng
+    }
+
+    /// Spawns a task; the returned [`JoinHandle`] resolves to its output.
+    ///
+    /// Dropping the handle detaches the task (it keeps running).
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let (tx, rx) = oneshot::channel();
+        let wrapped: LocalBoxFuture<()> = Box::pin(async move {
+            // The receiver may be gone (detached); ignore send failure.
+            let _ = tx.send(fut.await);
+        });
+
+        let mut inner = self.inner.borrow_mut();
+        let id = match inner.free.pop() {
+            Some(id) => id,
+            None => {
+                inner.tasks.push(None);
+                inner.tasks.len() - 1
+            }
+        };
+        let waker = Arc::new(TaskWaker {
+            id,
+            ready: Arc::downgrade(&self.ready),
+            queued: AtomicBool::new(true),
+        });
+        inner.tasks[id] = Some(Task {
+            future: wrapped,
+            waker,
+        });
+        inner.live_tasks += 1;
+        drop(inner);
+        self.ready.push(id);
+        JoinHandle { rx }
+    }
+
+    /// Returns a future that completes `d` later in virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: self.now() + d,
+        }
+    }
+
+    /// Returns a future that completes at the absolute instant `at`
+    /// (immediately if `at` is in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: at,
+        }
+    }
+
+    /// Runs `fut` with a virtual-time deadline.
+    ///
+    /// Resolves to `Err(TimeoutError)` if the deadline fires first; the
+    /// inner future is dropped (cancelled) in that case.
+    pub async fn timeout<T>(
+        &self,
+        d: Duration,
+        fut: impl Future<Output = T>,
+    ) -> Result<T, TimeoutError> {
+        let sleep = self.sleep(d);
+        let mut sleep = std::pin::pin!(sleep);
+        let mut fut = std::pin::pin!(fut);
+        std::future::poll_fn(move |cx| {
+            if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            match sleep.as_mut().poll(cx) {
+                Poll::Ready(()) => Poll::Ready(Err(TimeoutError)),
+                Poll::Pending => Poll::Pending,
+            }
+        })
+        .await
+    }
+
+    /// Registers `waker` to be woken at `deadline`.
+    ///
+    /// Exposed for use by synchronization primitives in this crate; most
+    /// code should use [`SimHandle::sleep`].
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.timer_seq;
+        inner.timer_seq += 1;
+        inner.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+
+    /// Yields once, letting every other runnable task at this instant run.
+    pub async fn yield_now(&self) {
+        let mut yielded = false;
+        std::future::poll_fn(move |cx| {
+            if yielded {
+                Poll::Ready(())
+            } else {
+                yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        })
+        .await
+    }
+}
+
+impl fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] and [`SimHandle::sleep_until`].
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: SimTime,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            // Re-registering on every poll is harmless: stale entries fire a
+            // spurious wake and the deadline check above absorbs it.
+            self.handle
+                .register_timer(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Handle to a spawned task's result.
+///
+/// Awaiting it yields the task output. Dropping it detaches the task.
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            // The task can only vanish without sending if the whole `Sim`
+            // was torn down, in which case nothing is polling us. Treat a
+            // closed channel while still polled as a bug.
+            Poll::Ready(Err(_)) => panic!("spawned task dropped without completing"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        let mut sim = Sim::new(1);
+        assert_eq!(sim.block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn sleep_advances_clock_exactly() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(Duration::from_nanos(700)).await;
+            h.sleep(Duration::from_micros(2)).await;
+            h.now()
+        });
+        assert_eq!(t, SimTime::from_nanos(2_700));
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_deterministically() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let order = sim.block_on(async move {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut joins = Vec::new();
+            for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20)] {
+                let h2 = h.clone();
+                let log = Rc::clone(&log);
+                joins.push(h.spawn(async move {
+                    h2.sleep(Duration::from_nanos(delay)).await;
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let order = sim.block_on(async move {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut joins = Vec::new();
+            for i in 0..8u32 {
+                let h2 = h.clone();
+                let log = Rc::clone(&log);
+                joins.push(h.spawn(async move {
+                    h2.sleep(Duration::from_nanos(100)).await;
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_future() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let r = sim.block_on(async move {
+            let slow = {
+                let h = h.clone();
+                async move {
+                    h.sleep(Duration::from_millis(10)).await;
+                    5
+                }
+            };
+            h.timeout(Duration::from_millis(1), slow).await
+        });
+        assert_eq!(r, Err(TimeoutError));
+    }
+
+    #[test]
+    fn timeout_passes_fast_future() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let r = sim.block_on(async move {
+            let fast = {
+                let h = h.clone();
+                async move {
+                    h.sleep(Duration::from_micros(1)).await;
+                    5
+                }
+            };
+            h.timeout(Duration::from_millis(1), fast).await
+        });
+        assert_eq!(r, Ok(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = Sim::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn detached_tasks_keep_running() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let observed = sim.block_on(async move {
+            let flag = Rc::new(RefCell::new(false));
+            {
+                let h2 = h.clone();
+                let flag = Rc::clone(&flag);
+                // Dropped immediately: detached (spawn already queued
+                // the task; the handle is not a lazy future).
+                let _detached = h.spawn(async move {
+                    h2.sleep(Duration::from_nanos(5)).await;
+                    *flag.borrow_mut() = true;
+                });
+            }
+            h.sleep(Duration::from_nanos(10)).await;
+            let v = *flag.borrow();
+            v
+        });
+        assert!(observed);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_schedules() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            let h = sim.handle();
+            let end = sim.block_on(async move {
+                let mut joins = Vec::new();
+                for i in 0..50u64 {
+                    let h2 = h.clone();
+                    joins.push(h.spawn(async move {
+                        let jitter = h2.rng().stream("jitter").gen_range(0..1000);
+                        h2.sleep(Duration::from_nanos(i * 13 + jitter)).await;
+                        h2.now().as_nanos()
+                    }));
+                }
+                let mut acc = 0u64;
+                for j in joins {
+                    acc = acc.wrapping_mul(31).wrapping_add(j.await);
+                }
+                acc
+            });
+            (end, sim.poll_count())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let log = sim.block_on(async move {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let j = {
+                let log = Rc::clone(&log);
+                h.spawn(async move {
+                    log.borrow_mut().push("peer");
+                })
+            };
+            log.borrow_mut().push("main-before");
+            h.yield_now().await;
+            j.await;
+            log.borrow_mut().push("main-after");
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(log, vec!["main-before", "peer", "main-after"]);
+    }
+
+    #[test]
+    fn sleep_until_past_is_immediate() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(Duration::from_micros(5)).await;
+            h.sleep_until(SimTime::from_micros(1)).await;
+            h.now()
+        });
+        assert_eq!(t, SimTime::from_micros(5));
+    }
+}

@@ -1,0 +1,381 @@
+//! Measurement primitives used by the experiment harness.
+//!
+//! * [`Counter`] — monotone event counts,
+//! * [`Histogram`] — log-bucketed latency histogram (HDR-style, ~3% relative
+//!   error) with quantile queries,
+//! * [`TimeSeries`] — `(time, value)` samples with summary statistics.
+//!
+//! All types use interior mutability (`Cell`/`RefCell`) so they can be
+//! shared across simulated tasks behind an `Rc` without locks.
+
+use std::cell::{Cell, RefCell};
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Default, Debug)]
+pub struct Counter {
+    value: Cell<u64>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative quantization error by 1/32 ≈ 3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+
+/// A log-bucketed histogram over `u64` values (typically nanoseconds).
+///
+/// Values are assigned to `(power-of-two bucket, linear sub-bucket)` pairs,
+/// giving HDR-histogram-like behaviour: wide dynamic range, bounded relative
+/// error, O(1) record, O(buckets) quantile.
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_sim::metrics::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((480..=520).contains(&p50), "p50 = {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: RefCell<Vec<u64>>,
+    count: Cell<u64>,
+    sum: Cell<u128>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: RefCell::new(vec![0; 64 * SUB_BUCKETS]),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            min: Cell::new(u64::MAX),
+            max: Cell::new(0),
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        // Values below SUB_BUCKETS get exact buckets.
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Lowest representable value of bucket `idx` (used for quantiles).
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let major = (idx / SUB_BUCKETS) as u32 - 1 + SUB_BITS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        (1u64 << major) + (sub << (major - SUB_BITS))
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets.borrow_mut()[Self::index_of(value)] += 1;
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get() + u128::from(value));
+        self.min.set(self.min.get().min(value));
+        self.max.set(self.max.get().max(value));
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count.get() == 0 {
+            0.0
+        } else {
+            self.sum.get() as f64 / self.count.get() as f64
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count.get() == 0 {
+            0
+        } else {
+            self.min.get()
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`); 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count.get();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.borrow().iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i);
+            }
+        }
+        self.max.get()
+    }
+
+    /// Convenience: p50/p99/max in one struct.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
+    /// Removes all recorded values.
+    pub fn reset(&self) {
+        self.buckets.borrow_mut().iter_mut().for_each(|b| *b = 0);
+        self.count.set(0);
+        self.sum.set(0);
+        self.min.set(u64::MAX);
+        self.max.set(0);
+    }
+}
+
+/// Summary statistics snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+/// A `(time, value)` sample log with summary helpers.
+///
+/// Used to record utilization, queue depth, or cost over virtual time.
+#[derive(Default, Debug)]
+pub struct TimeSeries {
+    samples: RefCell<Vec<(SimTime, f64)>>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn record(&self, t: SimTime, value: f64) {
+        self.samples.borrow_mut().push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the samples out.
+    pub fn samples(&self) -> Vec<(SimTime, f64)> {
+        self.samples.borrow().clone()
+    }
+
+    /// Unweighted mean of the sampled values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let s = self.samples.borrow();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(|(_, v)| v).sum::<f64>() / s.len() as f64
+    }
+
+    /// Time-weighted mean: each sample holds until the next sample's
+    /// timestamp (0 if fewer than two samples).
+    pub fn time_weighted_mean(&self) -> f64 {
+        let s = self.samples.borrow();
+        if s.len() < 2 {
+            return s.first().map(|&(_, v)| v).unwrap_or(0.0);
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for w in s.windows(2) {
+            let dt = w[1].0.saturating_since(w[0].0).as_secs_f64();
+            area += w[0].1 * dt;
+            span += dt;
+        }
+        if span == 0.0 {
+            self.mean()
+        } else {
+            area / span
+        }
+    }
+
+    /// Maximum sampled value (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .borrow()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_exact_small_values() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let h = Histogram::new();
+        let v = 1_234_567u64;
+        h.record(v);
+        let q = h.quantile(0.5);
+        let err = (v as f64 - q as f64).abs() / v as f64;
+        assert!(err < 0.04, "relative error {err} too large (got {q})");
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 1_000_000);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.count, 10_000);
+    }
+
+    #[test]
+    fn histogram_mean_and_reset() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert!((h.mean() - 15.0).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_huge_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn timeseries_means() {
+        let ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(1), 3.0);
+        ts.record(SimTime::from_secs(3), 0.0);
+        assert!((ts.mean() - 4.0 / 3.0).abs() < 1e-9);
+        // 1.0 for 1s, 3.0 for 2s => (1 + 6) / 3.
+        assert!((ts.time_weighted_mean() - 7.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ts.max(), 3.0);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn timeseries_degenerate_cases() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        ts.record(SimTime::ZERO, 5.0);
+        assert_eq!(ts.time_weighted_mean(), 5.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Small future combinators the simulator code needs.
+//!
+//! The simulation deliberately avoids external async runtimes, so the few
+//! combinators used by protocol code (`join_all`, quorum-style `first_k`)
+//! live here.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::executor::{LocalBoxFuture, SimHandle};
+use crate::sync::mpsc;
+
+/// Drives all `futures` concurrently and returns their outputs in input
+/// order.
+///
+/// Unlike spawning, the futures run inside the caller's task; use
+/// [`SimHandle::spawn`] when they must keep running past this call.
+///
+/// # Examples
+///
+/// ```
+/// use pcsi_sim::{Sim, util::join_all};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(0);
+/// let h = sim.handle();
+/// let out = sim.block_on(async move {
+///     let futs = (0..3u64).map(|i| {
+///         let h = h.clone();
+///         async move {
+///             h.sleep(Duration::from_nanos(100 - i)).await;
+///             i
+///         }
+///     });
+///     join_all(futs).await
+/// });
+/// assert_eq!(out, vec![0, 1, 2]);
+/// ```
+pub fn join_all<T, F>(futures: impl IntoIterator<Item = F>) -> JoinAll<T>
+where
+    F: Future<Output = T> + 'static,
+    T: 'static,
+{
+    JoinAll {
+        futures: futures
+            .into_iter()
+            .map(|f| Some(Box::pin(f) as LocalBoxFuture<T>))
+            .collect(),
+        outputs: Vec::new(),
+    }
+}
+
+/// Future returned by [`join_all`].
+pub struct JoinAll<T> {
+    futures: Vec<Option<LocalBoxFuture<T>>>,
+    outputs: Vec<Option<T>>,
+}
+
+// `JoinAll` never pins its outputs; the inner futures are heap-pinned boxes.
+impl<T> Unpin for JoinAll<T> {}
+
+impl<T> Future for JoinAll<T> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<T>> {
+        let this = self.get_mut();
+        if this.outputs.is_empty() {
+            this.outputs.resize_with(this.futures.len(), || None);
+        }
+        let mut done = true;
+        for (slot, out) in this.futures.iter_mut().zip(this.outputs.iter_mut()) {
+            if let Some(fut) = slot {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(v) => {
+                        *out = Some(v);
+                        *slot = None;
+                    }
+                    Poll::Pending => done = false,
+                }
+            }
+        }
+        if done {
+            Poll::Ready(
+                this.outputs
+                    .iter_mut()
+                    .map(|o| o.take().expect("join_all output missing"))
+                    .collect(),
+            )
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Spawns all `futures` and resolves with the first `k` results in
+/// completion order; the stragglers keep running detached.
+///
+/// This is the quorum-wait primitive: issue N replica requests, act on the
+/// first R responses, let the rest land in the background (read repair).
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the number of futures.
+pub async fn first_k<T: 'static>(
+    handle: &SimHandle,
+    futures: Vec<LocalBoxFuture<T>>,
+    k: usize,
+) -> Vec<T> {
+    assert!(
+        k <= futures.len(),
+        "first_k: k = {k} > {} futures",
+        futures.len()
+    );
+    let (tx, mut rx) = mpsc::channel();
+    for fut in futures {
+        let tx = tx.clone();
+        handle.spawn(async move {
+            // The receiver may already have its k results; ignore failure.
+            let _ = tx.send(fut.await);
+        });
+    }
+    drop(tx);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        match rx.recv().await {
+            Some(v) => out.push(v),
+            None => unreachable!("senders vanished before k results"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::time::Duration;
+
+    #[test]
+    fn join_all_empty() {
+        let mut sim = Sim::new(0);
+        let out: Vec<u32> = sim.block_on(join_all(Vec::<LocalBoxFuture<u32>>::new()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_all_preserves_order_despite_timing() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let futs: Vec<_> = [30u64, 10, 20]
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let h = h.clone();
+                    async move {
+                        h.sleep(Duration::from_nanos(d)).await;
+                        i
+                    }
+                })
+                .collect();
+            join_all(futs).await
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn first_k_returns_fastest() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let futs: Vec<LocalBoxFuture<u64>> = [300u64, 100, 200, 50]
+                .into_iter()
+                .map(|d| {
+                    let h = h.clone();
+                    Box::pin(async move {
+                        h.sleep(Duration::from_nanos(d)).await;
+                        d
+                    }) as LocalBoxFuture<u64>
+                })
+                .collect();
+            first_k(&h, futs, 2).await
+        });
+        assert_eq!(out, vec![50, 100]);
+    }
+
+    #[test]
+    fn first_k_all() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let futs: Vec<LocalBoxFuture<u32>> = (0..3)
+                .map(|i: u32| Box::pin(async move { i }) as LocalBoxFuture<u32>)
+                .collect();
+            first_k(&h, futs, 3).await
+        });
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "first_k")]
+    fn first_k_rejects_bad_k() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let _ = first_k::<u32>(&h, Vec::new(), 1).await;
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Mutability-aware node-local object caching.
+//!
+//! The Figure-1 lattice exists to make caching sound by construction
+//! (§3.3): an `IMMUTABLE` object can be cached anywhere forever; once
+//! written, the prefix of an `APPEND_ONLY` object is equally stable;
+//! `MUTABLE`/`FIXED_SIZE` objects are never cached here because any copy
+//! may be invalidated by a remote write. The cache needs no invalidation
+//! protocol at all — that is the paper's point.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use pcsi_core::{Mutability, ObjectId};
+
+/// What the cache remembers about one object.
+#[derive(Debug, Clone)]
+enum Entry {
+    /// The complete, immutable contents.
+    Full(Bytes),
+    /// The stable prefix of an append-only object.
+    Prefix(Bytes),
+}
+
+impl Entry {
+    fn data(&self) -> &Bytes {
+        match self {
+            Entry::Full(b) | Entry::Prefix(b) => b,
+        }
+    }
+}
+
+/// An LRU byte-budgeted cache for one node.
+#[derive(Debug)]
+pub struct ObjectCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<ObjectId, (Entry, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ObjectCache {
+    /// A cache holding at most `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ObjectCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Serves `[offset, offset + len)` if the cached bytes cover it.
+    ///
+    /// For a `Full` entry any in-bounds range is servable (out-of-bounds
+    /// reads clamp like the store does). For a `Prefix` entry only ranges
+    /// that end inside the stable prefix are servable — a read past the
+    /// prefix might observe newer appends, so it must go to a replica.
+    pub fn get(&mut self, id: ObjectId, offset: u64, len: u64) -> Option<Bytes> {
+        self.clock += 1;
+        let clock = self.clock;
+        let result = match self.entries.get_mut(&id) {
+            Some((entry, stamp)) => {
+                *stamp = clock;
+                let data = entry.data();
+                let end = offset.saturating_add(len);
+                match entry {
+                    Entry::Full(_) => {
+                        let size = data.len() as u64;
+                        let start = offset.min(size) as usize;
+                        let stop = end.min(size) as usize;
+                        Some(data.slice(start..stop))
+                    }
+                    Entry::Prefix(_) => {
+                        if end <= data.len() as u64 {
+                            Some(data.slice(offset as usize..end as usize))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            None => None,
+        };
+        match result {
+            Some(b) => {
+                self.hits += 1;
+                Some(b)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers fetched data to the cache.
+    ///
+    /// * `Immutable` + full contents → cached whole.
+    /// * `AppendOnly` + a prefix of known-stable length → cached as a
+    ///   prefix; a longer stable prefix replaces a shorter one.
+    /// * Anything else → ignored.
+    ///
+    /// `data` must start at offset 0 (partial-range fills are not cached —
+    /// keeping the index simple is worth more than partial hits here).
+    pub fn admit(&mut self, id: ObjectId, mutability: Mutability, data: Bytes) {
+        let entry = match mutability {
+            Mutability::Immutable => Entry::Full(data),
+            Mutability::AppendOnly => {
+                // Keep the longer stable prefix.
+                if let Some((Entry::Prefix(existing), _)) = self.entries.get(&id) {
+                    if existing.len() >= data.len() {
+                        return;
+                    }
+                }
+                Entry::Prefix(data)
+            }
+            Mutability::Mutable | Mutability::FixedSize => return,
+        };
+        let new_len = entry.data().len();
+        if new_len > self.capacity_bytes {
+            return; // Larger than the whole cache.
+        }
+        if let Some((old, _)) = self.entries.remove(&id) {
+            self.used_bytes -= old.data().len();
+        }
+        self.used_bytes += new_len;
+        self.clock += 1;
+        self.entries.insert(id, (entry, self.clock));
+        self.evict_to_fit();
+    }
+
+    /// Drops an object (used when a deletion is observed).
+    pub fn invalidate(&mut self, id: ObjectId) {
+        if let Some((old, _)) = self.entries.remove(&id) {
+            self.used_bytes -= old.data().len();
+        }
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used_bytes > self.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(id, _)| *id)
+                .expect("over budget implies non-empty");
+            self.invalidate(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_parts(6, n)
+    }
+
+    #[test]
+    fn immutable_objects_cache_and_hit() {
+        let mut c = ObjectCache::new(1024);
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            Bytes::from_static(b"payload"),
+        );
+        assert_eq!(&c.get(oid(1), 0, 7).unwrap()[..], b"payload");
+        assert_eq!(&c.get(oid(1), 3, 10).unwrap()[..], b"load"); // Clamped.
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn mutable_objects_never_cache() {
+        let mut c = ObjectCache::new(1024);
+        c.admit(oid(1), Mutability::Mutable, Bytes::from_static(b"x"));
+        c.admit(oid(2), Mutability::FixedSize, Bytes::from_static(b"y"));
+        assert!(c.get(oid(1), 0, 1).is_none());
+        assert!(c.get(oid(2), 0, 1).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn append_only_prefix_semantics() {
+        let mut c = ObjectCache::new(1024);
+        c.admit(oid(1), Mutability::AppendOnly, Bytes::from_static(b"12345"));
+        // Inside the stable prefix: hit.
+        assert_eq!(&c.get(oid(1), 1, 3).unwrap()[..], b"234");
+        // Past the prefix: must miss (appends may have happened).
+        assert!(c.get(oid(1), 3, 10).is_none());
+        // A longer prefix replaces, a shorter one is ignored.
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            Bytes::from_static(b"1234567890"),
+        );
+        assert_eq!(&c.get(oid(1), 5, 5).unwrap()[..], b"67890");
+        c.admit(oid(1), Mutability::AppendOnly, Bytes::from_static(b"12"));
+        assert_eq!(&c.get(oid(1), 5, 5).unwrap()[..], b"67890");
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let mut c = ObjectCache::new(10);
+        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"aaaa"));
+        c.admit(oid(2), Mutability::Immutable, Bytes::from_static(b"bbbb"));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(oid(1), 0, 1).is_some());
+        c.admit(oid(3), Mutability::Immutable, Bytes::from_static(b"cccc"));
+        assert!(c.used_bytes() <= 10);
+        assert!(c.get(oid(2), 0, 1).is_none(), "LRU entry should be gone");
+        assert!(c.get(oid(1), 0, 1).is_some());
+        assert!(c.get(oid(3), 0, 1).is_some());
+    }
+
+    #[test]
+    fn oversized_objects_bypass() {
+        let mut c = ObjectCache::new(4);
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            Bytes::from_static(b"too big"),
+        );
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.get(oid(1), 0, 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = ObjectCache::new(64);
+        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"gone"));
+        c.invalidate(oid(1));
+        assert!(c.get(oid(1), 0, 1).is_none());
+        assert_eq!(c.used_bytes(), 0);
+        // Invalidating a missing id is a no-op.
+        c.invalidate(oid(9));
+    }
+
+    #[test]
+    fn readmitting_same_id_replaces_bytes_accounting() {
+        let mut c = ObjectCache::new(64);
+        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"aaaa"));
+        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"bb"));
+        assert_eq!(c.used_bytes(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # pcsi-store — the replicated state substrate
+//!
+//! The paper's state layer (§3.2–3.3) promises a universal storage
+//! interface with a two-item consistency menu and mutability-aware
+//! implementation freedom. This crate is that implementation for the
+//! simulated cloud:
+//!
+//! * [`engine::StorageEngine`] — a per-node object store with media tiers
+//!   (DRAM / NVMe / disk) whose access times are charged to virtual time,
+//! * [`replica::ReplicaNode`] — the storage service bound on each storage
+//!   node, speaking a compact binary protocol ([`wire`]) over the fabric,
+//! * [`placement::Placement`] — rendezvous-hashed replica sets spread
+//!   across racks (fault domains),
+//! * [`store::ReplicatedStore`] — the client facade: mutations are
+//!   serialized by each object's primary and replicated synchronously to a
+//!   majority (linearizable) or asynchronously (eventual); linearizable
+//!   reads perform a majority version-quorum with read repair, eventual
+//!   reads hit the closest replica,
+//! * [`cache::ObjectCache`] — node-local caching that exploits the
+//!   Figure-1 mutability lattice: `IMMUTABLE` objects cache whole,
+//!   `APPEND_ONLY` objects cache their stable prefix, mutable objects
+//!   don't cache,
+//! * [`gc::mark`] + [`gc::sweep`] — reachability garbage collection over the reference
+//!   graph (unreachable objects are reclaimed, §3.2),
+//! * [`version`] — write tags and version vectors for ordering and
+//!   anti-entropy.
+//!
+//! Failure handling scope: replica crashes and partitions are tolerated on
+//! the read path (any majority / any replica) and detected on the write
+//! path (writes fail when the primary or a majority is unreachable).
+//! Primary fail-over (view changes) is out of scope — the paper proposes
+//! an interface, not a new replication protocol.
+
+pub mod cache;
+pub mod engine;
+pub mod gc;
+pub mod placement;
+pub mod replica;
+pub mod store;
+pub mod version;
+pub mod wire;
+
+pub use engine::{MediaTier, StorageEngine, StoredObject};
+pub use placement::Placement;
+pub use replica::ReplicaNode;
+pub use store::{ReplicatedStore, StoreClient, StoreConfig};
+pub use version::{Tag, VersionVector};

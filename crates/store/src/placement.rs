@@ -1,0 +1,215 @@
+//! Replica placement: rendezvous hashing across fault domains.
+//!
+//! Each object's replica set is derived deterministically from its id with
+//! highest-random-weight (rendezvous) hashing, preferring distinct racks
+//! so a rack failure cannot take out a whole replica set. The first
+//! replica in the set is the object's *primary* (the mutation serializer).
+
+use pcsi_core::ObjectId;
+use pcsi_net::{NodeId, Topology};
+
+/// Deterministic replica-set computation.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    storage_nodes: Vec<(NodeId, u32)>, // (node, rack)
+    n_replicas: usize,
+}
+
+impl Placement {
+    /// Creates a placement over `storage_nodes` with `n_replicas` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero or exceeds the node count.
+    pub fn new(topology: &Topology, storage_nodes: Vec<NodeId>, n_replicas: usize) -> Self {
+        assert!(n_replicas >= 1, "need at least one replica");
+        assert!(
+            n_replicas <= storage_nodes.len(),
+            "n_replicas {} exceeds {} storage nodes",
+            n_replicas,
+            storage_nodes.len()
+        );
+        let storage_nodes = storage_nodes
+            .into_iter()
+            .map(|n| (n, topology.spec(n).rack))
+            .collect();
+        Placement {
+            storage_nodes,
+            n_replicas,
+        }
+    }
+
+    /// Replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// Majority quorum size (`floor(n/2) + 1`).
+    pub fn majority(&self) -> usize {
+        self.n_replicas / 2 + 1
+    }
+
+    /// The storage nodes participating in placement.
+    pub fn storage_nodes(&self) -> Vec<NodeId> {
+        self.storage_nodes.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// The replica set for an object, primary first.
+    ///
+    /// Rack-aware: replicas are drawn from distinct racks while distinct
+    /// racks remain, then filled from the remaining highest-weight nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcsi_net::Topology;
+    /// use pcsi_store::Placement;
+    /// use pcsi_core::ObjectId;
+    ///
+    /// let topo = Topology::uniform(3, 2);
+    /// let p = Placement::new(&topo, topo.node_ids(), 3);
+    /// let set = p.replicas(ObjectId::from_parts(1, 42));
+    /// assert_eq!(set.len(), 3);
+    /// // Deterministic:
+    /// assert_eq!(set, p.replicas(ObjectId::from_parts(1, 42)));
+    /// ```
+    pub fn replicas(&self, id: ObjectId) -> Vec<NodeId> {
+        let mut scored: Vec<(u64, NodeId, u32)> = self
+            .storage_nodes
+            .iter()
+            .map(|&(n, rack)| (weight(id, n), n, rack))
+            .collect();
+        // Highest weight first; NodeId tiebreak for full determinism.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(self.n_replicas);
+        let mut used_racks: Vec<u32> = Vec::new();
+        // Pass 1: distinct racks.
+        for &(_, n, rack) in &scored {
+            if chosen.len() == self.n_replicas {
+                break;
+            }
+            if !used_racks.contains(&rack) {
+                chosen.push(n);
+                used_racks.push(rack);
+            }
+        }
+        // Pass 2: fill from the remainder.
+        for &(_, n, _) in &scored {
+            if chosen.len() == self.n_replicas {
+                break;
+            }
+            if !chosen.contains(&n) {
+                chosen.push(n);
+            }
+        }
+        chosen
+    }
+
+    /// The primary (mutation serializer) for an object.
+    pub fn primary(&self, id: ObjectId) -> NodeId {
+        self.replicas(id)[0]
+    }
+
+    /// The replica of `id` closest to `from` (used by eventual reads).
+    pub fn closest_replica(&self, topology: &Topology, id: ObjectId, from: NodeId) -> NodeId {
+        let set = self.replicas(id);
+        *set.iter()
+            .min_by_key(|&&r| (topology.hop_class(from, r), r))
+            .expect("replica set non-empty")
+    }
+}
+
+/// Rendezvous weight of `(object, node)`.
+fn weight(id: ObjectId, node: NodeId) -> u64 {
+    let mut x = (id.as_u128() as u64)
+        ^ ((id.as_u128() >> 64) as u64)
+        ^ (u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // SplitMix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_parts(4, n)
+    }
+
+    #[test]
+    fn replica_sets_are_deterministic_and_distinct() {
+        let topo = Topology::uniform(4, 4);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        for i in 0..100 {
+            let set = p.replicas(oid(i));
+            assert_eq!(set.len(), 3);
+            let mut dedup = set.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "duplicate replica in {set:?}");
+            assert_eq!(set, p.replicas(oid(i)));
+        }
+    }
+
+    #[test]
+    fn replicas_span_racks() {
+        let topo = Topology::uniform(4, 4);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        for i in 0..100 {
+            let set = p.replicas(oid(i));
+            let mut racks: Vec<u32> = set.iter().map(|&n| topo.spec(n).rack).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            assert_eq!(racks.len(), 3, "replicas share a rack: {set:?}");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let topo = Topology::uniform(2, 4);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        let mut primary_counts = vec![0u32; topo.len()];
+        for i in 0..2_000 {
+            primary_counts[p.primary(oid(i)).0 as usize] += 1;
+        }
+        let min = *primary_counts.iter().min().unwrap();
+        let max = *primary_counts.iter().max().unwrap();
+        assert!(min > 0, "some node never primary: {primary_counts:?}");
+        assert!(
+            f64::from(max) / f64::from(min) < 2.0,
+            "unbalanced: {primary_counts:?}"
+        );
+    }
+
+    #[test]
+    fn majority_math() {
+        let topo = Topology::uniform(2, 3);
+        for (n, maj) in [(1, 1), (2, 2), (3, 2), (5, 3)] {
+            let p = Placement::new(&topo, topo.node_ids(), n);
+            assert_eq!(p.majority(), maj, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn closest_replica_prefers_locality() {
+        let topo = Topology::uniform(3, 3);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        for i in 0..50 {
+            let id = oid(i);
+            let set = p.replicas(id);
+            // Asking from a replica node returns that node itself.
+            let from = set[1];
+            assert_eq!(p.closest_replica(&topo, id, from), from);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_replicas_rejected() {
+        let topo = Topology::uniform(1, 2);
+        let _ = Placement::new(&topo, topo.node_ids(), 3);
+    }
+}

@@ -1,0 +1,374 @@
+//! The storage replica service.
+//!
+//! One [`ReplicaNode`] runs on every storage node. It owns the node's
+//! [`StorageEngine`], serves the [`crate::wire`] protocol over the fabric,
+//! and plays two roles:
+//!
+//! * **primary** for objects whose replica set it heads: it orders
+//!   mutations (assigns [`Tag`]s), applies them locally, and replicates
+//!   them to the secondaries — synchronously up to the requested ack count
+//!   (majority for linearizable objects), asynchronously beyond that;
+//! * **secondary** for the rest: it applies replicated mutations and
+//!   answers reads, tag queries and anti-entropy pulls.
+//!
+//! A background anti-entropy task periodically reconciles with a random
+//! peer so asynchronously replicated (eventual) writes converge even when
+//! the original replication message was lost to a crash or partition.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_core::ObjectId;
+use pcsi_net::fabric::{CallCtx, NetError, RpcHandler};
+use pcsi_net::{Fabric, NodeId, Transport};
+use pcsi_sim::metrics::Counter;
+use pcsi_sim::sync::mpsc;
+
+use crate::engine::{MediaTier, Mutation, StorageEngine};
+use crate::placement::Placement;
+use crate::version::Tag;
+use crate::wire::{self, Request, Response, WireError};
+
+/// Service name replicas bind on the fabric.
+pub const STORE_SERVICE: &str = "pcsi-store";
+
+/// Transport used for intra-store traffic (kernel-bypass).
+pub const STORE_TRANSPORT: Transport = Transport::Rdma;
+
+/// A storage replica bound to one node.
+#[derive(Clone)]
+pub struct ReplicaNode {
+    inner: Rc<Inner>,
+}
+
+struct Inner {
+    node: NodeId,
+    fabric: Fabric,
+    placement: Placement,
+    engine: RefCell<StorageEngine>,
+    coordinated: Counter,
+    applied: Counter,
+    reads: Counter,
+    synced_in: Counter,
+}
+
+impl ReplicaNode {
+    /// Creates the replica and binds its service on the fabric.
+    pub fn start(fabric: Fabric, placement: Placement, node: NodeId, tier: MediaTier) -> Self {
+        let inner = Rc::new(Inner {
+            node,
+            fabric: fabric.clone(),
+            placement,
+            engine: RefCell::new(StorageEngine::new(tier)),
+            coordinated: Counter::new(),
+            applied: Counter::new(),
+            reads: Counter::new(),
+            synced_in: Counter::new(),
+        });
+        let handler: RpcHandler = {
+            let inner = Rc::clone(&inner);
+            Rc::new(move |payload, ctx| {
+                let inner = Rc::clone(&inner);
+                Box::pin(async move { Ok(handle(inner, payload, ctx).await) })
+            })
+        };
+        fabric.bind(node, STORE_SERVICE, handler);
+        ReplicaNode { inner }
+    }
+
+    /// The node this replica runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Objects currently held (tests/GC).
+    pub fn object_count(&self) -> usize {
+        self.inner.engine.borrow().object_count()
+    }
+
+    /// Direct engine access for GC sweeps and white-box tests.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&mut StorageEngine) -> T) -> T {
+        f(&mut self.inner.engine.borrow_mut())
+    }
+
+    /// Mutations this node ordered as primary.
+    pub fn coordinated_count(&self) -> u64 {
+        self.inner.coordinated.get()
+    }
+
+    /// Reads served locally.
+    pub fn reads_served(&self) -> u64 {
+        self.inner.reads.get()
+    }
+
+    /// Objects pulled in by anti-entropy.
+    pub fn synced_in_count(&self) -> u64 {
+        self.inner.synced_in.get()
+    }
+
+    /// Spawns the periodic anti-entropy task (runs for the simulation's
+    /// lifetime). `interval` is jittered ±20% per round to avoid lockstep.
+    pub fn start_anti_entropy(&self, interval: Duration) {
+        let inner = Rc::clone(&self.inner);
+        let h = self.inner.fabric.handle().clone();
+        h.clone().spawn(async move {
+            let rng = h.rng().stream("anti-entropy");
+            loop {
+                let jitter = 0.8 + 0.4 * rng.f64();
+                h.sleep(interval.mul_f64(jitter)).await;
+                anti_entropy_round(&inner).await;
+            }
+        });
+    }
+
+    /// Runs one anti-entropy exchange immediately (tests).
+    pub async fn anti_entropy_once(&self) {
+        anti_entropy_round(&self.inner).await;
+    }
+}
+
+/// Charges the engine's media time for an operation touching `bytes`.
+async fn charge_io(inner: &Inner, bytes: usize) {
+    let t = inner.engine.borrow().tier().io_time(bytes);
+    inner.fabric.handle().sleep(t).await;
+}
+
+async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
+    let request = match wire::decode_request(&payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return wire::encode_response(&Response::Err(WireError::Other(e.to_string())));
+        }
+    };
+    let response = match request {
+        Request::Coordinate {
+            id,
+            mutation,
+            sync_replicas,
+        } => coordinate(&inner, id, mutation, sync_replicas).await,
+        Request::Apply { id, tag, mutation } => {
+            charge_io(&inner, mutation_bytes(&mutation)).await;
+            inner.applied.incr();
+            match inner.engine.borrow_mut().apply(id, tag, &mutation) {
+                Ok(()) => Response::Applied,
+                Err(e) => Response::Err(WireError::from_pcsi(&e)),
+            }
+        }
+        Request::Read { id, offset, len } => {
+            let result = inner.engine.borrow().read(id, offset, len);
+            match result {
+                Ok(data) => {
+                    charge_io(&inner, data.len()).await;
+                    inner.reads.incr();
+                    let tag = inner.engine.borrow().tag_of(id);
+                    Response::Data { tag, data }
+                }
+                Err(e) => Response::Err(WireError::from_pcsi(&e)),
+            }
+        }
+        Request::TagOf { id } => Response::TagIs {
+            tag: inner.engine.borrow().tag_of(id),
+        },
+        Request::Fetch { id } => {
+            let obj = inner.engine.borrow().get(id).cloned();
+            match obj {
+                Some(object) => {
+                    charge_io(&inner, object.data.len()).await;
+                    Response::Object { object }
+                }
+                None => Response::Absent,
+            }
+        }
+        Request::Inventory => Response::InventoryIs {
+            entries: inner.engine.borrow().inventory(),
+        },
+    };
+    wire::encode_response(&response)
+}
+
+/// Approximate payload size of a mutation, for IO accounting.
+fn mutation_bytes(m: &Mutation) -> usize {
+    match m {
+        Mutation::PutFull { data, .. } => data.len(),
+        Mutation::WriteAt { data, .. } => data.len(),
+        Mutation::Append { data } => data.len(),
+        Mutation::SetMutability { .. } | Mutation::Delete => 16,
+    }
+}
+
+/// Primary-side mutation ordering and replication.
+async fn coordinate(
+    inner: &Rc<Inner>,
+    id: ObjectId,
+    mutation: Mutation,
+    sync_replicas: u32,
+) -> Response {
+    let replicas = inner.placement.replicas(id);
+    if replicas[0] != inner.node {
+        return Response::Err(WireError::Other(format!(
+            "node {} is not primary for {id:?} (primary is {})",
+            inner.node, replicas[0]
+        )));
+    }
+    inner.coordinated.incr();
+
+    // Order and apply locally.
+    let tag = inner.engine.borrow().tag_of(id).next(inner.node.0);
+    charge_io(inner, mutation_bytes(&mutation)).await;
+    if let Err(e) = inner.engine.borrow_mut().apply(id, tag, &mutation) {
+        return Response::Err(WireError::from_pcsi(&e));
+    }
+
+    // Replicate to secondaries; wait for `sync_replicas - 1` acks.
+    let secondaries: Vec<NodeId> = replicas[1..].to_vec();
+    let need = (sync_replicas.saturating_sub(1) as usize).min(secondaries.len());
+    let total = secondaries.len();
+
+    let (tx, mut rx) = mpsc::channel::<bool>();
+    for peer in secondaries {
+        let tx = tx.clone();
+        let fabric = inner.fabric.clone();
+        let from = inner.node;
+        let req = wire::encode_request(&Request::Apply {
+            id,
+            tag,
+            mutation: mutation.clone(),
+        });
+        inner.fabric.handle().spawn(async move {
+            let ok = matches!(
+                apply_on(&fabric, from, peer, req).await,
+                Ok(Response::Applied)
+            );
+            let _ = tx.send(ok);
+        });
+    }
+    drop(tx);
+
+    if need > 0 {
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        while ok < need {
+            match rx.recv().await {
+                Some(true) => ok += 1,
+                Some(false) => {
+                    failed += 1;
+                    if total - failed < need {
+                        return Response::Err(WireError::QuorumUnavailable {
+                            needed: sync_replicas,
+                            got: (ok + 1) as u32,
+                        });
+                    }
+                }
+                None => {
+                    return Response::Err(WireError::QuorumUnavailable {
+                        needed: sync_replicas,
+                        got: (ok + 1) as u32,
+                    });
+                }
+            }
+        }
+    }
+    // Remaining replication continues in the background (detached tasks).
+    Response::Coordinated { tag }
+}
+
+async fn apply_on(
+    fabric: &Fabric,
+    from: NodeId,
+    peer: NodeId,
+    req: Bytes,
+) -> Result<Response, NetError> {
+    let raw = fabric
+        .call(from, peer, STORE_SERVICE, STORE_TRANSPORT, req)
+        .await?;
+    wire::decode_response(&raw).map_err(|e| NetError::Remote(e.to_string()))
+}
+
+/// One pull-based anti-entropy exchange with a random peer.
+async fn anti_entropy_round(inner: &Rc<Inner>) {
+    let peers: Vec<NodeId> = inner
+        .placement
+        .storage_nodes()
+        .into_iter()
+        .filter(|&n| n != inner.node)
+        .collect();
+    if peers.is_empty() {
+        return;
+    }
+    let rng = inner.fabric.handle().rng().stream("anti-entropy-peer");
+    let peer = *rng.choice(&peers);
+
+    let raw = match inner
+        .fabric
+        .call(
+            inner.node,
+            peer,
+            STORE_SERVICE,
+            STORE_TRANSPORT,
+            wire::encode_request(&Request::Inventory),
+        )
+        .await
+    {
+        Ok(raw) => raw,
+        Err(_) => return, // Peer down or partitioned; try next round.
+    };
+    let entries = match wire::decode_response(&raw) {
+        Ok(Response::InventoryIs { entries }) => entries,
+        _ => return,
+    };
+
+    for (id, peer_tag) in entries {
+        // Only track objects this node replicates.
+        if !inner.placement.replicas(id).contains(&inner.node) {
+            continue;
+        }
+        let local_tag = inner.engine.borrow().tag_of(id);
+        if peer_tag <= local_tag {
+            continue;
+        }
+        let raw = match inner
+            .fabric
+            .call(
+                inner.node,
+                peer,
+                STORE_SERVICE,
+                STORE_TRANSPORT,
+                wire::encode_request(&Request::Fetch { id }),
+            )
+            .await
+        {
+            Ok(raw) => raw,
+            Err(_) => return,
+        };
+        if let Ok(Response::Object { object }) = wire::decode_response(&raw) {
+            charge_io(inner, object.data.len()).await;
+            inner.engine.borrow_mut().sync_in(id, object);
+            inner.synced_in.incr();
+        }
+    }
+}
+
+/// Convenience: the tag a replica holds for `id`, fetched over the fabric.
+pub async fn remote_tag(
+    fabric: &Fabric,
+    from: NodeId,
+    replica: NodeId,
+    id: ObjectId,
+) -> Result<Tag, NetError> {
+    let raw = fabric
+        .call(
+            from,
+            replica,
+            STORE_SERVICE,
+            STORE_TRANSPORT,
+            wire::encode_request(&Request::TagOf { id }),
+        )
+        .await?;
+    match wire::decode_response(&raw) {
+        Ok(Response::TagIs { tag }) => Ok(tag),
+        Ok(other) => Err(NetError::Remote(format!("unexpected response {other:?}"))),
+        Err(e) => Err(NetError::Remote(e.to_string())),
+    }
+}

