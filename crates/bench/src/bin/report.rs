@@ -239,7 +239,14 @@ fn report_flexibility() {
 fn report_consistency() {
     println!("## §3.3 — the two-item consistency menu (E7)\n");
     let cells = consistency::run(DEFAULT_SEED, 60);
-    let mut t = Table::new(&["N", "consistency", "write mean", "read mean", "stale reads"]);
+    let mut t = Table::new(&[
+        "N",
+        "consistency",
+        "write mean",
+        "read mean",
+        "stale reads",
+        "read repairs",
+    ]);
     for c in &cells {
         t.row(&[
             format!("{}", c.n_replicas),
@@ -247,6 +254,7 @@ fn report_consistency() {
             ns(c.write_ns),
             ns(c.read_ns),
             format!("{:.1}%", 100.0 * c.stale_fraction),
+            format!("{}", c.repaired),
         ]);
     }
     print!("{}", t.render());
@@ -299,6 +307,31 @@ fn report_ycsb() {
     print!("{}", t.render());
     match ycsb::shape_holds(&cells) {
         Ok(()) => println!("\nshape check: PASS (the REST tax holds on every mix)\n"),
+        Err(e) => println!("\nshape check: FAIL — {e}\n"),
+    }
+
+    println!("### mix C over IMMUTABLE objects — the mutability-aware cache\n");
+    let cell = ycsb::run_immutable(DEFAULT_SEED, 300);
+    let mut t = Table::new(&[
+        "read mean",
+        "cache hits",
+        "cache misses",
+        "hit rate",
+        "fabric msgs/read",
+    ]);
+    t.row(&[
+        ns(cell.mean_ns),
+        format!("{}", cell.hits),
+        format!("{}", cell.misses),
+        format!(
+            "{:.1}%",
+            100.0 * cell.hits as f64 / (cell.hits + cell.misses).max(1) as f64
+        ),
+        format!("{:.2}", cell.fabric_calls_per_read),
+    ]);
+    print!("{}", t.render());
+    match ycsb::immutable_shape_holds(&cell) {
+        Ok(()) => println!("\nshape check: PASS (immutable working set served node-locally)\n"),
         Err(e) => println!("\nshape check: FAIL — {e}\n"),
     }
 }

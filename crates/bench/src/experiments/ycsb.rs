@@ -166,6 +166,81 @@ pub fn run(seed: u64, ops: u32) -> Vec<Cell> {
     out
 }
 
+/// Mix-C over `IMMUTABLE` objects: the mutability-aware client cache at
+/// work. After the first (cold) fetch of each popular key, repeats are
+/// served node-locally — the fabric-calls-per-read column collapses.
+#[derive(Debug, Clone)]
+pub struct ImmutableCell {
+    /// Mean read latency (ns).
+    pub mean_ns: f64,
+    /// Cache hits over the read loop.
+    pub hits: u64,
+    /// Cache misses over the read loop.
+    pub misses: u64,
+    /// Fabric messages per read (both directions of every RPC).
+    pub fabric_calls_per_read: f64,
+}
+
+/// Runs a read-only Zipf workload against immutable objects and reports
+/// cache efficacy alongside latency.
+pub fn run_immutable(seed: u64, ops: u32) -> ImmutableCell {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let cloud = CloudBuilder::new().build(&h);
+        let value = vec![0x42u8; VALUE];
+        let kc = cloud.kernel.client(NodeId(0), "ycsb-im");
+        let mut refs: Vec<Reference> = Vec::with_capacity(KEYS as usize);
+        for _ in 0..KEYS {
+            refs.push(
+                kc.create(CreateOptions::immutable(value.clone()))
+                    .await
+                    .unwrap(),
+            );
+        }
+
+        let zipf = ZipfKeys::new(h.rng().stream("ycsb-keys-im"), KEYS, 0.99);
+        let hist = Histogram::new();
+        let stats0 = cloud.store.cache_stats();
+        let msgs0 = cloud.fabric.message_count();
+        for _ in 0..ops {
+            let key = zipf.next_key() as usize;
+            let t0 = h.now();
+            kc.read(&refs[key], 0, VALUE as u64).await.unwrap();
+            hist.record_duration(h.now() - t0);
+        }
+        let stats1 = cloud.store.cache_stats();
+        let msgs1 = cloud.fabric.message_count();
+        ImmutableCell {
+            mean_ns: hist.mean(),
+            hits: stats1.hits - stats0.hits,
+            misses: stats1.misses - stats0.misses,
+            fabric_calls_per_read: (msgs1 - msgs0) as f64 / f64::from(ops),
+        }
+    })
+}
+
+/// The cache claim: a Zipf-popular immutable working set is served almost
+/// entirely node-locally.
+pub fn immutable_shape_holds(cell: &ImmutableCell) -> Result<(), String> {
+    if cell.hits == 0 {
+        return Err("immutable reads should hit the cache".into());
+    }
+    if cell.hits < cell.misses {
+        return Err(format!(
+            "Zipf immutable reads should mostly hit ({} hits / {} misses)",
+            cell.hits, cell.misses
+        ));
+    }
+    if cell.fabric_calls_per_read >= 1.0 {
+        return Err(format!(
+            "cached reads should average below one fabric message per read, got {:.2}",
+            cell.fabric_calls_per_read
+        ));
+    }
+    Ok(())
+}
+
 /// The generalization claim: REST pays a multiple of PCSI on every mix.
 pub fn shape_holds(cells: &[Cell]) -> Result<(), String> {
     for mix in Mix::ALL {
@@ -196,6 +271,12 @@ mod tests {
     fn rest_tax_holds_across_mixes() {
         let cells = run(DEFAULT_SEED, 150);
         shape_holds(&cells).unwrap();
+    }
+
+    #[test]
+    fn immutable_working_set_is_cache_served() {
+        let cell = run_immutable(DEFAULT_SEED, 300);
+        immutable_shape_holds(&cell).unwrap();
     }
 
     #[test]

@@ -32,14 +32,9 @@ use pcsi_fs::device::{DeviceHandler, DeviceRegistry};
 use pcsi_fs::{DirEntry, Directory, FifoQueue};
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::executor::LocalBoxFuture;
-use pcsi_store::cache::ObjectCache;
-use pcsi_store::engine::MediaTier;
 use pcsi_store::{gc, ReplicatedStore};
 
 use crate::billing::Billing;
-
-/// Per-node cache budget (bytes).
-const CACHE_BYTES: usize = 256 * 1024 * 1024;
 
 struct MetaEntry {
     meta: ObjectMeta,
@@ -54,7 +49,6 @@ struct Inner {
     meta: RefCell<HashMap<ObjectId, MetaEntry>>,
     fifos: RefCell<HashMap<ObjectId, FifoQueue>>,
     devices: RefCell<DeviceRegistry>,
-    caches: RefCell<HashMap<NodeId, ObjectCache>>,
     goal: Goal,
 }
 
@@ -84,7 +78,6 @@ impl Kernel {
                 meta: RefCell::new(HashMap::new()),
                 fifos: RefCell::new(HashMap::new()),
                 devices: RefCell::new(DeviceRegistry::new()),
-                caches: RefCell::new(HashMap::new()),
                 goal,
             }),
         }
@@ -178,13 +171,10 @@ impl Kernel {
         gc::sweep(&self.inner.store, &dead);
         let mut meta = self.inner.meta.borrow_mut();
         let mut fifos = self.inner.fifos.borrow_mut();
-        let mut caches = self.inner.caches.borrow_mut();
         for id in &dead {
             meta.remove(id);
             fifos.remove(id);
-            for cache in caches.values_mut() {
-                cache.invalidate(*id);
-            }
+            self.inner.store.invalidate_cached(*id);
         }
         dead.len()
     }
@@ -243,42 +233,14 @@ impl KernelClient {
         self.inner().store.client(self.node)
     }
 
-    /// Cache lookup for this client's node.
-    fn cache_get(&self, id: ObjectId, offset: u64, len: u64) -> Option<Bytes> {
-        let mut caches = self.inner().caches.borrow_mut();
-        caches
-            .entry(self.node)
-            .or_insert_with(|| ObjectCache::new(CACHE_BYTES))
-            .get(id, offset, len)
-    }
-
-    fn cache_admit(&self, id: ObjectId, mutability: Mutability, data: Bytes) {
-        let mut caches = self.inner().caches.borrow_mut();
-        caches
-            .entry(self.node)
-            .or_insert_with(|| ObjectCache::new(CACHE_BYTES))
-            .admit(id, mutability, data);
-    }
-
-    fn cache_invalidate_all(&self, id: ObjectId) {
-        for cache in self.inner().caches.borrow_mut().values_mut() {
-            cache.invalidate(id);
-        }
-    }
-
     /// Reads the complete contents of a byte object (helper used by
-    /// lookups, invoke, and the public `read`).
+    /// lookups, invoke, and the public `read`). Node-local caching of
+    /// immutable bytes and stable append-only prefixes happens inside the
+    /// store client, which also knows the authoritative mutability.
     async fn read_raw(&self, id: ObjectId, meta: &ObjectMeta) -> Result<Bytes, PcsiError> {
-        if let Some(hit) = self.cache_get(id, 0, meta.size) {
-            // Node-local cache: charge DRAM time only.
-            let t = MediaTier::Dram.io_time(hit.len());
-            self.inner().fabric.handle().sleep(t).await;
-            return Ok(hit);
-        }
         let (_tag, data) = self
             .read_with_fallback(id, 0, u64::MAX, meta.consistency)
             .await?;
-        self.cache_admit(id, meta.mutability, data.clone());
         Ok(data)
     }
 
@@ -511,18 +473,9 @@ impl CloudInterface for KernelClient {
         let meta = self.kernel.check(r, Rights::READ)?;
         match &meta.kind {
             ObjectKind::Regular | ObjectKind::Function | ObjectKind::Directory => {
-                if let Some(hit) = self.cache_get(r.id(), offset, len) {
-                    let t = MediaTier::Dram.io_time(hit.len());
-                    self.inner().fabric.handle().sleep(t).await;
-                    return Ok(hit);
-                }
                 let (_tag, data) = self
                     .read_with_fallback(r.id(), offset, len, meta.consistency)
                     .await?;
-                if offset == 0 {
-                    // Whole-prefix reads are cache-admissible.
-                    self.cache_admit(r.id(), meta.mutability, data.clone());
-                }
                 Ok(data)
             }
             ObjectKind::Device(class) => {
@@ -540,7 +493,9 @@ impl CloudInterface for KernelClient {
         let meta = self.kernel.check(r, Rights::WRITE)?;
         match &meta.kind {
             ObjectKind::Regular | ObjectKind::Function => {
-                let end = offset + data.len() as u64;
+                // Saturate rather than wrap: the store rejects absurd
+                // ranges itself, and metadata must not panic first.
+                let end = offset.saturating_add(data.len() as u64);
                 self.store_client()
                     .write_at(r.id(), offset, data, meta.consistency)
                     .await?;
@@ -548,7 +503,6 @@ impl CloudInterface for KernelClient {
                     m.size = m.size.max(end);
                     m.version += 1;
                 });
-                self.cache_invalidate_all(r.id());
                 Ok(())
             }
             ObjectKind::Device(class) => {
@@ -679,11 +633,11 @@ impl CloudInterface for KernelClient {
             meta.kind,
             ObjectKind::Regular | ObjectKind::Function | ObjectKind::Directory
         ) {
+            // The store-level delete also drops node-local cached copies.
             self.store_client().delete(r.id()).await?;
         }
         self.inner().meta.borrow_mut().remove(&r.id());
         self.inner().fifos.borrow_mut().remove(&r.id());
-        self.cache_invalidate_all(r.id());
         Ok(())
     }
 

@@ -448,6 +448,7 @@ mod tests {
                 n_replicas: 3,
                 tier: MediaTier::Nvme,
                 anti_entropy: None,
+                ..StoreConfig::default()
             },
         );
         let billing = Billing::new();

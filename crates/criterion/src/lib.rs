@@ -1,0 +1,236 @@
+//! Vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the slice of the criterion 0.5 API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_custom`], [`Throughput`], and the `criterion_group!`
+//! / `criterion_main!` macros. Instead of criterion's statistical
+//! analysis it takes a fixed number of timed samples and prints the mean
+//! per iteration — enough to eyeball regressions and to keep
+//! `cargo bench` working offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration, decimal multiple prefixes.
+    BytesDecimal(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates per-iteration throughput (printed alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            samples,
+            budget: self.criterion.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if !mean.is_zero() => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {mean:?}/iter over {} iters{rate}",
+            self.name, b.iters
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, stopping after the sample count or
+    /// the measurement budget, whichever comes first.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        std::hint::black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.samples.max(2) * 8 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `samples` calls of `f(iters)`, where `f` reports the total
+    /// duration of `iters` iterations itself (used for simulated time).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let started = Instant::now();
+        for _ in 0..self.samples.max(2) {
+            let per_call = 1;
+            self.total += f(per_call);
+            self.iters += per_call;
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` for parity with criterion.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(50));
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.sample_size(4).throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_custom_accumulates_reported_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_micros(7) * u32::try_from(iters).unwrap())
+        });
+        g.finish();
+    }
+}

@@ -6,38 +6,61 @@
 //! `MUTABLE`/`FIXED_SIZE` objects are never cached here because any copy
 //! may be invalidated by a remote write. The cache needs no invalidation
 //! protocol at all — that is the paper's point.
+//!
+//! Entries remember the [`Tag`] the bytes were served under, so cached
+//! reads report the same version information a replica read would.
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
 use pcsi_core::{Mutability, ObjectId};
+use pcsi_sim::metrics::Counter;
+
+use crate::version::Tag;
 
 /// What the cache remembers about one object.
 #[derive(Debug, Clone)]
 enum Entry {
     /// The complete, immutable contents.
-    Full(Bytes),
+    Full {
+        /// The bytes.
+        data: Bytes,
+        /// Tag the contents were served under.
+        tag: Tag,
+    },
     /// The stable prefix of an append-only object.
-    Prefix(Bytes),
+    Prefix {
+        /// The stable bytes.
+        data: Bytes,
+        /// Tag the prefix was served under.
+        tag: Tag,
+    },
 }
 
 impl Entry {
     fn data(&self) -> &Bytes {
         match self {
-            Entry::Full(b) | Entry::Prefix(b) => b,
+            Entry::Full { data, .. } | Entry::Prefix { data, .. } => data,
+        }
+    }
+
+    fn tag(&self) -> Tag {
+        match self {
+            Entry::Full { tag, .. } | Entry::Prefix { tag, .. } => *tag,
         }
     }
 }
 
 /// An LRU byte-budgeted cache for one node.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ObjectCache {
     capacity_bytes: usize,
     used_bytes: usize,
     entries: HashMap<ObjectId, (Entry, u64)>,
     clock: u64,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl ObjectCache {
@@ -45,11 +68,7 @@ impl ObjectCache {
     pub fn new(capacity_bytes: usize) -> Self {
         ObjectCache {
             capacity_bytes,
-            used_bytes: 0,
-            entries: HashMap::new(),
-            clock: 0,
-            hits: 0,
-            misses: 0,
+            ..ObjectCache::default()
         }
     }
 
@@ -60,21 +79,27 @@ impl ObjectCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
-    /// Serves `[offset, offset + len)` if the cached bytes cover it.
+    /// Entries evicted to stay within budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Serves `[offset, offset + len)` if the cached bytes cover it,
+    /// together with the tag the bytes were cached under.
     ///
     /// For a `Full` entry any in-bounds range is servable (out-of-bounds
     /// reads clamp like the store does). For a `Prefix` entry only ranges
     /// that end inside the stable prefix are servable — a read past the
     /// prefix might observe newer appends, so it must go to a replica.
-    pub fn get(&mut self, id: ObjectId, offset: u64, len: u64) -> Option<Bytes> {
+    pub fn get(&mut self, id: ObjectId, offset: u64, len: u64) -> Option<(Tag, Bytes)> {
         self.clock += 1;
         let clock = self.clock;
         let result = match self.entries.get_mut(&id) {
@@ -82,37 +107,38 @@ impl ObjectCache {
                 *stamp = clock;
                 let data = entry.data();
                 let end = offset.saturating_add(len);
-                match entry {
-                    Entry::Full(_) => {
+                let served = match entry {
+                    Entry::Full { .. } => {
                         let size = data.len() as u64;
                         let start = offset.min(size) as usize;
                         let stop = end.min(size) as usize;
                         Some(data.slice(start..stop))
                     }
-                    Entry::Prefix(_) => {
+                    Entry::Prefix { .. } => {
                         if end <= data.len() as u64 {
                             Some(data.slice(offset as usize..end as usize))
                         } else {
                             None
                         }
                     }
-                }
+                };
+                served.map(|b| (entry.tag(), b))
             }
             None => None,
         };
         match result {
-            Some(b) => {
-                self.hits += 1;
-                Some(b)
+            Some(hit) => {
+                self.hits.incr();
+                Some(hit)
             }
             None => {
-                self.misses += 1;
+                self.misses.incr();
                 None
             }
         }
     }
 
-    /// Offers fetched data to the cache.
+    /// Offers fetched data (served under `tag`) to the cache.
     ///
     /// * `Immutable` + full contents → cached whole.
     /// * `AppendOnly` + a prefix of known-stable length → cached as a
@@ -121,17 +147,17 @@ impl ObjectCache {
     ///
     /// `data` must start at offset 0 (partial-range fills are not cached —
     /// keeping the index simple is worth more than partial hits here).
-    pub fn admit(&mut self, id: ObjectId, mutability: Mutability, data: Bytes) {
+    pub fn admit(&mut self, id: ObjectId, mutability: Mutability, tag: Tag, data: Bytes) {
         let entry = match mutability {
-            Mutability::Immutable => Entry::Full(data),
+            Mutability::Immutable => Entry::Full { data, tag },
             Mutability::AppendOnly => {
                 // Keep the longer stable prefix.
-                if let Some((Entry::Prefix(existing), _)) = self.entries.get(&id) {
+                if let Some((Entry::Prefix { data: existing, .. }, _)) = self.entries.get(&id) {
                     if existing.len() >= data.len() {
                         return;
                     }
                 }
-                Entry::Prefix(data)
+                Entry::Prefix { data, tag }
             }
             Mutability::Mutable | Mutability::FixedSize => return,
         };
@@ -164,6 +190,7 @@ impl ObjectCache {
                 .map(|(id, _)| *id)
                 .expect("over budget implies non-empty");
             self.invalidate(victim);
+            self.evictions.incr();
         }
     }
 }
@@ -176,16 +203,23 @@ mod tests {
         ObjectId::from_parts(6, n)
     }
 
+    fn tag(seq: u64) -> Tag {
+        Tag { seq, writer: 0 }
+    }
+
     #[test]
     fn immutable_objects_cache_and_hit() {
         let mut c = ObjectCache::new(1024);
         c.admit(
             oid(1),
             Mutability::Immutable,
+            tag(1),
             Bytes::from_static(b"payload"),
         );
-        assert_eq!(&c.get(oid(1), 0, 7).unwrap()[..], b"payload");
-        assert_eq!(&c.get(oid(1), 3, 10).unwrap()[..], b"load"); // Clamped.
+        let (t, data) = c.get(oid(1), 0, 7).unwrap();
+        assert_eq!(&data[..], b"payload");
+        assert_eq!(t, tag(1));
+        assert_eq!(&c.get(oid(1), 3, 10).unwrap().1[..], b"load"); // Clamped.
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 0);
     }
@@ -193,8 +227,18 @@ mod tests {
     #[test]
     fn mutable_objects_never_cache() {
         let mut c = ObjectCache::new(1024);
-        c.admit(oid(1), Mutability::Mutable, Bytes::from_static(b"x"));
-        c.admit(oid(2), Mutability::FixedSize, Bytes::from_static(b"y"));
+        c.admit(
+            oid(1),
+            Mutability::Mutable,
+            tag(1),
+            Bytes::from_static(b"x"),
+        );
+        c.admit(
+            oid(2),
+            Mutability::FixedSize,
+            tag(1),
+            Bytes::from_static(b"y"),
+        );
         assert!(c.get(oid(1), 0, 1).is_none());
         assert!(c.get(oid(2), 0, 1).is_none());
         assert_eq!(c.used_bytes(), 0);
@@ -203,34 +247,63 @@ mod tests {
     #[test]
     fn append_only_prefix_semantics() {
         let mut c = ObjectCache::new(1024);
-        c.admit(oid(1), Mutability::AppendOnly, Bytes::from_static(b"12345"));
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            tag(1),
+            Bytes::from_static(b"12345"),
+        );
         // Inside the stable prefix: hit.
-        assert_eq!(&c.get(oid(1), 1, 3).unwrap()[..], b"234");
+        assert_eq!(&c.get(oid(1), 1, 3).unwrap().1[..], b"234");
         // Past the prefix: must miss (appends may have happened).
         assert!(c.get(oid(1), 3, 10).is_none());
         // A longer prefix replaces, a shorter one is ignored.
         c.admit(
             oid(1),
             Mutability::AppendOnly,
+            tag(2),
             Bytes::from_static(b"1234567890"),
         );
-        assert_eq!(&c.get(oid(1), 5, 5).unwrap()[..], b"67890");
-        c.admit(oid(1), Mutability::AppendOnly, Bytes::from_static(b"12"));
-        assert_eq!(&c.get(oid(1), 5, 5).unwrap()[..], b"67890");
+        let (t, data) = c.get(oid(1), 5, 5).unwrap();
+        assert_eq!(&data[..], b"67890");
+        assert_eq!(t, tag(2));
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            tag(3),
+            Bytes::from_static(b"12"),
+        );
+        assert_eq!(&c.get(oid(1), 5, 5).unwrap().1[..], b"67890");
     }
 
     #[test]
     fn lru_eviction_respects_budget_and_recency() {
         let mut c = ObjectCache::new(10);
-        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"aaaa"));
-        c.admit(oid(2), Mutability::Immutable, Bytes::from_static(b"bbbb"));
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"aaaa"),
+        );
+        c.admit(
+            oid(2),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"bbbb"),
+        );
         // Touch 1 so 2 becomes LRU.
         assert!(c.get(oid(1), 0, 1).is_some());
-        c.admit(oid(3), Mutability::Immutable, Bytes::from_static(b"cccc"));
+        c.admit(
+            oid(3),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"cccc"),
+        );
         assert!(c.used_bytes() <= 10);
         assert!(c.get(oid(2), 0, 1).is_none(), "LRU entry should be gone");
         assert!(c.get(oid(1), 0, 1).is_some());
         assert!(c.get(oid(3), 0, 1).is_some());
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -239,16 +312,23 @@ mod tests {
         c.admit(
             oid(1),
             Mutability::Immutable,
+            tag(1),
             Bytes::from_static(b"too big"),
         );
         assert_eq!(c.used_bytes(), 0);
         assert!(c.get(oid(1), 0, 1).is_none());
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
     fn invalidate_removes() {
         let mut c = ObjectCache::new(64);
-        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"gone"));
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"gone"),
+        );
         c.invalidate(oid(1));
         assert!(c.get(oid(1), 0, 1).is_none());
         assert_eq!(c.used_bytes(), 0);
@@ -259,8 +339,18 @@ mod tests {
     #[test]
     fn readmitting_same_id_replaces_bytes_accounting() {
         let mut c = ObjectCache::new(64);
-        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"aaaa"));
-        c.admit(oid(1), Mutability::Immutable, Bytes::from_static(b"bb"));
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"aaaa"),
+        );
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            tag(2),
+            Bytes::from_static(b"bb"),
+        );
         assert_eq!(c.used_bytes(), 2);
     }
 }

@@ -114,6 +114,11 @@ pub enum Mutation {
     Delete,
 }
 
+/// Upper bound on a single object's size. Writes that would grow an
+/// object past this are rejected before the engine tries to allocate, so
+/// a hostile `WriteAt` offset cannot turn into a multi-gigabyte resize.
+pub const MAX_OBJECT_BYTES: u64 = 1 << 32;
+
 /// A node-local object store; all methods are synchronous state changes,
 /// timing is charged by the caller via [`MediaTier::io_time`].
 #[derive(Debug)]
@@ -167,10 +172,15 @@ impl StorageEngine {
         Ok(obj.data.slice(start..end))
     }
 
-    /// The tag of the newest applied mutation ([`Tag::ZERO`] if absent —
-    /// replicas report absent objects as never-written).
+    /// The tag of the newest applied mutation ([`Tag::ZERO`] if never
+    /// written). Deleted objects report their tombstone tag, so version
+    /// quorums order the delete after the states it superseded and a
+    /// recreate gets a tag above the tombstone instead of being silently
+    /// swallowed by it.
     pub fn tag_of(&self, id: ObjectId) -> Tag {
-        self.objects.get(&id).map(|o| o.tag).unwrap_or(Tag::ZERO)
+        let live = self.objects.get(&id).map(|o| o.tag).unwrap_or(Tag::ZERO);
+        let dead = self.tombstones.get(&id).copied().unwrap_or(Tag::ZERO);
+        live.max(dead)
     }
 
     /// Applies `mutation` under `tag`, enforcing mutability rules.
@@ -190,6 +200,19 @@ impl StorageEngine {
         }
         match mutation {
             Mutation::PutFull { data, mutability } => {
+                // Replacing an existing object wholesale is a write: an
+                // immutable or append-only object cannot be overwritten
+                // by a later put (clients cache immutable bytes on the
+                // strength of this).
+                if let Some(existing) = self.objects.get(&id) {
+                    if !existing.mutability.allows_write() {
+                        return Err(PcsiError::MutabilityViolation {
+                            id,
+                            level: existing.mutability,
+                            op: "write",
+                        });
+                    }
+                }
                 self.account_remove(id);
                 self.bytes_stored += data.len() as u64;
                 self.objects
@@ -205,7 +228,14 @@ impl StorageEngine {
                         op: "write",
                     });
                 }
-                let end = offset.saturating_add(data.len() as u64);
+                let end = offset.checked_add(data.len() as u64).ok_or_else(|| {
+                    PcsiError::BadPayload(format!("write range overflows at offset {offset}"))
+                })?;
+                if end > MAX_OBJECT_BYTES {
+                    return Err(PcsiError::BadPayload(format!(
+                        "write to offset {offset} would grow object past {MAX_OBJECT_BYTES} bytes"
+                    )));
+                }
                 if end > obj.data.len() as u64 && !obj.mutability.allows_resize() {
                     return Err(PcsiError::MutabilityViolation {
                         id,
@@ -232,6 +262,11 @@ impl StorageEngine {
                         level: obj.mutability,
                         op: "append",
                     });
+                }
+                if obj.data.len() as u64 + data.len() as u64 > MAX_OBJECT_BYTES {
+                    return Err(PcsiError::BadPayload(format!(
+                        "append would grow object past {MAX_OBJECT_BYTES} bytes"
+                    )));
                 }
                 let mut buf = obj.data.to_vec();
                 buf.extend_from_slice(data);
@@ -549,6 +584,95 @@ mod tests {
             ),
         );
         assert!(e.get(id(1)).is_none());
+    }
+
+    #[test]
+    fn read_with_extreme_offset_and_len_clamps() {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        put(&mut e, 1, b"hello world", Mutability::Mutable);
+        // `len == u64::MAX` is the read-everything idiom; the sum with
+        // any offset must clamp, never wrap.
+        assert_eq!(&e.read(id(1), 0, u64::MAX).unwrap()[..], b"hello world");
+        assert_eq!(&e.read(id(1), 6, u64::MAX).unwrap()[..], b"world");
+        assert_eq!(e.read(id(1), u64::MAX, u64::MAX).unwrap().len(), 0);
+        assert_eq!(e.read(id(1), u64::MAX, 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn write_at_rejects_overflowing_and_oversized_ranges() {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        put(&mut e, 1, b"x", Mutability::Mutable);
+        // offset + len wraps u64: rejected, not silently misplaced.
+        let err = e
+            .apply(
+                id(1),
+                Tag { seq: 2, writer: 0 },
+                &Mutation::WriteAt {
+                    offset: u64::MAX,
+                    data: Bytes::from_static(b"yz"),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PcsiError::BadPayload(_)));
+        // A huge (but non-wrapping) offset would force an absurd resize:
+        // rejected before any allocation happens.
+        let err = e
+            .apply(
+                id(1),
+                Tag { seq: 2, writer: 0 },
+                &Mutation::WriteAt {
+                    offset: MAX_OBJECT_BYTES,
+                    data: Bytes::from_static(b"y"),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PcsiError::BadPayload(_)));
+        // The object is untouched.
+        assert_eq!(&e.read(id(1), 0, u64::MAX).unwrap()[..], b"x");
+        assert_eq!(e.bytes_stored(), 1);
+    }
+
+    #[test]
+    fn put_full_cannot_replace_unwritable_objects() {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        put(&mut e, 1, b"frozen", Mutability::Immutable);
+        let err = e
+            .apply(
+                id(1),
+                Tag { seq: 2, writer: 0 },
+                &Mutation::PutFull {
+                    data: Bytes::from_static(b"thawed"),
+                    mutability: Mutability::Mutable,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PcsiError::MutabilityViolation { op: "write", .. }
+        ));
+        assert_eq!(&e.read(id(1), 0, u64::MAX).unwrap()[..], b"frozen");
+    }
+
+    #[test]
+    fn tombstone_tag_reported_and_recreate_outranks_it() {
+        let mut e = StorageEngine::new(MediaTier::Dram);
+        put(&mut e, 1, b"alive", Mutability::Mutable);
+        e.apply(id(1), Tag { seq: 5, writer: 0 }, &Mutation::Delete)
+            .unwrap();
+        // The delete stays visible to version quorums.
+        assert_eq!(e.tag_of(id(1)), Tag { seq: 5, writer: 0 });
+        // A recreate ordered after the tombstone takes effect.
+        e.apply(
+            id(1),
+            Tag { seq: 6, writer: 1 },
+            &Mutation::PutFull {
+                data: Bytes::from_static(b"reborn"),
+                mutability: Mutability::Mutable,
+            },
+        )
+        .unwrap();
+        assert_eq!(&e.read(id(1), 0, u64::MAX).unwrap()[..], b"reborn");
+        assert_eq!(e.tag_of(id(1)), Tag { seq: 6, writer: 1 });
     }
 
     #[test]

@@ -15,12 +15,19 @@
 //! * [`store::ReplicatedStore`] — the client facade: mutations are
 //!   serialized by each object's primary and replicated synchronously to a
 //!   majority (linearizable) or asynchronously (eventual); linearizable
-//!   reads perform a majority version-quorum with read repair, eventual
-//!   reads hit the closest replica,
-//! * [`cache::ObjectCache`] — node-local caching that exploits the
-//!   Figure-1 mutability lattice: `IMMUTABLE` objects cache whole,
-//!   `APPEND_ONLY` objects cache their stable prefix, mutable objects
-//!   don't cache,
+//!   reads are **one fabric round trip** — the read fans to all replicas
+//!   and the newest tag among the first majority of replies wins (sound
+//!   because write- and read-majorities intersect), with payloads above
+//!   [`store::StoreConfig::inline_read_max`] falling back to a tag quorum
+//!   plus a directed read; quorum reads that observe divergent tags
+//!   **read-repair** the stale replicas in the background; eventual reads
+//!   hit the closest replica,
+//! * [`cache::ObjectCache`] — node-local caching integrated into every
+//!   [`store::StoreClient`] read, exploiting the Figure-1 mutability
+//!   lattice: `IMMUTABLE` objects cache whole, `APPEND_ONLY` objects
+//!   cache their stable prefix, mutable objects don't cache; hits are
+//!   served at DRAM cost with zero fabric traffic
+//!   ([`store::CacheStats`] aggregates the counters),
 //! * [`gc::mark`] + [`gc::sweep`] — reachability garbage collection over the reference
 //!   graph (unreachable objects are reclaimed, §3.2),
 //! * [`version`] — write tags and version vectors for ordering and
@@ -44,5 +51,5 @@ pub mod wire;
 pub use engine::{MediaTier, StorageEngine, StoredObject};
 pub use placement::Placement;
 pub use replica::ReplicaNode;
-pub use store::{ReplicatedStore, StoreClient, StoreConfig};
+pub use store::{CacheStats, ReplicatedStore, StoreClient, StoreConfig};
 pub use version::{Tag, VersionVector};

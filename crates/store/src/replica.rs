@@ -52,6 +52,7 @@ struct Inner {
     applied: Counter,
     reads: Counter,
     synced_in: Counter,
+    repaired: Counter,
 }
 
 impl ReplicaNode {
@@ -66,6 +67,7 @@ impl ReplicaNode {
             applied: Counter::new(),
             reads: Counter::new(),
             synced_in: Counter::new(),
+            repaired: Counter::new(),
         });
         let handler: RpcHandler = {
             let inner = Rc::clone(&inner);
@@ -106,6 +108,11 @@ impl ReplicaNode {
     /// Objects pulled in by anti-entropy.
     pub fn synced_in_count(&self) -> u64 {
         self.inner.synced_in.get()
+    }
+
+    /// Objects installed by read-repair pushes.
+    pub fn repaired_count(&self) -> u64 {
+        self.inner.repaired.get()
     }
 
     /// Spawns the periodic anti-entropy task (runs for the simulation's
@@ -157,17 +164,14 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             }
         }
         Request::Read { id, offset, len } => {
-            let result = inner.engine.borrow().read(id, offset, len);
-            match result {
-                Ok(data) => {
-                    charge_io(&inner, data.len()).await;
-                    inner.reads.incr();
-                    let tag = inner.engine.borrow().tag_of(id);
-                    Response::Data { tag, data }
-                }
-                Err(e) => Response::Err(WireError::from_pcsi(&e)),
-            }
+            read_local(&inner, id, offset, len, u64::MAX, false).await
         }
+        Request::ReadWithTag {
+            id,
+            offset,
+            len,
+            inline_limit,
+        } => read_local(&inner, id, offset, len, inline_limit, true).await,
         Request::TagOf { id } => Response::TagIs {
             tag: inner.engine.borrow().tag_of(id),
         },
@@ -184,8 +188,62 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
         Request::Inventory => Response::InventoryIs {
             entries: inner.engine.borrow().inventory(),
         },
+        Request::Push { id, object } => {
+            charge_io(&inner, object.data.len()).await;
+            inner.engine.borrow_mut().sync_in(id, object);
+            inner.repaired.incr();
+            Response::Applied
+        }
     };
     wire::encode_response(&response)
+}
+
+/// Serves a local read. For one-RTT quorum reads (`absent_as_tag`), an
+/// absent object answers [`Response::TagIs`] with [`Tag::ZERO`] so the
+/// reply still counts toward the quorum, and payloads larger than
+/// `inline_limit` degrade to a bare tag report (the client then issues a
+/// directed read to the newest replica, as the two-phase path would).
+async fn read_local(
+    inner: &Rc<Inner>,
+    id: ObjectId,
+    offset: u64,
+    len: u64,
+    inline_limit: u64,
+    absent_as_tag: bool,
+) -> Response {
+    let snapshot = {
+        let engine = inner.engine.borrow();
+        engine.get(id).map(|o| (o.tag, o.mutability, o.stable_len))
+    };
+    let Some((tag, mutability, stable_len)) = snapshot else {
+        return if absent_as_tag {
+            // Report the tombstone-aware tag: a deleted object's death
+            // tag must outrank any stale replica's live tag in the
+            // quorum max, otherwise a one-RTT read could resurrect it.
+            Response::TagIs {
+                tag: inner.engine.borrow().tag_of(id),
+            }
+        } else {
+            Response::Err(WireError::NotFound(id))
+        };
+    };
+    let result = inner.engine.borrow().read(id, offset, len);
+    match result {
+        Ok(data) => {
+            if data.len() as u64 > inline_limit {
+                return Response::TagIs { tag };
+            }
+            charge_io(inner, data.len()).await;
+            inner.reads.incr();
+            Response::Data {
+                tag,
+                mutability,
+                stable_len,
+                data,
+            }
+        }
+        Err(e) => Response::Err(WireError::from_pcsi(&e)),
+    }
 }
 
 /// Approximate payload size of a mutation, for IO accounting.

@@ -4,15 +4,29 @@
 //! hands out per-origin [`StoreClient`]s. A client maps the PCSI
 //! consistency menu onto the replication machinery:
 //!
-//! | operation            | `Linearizable`                        | `Eventual`              |
-//! |----------------------|---------------------------------------|-------------------------|
-//! | mutation             | primary + sync majority               | primary only, async rest|
-//! | read                 | majority tag quorum, read from newest | closest replica         |
+//! | operation            | `Linearizable`                          | `Eventual`              |
+//! |----------------------|-----------------------------------------|-------------------------|
+//! | mutation             | primary + sync majority                 | primary only, async rest|
+//! | read                 | one-RTT quorum read (newest of majority)| closest replica         |
 //!
 //! Mutations always pass through the object's primary, which gives every
 //! object a total mutation order regardless of consistency level (the
 //! menu controls *acknowledgement* and *read* behaviour, not ordering).
+//!
+//! Linearizable reads fan the read itself to every replica and take the
+//! newest tag among the first majority of replies — one fabric round
+//! trip, correct because any write-majority intersects any read-majority.
+//! Payloads above [`StoreConfig::inline_read_max`] degrade to a tag
+//! report plus a directed read (the former two-phase path). A quorum read
+//! that observes divergent tags pushes the newest state to the stale
+//! replicas in the background (read repair).
+//!
+//! Each client node also keeps a mutability-aware [`ObjectCache`]:
+//! `IMMUTABLE` objects and the stable prefixes of `APPEND_ONLY` objects
+//! are served node-locally at DRAM cost with zero fabric traffic.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -22,6 +36,7 @@ use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
 use pcsi_sim::sync::mpsc;
 
+use crate::cache::ObjectCache;
 use crate::engine::{MediaTier, Mutation};
 use crate::placement::Placement;
 use crate::replica::{ReplicaNode, STORE_SERVICE, STORE_TRANSPORT};
@@ -38,6 +53,14 @@ pub struct StoreConfig {
     /// Anti-entropy period; `None` disables the background task (tests
     /// drive rounds manually).
     pub anti_entropy: Option<Duration>,
+    /// Largest payload (bytes) replicas inline into a one-RTT quorum
+    /// read reply. Larger objects fall back to the two-phase path (tag
+    /// quorum, then a directed read from the newest replica). `0`
+    /// disables the one-RTT path entirely and always uses two phases.
+    pub inline_read_max: u64,
+    /// Byte budget of each node-local client cache; `0` disables
+    /// client-side caching.
+    pub cache_bytes: usize,
 }
 
 impl Default for StoreConfig {
@@ -46,8 +69,21 @@ impl Default for StoreConfig {
             n_replicas: 3,
             tier: MediaTier::Nvme,
             anti_entropy: Some(Duration::from_millis(100)),
+            inline_read_max: 64 * 1024,
+            cache_bytes: 256 * 1024 * 1024,
         }
     }
+}
+
+/// Aggregated client-cache counters across all nodes of a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from a node-local cache.
+    pub hits: u64,
+    /// Reads that had to go to the replicas.
+    pub misses: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
 }
 
 /// The deployed storage system.
@@ -60,6 +96,10 @@ struct StoreInner {
     fabric: Fabric,
     placement: Placement,
     replicas: Vec<ReplicaNode>,
+    config: StoreConfig,
+    /// One mutability-aware cache per client node, created lazily.
+    /// Clients are handed out per call, so the cache state lives here.
+    caches: RefCell<HashMap<NodeId, ObjectCache>>,
 }
 
 impl ReplicatedStore {
@@ -80,6 +120,8 @@ impl ReplicatedStore {
                 fabric,
                 placement,
                 replicas,
+                config,
+                caches: RefCell::new(HashMap::new()),
             }),
         }
     }
@@ -106,6 +148,80 @@ impl ReplicatedStore {
             origin: node,
         }
     }
+
+    /// Drops `id` from every node-local client cache (deletes, GC).
+    pub fn invalidate_cached(&self, id: ObjectId) {
+        for cache in self.inner.caches.borrow_mut().values_mut() {
+            cache.invalidate(id);
+        }
+    }
+
+    /// Aggregated client-cache counters across all nodes.
+    pub fn cache_stats(&self) -> CacheStats {
+        let caches = self.inner.caches.borrow();
+        let mut stats = CacheStats::default();
+        for cache in caches.values() {
+            stats.hits += cache.hits();
+            stats.misses += cache.misses();
+            stats.evictions += cache.evictions();
+        }
+        stats
+    }
+
+    fn cache_get(&self, node: NodeId, id: ObjectId, offset: u64, len: u64) -> Option<(Tag, Bytes)> {
+        let capacity = self.inner.config.cache_bytes;
+        if capacity == 0 {
+            return None;
+        }
+        self.inner
+            .caches
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| ObjectCache::new(capacity))
+            .get(id, offset, len)
+    }
+
+    fn cache_admit(&self, node: NodeId, id: ObjectId, served: &Served) {
+        let capacity = self.inner.config.cache_bytes;
+        if capacity == 0 {
+            return;
+        }
+        // Only whole-from-zero data is admissible. The engine keeps
+        // `stable_len` equal to the full object size after every
+        // mutation, so it doubles as a completeness check for clamped
+        // `read_all`-style reads; an append-only prefix is cacheable even
+        // when the read was truncated by `len`.
+        let complete = served.data.len() as u64 == served.stable_len;
+        match served.mutability {
+            Mutability::Immutable if complete => {}
+            Mutability::AppendOnly => {}
+            _ => return,
+        }
+        self.inner
+            .caches
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| ObjectCache::new(capacity))
+            .admit(id, served.mutability, served.tag, served.data.clone());
+    }
+}
+
+/// A read as served by a replica (or the cache): payload plus the
+/// metadata that drives caching decisions.
+struct Served {
+    tag: Tag,
+    mutability: Mutability,
+    stable_len: u64,
+    data: Bytes,
+}
+
+/// One reply in a one-RTT quorum read.
+struct QuorumReply {
+    node: NodeId,
+    tag: Tag,
+    /// `None` when the replica answered with a bare tag report (payload
+    /// above the inline limit, or object absent).
+    served: Option<Served>,
 }
 
 /// A store client bound to an origin node (the node whose network position
@@ -172,7 +288,9 @@ impl StoreClient {
     /// the full replica set that is reachable (tombstones guard the rest).
     pub async fn delete(&self, id: ObjectId) -> Result<Tag, PcsiError> {
         let n = self.store.placement().replication_factor() as u32;
-        self.mutate_with_acks(id, Mutation::Delete, n).await
+        let tag = self.mutate_with_acks(id, Mutation::Delete, n).await?;
+        self.store.invalidate_cached(id);
+        Ok(tag)
     }
 
     /// Routes a mutation through the object's primary.
@@ -189,6 +307,18 @@ impl StoreClient {
         self.mutate_with_acks(id, mutation, acks).await
     }
 
+    /// Sends one typed request to a replica and decodes the reply,
+    /// mapping transport failures and wire-level errors to [`PcsiError`].
+    async fn call_store(&self, to: NodeId, req: &Request) -> Result<Response, PcsiError> {
+        call_store_raw(
+            self.store.inner.fabric.clone(),
+            self.origin,
+            to,
+            wire::encode_request(req),
+        )
+        .await
+    }
+
     async fn mutate_with_acks(
         &self,
         id: ObjectId,
@@ -196,23 +326,14 @@ impl StoreClient {
         sync_replicas: u32,
     ) -> Result<Tag, PcsiError> {
         let primary = self.store.placement().primary(id);
-        let req = wire::encode_request(&Request::Coordinate {
+        let req = Request::Coordinate {
             id,
             mutation,
             sync_replicas,
-        });
-        let raw = self
-            .store
-            .inner
-            .fabric
-            .call(self.origin, primary, STORE_SERVICE, STORE_TRANSPORT, req)
-            .await
-            .map_err(net_to_pcsi)?;
-        match wire::decode_response(&raw) {
-            Ok(Response::Coordinated { tag }) => Ok(tag),
-            Ok(Response::Err(e)) => Err(e.into_pcsi()),
-            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
-            Err(e) => Err(PcsiError::BadPayload(e.to_string())),
+        };
+        match self.call_store(primary, &req).await? {
+            Response::Coordinated { tag } => Ok(tag),
+            other => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
         }
     }
 
@@ -220,6 +341,11 @@ impl StoreClient {
     ///
     /// Returns the served `(tag, data)`; the tag lets callers measure
     /// staleness (experiment E7).
+    ///
+    /// The read first consults the origin node's mutability-aware cache:
+    /// immutable bytes and stable append-only prefixes are served locally
+    /// at DRAM cost with zero fabric traffic, which is sound at *any*
+    /// consistency level because such bytes can never change.
     pub async fn read(
         &self,
         id: ObjectId,
@@ -227,20 +353,171 @@ impl StoreClient {
         len: u64,
         consistency: Consistency,
     ) -> Result<(Tag, Bytes), PcsiError> {
-        match consistency {
+        if let Some((tag, data)) = self.store.cache_get(self.origin, id, offset, len) {
+            let t = MediaTier::Dram.io_time(data.len());
+            self.store.inner.fabric.handle().sleep(t).await;
+            return Ok((tag, data));
+        }
+        let served = match consistency {
             Consistency::Eventual => {
                 let replica = self.store.placement().closest_replica(
                     self.store.inner.fabric.topology(),
                     id,
                     self.origin,
                 );
-                self.read_from(replica, id, offset, len).await
+                self.read_from(replica, id, offset, len).await?
             }
             Consistency::Linearizable => {
-                let (newest_node, _tag) = self.tag_quorum(id).await?;
-                self.read_from(newest_node, id, offset, len).await
+                let inline_limit = self.store.inner.config.inline_read_max;
+                if inline_limit == 0 {
+                    // Two-phase path: version quorum, then a directed
+                    // read from the newest replica.
+                    let (newest_node, _tag) = self.tag_quorum(id).await?;
+                    self.read_from(newest_node, id, offset, len).await?
+                } else {
+                    self.read_one_rtt(id, offset, len, inline_limit).await?
+                }
+            }
+        };
+        if offset == 0 {
+            self.store.cache_admit(self.origin, id, &served);
+        }
+        Ok((served.tag, served.data))
+    }
+
+    /// One-RTT linearizable read: fan the read itself to every replica
+    /// and take the newest tag among the first majority of replies. Any
+    /// write-majority intersects any read-majority, so the newest tag
+    /// seen is at least the last acknowledged write's. Replies above the
+    /// inline limit degrade to a tag report, after which the newest
+    /// replica is read directly (matching the old two-phase cost).
+    /// Replicas observed behind the newest tag are repaired in the
+    /// background.
+    async fn read_one_rtt(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        inline_limit: u64,
+    ) -> Result<Served, PcsiError> {
+        let replicas = self.store.placement().replicas(id);
+        let need = self.store.placement().majority();
+        let total = replicas.len();
+        let (tx, mut rx) = mpsc::channel::<Option<QuorumReply>>();
+        for node in replicas {
+            let tx = tx.clone();
+            let fabric = self.store.inner.fabric.clone();
+            let origin = self.origin;
+            let req = wire::encode_request(&Request::ReadWithTag {
+                id,
+                offset,
+                len,
+                inline_limit,
+            });
+            self.store.inner.fabric.handle().spawn(async move {
+                let outcome = match call_store_raw(fabric, origin, node, req).await {
+                    Ok(Response::Data {
+                        tag,
+                        mutability,
+                        stable_len,
+                        data,
+                    }) => Some(QuorumReply {
+                        node,
+                        tag,
+                        served: Some(Served {
+                            tag,
+                            mutability,
+                            stable_len,
+                            data,
+                        }),
+                    }),
+                    Ok(Response::TagIs { tag }) => Some(QuorumReply {
+                        node,
+                        tag,
+                        served: None,
+                    }),
+                    _ => None,
+                };
+                let _ = tx.send(outcome);
+            });
+        }
+        drop(tx);
+
+        let mut replies: Vec<QuorumReply> = Vec::with_capacity(total);
+        let mut failed = 0usize;
+        while replies.len() < need {
+            match rx.recv().await {
+                Some(Some(reply)) => replies.push(reply),
+                Some(None) => {
+                    failed += 1;
+                    if total - failed < need {
+                        return Err(PcsiError::QuorumUnavailable {
+                            needed: need,
+                            got: replies.len(),
+                        });
+                    }
+                }
+                None => {
+                    return Err(PcsiError::QuorumUnavailable {
+                        needed: need,
+                        got: replies.len(),
+                    });
+                }
             }
         }
+
+        // Newest tag wins; on a tie prefer a reply that carried bytes.
+        let mut best = 0usize;
+        for i in 1..replies.len() {
+            let (a, b) = (&replies[best], &replies[i]);
+            if b.tag > a.tag || (b.tag == a.tag && b.served.is_some() && a.served.is_none()) {
+                best = i;
+            }
+        }
+        let best_tag = replies[best].tag;
+        if best_tag == Tag::ZERO {
+            return Err(PcsiError::NotFound(id));
+        }
+        let stale: Vec<NodeId> = replies
+            .iter()
+            .filter(|r| r.tag < best_tag)
+            .map(|r| r.node)
+            .collect();
+        if !stale.is_empty() {
+            self.spawn_read_repair(id, replies[best].node, stale);
+        }
+        let best_node = replies[best].node;
+        match replies.swap_remove(best).served {
+            Some(served) => Ok(served),
+            // Payload above the inline limit (or a tombstone): read the
+            // newest replica directly.
+            None => self.read_from(best_node, id, offset, len).await,
+        }
+    }
+
+    /// Pushes the newest observed state to replicas that reported an
+    /// older tag. Runs detached, so the read that noticed the divergence
+    /// pays nothing; `sync_in` tag checks on the receiver make stale or
+    /// duplicate pushes harmless.
+    fn spawn_read_repair(&self, id: ObjectId, source: NodeId, stale: Vec<NodeId>) {
+        let fabric = self.store.inner.fabric.clone();
+        let origin = self.origin;
+        self.store.inner.fabric.handle().spawn(async move {
+            let fetch = wire::encode_request(&Request::Fetch { id });
+            let object = match call_store_raw(fabric.clone(), origin, source, fetch).await {
+                Ok(Response::Object { object }) => object,
+                // Source gone, or the object vanished (deleted) between
+                // the read and the fetch: nothing to repair with.
+                _ => return,
+            };
+            for node in stale {
+                let push = wire::encode_request(&Request::Push {
+                    id,
+                    object: object.clone(),
+                });
+                let _ = call_store_raw(fabric.clone(), origin, node, push).await;
+            }
+        });
     }
 
     /// Queries all replicas for their tag, waits for a majority, and
@@ -256,17 +533,10 @@ impl StoreClient {
             let origin = self.origin;
             let req = wire::encode_request(&Request::TagOf { id });
             self.store.inner.fabric.handle().spawn(async move {
-                let outcome = async {
-                    let raw = fabric
-                        .call(origin, node, STORE_SERVICE, STORE_TRANSPORT, req)
-                        .await
-                        .ok()?;
-                    match wire::decode_response(&raw) {
-                        Ok(Response::TagIs { tag }) => Some((node, tag)),
-                        _ => None,
-                    }
-                }
-                .await;
+                let outcome = match call_store_raw(fabric, origin, node, req).await {
+                    Ok(Response::TagIs { tag }) => Some((node, tag)),
+                    _ => None,
+                };
                 let _ = tx.send(outcome);
             });
         }
@@ -313,20 +583,23 @@ impl StoreClient {
         id: ObjectId,
         offset: u64,
         len: u64,
-    ) -> Result<(Tag, Bytes), PcsiError> {
-        let req = wire::encode_request(&Request::Read { id, offset, len });
-        let raw = self
-            .store
-            .inner
-            .fabric
-            .call(self.origin, replica, STORE_SERVICE, STORE_TRANSPORT, req)
-            .await
-            .map_err(net_to_pcsi)?;
-        match wire::decode_response(&raw) {
-            Ok(Response::Data { tag, data }) => Ok((tag, data)),
-            Ok(Response::Err(e)) => Err(e.into_pcsi()),
-            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
-            Err(e) => Err(PcsiError::BadPayload(e.to_string())),
+    ) -> Result<Served, PcsiError> {
+        match self
+            .call_store(replica, &Request::Read { id, offset, len })
+            .await?
+        {
+            Response::Data {
+                tag,
+                mutability,
+                stable_len,
+                data,
+            } => Ok(Served {
+                tag,
+                mutability,
+                stable_len,
+                data,
+            }),
+            other => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
         }
     }
 
@@ -337,6 +610,26 @@ impl StoreClient {
         consistency: Consistency,
     ) -> Result<(Tag, Bytes), PcsiError> {
         self.read(id, 0, u64::MAX, consistency).await
+    }
+}
+
+/// One encoded request/response round trip over the fabric, decoded and
+/// error-mapped. A free function (rather than a `StoreClient` method) so
+/// the spawned fan-out tasks of quorum reads and read repair can use it.
+async fn call_store_raw(
+    fabric: Fabric,
+    from: NodeId,
+    to: NodeId,
+    req: Bytes,
+) -> Result<Response, PcsiError> {
+    let raw = fabric
+        .call(from, to, STORE_SERVICE, STORE_TRANSPORT, req)
+        .await
+        .map_err(net_to_pcsi)?;
+    match wire::decode_response(&raw) {
+        Ok(Response::Err(e)) => Err(e.into_pcsi()),
+        Ok(resp) => Ok(resp),
+        Err(e) => Err(PcsiError::BadPayload(e.to_string())),
     }
 }
 
@@ -377,6 +670,8 @@ mod tests {
                 } else {
                     None
                 },
+                inline_read_max: 64 * 1024,
+                cache_bytes: 1 << 20,
             },
         );
         (fabric, store)
@@ -690,6 +985,208 @@ mod tests {
                 .await
                 .unwrap_err();
             assert!(matches!(err, PcsiError::MutabilityViolation { .. }));
+        });
+    }
+
+    #[test]
+    fn one_rtt_read_is_faster_than_two_phase() {
+        // Same cluster and workload, with only the inline threshold
+        // toggled: the one-RTT quorum read must beat tag-quorum-then-read.
+        let lat = |inline_read_max: u64| {
+            let mut sim = Sim::new(42);
+            let fabric = Fabric::new(
+                sim.handle(),
+                Topology::uniform(3, 3),
+                LatencyModel::deterministic(NetworkGeneration::Dc2021),
+            );
+            let store = ReplicatedStore::launch(
+                fabric.clone(),
+                fabric.topology().node_ids(),
+                StoreConfig {
+                    n_replicas: 3,
+                    tier: MediaTier::Dram,
+                    anti_entropy: None,
+                    inline_read_max,
+                    cache_bytes: 0,
+                },
+            );
+            let h = fabric.handle().clone();
+            sim.block_on(async move {
+                // Read from a node holding no replica: the two-phase
+                // path's second hop is then a real cross-fabric RTT.
+                let replicas = store.placement().replicas(oid(1));
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let c = store.client(client_node);
+                c.put(
+                    oid(1),
+                    Bytes::from(vec![7u8; 1024]),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                let t0 = h.now();
+                c.read_all(oid(1), Consistency::Linearizable).await.unwrap();
+                h.now() - t0
+            })
+        };
+        let one_rtt = lat(64 * 1024);
+        let two_phase = lat(0);
+        assert!(
+            one_rtt.as_nanos() * 13 / 10 < two_phase.as_nanos(),
+            "one-RTT {one_rtt:?} should clearly beat two-phase {two_phase:?}"
+        );
+    }
+
+    #[test]
+    fn large_objects_fall_back_to_directed_read() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        sim.block_on(async move {
+            let c = store.client(NodeId(0));
+            // Larger than the 64 KiB inline limit.
+            let big = vec![9u8; 100 * 1024];
+            c.put(
+                oid(2),
+                Bytes::from(big.clone()),
+                Mutability::Mutable,
+                Consistency::Linearizable,
+            )
+            .await
+            .unwrap();
+            let (tag, data) = c.read_all(oid(2), Consistency::Linearizable).await.unwrap();
+            assert_eq!(tag.seq, 1);
+            assert_eq!(data.len(), big.len());
+        });
+    }
+
+    #[test]
+    fn immutable_reads_hit_cache_with_zero_fabric_traffic() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                let c = store.client(NodeId(4));
+                c.put(
+                    oid(3),
+                    Bytes::from_static(b"frozen asset"),
+                    Mutability::Immutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // First read fills the node-local cache.
+                let (tag1, d1) = c.read_all(oid(3), Consistency::Linearizable).await.unwrap();
+                let msgs_before = fabric.message_count();
+                for _ in 0..10 {
+                    let (tag, d) = c.read_all(oid(3), Consistency::Linearizable).await.unwrap();
+                    assert_eq!(&d[..], &d1[..]);
+                    assert_eq!(tag, tag1);
+                }
+                assert_eq!(
+                    fabric.message_count(),
+                    msgs_before,
+                    "cached reads must not touch the fabric"
+                );
+                let stats = store.cache_stats();
+                assert_eq!(stats.hits, 10);
+                // A different node has its own (cold) cache.
+                let other = store.client(NodeId(7));
+                let before = store.cache_stats().misses;
+                other.read_all(oid(3), Consistency::Eventual).await.unwrap();
+                assert_eq!(store.cache_stats().misses, before + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn delete_invalidates_cached_copies() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy(&sim, false);
+        sim.block_on(async move {
+            let c = store.client(NodeId(0));
+            c.put(
+                oid(4),
+                Bytes::from_static(b"short lived"),
+                Mutability::Immutable,
+                Consistency::Linearizable,
+            )
+            .await
+            .unwrap();
+            c.read_all(oid(4), Consistency::Linearizable).await.unwrap();
+            c.delete(oid(4)).await.unwrap();
+            let r = c.read_all(oid(4), Consistency::Linearizable).await;
+            assert!(matches!(r, Err(PcsiError::NotFound(_))), "{r:?}");
+        });
+    }
+
+    #[test]
+    fn quorum_read_repairs_stale_replica() {
+        let mut sim = Sim::new(44);
+        let (fabric, store) = deploy(&sim, false); // No anti-entropy.
+        let h = fabric.handle().clone();
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                let id = oid(5);
+                let replicas = store.placement().replicas(id);
+                c.put(
+                    id,
+                    Bytes::from_static(b"v1"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                h.sleep(Duration::from_millis(5)).await;
+                // Isolate one secondary, write v2 past it, then heal.
+                let lagging = replicas[2];
+                let others: Vec<NodeId> = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .filter(|&n| n != lagging)
+                    .collect();
+                fabric.partition(&[lagging], &others);
+                c.put(
+                    id,
+                    Bytes::from_static(b"v2"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                fabric.heal_partitions();
+                // Quorum reads observe the lagging replica's old tag and
+                // push it the new state — no anti-entropy involved. Read
+                // from a client co-located with the laggard so its (old)
+                // reply is always part of the first majority.
+                let reader = store.client(lagging);
+                for _ in 0..5 {
+                    let (tag, data) = reader
+                        .read_all(id, Consistency::Linearizable)
+                        .await
+                        .unwrap();
+                    assert_eq!(tag.seq, 2);
+                    assert_eq!(&data[..], b"v2");
+                    h.sleep(Duration::from_millis(2)).await;
+                }
+                let repaired: u64 = store.replicas().iter().map(|r| r.repaired_count()).sum();
+                assert!(repaired > 0, "read repair should have fired");
+                let local = store
+                    .replica_on(lagging)
+                    .unwrap()
+                    .with_engine(|e| e.read(id, 0, 100).map(|b| b.to_vec()));
+                assert_eq!(local.unwrap(), b"v2");
+            }
         });
     }
 

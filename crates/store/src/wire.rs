@@ -62,6 +62,29 @@ pub enum Request {
     },
     /// List `(id, tag)` inventory (anti-entropy exchange).
     Inventory,
+    /// One-RTT quorum read: report the newest local tag and, when the
+    /// requested range fits `inline_limit`, the bytes themselves. A
+    /// reply above the limit degrades to [`Response::TagIs`] and the
+    /// client falls back to a directed [`Request::Read`].
+    ReadWithTag {
+        /// Target object.
+        id: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Max bytes to return.
+        len: u64,
+        /// Largest payload the replica may inline into the reply.
+        inline_limit: u64,
+    },
+    /// Install a full object state (read repair push). The receiver
+    /// keeps whichever tag is newest, exactly like an anti-entropy pull,
+    /// so stale or duplicate pushes are harmless.
+    Push {
+        /// Target object.
+        id: ObjectId,
+        /// The state to install.
+        object: StoredObject,
+    },
 }
 
 /// Replies from a replica node.
@@ -78,6 +101,13 @@ pub enum Response {
     Data {
         /// Tag of the state served.
         tag: Tag,
+        /// Mutability level of the object — lets clients decide whether
+        /// the bytes are safe to cache node-locally.
+        mutability: Mutability,
+        /// Stable-prefix length. The engine keeps this equal to the full
+        /// object size after every mutation, so clients can both detect
+        /// complete reads and bound append-only prefix caching.
+        stable_len: u64,
         /// The bytes.
         data: Bytes,
     },
@@ -423,6 +453,26 @@ pub fn encode_request(req: &Request) -> Bytes {
             w.id(*id);
         }
         Request::Inventory => w.u8(5),
+        Request::ReadWithTag {
+            id,
+            offset,
+            len,
+            inline_limit,
+        } => {
+            w.u8(6);
+            w.id(*id);
+            w.u64(*offset);
+            w.u64(*len);
+            w.u64(*inline_limit);
+        }
+        Request::Push { id, object } => {
+            w.u8(7);
+            w.id(*id);
+            w.tag(object.tag);
+            w.mutability(object.mutability);
+            w.u64(object.stable_len);
+            w.bytes(&object.data);
+        }
     }
     w.finish()
 }
@@ -453,6 +503,28 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
         3 => Request::TagOf { id: r.id()? },
         4 => Request::Fetch { id: r.id()? },
         5 => Request::Inventory,
+        6 => Request::ReadWithTag {
+            id: r.id()?,
+            offset: r.u64()?,
+            len: r.u64()?,
+            inline_limit: r.u64()?,
+        },
+        7 => {
+            let id = r.id()?;
+            let tag = r.tag()?;
+            let mutability = r.mutability()?;
+            let stable_len = r.u64()?;
+            let data = r.bytes()?;
+            Request::Push {
+                id,
+                object: StoredObject {
+                    data,
+                    tag,
+                    mutability,
+                    stable_len,
+                },
+            }
+        }
         b => return Err(CodecError(format!("bad request op {b}"))),
     };
     r.done()?;
@@ -470,9 +542,16 @@ pub fn encode_response(resp: &Response) -> Bytes {
             w.tag(*tag);
         }
         Response::Applied => w.u8(1),
-        Response::Data { tag, data } => {
+        Response::Data {
+            tag,
+            mutability,
+            stable_len,
+            data,
+        } => {
             w.u8(2);
             w.tag(*tag);
+            w.mutability(*mutability);
+            w.u64(*stable_len);
             w.bytes(data);
         }
         Response::TagIs { tag } => {
@@ -536,6 +615,8 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
         1 => Response::Applied,
         2 => Response::Data {
             tag: r.tag()?,
+            mutability: r.mutability()?,
+            stable_len: r.u64()?,
             data: r.bytes()?,
         },
         3 => Response::TagIs { tag: r.tag()? },
@@ -640,6 +721,21 @@ mod tests {
                     data: Bytes::from_static(b"entry"),
                 },
             },
+            Request::ReadWithTag {
+                id: oid(9),
+                offset: 16,
+                len: u64::MAX,
+                inline_limit: 64 * 1024,
+            },
+            Request::Push {
+                id: oid(10),
+                object: StoredObject {
+                    data: Bytes::from_static(b"repaired"),
+                    tag: Tag { seq: 11, writer: 2 },
+                    mutability: Mutability::AppendOnly,
+                    stable_len: 8,
+                },
+            },
         ];
         for req in reqs {
             let wire = encode_request(&req);
@@ -656,6 +752,8 @@ mod tests {
             Response::Applied,
             Response::Data {
                 tag: Tag { seq: 1, writer: 2 },
+                mutability: Mutability::Immutable,
+                stable_len: 8,
                 data: Bytes::from_static(b"\x00\x01binary"),
             },
             Response::TagIs { tag: Tag::ZERO },
@@ -695,13 +793,42 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let wire = encode_request(&Request::Read {
-            id: oid(1),
-            offset: 5,
-            len: 10,
+        let reqs = [
+            Request::Read {
+                id: oid(1),
+                offset: 5,
+                len: 10,
+            },
+            Request::ReadWithTag {
+                id: oid(1),
+                offset: 5,
+                len: 10,
+                inline_limit: 100,
+            },
+            Request::Push {
+                id: oid(2),
+                object: StoredObject {
+                    data: Bytes::from_static(b"abc"),
+                    tag: Tag { seq: 4, writer: 1 },
+                    mutability: Mutability::Mutable,
+                    stable_len: 3,
+                },
+            },
+        ];
+        for req in &reqs {
+            let wire = encode_request(req);
+            for cut in 0..wire.len() {
+                assert!(decode_request(&wire[..cut]).is_err(), "{req:?} cut {cut}");
+            }
+        }
+        let resp = encode_response(&Response::Data {
+            tag: Tag { seq: 4, writer: 1 },
+            mutability: Mutability::AppendOnly,
+            stable_len: 3,
+            data: Bytes::from_static(b"abc"),
         });
-        for cut in 0..wire.len() {
-            assert!(decode_request(&wire[..cut]).is_err(), "cut {cut}");
+        for cut in 0..resp.len() {
+            assert!(decode_response(&resp[..cut]).is_err(), "response cut {cut}");
         }
     }
 

@@ -54,6 +54,20 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
             .create(CreateOptions::regular().with_initial(vec![3u8; 256]))
             .await
             .unwrap();
+        // Exercise the new read paths: one-RTT quorum reads on a
+        // linearizable object and cache-served reads on an immutable one.
+        let lin = c
+            .create(
+                CreateOptions::regular()
+                    .with_consistency(Consistency::Linearizable)
+                    .with_initial(vec![9u8; 512]),
+            )
+            .await
+            .unwrap();
+        let im = c
+            .create(CreateOptions::immutable(vec![7u8; 128]))
+            .await
+            .unwrap();
 
         let rng = h.rng().stream("driver");
         let stats = drive_open_loop(
@@ -69,15 +83,25 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
                 let c = c.clone();
                 let f = f.clone();
                 let blob = blob.clone();
+                let lin = lin.clone();
+                let im = im.clone();
                 move |i| {
                     let c = c.clone();
                     let f = f.clone();
                     let blob = blob.clone();
+                    let lin = lin.clone();
+                    let im = im.clone();
                     boxed(async move {
                         if i % 3 == 0 {
                             c.write(&blob, i % 128, Bytes::from(vec![i as u8]))
                                 .await
                                 .map_err(|e| e.to_string())?;
+                        }
+                        if i % 2 == 0 {
+                            c.read(&im, 0, 32).await.map_err(|e| e.to_string())?;
+                        }
+                        if i % 4 == 1 {
+                            c.read(&lin, 0, 64).await.map_err(|e| e.to_string())?;
                         }
                         c.invoke(
                             &f,
@@ -94,13 +118,20 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
         .await;
 
         let invoice = cloud.billing.invoice("det");
+        let cache = cloud.store.cache_stats();
         (
             h.now().as_nanos(),
             cloud.fabric.message_count(),
             cloud.fabric.bytes_moved(),
             stats.issued.get(),
             stats.latency.quantile(0.99),
-            format!("{:.12e}", invoice.total()),
+            format!(
+                "{:.12e}|cache {}/{}/{}",
+                invoice.total(),
+                cache.hits,
+                cache.misses,
+                cache.evictions
+            ),
         )
     });
     let polls = sim.poll_count();
