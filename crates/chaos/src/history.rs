@@ -1,0 +1,215 @@
+//! Concurrent operation histories.
+//!
+//! A [`Recorder`] installs itself as the store's history tap and turns
+//! every client read/write on a *tracked* object into an [`Op`]: a
+//! register operation with its invoke/response interval in virtual
+//! time. Register values are `u64`s carried as 8 little-endian bytes,
+//! so workloads write [`encode_value`]d payloads and the recorder
+//! decodes what reads observed.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use pcsi_core::ObjectId;
+use pcsi_net::NodeId;
+use pcsi_sim::SimTime;
+use pcsi_store::{ReplicatedStore, TapEvent};
+
+/// Encodes a register value as its 8-byte little-endian payload.
+pub fn encode_value(v: u64) -> Bytes {
+    Bytes::from(v.to_le_bytes().to_vec())
+}
+
+/// Decodes a register payload; `None` unless it is exactly 8 bytes.
+pub fn decode_value(data: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = data.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// What a recorded operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A whole-register write. `ok` is false when the client saw an
+    /// error — the write may still have taken effect at the primary
+    /// (the quorum can be lost *after* the primary applied), so failed
+    /// writes linearize optionally.
+    Write {
+        /// Value written.
+        value: u64,
+        /// Whether the client received an acknowledgement.
+        ok: bool,
+    },
+    /// A register read; `None` when the read failed (observed nothing).
+    Read {
+        /// Value observed.
+        value: Option<u64>,
+    },
+}
+
+/// One operation in a concurrent history.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Node the operation originated from.
+    pub client: NodeId,
+    /// Object operated on.
+    pub object: ObjectId,
+    /// What happened.
+    pub kind: OpKind,
+    /// Invocation instant.
+    pub invoke: SimTime,
+    /// Response instant.
+    pub response: SimTime,
+}
+
+impl Op {
+    /// Stable single-line rendering (fingerprints, failure reports).
+    pub fn render(&self) -> String {
+        let what = match self.kind {
+            OpKind::Write { value, ok } => {
+                format!("W v={value:#x} {}", if ok { "ok" } else { "err" })
+            }
+            OpKind::Read { value: Some(v) } => format!("R v={v:#x}"),
+            OpKind::Read { value: None } => "R err".to_owned(),
+        };
+        format!(
+            "client={} obj={} {what} [{}, {}]ns",
+            self.client,
+            self.object,
+            self.invoke.as_nanos(),
+            self.response.as_nanos()
+        )
+    }
+}
+
+struct RecorderInner {
+    tracked: HashSet<ObjectId>,
+    ops: Vec<Op>,
+}
+
+/// Records client operations on tracked objects from the store's
+/// history tap. Cheap to clone; all clones share the history.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<RecorderInner>>,
+}
+
+impl Recorder {
+    /// Creates a recorder and installs it as `store`'s history tap.
+    pub fn install(store: &ReplicatedStore) -> Recorder {
+        let recorder = Recorder {
+            inner: Rc::new(RefCell::new(RecorderInner {
+                tracked: HashSet::new(),
+                ops: Vec::new(),
+            })),
+        };
+        let sink = recorder.clone();
+        store.set_history_tap(Some(Rc::new(move |event| sink.observe(event))));
+        recorder
+    }
+
+    /// Starts recording operations on `id`.
+    pub fn track(&self, id: ObjectId) {
+        self.inner.borrow_mut().tracked.insert(id);
+    }
+
+    /// Returns the history recorded so far, in completion order.
+    pub fn take(&self) -> Vec<Op> {
+        std::mem::take(&mut self.inner.borrow_mut().ops)
+    }
+
+    fn observe(&self, event: &TapEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let op = match event {
+            TapEvent::Read {
+                origin,
+                id,
+                invoke,
+                response,
+                outcome,
+                ..
+            } if inner.tracked.contains(id) => {
+                let value = match outcome {
+                    // A non-register payload (partial read) observed
+                    // nothing decodable; skip rather than misreport.
+                    Ok((_tag, data)) => match decode_value(data) {
+                        Some(v) => Some(v),
+                        None => return,
+                    },
+                    Err(_) => None,
+                };
+                Op {
+                    client: *origin,
+                    object: *id,
+                    kind: OpKind::Read { value },
+                    invoke: *invoke,
+                    response: *response,
+                }
+            }
+            TapEvent::Mutate {
+                origin,
+                id,
+                op,
+                payload,
+                invoke,
+                response,
+                outcome,
+                ..
+            } if inner.tracked.contains(id) => {
+                // Only whole-register writes participate in the
+                // register history; anything else on a tracked object
+                // (delete, append, …) is a workload bug.
+                if *op != "put" && *op != "write_at" {
+                    return;
+                }
+                let Some(value) = decode_value(payload) else {
+                    return;
+                };
+                Op {
+                    client: *origin,
+                    object: *id,
+                    kind: OpKind::Write {
+                        value,
+                        ok: outcome.is_ok(),
+                    },
+                    invoke: *invoke,
+                    response: *response,
+                }
+            }
+            _ => return,
+        };
+        inner.ops.push(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(decode_value(&encode_value(v)), Some(v));
+        }
+        assert_eq!(decode_value(b"short"), None);
+        assert_eq!(decode_value(b"nine bytes"), None);
+    }
+
+    #[test]
+    fn op_render_is_stable() {
+        let op = Op {
+            client: NodeId(3),
+            object: ObjectId::from_parts(5, 9),
+            kind: OpKind::Write {
+                value: 0x10,
+                ok: true,
+            },
+            invoke: SimTime::from_nanos(100),
+            response: SimTime::from_nanos(250),
+        };
+        let r = op.render();
+        assert!(r.contains("W v=0x10 ok"), "{r}");
+        assert!(r.contains("[100, 250]ns"), "{r}");
+    }
+}

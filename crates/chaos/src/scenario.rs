@@ -1,0 +1,469 @@
+//! Seeded chaos scenarios over the full cloud stack.
+//!
+//! [`run_scenario`] builds a complete [`CloudBuilder`] deployment
+//! inside a fresh deterministic simulation, lets client workers hammer
+//! a set of register objects through the kernel while a fault driver
+//! executes a seeded schedule (crashes, partitions, message faults),
+//! then heals everything, drives anti-entropy to quiescence, and runs
+//! the [`crate::checker`] suite over the recorded history.
+//!
+//! Everything — the fault schedule, the worker interleaving, the
+//! network jitter — derives from the one seed, so a failing seed
+//! reproduces byte-identically: re-running it yields the same
+//! [`ScenarioReport::render`] output, byte for byte.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency, ObjectId};
+use pcsi_net::{Fabric, MessageFaults, NodeId};
+use pcsi_sim::rng::DetRng;
+use pcsi_sim::{Sim, SimHandle};
+use pcsi_store::StoreConfig;
+
+use crate::checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
+use crate::history::{encode_value, Op, Recorder};
+
+/// What kind of faults the seeded schedule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No faults: a healthy cluster (baseline for the checkers).
+    None,
+    /// One node at a time crashes, then restarts.
+    CrashRestart,
+    /// One node at a time is partitioned away, then healed.
+    PartitionHeal,
+    /// Fabric-wide message faults (drop / duplicate / delay spikes)
+    /// toggle on and off.
+    MessageFaults,
+    /// All of the above, chosen per event.
+    Mixed,
+}
+
+/// Scenario shape. The seed controls every random choice; the config
+/// controls the sizes.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Fault schedule kind.
+    pub plan: FaultPlan,
+    /// Concurrent client workers.
+    pub workers: usize,
+    /// Operations each worker issues.
+    pub ops_per_worker: usize,
+    /// Registers created at `Consistency::Linearizable`.
+    pub lin_objects: usize,
+    /// Registers created at `Consistency::Eventual`.
+    pub ev_objects: usize,
+    /// Deliberately break freshness: a reader co-located with a
+    /// partitioned-away replica reads the first linearizable register
+    /// through the *eventual* (closest-replica) path, bypassing the
+    /// read quorum. The linearizability checker must reject the
+    /// resulting history. Implies a targeted partition schedule
+    /// regardless of `plan`, and workers hammer only that register.
+    pub inject_stale_reads: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            plan: FaultPlan::Mixed,
+            workers: 4,
+            ops_per_worker: 24,
+            lin_objects: 2,
+            ev_objects: 2,
+            inject_stale_reads: false,
+        }
+    }
+}
+
+/// Everything one scenario produced, sufficient to reproduce and
+/// explain a failure.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// The seed that drove the run.
+    pub seed: u64,
+    /// The fault plan that was in force.
+    pub plan: FaultPlan,
+    /// The fault schedule as executed, one line per event.
+    pub faults: Vec<String>,
+    /// The recorded operation history, in completion order.
+    pub ops: Vec<Op>,
+    /// Checker verdicts; empty means the run upheld the contract.
+    pub violations: Vec<Violation>,
+    /// Message-fault counters: (dropped, duplicated, delayed).
+    pub net_faults: (u64, u64, u64),
+}
+
+impl ScenarioReport {
+    /// True when no checker found a violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Stable, complete rendering: seed, fault schedule, history,
+    /// verdict. Identical seeds and configs produce identical bytes.
+    pub fn render(&self) -> String {
+        let mut out = format!("chaos scenario seed={} plan={:?}\n", self.seed, self.plan);
+        for f in &self.faults {
+            out.push_str("fault ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        out.push_str(&format!("ops {}\n", self.ops.len()));
+        for op in &self.ops {
+            out.push_str("op ");
+            out.push_str(&op.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "net dropped={} duplicated={} delayed={}\n",
+            self.net_faults.0, self.net_faults.1, self.net_faults.2
+        ));
+        if self.violations.is_empty() {
+            out.push_str("verdict ok\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("violation {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// FNV-1a of [`ScenarioReport::render`]; two runs of the same seed
+    /// must fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.render().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// The seeds a sweep test should run: `base..base + n`, where `n` is
+/// the `CHAOS_SEEDS` environment variable if set (CI cranks it up),
+/// else `default_n`.
+pub fn sweep_seeds(base: u64, default_n: usize) -> Vec<u64> {
+    let n = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(default_n);
+    (0..n as u64).map(|i| base + i).collect()
+}
+
+/// Runs one seeded scenario end to end and returns its report.
+pub fn run_scenario(seed: u64, cfg: &ScenarioConfig) -> ScenarioReport {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let plan = cfg.plan;
+    let cfg = cfg.clone();
+    let (faults, ops, violations, net_faults) = sim.block_on(async move { drive(h, &cfg).await });
+    ScenarioReport {
+        seed,
+        plan,
+        faults,
+        ops,
+        violations,
+        net_faults,
+    }
+}
+
+async fn drive(
+    h: SimHandle,
+    cfg: &ScenarioConfig,
+) -> (Vec<String>, Vec<Op>, Vec<Violation>, (u64, u64, u64)) {
+    let cloud = CloudBuilder::new()
+        .store(StoreConfig {
+            // Anti-entropy is driven manually after heal, so the
+            // quiescence point is explicit and bounded.
+            anti_entropy: None,
+            ..StoreConfig::default()
+        })
+        .build(&h);
+    let store = cloud.store.clone();
+    let fabric = cloud.fabric.clone();
+    let nodes = fabric.topology().node_ids();
+    let recorder = Recorder::install(&store);
+
+    // Register objects, all initialized to value 0.
+    let creator = cloud.kernel.client(NodeId(0), "chaos");
+    let mut objects: Vec<(pcsi_core::Reference, Consistency)> = Vec::new();
+    for i in 0..cfg.lin_objects + cfg.ev_objects {
+        let consistency = if i < cfg.lin_objects {
+            Consistency::Linearizable
+        } else {
+            Consistency::Eventual
+        };
+        let obj = creator
+            .create(
+                CreateOptions::regular()
+                    .with_consistency(consistency)
+                    .with_initial(encode_value(0)),
+            )
+            .await
+            .expect("object creation on a healthy cluster");
+        recorder.track(obj.id());
+        objects.push((obj, consistency));
+    }
+    let target: ObjectId = objects[0].0.id();
+    // The injection scenarios partition the target's last replica away
+    // (the primary is the first, so majority writes keep succeeding).
+    let target_replicas = store.placement().replicas(target);
+    let laggard = target_replicas[target_replicas.len() - 1];
+
+    // The fault driver runs until the workers are done, then heals
+    // everything it broke.
+    let fault_log: Rc<std::cell::RefCell<Vec<String>>> = Rc::default();
+    let stop = Rc::new(Cell::new(false));
+    let driver = {
+        let fabric = fabric.clone();
+        let h2 = h.clone();
+        let log = fault_log.clone();
+        let stop = stop.clone();
+        let plan = cfg.plan;
+        let nodes = nodes.clone();
+        let inject = cfg.inject_stale_reads;
+        h.spawn(async move {
+            if inject {
+                drive_targeted_partitions(&h2, &fabric, laggard, &log, &stop).await;
+            } else {
+                drive_faults(&h2, &fabric, plan, &nodes, &log, &stop).await;
+            }
+        })
+    };
+
+    // Client workers hammer the registers through the kernel.
+    let mut workers = Vec::new();
+    for w in 0..cfg.workers {
+        let rng = h.rng().stream_indexed("chaos-worker", w as u64);
+        let node = nodes[rng.gen_range(0..nodes.len() as u64) as usize];
+        let client = cloud.kernel.client(node, "chaos");
+        let refs: Vec<pcsi_core::Reference> = objects.iter().map(|(r, _)| r.clone()).collect();
+        let h2 = h.clone();
+        let ops_per_worker = cfg.ops_per_worker;
+        let inject = cfg.inject_stale_reads;
+        workers.push(h.spawn(async move {
+            for i in 0..ops_per_worker {
+                h2.sleep(Duration::from_nanos(rng.gen_range(100_000..900_000)))
+                    .await;
+                // In injection mode every worker hammers the target
+                // register so the stale window is guaranteed traffic.
+                let obj = if inject {
+                    &refs[0]
+                } else {
+                    &refs[rng.gen_range(0..refs.len() as u64) as usize]
+                };
+                if rng.bool(0.5) {
+                    let value = ((w as u64 + 1) << 32) | (i as u64 + 1);
+                    let _ = client.write(obj, 0, encode_value(value)).await;
+                } else {
+                    let _ = client.read(obj, 0, 8).await;
+                }
+            }
+        }));
+    }
+
+    // The freshness saboteur: reads the linearizable target through
+    // the eventual (closest-replica) path from the node the fault
+    // driver keeps partitioning away — a read-quorum bypass.
+    if cfg.inject_stale_reads {
+        let reader = store.client(laggard);
+        let rng = h.rng().stream("chaos-bug-reader");
+        let h2 = h.clone();
+        workers.push(h.spawn(async move {
+            for _ in 0..16 {
+                h2.sleep(Duration::from_nanos(rng.gen_range(300_000..900_000)))
+                    .await;
+                let _ = reader.read(target, 0, 8, Consistency::Eventual).await;
+            }
+        }));
+    }
+
+    for worker in workers {
+        worker.await;
+    }
+    stop.set(true);
+    driver.await;
+
+    // Heal + quiescence: drain in-flight repair/replication, then run
+    // anti-entropy rounds until every register converges (bounded).
+    h.sleep(Duration::from_millis(10)).await;
+    let ids: Vec<ObjectId> = objects.iter().map(|(r, _)| r.id()).collect();
+    for _ in 0..64 {
+        if ids.iter().all(|&id| check_converged(&store, id).is_ok()) {
+            break;
+        }
+        for replica in store.replicas() {
+            replica.anti_entropy_once().await;
+        }
+        h.sleep(Duration::from_millis(1)).await;
+    }
+
+    // Check the contract.
+    let ops = recorder.take();
+    let mut violations = Vec::new();
+    for (obj, consistency) in &objects {
+        let id = obj.id();
+        let object_ops: Vec<Op> = ops.iter().filter(|o| o.object == id).cloned().collect();
+        if *consistency == Consistency::Linearizable {
+            if let Err(v) = check_linearizable(id, 0, &object_ops) {
+                violations.push(v);
+            }
+        }
+        if let Err(v) = check_reads_observe_writes(id, 0, &object_ops) {
+            violations.push(v);
+        }
+        if let Err(v) = check_converged(&store, id) {
+            violations.push(v);
+        }
+    }
+
+    let net = (
+        fabric.messages_dropped(),
+        fabric.messages_duplicated(),
+        fabric.messages_delayed(),
+    );
+    let faults = fault_log.borrow().clone();
+    (faults, ops, violations, net)
+}
+
+fn log_fault(h: &SimHandle, log: &Rc<std::cell::RefCell<Vec<String>>>, what: String) {
+    log.borrow_mut()
+        .push(format!("t={}ns {what}", h.now().as_nanos()));
+}
+
+/// The general seeded fault schedule: every ~0.8–3 ms pick an action
+/// for the plan, keeping at most one node crashed and one partitioned
+/// at a time (so linearizable quorums usually stay available). On
+/// stop, everything heals.
+async fn drive_faults(
+    h: &SimHandle,
+    fabric: &Fabric,
+    plan: FaultPlan,
+    nodes: &[NodeId],
+    log: &Rc<std::cell::RefCell<Vec<String>>>,
+    stop: &Rc<Cell<bool>>,
+) {
+    let rng = h.rng().stream("chaos-fault-schedule");
+    let mut downed: Option<NodeId> = None;
+    let mut partitioned = false;
+    let mut faults_on = false;
+    while !stop.get() {
+        h.sleep(Duration::from_nanos(rng.gen_range(800_000..3_000_000)))
+            .await;
+        if stop.get() {
+            break;
+        }
+        let action = match plan {
+            FaultPlan::None => continue,
+            FaultPlan::CrashRestart => 0,
+            FaultPlan::PartitionHeal => 1,
+            FaultPlan::MessageFaults => 2,
+            FaultPlan::Mixed => rng.gen_range(0..3),
+        };
+        match action {
+            0 => match downed.take() {
+                Some(node) => {
+                    fabric.set_node_down(node, false);
+                    log_fault(h, log, format!("restart {node}"));
+                }
+                None => {
+                    let node = pick(&rng, nodes);
+                    fabric.set_node_down(node, true);
+                    downed = Some(node);
+                    log_fault(h, log, format!("crash {node}"));
+                }
+            },
+            1 => {
+                if partitioned {
+                    fabric.heal_partitions();
+                    partitioned = false;
+                    log_fault(h, log, "heal-partitions".to_owned());
+                } else {
+                    let isolated = pick(&rng, nodes);
+                    let rest: Vec<NodeId> =
+                        nodes.iter().copied().filter(|&n| n != isolated).collect();
+                    fabric.partition(&[isolated], &rest);
+                    partitioned = true;
+                    log_fault(h, log, format!("isolate {isolated}"));
+                }
+            }
+            _ => {
+                if faults_on {
+                    fabric.clear_message_faults();
+                    faults_on = false;
+                    log_fault(h, log, "clear-message-faults".to_owned());
+                } else {
+                    let faults = MessageFaults {
+                        drop: 0.02 + 0.06 * rng.f64(),
+                        duplicate: 0.05,
+                        delay_spike: 0.10,
+                        spike: Duration::from_micros(200 + rng.gen_range(0..400)),
+                    };
+                    fabric.set_message_faults(faults);
+                    faults_on = true;
+                    log_fault(
+                        h,
+                        log,
+                        format!(
+                            "message-faults drop={:.3} dup={:.3} spike={:.3}/{}us",
+                            faults.drop,
+                            faults.duplicate,
+                            faults.delay_spike,
+                            faults.spike.as_micros()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(node) = downed {
+        fabric.set_node_down(node, false);
+    }
+    fabric.heal_partitions();
+    fabric.clear_message_faults();
+    log_fault(h, log, "heal-all".to_owned());
+}
+
+/// The injection schedule: repeatedly partition exactly `laggard`
+/// away so its local replica of the target register goes stale while
+/// majority writes proceed — the window the freshness saboteur reads
+/// in.
+async fn drive_targeted_partitions(
+    h: &SimHandle,
+    fabric: &Fabric,
+    laggard: NodeId,
+    log: &Rc<std::cell::RefCell<Vec<String>>>,
+    stop: &Rc<Cell<bool>>,
+) {
+    let rng = h.rng().stream("chaos-fault-schedule");
+    let rest: Vec<NodeId> = fabric
+        .topology()
+        .node_ids()
+        .into_iter()
+        .filter(|&n| n != laggard)
+        .collect();
+    while !stop.get() {
+        h.sleep(Duration::from_nanos(rng.gen_range(400_000..1_200_000)))
+            .await;
+        if stop.get() {
+            break;
+        }
+        fabric.partition(&[laggard], &rest);
+        log_fault(h, log, format!("isolate {laggard}"));
+        h.sleep(Duration::from_nanos(rng.gen_range(2_000_000..5_000_000)))
+            .await;
+        fabric.heal_partitions();
+        log_fault(h, log, "heal-partitions".to_owned());
+    }
+    fabric.heal_partitions();
+    log_fault(h, log, "heal-all".to_owned());
+}
+
+fn pick(rng: &DetRng, nodes: &[NodeId]) -> NodeId {
+    nodes[rng.gen_range(0..nodes.len() as u64) as usize]
+}

@@ -33,6 +33,50 @@ pub const SOCKET_OVERHEAD: Duration = Duration::from_nanos(5_000);
 /// Per-message overhead of the RDMA-like transport (doorbell + completion).
 pub const RDMA_OVERHEAD: Duration = Duration::from_nanos(300);
 
+/// How long a sender waits before declaring a silently-lost message dead.
+/// Dropped messages surface as [`NetError::Dropped`] after this timeout,
+/// so callers observe loss as latency, the way a real RTO behaves.
+pub const RETRANSMIT_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// Seeded message-level fault probabilities for a link (or the whole
+/// fabric). Layered *under* the crash/partition API: crashes and
+/// partitions are absolute, these are per-message coin flips drawn from
+/// the deterministic `"net-faults"` RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageFaults {
+    /// Probability a message is silently lost. The sender burns
+    /// [`RETRANSMIT_TIMEOUT`] and then observes [`NetError::Dropped`].
+    pub drop: f64,
+    /// Probability an RPC request is delivered (and executed) twice.
+    /// Models at-least-once delivery; handlers must be idempotent.
+    pub duplicate: f64,
+    /// Probability a message is hit by a queueing delay spike.
+    pub delay_spike: f64,
+    /// Extra one-way delay charged by a single spike.
+    pub spike: Duration,
+}
+
+impl MessageFaults {
+    /// No faults at all; the default.
+    pub const NONE: MessageFaults = MessageFaults {
+        drop: 0.0,
+        duplicate: 0.0,
+        delay_spike: 0.0,
+        spike: Duration::ZERO,
+    };
+
+    /// True when any probability is non-zero (i.e. RNG draws are needed).
+    pub fn active(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.delay_spike > 0.0
+    }
+}
+
+impl Default for MessageFaults {
+    fn default() -> Self {
+        MessageFaults::NONE
+    }
+}
+
 /// Message transports with different per-message costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
@@ -65,6 +109,9 @@ pub enum NetError {
     NoService(String),
     /// The peer closed the connection.
     Closed,
+    /// The message was silently lost; the sender gave up after the
+    /// retransmission timeout.
+    Dropped(NodeId, NodeId),
     /// Application-level failure surfaced through the RPC layer.
     Remote(String),
 }
@@ -76,6 +123,7 @@ impl fmt::Display for NetError {
             NetError::Partitioned(a, b) => write!(f, "network partition between {a} and {b}"),
             NetError::NoService(s) => write!(f, "no service {s:?} bound"),
             NetError::Closed => f.write_str("connection closed"),
+            NetError::Dropped(a, b) => write!(f, "message from {a} to {b} dropped"),
             NetError::Remote(m) => write!(f, "remote error: {m}"),
         }
     }
@@ -101,6 +149,22 @@ struct State {
     /// Symmetric set of blocked node pairs (stored with a <= b).
     blocked: HashSet<(NodeId, NodeId)>,
     egress_busy_until: Vec<SimTime>,
+    /// Fault probabilities applied to every non-local link without a
+    /// per-link override.
+    default_faults: MessageFaults,
+    /// Per-link overrides (symmetric, stored with a <= b).
+    link_faults: HashMap<(NodeId, NodeId), MessageFaults>,
+    /// Cached: true iff any configured fault is active. When false,
+    /// `deliver` makes zero fault-RNG draws, so enabling the machinery
+    /// costs nothing for fault-free runs.
+    faults_armed: bool,
+}
+
+impl State {
+    fn rearm_faults(&mut self) {
+        self.faults_armed =
+            self.default_faults.active() || self.link_faults.values().any(MessageFaults::active);
+    }
 }
 
 /// The shared message fabric. Cheap to clone.
@@ -116,6 +180,9 @@ struct FabricInner {
     state: RefCell<State>,
     messages: Counter,
     bytes: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    delayed: Counter,
 }
 
 impl Fabric {
@@ -132,9 +199,15 @@ impl Fabric {
                     down: HashSet::new(),
                     blocked: HashSet::new(),
                     egress_busy_until: vec![SimTime::ZERO; n],
+                    default_faults: MessageFaults::NONE,
+                    link_faults: HashMap::new(),
+                    faults_armed: false,
                 }),
                 messages: Counter::new(),
                 bytes: Counter::new(),
+                dropped: Counter::new(),
+                duplicated: Counter::new(),
+                delayed: Counter::new(),
             }),
         }
     }
@@ -200,6 +273,59 @@ impl Fabric {
         self.inner.state.borrow_mut().blocked.clear();
     }
 
+    /// Sets the fault probabilities applied to every non-local link
+    /// that has no per-link override.
+    pub fn set_message_faults(&self, faults: MessageFaults) {
+        let mut s = self.inner.state.borrow_mut();
+        s.default_faults = faults;
+        s.rearm_faults();
+    }
+
+    /// Sets fault probabilities for the (symmetric) link `a <-> b`,
+    /// overriding the fabric-wide default for that link.
+    pub fn set_link_faults(&self, a: NodeId, b: NodeId, faults: MessageFaults) {
+        let mut s = self.inner.state.borrow_mut();
+        s.link_faults.insert(ordered(a, b), faults);
+        s.rearm_faults();
+    }
+
+    /// Clears all message faults, fabric-wide and per-link.
+    pub fn clear_message_faults(&self) {
+        let mut s = self.inner.state.borrow_mut();
+        s.default_faults = MessageFaults::NONE;
+        s.link_faults.clear();
+        s.faults_armed = false;
+    }
+
+    /// Messages silently lost by fault injection so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// RPC requests duplicated by fault injection so far.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.inner.duplicated.get()
+    }
+
+    /// Messages hit by an injected delay spike so far.
+    pub fn messages_delayed(&self) -> u64 {
+        self.inner.delayed.get()
+    }
+
+    /// The fault probabilities in force on the link `from -> to`, or
+    /// `NONE` when no fault is armed anywhere (the common case; no RNG
+    /// draws happen then).
+    fn faults_for(&self, from: NodeId, to: NodeId) -> MessageFaults {
+        let s = self.inner.state.borrow();
+        if !s.faults_armed || from == to {
+            return MessageFaults::NONE;
+        }
+        s.link_faults
+            .get(&ordered(from, to))
+            .copied()
+            .unwrap_or(s.default_faults)
+    }
+
     fn check_reachable(&self, from: NodeId, to: NodeId) -> Result<(), NetError> {
         let s = self.inner.state.borrow();
         if s.down.contains(&to) {
@@ -232,8 +358,29 @@ impl Fabric {
         if hop == crate::topology::HopClass::Local {
             // Same machine: no NIC, no propagation; charge endpoint
             // overhead once (loopback still crosses the socket layer).
+            // Loopback never loses messages, so faults are skipped too.
             h.sleep(transport.endpoint_overhead()).await;
             return Ok(());
+        }
+
+        // Seeded message faults: drop (sender burns the RTO and errors)
+        // and delay spike (extra one-way latency). The draws come from
+        // the deterministic "net-faults" stream; when no fault is armed
+        // no draw happens at all, so fault-free runs are byte-identical
+        // to runs on a fabric without the machinery.
+        let faults = self.faults_for(from, to);
+        if faults.active() {
+            let rng = h.rng().stream("net-faults");
+            if faults.drop > 0.0 && rng.bool(faults.drop) {
+                self.inner.dropped.incr();
+                h.sleep(transport.endpoint_overhead() + RETRANSMIT_TIMEOUT)
+                    .await;
+                return Err(NetError::Dropped(from, to));
+            }
+            if faults.delay_spike > 0.0 && rng.bool(faults.delay_spike) {
+                self.inner.delayed.incr();
+                h.sleep(faults.spike).await;
+            }
         }
 
         // Sender-side endpoint overhead.
@@ -293,6 +440,21 @@ impl Fabric {
         payload: Bytes,
     ) -> Result<Bytes, NetError> {
         let req_len = payload.len();
+
+        // Seeded duplicate injection: with probability `duplicate` the
+        // request is delivered twice and the handler runs twice, the
+        // second response discarded — at-least-once delivery. The coin
+        // is flipped before the first delivery so the draw sequence does
+        // not depend on handler behavior.
+        let faults = self.faults_for(from, to);
+        let duplicate = faults.duplicate > 0.0
+            && self
+                .inner
+                .handle
+                .rng()
+                .stream("net-faults")
+                .bool(faults.duplicate);
+
         self.deliver(from, to, req_len, transport).await?;
 
         let handler = {
@@ -302,6 +464,26 @@ impl Fabric {
                 .cloned()
                 .ok_or_else(|| NetError::NoService(service.to_owned()))?
         };
+
+        if duplicate {
+            self.inner.duplicated.incr();
+            let fabric = self.clone();
+            let dup_payload = payload.clone();
+            let dup_handler = handler.clone();
+            drop(self.inner.handle.spawn(async move {
+                // The duplicate takes its own trip through the fabric
+                // (and may itself be dropped or delayed) before the
+                // handler re-executes; its response goes nowhere.
+                if fabric
+                    .deliver(from, to, dup_payload.len(), transport)
+                    .await
+                    .is_ok()
+                {
+                    let _ = dup_handler(dup_payload, CallCtx { from, to }).await;
+                }
+            }));
+        }
+
         let response = handler(payload, CallCtx { from, to }).await?;
 
         let resp_len = response.len();
@@ -586,6 +768,181 @@ mod tests {
             }
         });
         assert_eq!(results, (true, true, true, true));
+    }
+
+    #[test]
+    fn certain_drop_surfaces_after_the_retransmit_timeout() {
+        let mut sim = Sim::new(7);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let h = sim.handle();
+        let (err, elapsed) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                fabric.set_message_faults(MessageFaults {
+                    drop: 1.0,
+                    ..MessageFaults::NONE
+                });
+                let t0 = h.now();
+                let err = fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap_err();
+                (err, h.now() - t0)
+            }
+        });
+        assert_eq!(err, NetError::Dropped(NodeId(0), NodeId(2)));
+        assert!(elapsed >= RETRANSMIT_TIMEOUT, "elapsed {elapsed:?}");
+        assert_eq!(fabric.messages_dropped(), 1);
+    }
+
+    #[test]
+    fn certain_duplicate_executes_the_handler_twice() {
+        let mut sim = Sim::new(7);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        let hits = Rc::new(std::cell::Cell::new(0u32));
+        fabric.bind(NodeId(2), "count", {
+            let hits = hits.clone();
+            Rc::new(move |payload, _ctx| {
+                let hits = hits.clone();
+                Box::pin(async move {
+                    hits.set(hits.get() + 1);
+                    Ok(payload)
+                })
+            })
+        });
+        let h = sim.handle();
+        sim.block_on({
+            let fabric = fabric.clone();
+            let h = h.clone();
+            async move {
+                fabric.set_message_faults(MessageFaults {
+                    duplicate: 1.0,
+                    ..MessageFaults::NONE
+                });
+                fabric
+                    .call(NodeId(0), NodeId(2), "count", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap();
+                // Let the detached duplicate finish its delivery.
+                h.sleep(Duration::from_millis(5)).await;
+            }
+        });
+        assert_eq!(hits.get(), 2);
+        assert_eq!(fabric.messages_duplicated(), 1);
+    }
+
+    #[test]
+    fn delay_spike_slows_the_message_down() {
+        let mut sim = Sim::new(7);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let h = sim.handle();
+        let (clean, spiked) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let t0 = h.now();
+                fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap();
+                let clean = h.now() - t0;
+                fabric.set_message_faults(MessageFaults {
+                    delay_spike: 1.0,
+                    spike: Duration::from_millis(1),
+                    ..MessageFaults::NONE
+                });
+                let t1 = h.now();
+                fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await
+                    .unwrap();
+                (clean, h.now() - t1)
+            }
+        });
+        // Both legs spike: at least 2 ms of extra latency.
+        assert!(
+            spiked >= clean + Duration::from_millis(2),
+            "clean {clean:?} spiked {spiked:?}"
+        );
+        assert_eq!(fabric.messages_delayed(), 2);
+    }
+
+    #[test]
+    fn per_link_faults_override_the_default_and_clear_restores() {
+        let mut sim = Sim::new(7);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        fabric.bind(NodeId(3), "echo", echo_handler());
+        let results = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                // Default drops everything, but link 0<->3 is clean.
+                fabric.set_message_faults(MessageFaults {
+                    drop: 1.0,
+                    ..MessageFaults::NONE
+                });
+                fabric.set_link_faults(NodeId(0), NodeId(3), MessageFaults::NONE);
+                let lossy = fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                let clean = fabric
+                    .call(NodeId(0), NodeId(3), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                fabric.clear_message_faults();
+                let healed = fabric
+                    .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                    .await;
+                (lossy.is_err(), clean.is_ok(), healed.is_ok())
+            }
+        });
+        assert_eq!(results, (true, true, true));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            let fabric = build(&sim, NetworkGeneration::Dc2021);
+            fabric.bind(NodeId(2), "echo", echo_handler());
+            let h = sim.handle();
+            let outcomes = sim.block_on({
+                let fabric = fabric.clone();
+                async move {
+                    fabric.set_message_faults(MessageFaults {
+                        drop: 0.3,
+                        duplicate: 0.2,
+                        delay_spike: 0.3,
+                        spike: Duration::from_micros(300),
+                    });
+                    let mut outcomes = Vec::new();
+                    for _ in 0..40 {
+                        let r = fabric
+                            .call(NodeId(0), NodeId(2), "echo", Transport::Tcp, Bytes::new())
+                            .await;
+                        outcomes.push(r.is_ok());
+                    }
+                    h.sleep(Duration::from_millis(5)).await;
+                    outcomes
+                }
+            });
+            (
+                outcomes,
+                fabric.messages_dropped(),
+                fabric.messages_duplicated(),
+                fabric.messages_delayed(),
+                sim.poll_count(),
+            )
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b);
+        assert!(
+            a.1 > 0 && a.2 > 0 && a.3 > 0,
+            "faults actually fired: {a:?}"
+        );
+        let c = run(100);
+        assert_ne!(a, c);
     }
 
     #[test]

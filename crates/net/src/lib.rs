@@ -25,7 +25,7 @@ pub mod latency;
 pub mod node;
 pub mod topology;
 
-pub use fabric::{Fabric, NetError, Transport};
+pub use fabric::{Fabric, MessageFaults, NetError, Transport};
 pub use latency::{LatencyModel, NetworkGeneration};
 pub use node::{NodeId, NodeSpec, ResourceKind};
 pub use topology::Topology;

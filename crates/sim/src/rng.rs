@@ -68,6 +68,13 @@ impl RngStreams {
             inner: Rc::clone(rng),
         }
     }
+
+    /// Returns the stream `"{name}/{index}"` — a convenience for
+    /// per-entity streams (one per worker, link, or shard) so callers
+    /// don't interleave draws on a single shared stream.
+    pub fn stream_indexed(&self, name: &str, index: u64) -> DetRng {
+        self.stream(&format!("{name}/{index}"))
+    }
 }
 
 impl std::fmt::Debug for RngStreams {
@@ -235,6 +242,18 @@ fn zeta_approx(n: f64, theta: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn indexed_streams_are_independent_and_stable() {
+        let a = RngStreams::new(7);
+        let s0: Vec<u64> = (0..8).map(|_| a.stream_indexed("w", 0).u64()).collect();
+        let s1: Vec<u64> = (0..8).map(|_| a.stream_indexed("w", 1).u64()).collect();
+        assert_ne!(s0, s1);
+        // An indexed stream is just the named stream "{name}/{index}".
+        let b = RngStreams::new(7);
+        let named: Vec<u64> = (0..8).map(|_| b.stream("w/0").u64()).collect();
+        assert_eq!(s0, named);
+    }
 
     #[test]
     fn same_name_same_seed_same_sequence() {

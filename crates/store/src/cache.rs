@@ -337,6 +337,100 @@ mod tests {
     }
 
     #[test]
+    fn growth_past_cached_prefix_hits_then_misses() {
+        let mut c = ObjectCache::new(1024);
+        // A 4-byte stable prefix is cached; the object then grows to 8
+        // bytes remotely. Reads ending inside the cached prefix still
+        // hit; reads into the grown tail must miss (the cache has no
+        // idea the appends happened) until the longer prefix is
+        // re-admitted.
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            tag(1),
+            Bytes::from_static(b"abcd"),
+        );
+        assert_eq!(&c.get(oid(1), 0, 4).unwrap().1[..], b"abcd");
+        assert!(c.get(oid(1), 0, 8).is_none(), "past the cached prefix");
+        assert!(c.get(oid(1), 4, 4).is_none(), "entirely in the grown tail");
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            tag(2),
+            Bytes::from_static(b"abcdefgh"),
+        );
+        assert_eq!(&c.get(oid(1), 0, 8).unwrap().1[..], b"abcdefgh");
+        assert_eq!(&c.get(oid(1), 4, 4).unwrap().1[..], b"efgh");
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn zero_length_prefix_serves_only_empty_reads() {
+        let mut c = ObjectCache::new(64);
+        c.admit(oid(1), Mutability::AppendOnly, tag(1), Bytes::new());
+        assert_eq!(c.used_bytes(), 0);
+        // A zero-length read inside the (empty) prefix is a hit; any
+        // non-empty read must go to a replica.
+        let (t, data) = c.get(oid(1), 0, 0).unwrap();
+        assert_eq!(t, tag(1));
+        assert!(data.is_empty());
+        assert!(c.get(oid(1), 0, 1).is_none());
+        // An empty prefix never replaces a longer cached one.
+        c.admit(
+            oid(1),
+            Mutability::AppendOnly,
+            tag(2),
+            Bytes::from_static(b"xy"),
+        );
+        c.admit(oid(1), Mutability::AppendOnly, tag(3), Bytes::new());
+        assert_eq!(&c.get(oid(1), 0, 2).unwrap().1[..], b"xy");
+    }
+
+    #[test]
+    fn eviction_counter_counts_exactly_the_evicted_entries() {
+        let mut c = ObjectCache::new(10);
+        c.admit(
+            oid(1),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"aaaa"),
+        );
+        c.admit(
+            oid(2),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"bbbb"),
+        );
+        assert_eq!(c.evictions(), 0);
+        // An 8-byte admit must evict *both* residents (one would leave
+        // the cache at 12/10), and the counter must say exactly 2.
+        c.admit(
+            oid(3),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"cccccccc"),
+        );
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.used_bytes(), 8);
+        // Replacing an entry in place is not an eviction...
+        c.admit(
+            oid(3),
+            Mutability::Immutable,
+            tag(2),
+            Bytes::from_static(b"cc"),
+        );
+        // ...and neither is refusing an oversized object.
+        c.admit(
+            oid(4),
+            Mutability::Immutable,
+            tag(1),
+            Bytes::from_static(b"far too big to fit"),
+        );
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
     fn readmitting_same_id_replaces_bytes_accounting() {
         let mut c = ObjectCache::new(64);
         c.admit(

@@ -51,5 +51,5 @@ pub mod wire;
 pub use engine::{MediaTier, StorageEngine, StoredObject};
 pub use placement::Placement;
 pub use replica::ReplicaNode;
-pub use store::{CacheStats, ReplicatedStore, StoreClient, StoreConfig};
+pub use store::{CacheStats, HistoryTap, ReplicatedStore, StoreClient, StoreConfig, TapEvent};
 pub use version::{Tag, VersionVector};

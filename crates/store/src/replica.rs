@@ -16,6 +16,7 @@
 //! the original replication message was lost to a crash or partition.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -48,6 +49,12 @@ struct Inner {
     fabric: Fabric,
     placement: Placement,
     engine: RefCell<StorageEngine>,
+    /// Coordinate dedup table: `req_id` → the recorded response, or
+    /// `None` while the original execution is still in flight. The
+    /// fabric delivers at-least-once (duplicate injection), so a
+    /// re-delivered coordination must replay the response rather than
+    /// order the mutation a second time.
+    seen_coordinates: RefCell<HashMap<u64, Option<Response>>>,
     coordinated: Counter,
     applied: Counter,
     reads: Counter,
@@ -63,6 +70,7 @@ impl ReplicaNode {
             fabric: fabric.clone(),
             placement,
             engine: RefCell::new(StorageEngine::new(tier)),
+            seen_coordinates: RefCell::new(HashMap::new()),
             coordinated: Counter::new(),
             applied: Counter::new(),
             reads: Counter::new(),
@@ -154,7 +162,8 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             id,
             mutation,
             sync_replicas,
-        } => coordinate(&inner, id, mutation, sync_replicas).await,
+            req_id,
+        } => coordinate_dedup(&inner, req_id, id, mutation, sync_replicas).await,
         Request::Apply { id, tag, mutation } => {
             charge_io(&inner, mutation_bytes(&mutation)).await;
             inner.applied.incr();
@@ -256,6 +265,44 @@ fn mutation_bytes(m: &Mutation) -> usize {
     }
 }
 
+/// At-most-once execution of [`Request::Coordinate`]. The first arrival
+/// of a `req_id` claims it and runs [`coordinate`]; any duplicate
+/// delivery either replays the recorded response or, while the original
+/// is still in flight, waits for it to finish. Without this a
+/// network-duplicated coordination would be ordered twice at a fresh
+/// tag, silently reverting any write that landed in between.
+async fn coordinate_dedup(
+    inner: &Rc<Inner>,
+    req_id: u64,
+    id: ObjectId,
+    mutation: Mutation,
+    sync_replicas: u32,
+) -> Response {
+    loop {
+        let claimed = {
+            let mut seen = inner.seen_coordinates.borrow_mut();
+            match seen.get(&req_id) {
+                Some(Some(resp)) => return resp.clone(),
+                Some(None) => false,
+                None => {
+                    seen.insert(req_id, None);
+                    true
+                }
+            }
+        };
+        if claimed {
+            break;
+        }
+        inner.fabric.handle().sleep(Duration::from_micros(50)).await;
+    }
+    let resp = coordinate(inner, id, mutation, sync_replicas).await;
+    inner
+        .seen_coordinates
+        .borrow_mut()
+        .insert(req_id, Some(resp.clone()));
+    resp
+}
+
 /// Primary-side mutation ordering and replication.
 async fn coordinate(
     inner: &Rc<Inner>,
@@ -272,12 +319,20 @@ async fn coordinate(
     }
     inner.coordinated.incr();
 
-    // Order and apply locally.
-    let tag = inner.engine.borrow().tag_of(id).next(inner.node.0);
+    // Order and apply locally. Charge the media time first: the tag
+    // read and the apply must not straddle an await, or two concurrent
+    // coordinations for the same object would both read the current tag
+    // and assign the *same* tag to different mutations — replicas then
+    // diverge at equal tags, which anti-entropy can never repair.
     charge_io(inner, mutation_bytes(&mutation)).await;
-    if let Err(e) = inner.engine.borrow_mut().apply(id, tag, &mutation) {
-        return Response::Err(WireError::from_pcsi(&e));
-    }
+    let tag = {
+        let mut engine = inner.engine.borrow_mut();
+        let tag = engine.tag_of(id).next(inner.node.0);
+        if let Err(e) = engine.apply(id, tag, &mutation) {
+            return Response::Err(WireError::from_pcsi(&e));
+        }
+        tag
+    };
 
     // Replicate to secondaries; wait for `sync_replicas - 1` acks.
     let secondaries: Vec<NodeId> = replicas[1..].to_vec();

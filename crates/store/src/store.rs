@@ -25,7 +25,7 @@
 //! `IMMUTABLE` objects and the stable prefixes of `APPEND_ONLY` objects
 //! are served node-locally at DRAM cost with zero fabric traffic.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
@@ -35,6 +35,7 @@ use pcsi_core::{Consistency, Mutability, ObjectId, PcsiError};
 use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
 use pcsi_sim::sync::mpsc;
+use pcsi_sim::SimTime;
 
 use crate::cache::ObjectCache;
 use crate::engine::{MediaTier, Mutation};
@@ -86,6 +87,57 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// One client-side store operation as observed at its boundary: the
+/// invocation and response instants in virtual time plus the outcome.
+/// Emitted through the [`HistoryTap`] for consistency checking — the
+/// chaos harness records these into a concurrent history and runs a
+/// linearizability checker over it.
+#[derive(Debug, Clone)]
+pub enum TapEvent {
+    /// A client read (cache hits included).
+    Read {
+        /// Node the operation originated from.
+        origin: NodeId,
+        /// Object read.
+        id: ObjectId,
+        /// Consistency level the read was issued at.
+        consistency: Consistency,
+        /// Range start.
+        offset: u64,
+        /// Range length.
+        len: u64,
+        /// Invocation instant.
+        invoke: SimTime,
+        /// Response instant.
+        response: SimTime,
+        /// Served `(tag, data)` or the error rendered as a string.
+        outcome: Result<(Tag, Bytes), String>,
+    },
+    /// A client mutation routed through the object's primary.
+    Mutate {
+        /// Node the operation originated from.
+        origin: NodeId,
+        /// Object mutated.
+        id: ObjectId,
+        /// Mutation kind (`"put"`, `"write_at"`, `"append"`,
+        /// `"set_mutability"`, `"delete"`).
+        op: &'static str,
+        /// Payload bytes of the mutation (empty for payload-free ops).
+        payload: Bytes,
+        /// Synchronous acknowledgements the mutation waited for.
+        sync_replicas: u32,
+        /// Invocation instant.
+        invoke: SimTime,
+        /// Response instant.
+        response: SimTime,
+        /// Acknowledged tag or the error rendered as a string.
+        outcome: Result<Tag, String>,
+    },
+}
+
+/// Observer invoked once per completed client operation.
+pub type HistoryTap = Rc<dyn Fn(&TapEvent)>;
+
 /// The deployed storage system.
 #[derive(Clone)]
 pub struct ReplicatedStore {
@@ -100,6 +152,12 @@ struct StoreInner {
     /// One mutability-aware cache per client node, created lazily.
     /// Clients are handed out per call, so the cache state lives here.
     caches: RefCell<HashMap<NodeId, ObjectCache>>,
+    /// Optional per-operation observer (chaos harness history recording).
+    tap: RefCell<Option<HistoryTap>>,
+    /// Store-unique [`Request::Coordinate`] id allocator. The fabric can
+    /// duplicate messages, so every coordination carries an id the
+    /// primary deduplicates on.
+    next_req_id: Cell<u64>,
 }
 
 impl ReplicatedStore {
@@ -122,7 +180,25 @@ impl ReplicatedStore {
                 replicas,
                 config,
                 caches: RefCell::new(HashMap::new()),
+                tap: RefCell::new(None),
+                next_req_id: Cell::new(0),
             }),
+        }
+    }
+
+    /// Installs (or removes) the per-operation history tap. The tap sees
+    /// every client read and mutation with its invoke/response interval;
+    /// it must not issue store operations itself.
+    pub fn set_history_tap(&self, tap: Option<HistoryTap>) {
+        *self.inner.tap.borrow_mut() = tap;
+    }
+
+    fn emit_tap(&self, make: impl FnOnce() -> TapEvent) {
+        // Clone the Rc out of the cell first so the observer runs with
+        // no borrow held.
+        let tap = self.inner.tap.borrow().clone();
+        if let Some(tap) = tap {
+            tap(&make());
         }
     }
 
@@ -325,16 +401,39 @@ impl StoreClient {
         mutation: Mutation,
         sync_replicas: u32,
     ) -> Result<Tag, PcsiError> {
+        let (op, payload) = match &mutation {
+            Mutation::PutFull { data, .. } => ("put", data.clone()),
+            Mutation::WriteAt { data, .. } => ("write_at", data.clone()),
+            Mutation::Append { data } => ("append", data.clone()),
+            Mutation::SetMutability { .. } => ("set_mutability", Bytes::new()),
+            Mutation::Delete => ("delete", Bytes::new()),
+        };
+        let invoke = self.store.inner.fabric.handle().now();
         let primary = self.store.placement().primary(id);
+        let req_id = self.store.inner.next_req_id.get() + 1;
+        self.store.inner.next_req_id.set(req_id);
         let req = Request::Coordinate {
             id,
             mutation,
             sync_replicas,
+            req_id,
         };
-        match self.call_store(primary, &req).await? {
-            Response::Coordinated { tag } => Ok(tag),
-            other => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
-        }
+        let result = match self.call_store(primary, &req).await {
+            Ok(Response::Coordinated { tag }) => Ok(tag),
+            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
+            Err(e) => Err(e),
+        };
+        self.store.emit_tap(|| TapEvent::Mutate {
+            origin: self.origin,
+            id,
+            op,
+            payload,
+            sync_replicas,
+            invoke,
+            response: self.store.inner.fabric.handle().now(),
+            outcome: result.as_ref().map(|&t| t).map_err(|e| e.to_string()),
+        });
+        result
     }
 
     /// Reads a byte range at the requested consistency level.
@@ -347,6 +446,31 @@ impl StoreClient {
     /// at DRAM cost with zero fabric traffic, which is sound at *any*
     /// consistency level because such bytes can never change.
     pub async fn read(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        consistency: Consistency,
+    ) -> Result<(Tag, Bytes), PcsiError> {
+        let invoke = self.store.inner.fabric.handle().now();
+        let result = self.read_inner(id, offset, len, consistency).await;
+        self.store.emit_tap(|| TapEvent::Read {
+            origin: self.origin,
+            id,
+            consistency,
+            offset,
+            len,
+            invoke,
+            response: self.store.inner.fabric.handle().now(),
+            outcome: match &result {
+                Ok((tag, data)) => Ok((*tag, data.clone())),
+                Err(e) => Err(e.to_string()),
+            },
+        });
+        result
+    }
+
+    async fn read_inner(
         &self,
         id: ObjectId,
         offset: u64,
@@ -371,8 +495,26 @@ impl StoreClient {
                 let inline_limit = self.store.inner.config.inline_read_max;
                 if inline_limit == 0 {
                     // Two-phase path: version quorum, then a directed
-                    // read from the newest replica.
-                    let (newest_node, _tag) = self.tag_quorum(id).await?;
+                    // read from the newest replica. Same write-back rule
+                    // as the one-RTT path: a tag seen at fewer than a
+                    // majority must be made durable before serving it.
+                    let (replies, need) = self.tag_quorum(id).await?;
+                    let &(newest_node, newest_tag) = replies
+                        .iter()
+                        .max_by_key(|(_, t)| *t)
+                        .expect("quorum met implies at least one reply");
+                    if newest_tag == Tag::ZERO {
+                        return Err(PcsiError::NotFound(id));
+                    }
+                    let known: Vec<NodeId> = replies
+                        .iter()
+                        .filter(|(_, t)| *t == newest_tag)
+                        .map(|(n, _)| *n)
+                        .collect();
+                    if known.len() < need {
+                        self.write_back(id, newest_node, &known, need - known.len())
+                            .await?;
+                    }
                     self.read_from(newest_node, id, offset, len).await?
                 } else {
                     self.read_one_rtt(id, offset, len, inline_limit).await?
@@ -391,8 +533,14 @@ impl StoreClient {
     /// seen is at least the last acknowledged write's. Replies above the
     /// inline limit degrade to a tag report, after which the newest
     /// replica is read directly (matching the old two-phase cost).
-    /// Replicas observed behind the newest tag are repaired in the
-    /// background.
+    ///
+    /// When the quorum replies *disagree*, the newest value is known to
+    /// be at fewer than a majority — a concurrent write may still be in
+    /// flight. Returning it immediately would let a later read miss it
+    /// (the classic regular-but-not-atomic register anomaly), so the
+    /// read first **writes back**: it pushes the newest state until a
+    /// majority durably holds it (ABD's second phase). The agreeing
+    /// fast path stays one round trip.
     async fn read_one_rtt(
         &self,
         id: ObjectId,
@@ -478,13 +626,15 @@ impl StoreClient {
         if best_tag == Tag::ZERO {
             return Err(PcsiError::NotFound(id));
         }
-        let stale: Vec<NodeId> = replies
-            .iter()
-            .filter(|r| r.tag < best_tag)
-            .map(|r| r.node)
-            .collect();
-        if !stale.is_empty() {
-            self.spawn_read_repair(id, replies[best].node, stale);
+        let holders = replies.iter().filter(|r| r.tag == best_tag).count();
+        if holders < need {
+            let known: Vec<NodeId> = replies
+                .iter()
+                .filter(|r| r.tag == best_tag)
+                .map(|r| r.node)
+                .collect();
+            self.write_back(id, replies[best].node, &known, need - holders)
+                .await?;
         }
         let best_node = replies[best].node;
         match replies.swap_remove(best).served {
@@ -495,34 +645,89 @@ impl StoreClient {
         }
     }
 
-    /// Pushes the newest observed state to replicas that reported an
-    /// older tag. Runs detached, so the read that noticed the divergence
-    /// pays nothing; `sync_in` tag checks on the receiver make stale or
-    /// duplicate pushes harmless.
-    fn spawn_read_repair(&self, id: ObjectId, source: NodeId, stale: Vec<NodeId>) {
-        let fabric = self.store.inner.fabric.clone();
-        let origin = self.origin;
-        self.store.inner.fabric.handle().spawn(async move {
-            let fetch = wire::encode_request(&Request::Fetch { id });
-            let object = match call_store_raw(fabric.clone(), origin, source, fetch).await {
+    /// ABD write-back (doubles as read repair): fetches the newest state
+    /// from `source` and pushes it to every replica not already known to
+    /// hold it, returning once `need_acks` pushes succeeded — at which
+    /// point a majority durably holds the value and any later read
+    /// quorum must observe it. `sync_in` tag checks on the receivers
+    /// make stale or duplicate pushes harmless; the remaining pushes
+    /// finish detached.
+    async fn write_back(
+        &self,
+        id: ObjectId,
+        source: NodeId,
+        known: &[NodeId],
+        need_acks: usize,
+    ) -> Result<(), PcsiError> {
+        let fetch = wire::encode_request(&Request::Fetch { id });
+        let object =
+            match call_store_raw(self.store.inner.fabric.clone(), self.origin, source, fetch).await
+            {
                 Ok(Response::Object { object }) => object,
-                // Source gone, or the object vanished (deleted) between
-                // the read and the fetch: nothing to repair with.
-                _ => return,
+                // The object vanished between the read and the fetch —
+                // a racing delete; surface it as such.
+                Ok(Response::Absent) => return Err(PcsiError::NotFound(id)),
+                _ => {
+                    return Err(PcsiError::QuorumUnavailable {
+                        needed: need_acks,
+                        got: 0,
+                    })
+                }
             };
-            for node in stale {
-                let push = wire::encode_request(&Request::Push {
-                    id,
-                    object: object.clone(),
-                });
-                let _ = call_store_raw(fabric.clone(), origin, node, push).await;
+        let targets: Vec<NodeId> = self
+            .store
+            .placement()
+            .replicas(id)
+            .into_iter()
+            .filter(|n| !known.contains(n))
+            .collect();
+        let total = targets.len();
+        let (tx, mut rx) = mpsc::channel::<bool>();
+        for node in targets {
+            let tx = tx.clone();
+            let fabric = self.store.inner.fabric.clone();
+            let origin = self.origin;
+            let push = wire::encode_request(&Request::Push {
+                id,
+                object: object.clone(),
+            });
+            self.store.inner.fabric.handle().spawn(async move {
+                let ok = matches!(
+                    call_store_raw(fabric, origin, node, push).await,
+                    Ok(Response::Applied)
+                );
+                let _ = tx.send(ok);
+            });
+        }
+        drop(tx);
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        while ok < need_acks {
+            match rx.recv().await {
+                Some(true) => ok += 1,
+                Some(false) => {
+                    failed += 1;
+                    if total - failed < need_acks {
+                        return Err(PcsiError::QuorumUnavailable {
+                            needed: need_acks,
+                            got: ok,
+                        });
+                    }
+                }
+                None => {
+                    return Err(PcsiError::QuorumUnavailable {
+                        needed: need_acks,
+                        got: ok,
+                    });
+                }
             }
-        });
+        }
+        Ok(())
     }
 
-    /// Queries all replicas for their tag, waits for a majority, and
-    /// returns the node holding the newest tag (and that tag).
-    async fn tag_quorum(&self, id: ObjectId) -> Result<(NodeId, Tag), PcsiError> {
+    /// Queries all replicas for their tag and returns the first majority
+    /// of `(node, tag)` replies plus the majority size.
+    async fn tag_quorum(&self, id: ObjectId) -> Result<(Vec<(NodeId, Tag)>, usize), PcsiError> {
         let replicas = self.store.placement().replicas(id);
         let need = self.store.placement().majority();
         let total = replicas.len();
@@ -542,39 +747,29 @@ impl StoreClient {
         }
         drop(tx);
 
-        let mut best: Option<(NodeId, Tag)> = None;
-        let mut ok = 0usize;
+        let mut replies: Vec<(NodeId, Tag)> = Vec::with_capacity(need);
         let mut failed = 0usize;
-        while ok < need {
+        while replies.len() < need {
             match rx.recv().await {
-                Some(Some((node, tag))) => {
-                    ok += 1;
-                    if best.map(|(_, t)| tag > t).unwrap_or(true) {
-                        best = Some((node, tag));
-                    }
-                }
+                Some(Some(reply)) => replies.push(reply),
                 Some(None) => {
                     failed += 1;
                     if total - failed < need {
                         return Err(PcsiError::QuorumUnavailable {
                             needed: need,
-                            got: ok,
+                            got: replies.len(),
                         });
                     }
                 }
                 None => {
                     return Err(PcsiError::QuorumUnavailable {
                         needed: need,
-                        got: ok,
+                        got: replies.len(),
                     })
                 }
             }
         }
-        let (node, tag) = best.expect("quorum met implies at least one response");
-        if tag == Tag::ZERO {
-            return Err(PcsiError::NotFound(id));
-        }
-        Ok((node, tag))
+        Ok((replies, need))
     }
 
     async fn read_from(
@@ -635,7 +830,7 @@ async fn call_store_raw(
 
 fn net_to_pcsi(e: NetError) -> PcsiError {
     match e {
-        NetError::NodeDown(_) | NetError::Partitioned(_, _) => {
+        NetError::NodeDown(_) | NetError::Partitioned(_, _) | NetError::Dropped(_, _) => {
             PcsiError::QuorumUnavailable { needed: 1, got: 0 }
         }
         other => PcsiError::Fault(other.to_string()),
@@ -1103,6 +1298,60 @@ mod tests {
                 assert_eq!(store.cache_stats().misses, before + 1);
             }
         });
+    }
+
+    #[test]
+    fn cache_stats_aggregate_evictions_across_nodes() {
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        // A 1 KiB per-node cache: each 400-byte immutable object fits,
+        // but no node can hold all three at once.
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 1024,
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                for n in 0..3u64 {
+                    store
+                        .client(NodeId(0))
+                        .put(
+                            oid(100 + n),
+                            Bytes::from(vec![n as u8; 400]),
+                            Mutability::Immutable,
+                            Consistency::Linearizable,
+                        )
+                        .await
+                        .unwrap();
+                }
+                // Two nodes each read all three objects: 2 entries fit,
+                // the third admit evicts the LRU — once per node.
+                for node in [NodeId(1), NodeId(5)] {
+                    let c = store.client(node);
+                    for n in 0..3u64 {
+                        c.read_all(oid(100 + n), Consistency::Linearizable)
+                            .await
+                            .unwrap();
+                    }
+                }
+            }
+        });
+        let stats = store.cache_stats();
+        assert_eq!(stats.evictions, 2, "one eviction on each reading node");
+        assert_eq!(stats.misses, 6, "every first read misses");
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

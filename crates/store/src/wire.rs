@@ -30,6 +30,11 @@ pub enum Request {
         mutation: Mutation,
         /// Acks required before success is reported.
         sync_replicas: u32,
+        /// Store-unique request id. The network is at-least-once (the
+        /// fabric can duplicate messages), so the primary deduplicates on
+        /// this id and replays the recorded response instead of ordering
+        /// the mutation twice.
+        req_id: u64,
     },
     /// Primary → secondary: apply an ordered mutation.
     Apply {
@@ -426,10 +431,12 @@ pub fn encode_request(req: &Request) -> Bytes {
             id,
             mutation,
             sync_replicas,
+            req_id,
         } => {
             w.u8(0);
             w.id(*id);
             w.u32(*sync_replicas);
+            w.u64(*req_id);
             w.mutation(mutation);
         }
         Request::Apply { id, tag, mutation } => {
@@ -484,10 +491,12 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
         0 => {
             let id = r.id()?;
             let sync_replicas = r.u32()?;
+            let req_id = r.u64()?;
             Request::Coordinate {
                 id,
                 mutation: r.mutation()?,
                 sync_replicas,
+                req_id,
             }
         }
         1 => Request::Apply {
@@ -685,6 +694,7 @@ mod tests {
                     mutability: Mutability::AppendOnly,
                 },
                 sync_replicas: 2,
+                req_id: 1,
             },
             Request::Apply {
                 id: oid(2),
@@ -706,6 +716,7 @@ mod tests {
                 id: oid(6),
                 mutation: Mutation::Delete,
                 sync_replicas: 3,
+                req_id: u64::MAX,
             },
             Request::Apply {
                 id: oid(7),

@@ -5,8 +5,11 @@ use proptest::prelude::*;
 
 use pcsi_core::{Mutability, ObjectId};
 use pcsi_net::Topology;
-use pcsi_store::engine::{MediaTier, Mutation, StorageEngine};
+use pcsi_store::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
 use pcsi_store::version::{Tag, VersionVector};
+use pcsi_store::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response, WireError,
+};
 use pcsi_store::Placement;
 
 fn oid(n: u64) -> ObjectId {
@@ -38,6 +41,121 @@ fn arb_mutation() -> impl Strategy<Value = Mutation> {
             to: Mutability::Immutable
         }),
         Just(Mutation::Delete),
+    ]
+}
+
+fn arb_id() -> impl Strategy<Value = ObjectId> {
+    (any::<u64>(), any::<u64>()).prop_map(|(realm, serial)| ObjectId::from_parts(realm, serial))
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (any::<u64>(), any::<u32>()).prop_map(|(seq, writer)| Tag { seq, writer })
+}
+
+fn arb_mutability() -> impl Strategy<Value = Mutability> {
+    prop_oneof![
+        Just(Mutability::Mutable),
+        Just(Mutability::FixedSize),
+        Just(Mutability::AppendOnly),
+        Just(Mutability::Immutable),
+    ]
+}
+
+fn arb_bytes() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
+}
+
+fn arb_wire_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (arb_bytes(), arb_mutability())
+            .prop_map(|(data, mutability)| Mutation::PutFull { data, mutability }),
+        (any::<u64>(), arb_bytes()).prop_map(|(offset, data)| Mutation::WriteAt { offset, data }),
+        arb_bytes().prop_map(|data| Mutation::Append { data }),
+        arb_mutability().prop_map(|to| Mutation::SetMutability { to }),
+        Just(Mutation::Delete),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = StoredObject> {
+    (arb_bytes(), arb_tag(), arb_mutability(), any::<u64>()).prop_map(
+        |(data, tag, mutability, stable_len)| StoredObject {
+            data,
+            tag,
+            mutability,
+            stable_len,
+        },
+    )
+}
+
+/// Every [`Request`] variant, including the previously untested
+/// `ReadWithTag` and `Push`.
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_id(), arb_wire_mutation(), any::<u32>(), any::<u64>()).prop_map(
+            |(id, mutation, sync_replicas, req_id)| Request::Coordinate {
+                id,
+                mutation,
+                sync_replicas,
+                req_id,
+            }
+        ),
+        (arb_id(), arb_tag(), arb_wire_mutation()).prop_map(|(id, tag, mutation)| Request::Apply {
+            id,
+            tag,
+            mutation
+        }),
+        (arb_id(), any::<u64>(), any::<u64>()).prop_map(|(id, offset, len)| Request::Read {
+            id,
+            offset,
+            len
+        }),
+        arb_id().prop_map(|id| Request::TagOf { id }),
+        arb_id().prop_map(|id| Request::Fetch { id }),
+        Just(Request::Inventory),
+        (arb_id(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(id, offset, len, inline_limit)| Request::ReadWithTag {
+                id,
+                offset,
+                len,
+                inline_limit,
+            }
+        ),
+        (arb_id(), arb_object()).prop_map(|(id, object)| Request::Push { id, object }),
+    ]
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        arb_id().prop_map(WireError::NotFound),
+        (arb_id(), arb_mutability(), "[a-z]{0,12}")
+            .prop_map(|(id, level, op)| { WireError::MutabilityViolation { id, level, op } }),
+        (arb_mutability(), arb_mutability())
+            .prop_map(|(from, to)| WireError::InvalidTransition { from, to }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(needed, got)| WireError::QuorumUnavailable { needed, got }),
+        "[ -~]{0,24}".prop_map(WireError::Other),
+    ]
+}
+
+/// Every [`Response`] variant.
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        arb_tag().prop_map(|tag| Response::Coordinated { tag }),
+        Just(Response::Applied),
+        (arb_tag(), arb_mutability(), any::<u64>(), arb_bytes()).prop_map(
+            |(tag, mutability, stable_len, data)| Response::Data {
+                tag,
+                mutability,
+                stable_len,
+                data,
+            }
+        ),
+        arb_tag().prop_map(|tag| Response::TagIs { tag }),
+        arb_object().prop_map(|object| Response::Object { object }),
+        Just(Response::Absent),
+        proptest::collection::vec((arb_id(), arb_tag()), 0..12)
+            .prop_map(|entries| Response::InventoryIs { entries }),
+        arb_wire_error().prop_map(Response::Err),
     ]
 }
 
@@ -144,6 +262,38 @@ proptest! {
     fn tag_next_increases(seq in 0u64..u64::MAX - 1, w1 in any::<u32>(), w2 in any::<u32>()) {
         let t = Tag { seq, writer: w1 };
         prop_assert!(t.next(w2) > t);
+    }
+
+    /// Every request round-trips through the wire codec unchanged.
+    #[test]
+    fn wire_requests_roundtrip(req in arb_request()) {
+        let wire = encode_request(&req);
+        prop_assert_eq!(decode_request(&wire).unwrap(), req);
+    }
+
+    /// Every response round-trips through the wire codec unchanged.
+    #[test]
+    fn wire_responses_roundtrip(resp in arb_response()) {
+        let wire = encode_response(&resp);
+        prop_assert_eq!(decode_response(&wire).unwrap(), resp);
+    }
+
+    /// No strict prefix of an encoded request decodes — the codec
+    /// detects truncation at every cut point, for every variant.
+    #[test]
+    fn wire_request_truncation_always_detected(req in arb_request()) {
+        let wire = encode_request(&req);
+        for cut in 0..wire.len() {
+            prop_assert!(decode_request(&wire[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    /// Trailing garbage after a valid response is rejected.
+    #[test]
+    fn wire_response_trailing_bytes_detected(resp in arb_response(), junk in any::<u8>()) {
+        let mut wire = encode_response(&resp).to_vec();
+        wire.push(junk);
+        prop_assert!(decode_response(&wire).is_err());
     }
 
     /// Placement: deterministic, correct cardinality, no duplicates, and

@@ -1,169 +1,79 @@
 //! Cross-crate integration: fault injection against the full stack.
 //!
-//! The consistency contract under crashes and partitions: linearizable
-//! reads never observe a lost or stale acked write, whatever the fault
-//! schedule does; eventual objects converge once the network heals.
+//! The consistency contract under crashes, partitions and message-level
+//! faults: linearizable histories must linearize, eventual objects must
+//! converge once the network heals. The seeded sweeps here delegate to
+//! the `pcsi-chaos` harness — `CHAOS_SEEDS` widens them — while the
+//! remaining hand-built scenarios pin down mechanisms (read repair,
+//! failover) the generic checkers don't isolate.
 
 use std::time::Duration;
 
 use bytes::Bytes;
+use pcsi_chaos::{run_scenario, sweep_seeds, FaultPlan, ScenarioConfig};
 use pcsi_cloud::CloudBuilder;
 use pcsi_core::api::CreateOptions;
 use pcsi_core::{CloudInterface, Consistency, PcsiError};
 use pcsi_net::NodeId;
 use pcsi_sim::Sim;
 
-/// Random crash/recover chaos on non-primary replicas while a writer and
-/// a reader hammer one linearizable object. Invariant: every successful
-/// linearizable read returns the latest successfully acked value.
+/// Seeded crash/restart and partition/heal schedules while workers
+/// hammer linearizable registers through the full kernel stack: every
+/// recorded history must pass the linearizability checker. This replaces
+/// the old three-hand-seed monotonicity test — the checker subsumes the
+/// monotone-reads invariant and the sweep covers far more schedules.
 #[test]
-fn linearizable_reads_never_go_backwards_under_replica_chaos() {
-    for seed in [101u64, 202, 303] {
-        let mut sim = Sim::new(seed);
-        let h = sim.handle();
-        sim.block_on(async move {
-            let cloud = CloudBuilder::new().build(&h);
-            let writer = cloud.kernel.client(NodeId(0), "chaos");
-            let obj = writer
-                .create(
-                    CreateOptions::regular()
-                        .with_consistency(Consistency::Linearizable)
-                        .with_initial(vec![0u8; 8]),
-                )
-                .await
-                .unwrap();
-            let replicas = cloud.store.placement().replicas(obj.id());
-            let secondaries = [replicas[1], replicas[2]];
-            let rng = h.rng().stream("chaos");
-
-            // A write that fails (quorum loss) may still have applied at
-            // the primary; linearizability then allows later reads to
-            // observe it. The invariant is therefore: reads are monotone
-            // and land in [last acked, last attempted].
-            let mut last_acked = 0u8;
-            let mut last_attempted = 0u8;
-            let mut last_seen = 0u8;
-            for round in 1..=120u32 {
-                // Random fault action on a secondary.
-                let victim = secondaries[(rng.gen_range(0..2)) as usize];
-                match rng.gen_range(0..4) {
-                    0 => cloud.fabric.set_node_down(victim, true),
-                    1 => {
-                        cloud.fabric.set_node_down(secondaries[0], false);
-                        cloud.fabric.set_node_down(secondaries[1], false);
-                    }
-                    _ => {}
-                }
-
-                let value = (round % 251) as u8;
-                last_attempted = value;
-                match writer.write(&obj, 0, Bytes::from(vec![value; 8])).await {
-                    Ok(()) => last_acked = value,
-                    Err(e) => {
-                        // Only quorum loss may refuse a write.
-                        assert!(
-                            matches!(
-                                e,
-                                PcsiError::QuorumUnavailable { .. } | PcsiError::Fault(_)
-                            ),
-                            "unexpected write error {e:?}"
-                        );
-                    }
-                }
-
-                // Read from a random node; must see the last acked value
-                // whenever it succeeds.
-                let reader_node = NodeId(rng.gen_range(0..16) as u32);
-                let reader = cloud.kernel.client(reader_node, "chaos");
-                match reader.read(&obj, 0, 1).await {
-                    Ok(data) => {
-                        let v = data[0];
-                        assert!(
-                            v >= last_acked && v <= last_attempted,
-                            "seed {seed} round {round}: read {v}, acked {last_acked}, attempted {last_attempted}"
-                        );
-                        assert!(
-                            v >= last_seen,
-                            "seed {seed} round {round}: non-monotone read {v} after {last_seen}"
-                        );
-                        last_seen = v;
-                    }
-                    Err(e) => assert!(
-                        matches!(
-                            e,
-                            PcsiError::QuorumUnavailable { .. } | PcsiError::Fault(_)
-                        ),
-                        "unexpected read error {e:?}"
-                    ),
-                }
-            }
-            // Heal everything; the object must still be fully readable
-            // and at least as new as the last acked write.
-            for &n in &secondaries {
-                cloud.fabric.set_node_down(n, false);
-            }
-            let data = writer.read(&obj, 0, 1).await.unwrap();
-            assert!(data[0] >= last_acked && data[0] <= last_attempted);
-        });
+fn linearizability_survives_seeded_crash_and_partition_sweeps() {
+    for (base, plan) in [
+        (0x0C_4A05u64, FaultPlan::CrashRestart),
+        (0x0F_4A05u64, FaultPlan::PartitionHeal),
+    ] {
+        for &seed in &sweep_seeds(base, 6) {
+            let report = run_scenario(
+                seed,
+                &ScenarioConfig {
+                    plan,
+                    ..ScenarioConfig::default()
+                },
+            );
+            assert!(
+                report.ok(),
+                "plan {plan:?} seed {seed} violated the contract:\n{}",
+                report.render()
+            );
+        }
     }
 }
 
-/// An eventual object written during a partition converges on every
-/// replica after healing (anti-entropy), with no lost updates from the
-/// majority side.
+/// Seeded message-fault and mixed schedules: eventual registers must be
+/// byte-identical on every replica after heal + anti-entropy quiescence,
+/// and no read may observe a never-written value. Replaces the single
+/// hand-built partition/heal convergence test.
 #[test]
-fn eventual_objects_converge_after_partition_heals() {
-    let mut sim = Sim::new(404);
-    let h = sim.handle();
-    sim.block_on(async move {
-        let cloud = CloudBuilder::new().build(&h);
-        let writer = cloud.kernel.client(NodeId(0), "chaos");
-        let obj = writer
-            .create(
-                CreateOptions::regular()
-                    .with_consistency(Consistency::Eventual)
-                    .with_initial(vec![0u8; 16]),
-            )
-            .await
-            .unwrap();
-        let replicas = cloud.store.placement().replicas(obj.id());
-
-        // Cut one secondary off and write through the burst.
-        let isolated = replicas[2];
-        let others: Vec<NodeId> = cloud
-            .fabric
-            .topology()
-            .node_ids()
-            .into_iter()
-            .filter(|&n| n != isolated)
-            .collect();
-        cloud.fabric.partition(&[isolated], &others);
-        for i in 1..=20u8 {
-            writer
-                .write(&obj, 0, Bytes::from(vec![i; 16]))
-                .await
-                .unwrap();
+fn eventual_convergence_survives_seeded_fault_sweeps() {
+    for (base, plan) in [
+        (0xE_0001u64, FaultPlan::MessageFaults),
+        (0xE_0002u64, FaultPlan::Mixed),
+    ] {
+        for &seed in &sweep_seeds(base, 6) {
+            let report = run_scenario(
+                seed,
+                &ScenarioConfig {
+                    plan,
+                    workers: 4,
+                    ops_per_worker: 20,
+                    lin_objects: 1,
+                    ev_objects: 3,
+                    inject_stale_reads: false,
+                },
+            );
+            assert!(
+                report.ok(),
+                "plan {plan:?} seed {seed} violated the contract:\n{}",
+                report.render()
+            );
         }
-        // The isolated replica is behind.
-        let behind = cloud
-            .store
-            .replica_on(isolated)
-            .unwrap()
-            .with_engine(|e| e.read(obj.id(), 0, 1).map(|b| b[0]));
-        assert_ne!(behind.ok(), Some(20), "partition should have isolated it");
-
-        // Heal and let anti-entropy converge.
-        cloud.fabric.heal_partitions();
-        h.sleep(Duration::from_secs(2)).await;
-        for &r in &replicas {
-            let v = cloud
-                .store
-                .replica_on(r)
-                .unwrap()
-                .with_engine(|e| e.read(obj.id(), 0, 1).map(|b| b[0]));
-            assert_eq!(v.ok(), Some(20), "replica {r} did not converge");
-        }
-    });
+    }
 }
 
 /// One-RTT linearizable reads under a partition: a lagging replica's

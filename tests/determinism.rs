@@ -158,3 +158,28 @@ fn different_seeds_diverge() {
     let b = run(2);
     assert_ne!(a, b);
 }
+
+/// A full chaos scenario — fault schedule, concurrent history, checker
+/// verdict — is part of the reproducibility contract too: a failing
+/// seed must replay byte-identically or it is useless for debugging.
+#[test]
+fn chaos_scenarios_fingerprint_identically_per_seed() {
+    use pcsi_chaos::{run_scenario, ScenarioConfig};
+
+    let cfg = ScenarioConfig::default();
+    let a = run_scenario(0xC0FFEE, &cfg);
+    let b = run_scenario(0xC0FFEE, &cfg);
+    // The rendered report covers the injected fault schedule, every
+    // operation's invoke/response interval, the observed values, and
+    // the verdict — all of it must match byte for byte.
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.net_faults, b.net_faults);
+
+    let c = run_scenario(0xC0FFEF, &cfg);
+    assert_ne!(
+        a.fingerprint(),
+        c.fingerprint(),
+        "different seeds must explore different schedules"
+    );
+}
