@@ -6,13 +6,14 @@
 //! ```
 //!
 //! Artifact names: `table1`, `rest-vs-nfs`, `mutability`, `pipeline`,
-//! `efficiency`, `flexibility`, `consistency`, `capability`, `crossover`.
+//! `efficiency`, `flexibility`, `consistency`, `capability`, `crossover`,
+//! `ycsb`, `recovery`.
 
 use std::time::Duration;
 
 use pcsi_bench::experiments::{
-    capability, consistency, crossover, efficiency, flexibility, mutability, pipeline, rest_vs_nfs,
-    table1, ycsb, DEFAULT_SEED,
+    capability, consistency, crossover, efficiency, flexibility, mutability, pipeline, recovery,
+    rest_vs_nfs, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
 
@@ -52,6 +53,9 @@ fn main() {
     }
     if want("ycsb") {
         report_ycsb();
+    }
+    if want("recovery") {
+        report_recovery();
     }
 }
 
@@ -332,6 +336,38 @@ fn report_ycsb() {
     print!("{}", t.render());
     match ycsb::immutable_shape_holds(&cell) {
         Ok(()) => println!("\nshape check: PASS (immutable working set served node-locally)\n"),
+        Err(e) => println!("\nshape check: FAIL — {e}\n"),
+    }
+}
+
+fn report_recovery() {
+    println!("## supporting — client fault recovery under message loss\n");
+    let cells = recovery::run(DEFAULT_SEED, 200);
+    let mut t = Table::new(&[
+        "fabric",
+        "write mean",
+        "read mean",
+        "retries",
+        "failovers",
+        "timeouts",
+        "client errors",
+    ]);
+    for c in &cells {
+        t.row(&[
+            c.label.into(),
+            ns(c.write_ns),
+            ns(c.read_ns),
+            format!("{}", c.retry.retries),
+            format!("{}", c.retry.failovers),
+            format!("{}", c.retry.timeouts),
+            format!("{}", c.client_errors),
+        ]);
+    }
+    print!("{}", t.render());
+    match recovery::shape_holds(&cells) {
+        Ok(()) => {
+            println!("\nshape check: PASS (drops cost latency, never a client-visible error)\n")
+        }
         Err(e) => println!("\nshape check: FAIL — {e}\n"),
     }
 }

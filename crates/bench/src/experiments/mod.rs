@@ -7,6 +7,7 @@ pub mod efficiency;
 pub mod flexibility;
 pub mod mutability;
 pub mod pipeline;
+pub mod recovery;
 pub mod rest_vs_nfs;
 pub mod table1;
 pub mod ycsb;

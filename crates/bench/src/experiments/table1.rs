@@ -110,6 +110,7 @@ pub fn linearizable_read_ns(seed: u64, one_rtt: bool) -> f64 {
                 anti_entropy: None,
                 inline_read_max: if one_rtt { 64 * 1024 } else { 0 },
                 cache_bytes: 0,
+                ..StoreConfig::default()
             },
         );
         let id = ObjectId::from_parts(1, 1);

@@ -304,6 +304,44 @@ mod tests {
     }
 
     #[test]
+    fn client_erred_write_is_optional_and_unordered() {
+        // The recovery layer can surface an error to the client while a
+        // (retried, failed-over) coordination still lands later. So a
+        // client-erred write must linearize *optionally and unordered*:
+        // at any point after its invocation — even after operations that
+        // completed long past its nominal response — or never. A checker
+        // that treated erred writes as definitely absent would reject
+        // this history on the final read, which observes the erred
+        // write's value after an intervening successful write.
+        let failed = |v, inv, resp| {
+            op(
+                OpKind::Write {
+                    value: v,
+                    ok: false,
+                },
+                inv,
+                resp,
+            )
+        };
+        let h = [
+            failed(1, 0, 10),
+            write(2, 20, 30),
+            read(2, 40, 50),
+            read(1, 60, 70),
+        ];
+        assert!(check_linearizable(oid(), 0, &h).is_ok());
+        // The same shape with a *successful* first write is a genuine
+        // violation — only erred writes escape real-time order.
+        let h = [
+            write(1, 0, 10),
+            write(2, 20, 30),
+            read(2, 40, 50),
+            read(1, 60, 70),
+        ];
+        assert!(check_linearizable(oid(), 0, &h).is_err());
+    }
+
+    #[test]
     fn failed_reads_are_ignored() {
         let h = [
             write(1, 0, 10),

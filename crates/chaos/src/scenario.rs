@@ -22,7 +22,7 @@ use pcsi_core::{CloudInterface, Consistency, ObjectId};
 use pcsi_net::{Fabric, MessageFaults, NodeId};
 use pcsi_sim::rng::DetRng;
 use pcsi_sim::{Sim, SimHandle};
-use pcsi_store::StoreConfig;
+use pcsi_store::{RetryPolicy, RetryStats, StoreConfig};
 
 use crate::checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
 use crate::history::{encode_value, Op, Recorder};
@@ -41,6 +41,14 @@ pub enum FaultPlan {
     MessageFaults,
     /// All of the above, chosen per event.
     Mixed,
+    /// Persistent 5% fabric-wide message drops for the whole run while
+    /// the target register's primary crashes and restarts. The store
+    /// runs a tight [`pcsi_store::RetryPolicy`] (per-attempt deadline
+    /// below the fabric's retransmit timeout), so this schedule is the
+    /// one the client fault-recovery layer must fully mask: a single
+    /// dropped message, or a dead primary with a live majority, must
+    /// never surface as a client-visible error.
+    Drops,
 }
 
 /// Scenario shape. The seed controls every random choice; the config
@@ -95,6 +103,12 @@ pub struct ScenarioReport {
     pub violations: Vec<Violation>,
     /// Message-fault counters: (dropped, duplicated, delayed).
     pub net_faults: (u64, u64, u64),
+    /// Operation failures the client workers actually observed. The
+    /// fault-recovery layer should mask transient faults, so under
+    /// [`FaultPlan::Drops`] this must be zero.
+    pub client_errors: u64,
+    /// Aggregate client fault-recovery counters for the run.
+    pub retry: RetryStats,
 }
 
 impl ScenarioReport {
@@ -121,6 +135,10 @@ impl ScenarioReport {
         out.push_str(&format!(
             "net dropped={} duplicated={} delayed={}\n",
             self.net_faults.0, self.net_faults.1, self.net_faults.2
+        ));
+        out.push_str(&format!(
+            "recovery retries={} failovers={} timeouts={} client-errors={}\n",
+            self.retry.retries, self.retry.failovers, self.retry.timeouts, self.client_errors
         ));
         if self.violations.is_empty() {
             out.push_str("verdict ok\n");
@@ -161,26 +179,52 @@ pub fn run_scenario(seed: u64, cfg: &ScenarioConfig) -> ScenarioReport {
     let h = sim.handle();
     let plan = cfg.plan;
     let cfg = cfg.clone();
-    let (faults, ops, violations, net_faults) = sim.block_on(async move { drive(h, &cfg).await });
+    let outcome = sim.block_on(async move { drive(h, &cfg).await });
     ScenarioReport {
         seed,
         plan,
-        faults,
-        ops,
-        violations,
-        net_faults,
+        faults: outcome.faults,
+        ops: outcome.ops,
+        violations: outcome.violations,
+        net_faults: outcome.net_faults,
+        client_errors: outcome.client_errors,
+        retry: outcome.retry,
     }
 }
 
-async fn drive(
-    h: SimHandle,
-    cfg: &ScenarioConfig,
-) -> (Vec<String>, Vec<Op>, Vec<Violation>, (u64, u64, u64)) {
+struct DriveOutcome {
+    faults: Vec<String>,
+    ops: Vec<Op>,
+    violations: Vec<Violation>,
+    net_faults: (u64, u64, u64),
+    client_errors: u64,
+    retry: RetryStats,
+}
+
+async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
+    let retry = if cfg.plan == FaultPlan::Drops {
+        // Per-attempt deadline below the fabric's 2 ms retransmit
+        // timeout so dropped messages surface as client-side timeouts
+        // (exercising `PcsiError::Timeout`), with enough retry and
+        // failover budget that a live majority is always found.
+        RetryPolicy {
+            attempt_timeout: Some(Duration::from_micros(1500)),
+            op_deadline: Some(Duration::from_millis(50)),
+            attempts_per_target: 4,
+            failover: true,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.5,
+        }
+    } else {
+        RetryPolicy::default()
+    };
     let cloud = CloudBuilder::new()
         .store(StoreConfig {
             // Anti-entropy is driven manually after heal, so the
             // quiescence point is explicit and bounded.
             anti_entropy: None,
+            retry,
             ..StoreConfig::default()
         })
         .build(&h);
@@ -212,8 +256,11 @@ async fn drive(
     let target: ObjectId = objects[0].0.id();
     // The injection scenarios partition the target's last replica away
     // (the primary is the first, so majority writes keep succeeding).
+    // The drop schedule instead crashes the primary itself, forcing
+    // client failovers.
     let target_replicas = store.placement().replicas(target);
     let laggard = target_replicas[target_replicas.len() - 1];
+    let primary = target_replicas[0];
 
     // The fault driver runs until the workers are done, then heals
     // everything it broke.
@@ -230,13 +277,17 @@ async fn drive(
         h.spawn(async move {
             if inject {
                 drive_targeted_partitions(&h2, &fabric, laggard, &log, &stop).await;
+            } else if plan == FaultPlan::Drops {
+                drive_drops(&h2, &fabric, primary, &log, &stop).await;
             } else {
                 drive_faults(&h2, &fabric, plan, &nodes, &log, &stop).await;
             }
         })
     };
 
-    // Client workers hammer the registers through the kernel.
+    // Client workers hammer the registers through the kernel, counting
+    // every operation failure they actually observe.
+    let client_errors: Rc<Cell<u64>> = Rc::default();
     let mut workers = Vec::new();
     for w in 0..cfg.workers {
         let rng = h.rng().stream_indexed("chaos-worker", w as u64);
@@ -246,6 +297,7 @@ async fn drive(
         let h2 = h.clone();
         let ops_per_worker = cfg.ops_per_worker;
         let inject = cfg.inject_stale_reads;
+        let errs = client_errors.clone();
         workers.push(h.spawn(async move {
             for i in 0..ops_per_worker {
                 h2.sleep(Duration::from_nanos(rng.gen_range(100_000..900_000)))
@@ -257,11 +309,14 @@ async fn drive(
                 } else {
                     &refs[rng.gen_range(0..refs.len() as u64) as usize]
                 };
-                if rng.bool(0.5) {
+                let failed = if rng.bool(0.5) {
                     let value = ((w as u64 + 1) << 32) | (i as u64 + 1);
-                    let _ = client.write(obj, 0, encode_value(value)).await;
+                    client.write(obj, 0, encode_value(value)).await.is_err()
                 } else {
-                    let _ = client.read(obj, 0, 8).await;
+                    client.read(obj, 0, 8).await.is_err()
+                };
+                if failed {
+                    errs.set(errs.get() + 1);
                 }
             }
         }));
@@ -328,7 +383,14 @@ async fn drive(
         fabric.messages_delayed(),
     );
     let faults = fault_log.borrow().clone();
-    (faults, ops, violations, net)
+    DriveOutcome {
+        faults,
+        ops,
+        violations,
+        net_faults: net,
+        client_errors: client_errors.get(),
+        retry: store.retry_stats(),
+    }
 }
 
 fn log_fault(h: &SimHandle, log: &Rc<std::cell::RefCell<Vec<String>>>, what: String) {
@@ -364,6 +426,7 @@ async fn drive_faults(
             FaultPlan::PartitionHeal => 1,
             FaultPlan::MessageFaults => 2,
             FaultPlan::Mixed => rng.gen_range(0..3),
+            FaultPlan::Drops => unreachable!("Drops runs its own driver"),
         };
         match action {
             0 => match downed.take() {
@@ -425,6 +488,47 @@ async fn drive_faults(
         fabric.set_node_down(node, false);
     }
     fabric.heal_partitions();
+    fabric.clear_message_faults();
+    log_fault(h, log, "heal-all".to_owned());
+}
+
+/// The drop schedule: 5% of all fabric messages vanish for the entire
+/// run, and on top of that the target register's primary repeatedly
+/// crashes and restarts. Every worker operation therefore races lost
+/// requests, lost responses, lost replication traffic, and a dead
+/// coordinator — the exact conditions the client recovery layer
+/// (deadlines, retries, failover) exists to mask. On stop the drops
+/// clear and the primary restarts, so quiescence runs on a healthy
+/// fabric.
+async fn drive_drops(
+    h: &SimHandle,
+    fabric: &Fabric,
+    primary: NodeId,
+    log: &Rc<std::cell::RefCell<Vec<String>>>,
+    stop: &Rc<Cell<bool>>,
+) {
+    let rng = h.rng().stream("chaos-fault-schedule");
+    fabric.set_message_faults(MessageFaults {
+        drop: 0.05,
+        duplicate: 0.0,
+        delay_spike: 0.0,
+        spike: Duration::ZERO,
+    });
+    log_fault(h, log, "message-faults drop=0.050".to_owned());
+    while !stop.get() {
+        h.sleep(Duration::from_nanos(rng.gen_range(1_500_000..3_000_000)))
+            .await;
+        if stop.get() {
+            break;
+        }
+        fabric.set_node_down(primary, true);
+        log_fault(h, log, format!("crash {primary}"));
+        h.sleep(Duration::from_nanos(rng.gen_range(1_000_000..2_500_000)))
+            .await;
+        fabric.set_node_down(primary, false);
+        log_fault(h, log, format!("restart {primary}"));
+    }
+    fabric.set_node_down(primary, false);
     fabric.clear_message_faults();
     log_fault(h, log, "heal-all".to_owned());
 }

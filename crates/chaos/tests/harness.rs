@@ -31,6 +31,7 @@ fn every_fault_plan_passes_individually() {
         FaultPlan::CrashRestart,
         FaultPlan::PartitionHeal,
         FaultPlan::MessageFaults,
+        FaultPlan::Drops,
     ] {
         for seed in 7000..7003u64 {
             let report = run_scenario(
@@ -47,6 +48,47 @@ fn every_fault_plan_passes_individually() {
             );
         }
     }
+}
+
+#[test]
+fn drop_faults_are_fully_masked_by_client_recovery() {
+    // 5% fabric-wide message drops for the whole run plus a repeatedly
+    // crashing primary — yet a majority is always live, so the client
+    // fault-recovery layer (deadlines, retries, failover) must mask
+    // every fault: zero client-visible operation failures and fully
+    // linearizable histories across the sweep (16 seeds by default;
+    // CHAOS_SEEDS widens it in CI). The recovery machinery must also
+    // actually have fired — nonzero retries, failovers and timeouts —
+    // otherwise the sweep is quietly testing a healthy network.
+    let cfg = ScenarioConfig {
+        plan: FaultPlan::Drops,
+        ..ScenarioConfig::default()
+    };
+    let (mut retries, mut failovers, mut timeouts, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+    for &seed in &sweep_seeds(0xD409_0000, 16) {
+        let report = run_scenario(seed, &cfg);
+        assert!(
+            report.ok(),
+            "seed {seed} violated the contract:\n{}",
+            report.render()
+        );
+        assert_eq!(
+            report.client_errors,
+            0,
+            "seed {seed}: {} client-visible operation failures despite a live majority:\n{}",
+            report.client_errors,
+            report.render()
+        );
+        retries += report.retry.retries;
+        failovers += report.retry.failovers;
+        timeouts += report.retry.timeouts;
+        dropped += report.net_faults.0;
+    }
+    assert!(dropped > 0, "the drop schedule never dropped a message");
+    assert!(
+        retries > 0 && failovers > 0 && timeouts > 0,
+        "recovery layer never exercised: retries={retries} failovers={failovers} timeouts={timeouts}"
+    );
 }
 
 #[test]

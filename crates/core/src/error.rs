@@ -64,6 +64,11 @@ pub enum PcsiError {
     },
     /// The operation timed out.
     Timeout,
+    /// A single peer could not be reached (message dropped, node down,
+    /// link partitioned). Unlike [`PcsiError::QuorumUnavailable`] this says
+    /// nothing about the quorum as a whole — a retry (possibly against a
+    /// different replica) may well succeed.
+    Unreachable(String),
     /// A function invocation failed inside the function body.
     FunctionFailed(String),
     /// No implementation variant of a function satisfies the request
@@ -104,6 +109,7 @@ impl fmt::Display for PcsiError {
                 write!(f, "quorum unavailable: needed {needed}, got {got}")
             }
             PcsiError::Timeout => f.write_str("operation timed out"),
+            PcsiError::Unreachable(msg) => write!(f, "peer unreachable: {msg}"),
             PcsiError::FunctionFailed(msg) => write!(f, "function failed: {msg}"),
             PcsiError::NoViableVariant(msg) => write!(f, "no viable variant: {msg}"),
             PcsiError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
@@ -118,11 +124,12 @@ impl std::error::Error for PcsiError {}
 
 impl PcsiError {
     /// True for errors a client can sensibly retry (transient overload,
-    /// timeouts, missing quorum).
+    /// timeouts, unreachable peers, missing quorum).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             PcsiError::Timeout
+                | PcsiError::Unreachable(_)
                 | PcsiError::QuorumUnavailable { .. }
                 | PcsiError::Overloaded(_)
                 | PcsiError::Fault(_)
@@ -149,6 +156,7 @@ mod tests {
     #[test]
     fn retryability_classification() {
         assert!(PcsiError::Timeout.is_retryable());
+        assert!(PcsiError::Unreachable("link dropped".into()).is_retryable());
         assert!(PcsiError::QuorumUnavailable { needed: 2, got: 1 }.is_retryable());
         assert!(PcsiError::Overloaded("busy".into()).is_retryable());
         assert!(!PcsiError::NotFound(ObjectId::NIL).is_retryable());

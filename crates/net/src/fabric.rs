@@ -114,6 +114,9 @@ pub enum NetError {
     Dropped(NodeId, NodeId),
     /// Application-level failure surfaced through the RPC layer.
     Remote(String),
+    /// The caller's deadline elapsed before the call completed. The call
+    /// itself keeps running detached, so the outcome is ambiguous.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for NetError {
@@ -125,6 +128,7 @@ impl fmt::Display for NetError {
             NetError::Closed => f.write_str("connection closed"),
             NetError::Dropped(a, b) => write!(f, "message from {a} to {b} dropped"),
             NetError::Remote(m) => write!(f, "remote error: {m}"),
+            NetError::DeadlineExceeded => f.write_str("call deadline exceeded"),
         }
     }
 }
@@ -489,6 +493,30 @@ impl Fabric {
         let resp_len = response.len();
         self.deliver(to, from, resp_len, transport).await?;
         Ok(response)
+    }
+
+    /// Like [`Fabric::call`], but gives up after `deadline` with
+    /// [`NetError::DeadlineExceeded`].
+    ///
+    /// The abandoned call keeps running detached: the handler may still
+    /// execute and its effects may still land. Callers must treat a
+    /// deadline error as *ambiguous* and retry only idempotent requests.
+    pub async fn call_with_deadline(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        transport: Transport,
+        payload: Bytes,
+        deadline: Duration,
+    ) -> Result<Bytes, NetError> {
+        let fabric = self.clone();
+        let service = service.to_owned();
+        let raced = pcsi_sim::util::deadline(&self.inner.handle, deadline, async move {
+            fabric.call(from, to, &service, transport, payload).await
+        })
+        .await;
+        raced.unwrap_or(Err(NetError::DeadlineExceeded))
     }
 
     /// Opens a connection (TCP handshake: 1.5 RTT); subsequent round trips
@@ -943,6 +971,43 @@ mod tests {
         );
         let c = run(100);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn call_with_deadline_times_out_and_passes_through() {
+        let mut sim = Sim::new(3);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "echo", echo_handler());
+        let (fast, slow) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                // A generous deadline: the call completes normally.
+                let fast = fabric
+                    .call_with_deadline(
+                        NodeId(0),
+                        NodeId(2),
+                        "echo",
+                        Transport::Tcp,
+                        Bytes::from_static(b"hi"),
+                        Duration::from_millis(10),
+                    )
+                    .await;
+                // A deadline shorter than one endpoint overhead: times out.
+                let slow = fabric
+                    .call_with_deadline(
+                        NodeId(0),
+                        NodeId(2),
+                        "echo",
+                        Transport::Tcp,
+                        Bytes::from_static(b"hi"),
+                        Duration::from_nanos(100),
+                    )
+                    .await;
+                (fast, slow)
+            }
+        });
+        assert_eq!(fast.unwrap(), Bytes::from_static(b"hi"));
+        assert_eq!(slow.unwrap_err(), NetError::DeadlineExceeded);
     }
 
     #[test]

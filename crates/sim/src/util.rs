@@ -7,6 +7,7 @@
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
+use std::time::Duration;
 
 use crate::executor::{LocalBoxFuture, SimHandle};
 use crate::sync::mpsc;
@@ -131,11 +132,42 @@ pub async fn first_k<T: 'static>(
     out
 }
 
+/// Races `fut` against a timer: `Some(output)` if the future completes
+/// within `dur`, `None` otherwise.
+///
+/// On timeout the future is **not** cancelled — it was spawned as its own
+/// task and keeps running detached. Callers racing an RPC must therefore
+/// treat a `None` as *ambiguous* (the request may still take effect) and
+/// lean on request-level idempotence when retrying.
+pub async fn deadline<T: 'static>(
+    handle: &SimHandle,
+    dur: Duration,
+    fut: impl Future<Output = T> + 'static,
+) -> Option<T> {
+    let (tx, mut rx) = mpsc::channel();
+    {
+        let tx = tx.clone();
+        handle.spawn(async move {
+            let _ = tx.send(Some(fut.await));
+        });
+    }
+    {
+        let h = handle.clone();
+        handle.spawn(async move {
+            h.sleep(dur).await;
+            let _ = tx.send(None);
+        });
+    }
+    match rx.recv().await {
+        Some(first) => first,
+        None => unreachable!("deadline: both racers vanished"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Sim;
-    use std::time::Duration;
 
     #[test]
     fn join_all_empty() {
@@ -196,6 +228,58 @@ mod tests {
             first_k(&h, futs, 3).await
         });
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn deadline_passes_through_fast_future() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let inner = h.clone();
+            deadline(&h, Duration::from_micros(100), async move {
+                inner.sleep(Duration::from_micros(10)).await;
+                7u32
+            })
+            .await
+        });
+        assert_eq!(out, Some(7));
+    }
+
+    #[test]
+    fn deadline_times_out_slow_future() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let inner = h.clone();
+            deadline(&h, Duration::from_micros(10), async move {
+                inner.sleep(Duration::from_micros(100)).await;
+                7u32
+            })
+            .await
+        });
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn deadline_loser_keeps_running_detached() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let (done_tx, mut done_rx) = mpsc::channel();
+        let out = sim.block_on({
+            let h = h.clone();
+            async move {
+                let inner = h.clone();
+                let timed = deadline(&h, Duration::from_micros(10), async move {
+                    inner.sleep(Duration::from_micros(100)).await;
+                    let _ = done_tx.send(42u32);
+                })
+                .await;
+                assert!(timed.is_none());
+                // The loser still completes after its own sleep elapses.
+                done_rx.recv().await
+            }
+        });
+        assert_eq!(out, Some(42));
     }
 
     #[test]

@@ -34,16 +34,20 @@
 //!   anti-entropy.
 //!
 //! Failure handling scope: replica crashes and partitions are tolerated on
-//! the read path (any majority / any replica) and detected on the write
-//! path (writes fail when the primary or a majority is unreachable).
-//! Primary fail-over (view changes) is out of scope — the paper proposes
-//! an interface, not a new replication protocol.
+//! the read path (any majority / any replica) and masked on the write path
+//! by the client-side fault-recovery layer ([`retry`]): per-attempt
+//! deadlines, bounded seeded-jitter retries, and failover of the
+//! coordination to the next replica in placement order (safe because
+//! coordinations are deduplicated by `req_id` and stale-tag applies are
+//! rejected, so any write majority still enforces a single order). Writes
+//! fail only when no majority is reachable for the whole retry budget.
 
 pub mod cache;
 pub mod engine;
 pub mod gc;
 pub mod placement;
 pub mod replica;
+pub mod retry;
 pub mod store;
 pub mod version;
 pub mod wire;
@@ -51,5 +55,6 @@ pub mod wire;
 pub use engine::{MediaTier, StorageEngine, StoredObject};
 pub use placement::Placement;
 pub use replica::ReplicaNode;
+pub use retry::{RetryPolicy, RetryStats};
 pub use store::{CacheStats, HistoryTap, ReplicatedStore, StoreClient, StoreConfig, TapEvent};
 pub use version::{Tag, VersionVector};

@@ -49,12 +49,20 @@ struct Inner {
     fabric: Fabric,
     placement: Placement,
     engine: RefCell<StorageEngine>,
-    /// Coordinate dedup table: `req_id` → the recorded response, or
-    /// `None` while the original execution is still in flight. The
-    /// fabric delivers at-least-once (duplicate injection), so a
-    /// re-delivered coordination must replay the response rather than
-    /// order the mutation a second time.
+    /// Coordinate dedup table: `req_id` → the recorded **success**
+    /// response, or `None` while the original execution is still in
+    /// flight. The fabric delivers at-least-once (duplicate injection)
+    /// and clients retry, so a re-delivered coordination must replay the
+    /// response rather than order the mutation a second time. Failed
+    /// coordinations are *removed* so a retry re-executes.
     seen_coordinates: RefCell<HashMap<u64, Option<Response>>>,
+    /// `req_id` → the tag it was ordered at, recorded when this node
+    /// coordinates a request or applies its fan-out. A retried (possibly
+    /// failed-over) coordination of a known `req_id` replays replication
+    /// at the recorded tag instead of ordering the mutation again at a
+    /// fresh one — without this, a retry arriving after newer writes
+    /// would silently revert them.
+    applied_reqs: RefCell<HashMap<u64, Tag>>,
     coordinated: Counter,
     applied: Counter,
     reads: Counter,
@@ -71,6 +79,7 @@ impl ReplicaNode {
             placement,
             engine: RefCell::new(StorageEngine::new(tier)),
             seen_coordinates: RefCell::new(HashMap::new()),
+            applied_reqs: RefCell::new(HashMap::new()),
             coordinated: Counter::new(),
             applied: Counter::new(),
             reads: Counter::new(),
@@ -164,13 +173,36 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             sync_replicas,
             req_id,
         } => coordinate_dedup(&inner, req_id, id, mutation, sync_replicas).await,
-        Request::Apply { id, tag, mutation } => {
+        Request::Apply {
+            id,
+            tag,
+            mutation,
+            req_id,
+        } => {
             charge_io(&inner, mutation_bytes(&mutation)).await;
-            inner.applied.incr();
-            match inner.engine.borrow_mut().apply(id, tag, &mutation) {
-                Ok(()) => Response::Applied,
-                Err(e) => Response::Err(WireError::from_pcsi(&e)),
+            let resp = {
+                let mut engine = inner.engine.borrow_mut();
+                let newest = engine.tag_of(id);
+                if tag <= newest {
+                    // Refuse to ack a stale-tagged apply. A coordinator
+                    // that restarted behind the replica set would
+                    // otherwise collect acks for writes that are
+                    // invisible to every read quorum.
+                    Response::Stale { newest }
+                } else {
+                    match engine.apply(id, tag, &mutation) {
+                        Ok(()) => Response::Applied,
+                        Err(e) => Response::Err(WireError::from_pcsi(&e)),
+                    }
+                }
+            };
+            if matches!(resp, Response::Applied) {
+                inner.applied.incr();
+                if req_id != 0 {
+                    inner.applied_reqs.borrow_mut().insert(req_id, tag);
+                }
             }
+            resp
         }
         Request::Read { id, offset, len } => {
             read_local(&inner, id, offset, len, u64::MAX, false).await
@@ -267,10 +299,12 @@ fn mutation_bytes(m: &Mutation) -> usize {
 
 /// At-most-once execution of [`Request::Coordinate`]. The first arrival
 /// of a `req_id` claims it and runs [`coordinate`]; any duplicate
-/// delivery either replays the recorded response or, while the original
-/// is still in flight, waits for it to finish. Without this a
+/// delivery either replays the recorded success response or, while the
+/// original is still in flight, waits for it to finish. Without this a
 /// network-duplicated coordination would be ordered twice at a fresh
-/// tag, silently reverting any write that landed in between.
+/// tag, silently reverting any write that landed in between. A *failed*
+/// coordination is removed from the table so a client retry re-executes
+/// instead of replaying the failure.
 async fn coordinate_dedup(
     inner: &Rc<Inner>,
     req_id: u64,
@@ -295,52 +329,156 @@ async fn coordinate_dedup(
         }
         inner.fabric.handle().sleep(Duration::from_micros(50)).await;
     }
-    let resp = coordinate(inner, id, mutation, sync_replicas).await;
-    inner
-        .seen_coordinates
-        .borrow_mut()
-        .insert(req_id, Some(resp.clone()));
+    let resp = coordinate(inner, id, mutation, sync_replicas, req_id).await;
+    {
+        let mut seen = inner.seen_coordinates.borrow_mut();
+        if matches!(resp, Response::Coordinated { .. }) {
+            seen.insert(req_id, Some(resp.clone()));
+        } else {
+            seen.remove(&req_id);
+        }
+    }
     resp
 }
 
-/// Primary-side mutation ordering and replication.
+/// How the synchronous part of a replication round ended.
+enum ReplicateOutcome {
+    /// Enough acks collected.
+    Acked,
+    /// A peer holds state newer than the ordered tag — this coordinator
+    /// is behind (e.g. it restarted after writes failed over past it).
+    Stale {
+        /// The newest tag reported.
+        newest: Tag,
+        /// The peer that reported it (catch-up source).
+        holder: NodeId,
+    },
+    /// Not enough reachable peers acked.
+    Failed {
+        /// Acks obtained, this node included.
+        got: u32,
+    },
+}
+
+/// Rounds of stale-tag catch-up a coordinator attempts before giving up
+/// and letting the client's retry budget drive further progress.
+const MAX_CATCHUP_ROUNDS: u32 = 3;
+
+/// Coordinator-side mutation ordering and replication.
+///
+/// Historically only the placement-order primary coordinated; with
+/// client-side failover *any replica of the object* may be asked to. A
+/// failed-over coordinator may be behind the rest of the set (it missed
+/// applies while down), which is caught two ways: secondaries refuse
+/// stale-tagged applies with [`Response::Stale`] — and since at most a
+/// minority of replicas can be behind an acknowledged write, a stale
+/// coordination can never assemble a majority of acks — and on such
+/// evidence the coordinator pulls the newest state, re-orders above it,
+/// and retries ([`MAX_CATCHUP_ROUNDS`] times).
 async fn coordinate(
     inner: &Rc<Inner>,
     id: ObjectId,
     mutation: Mutation,
     sync_replicas: u32,
+    req_id: u64,
 ) -> Response {
     let replicas = inner.placement.replicas(id);
-    if replicas[0] != inner.node {
+    if !replicas.contains(&inner.node) {
         return Response::Err(WireError::Other(format!(
-            "node {} is not primary for {id:?} (primary is {})",
-            inner.node, replicas[0]
+            "node {} does not replicate {id:?} (replicas are {replicas:?})",
+            inner.node
         )));
     }
     inner.coordinated.incr();
 
-    // Order and apply locally. Charge the media time first: the tag
-    // read and the apply must not straddle an await, or two concurrent
-    // coordinations for the same object would both read the current tag
-    // and assign the *same* tag to different mutations — replicas then
-    // diverge at equal tags, which anti-entropy can never repair.
+    let peers: Vec<NodeId> = replicas
+        .iter()
+        .copied()
+        .filter(|&n| n != inner.node)
+        .collect();
+    let need = (sync_replicas.saturating_sub(1) as usize).min(peers.len());
+
     charge_io(inner, mutation_bytes(&mutation)).await;
-    let tag = {
-        let mut engine = inner.engine.borrow_mut();
-        let tag = engine.tag_of(id).next(inner.node.0);
-        if let Err(e) = engine.apply(id, tag, &mutation) {
-            return Response::Err(WireError::from_pcsi(&e));
+
+    // A retried (possibly failed-over) coordination of a request this
+    // node already ordered — or applied the fan-out of — must not order
+    // it again: replay replication at the recorded tag. Peers whose
+    // state already advanced past that tag count as acks (their history
+    // subsumes the slot).
+    let recorded = (req_id != 0)
+        .then(|| inner.applied_reqs.borrow().get(&req_id).copied())
+        .flatten();
+    if let Some(tag) = recorded {
+        return match replicate(inner, id, tag, &mutation, req_id, &peers, need, true).await {
+            ReplicateOutcome::Acked => Response::Coordinated { tag },
+            ReplicateOutcome::Stale { .. } => unreachable!("stale counts as ack in replay"),
+            ReplicateOutcome::Failed { got } => Response::Err(WireError::QuorumUnavailable {
+                needed: sync_replicas,
+                got,
+            }),
+        };
+    }
+
+    let mut floor = Tag::ZERO;
+    let mut last_got = 1u32;
+    for _round in 0..=MAX_CATCHUP_ROUNDS {
+        // Order and apply locally. Charge the media time first: the tag
+        // read and the apply must not straddle an await, or two
+        // concurrent coordinations for the same object would both read
+        // the current tag and assign the *same* tag to different
+        // mutations — replicas then diverge at equal tags, which
+        // anti-entropy can never repair. `floor` keeps re-orders above
+        // any tag a peer reported via `Stale`, even when the catch-up
+        // fetch itself failed (or hit a tombstone).
+        let tag = {
+            let mut engine = inner.engine.borrow_mut();
+            let tag = engine.tag_of(id).max(floor).next(inner.node.0);
+            if let Err(e) = engine.apply(id, tag, &mutation) {
+                return Response::Err(WireError::from_pcsi(&e));
+            }
+            tag
+        };
+        if req_id != 0 {
+            inner.applied_reqs.borrow_mut().insert(req_id, tag);
         }
-        tag
-    };
+        match replicate(inner, id, tag, &mutation, req_id, &peers, need, false).await {
+            ReplicateOutcome::Acked => return Response::Coordinated { tag },
+            ReplicateOutcome::Stale { newest, holder } => {
+                floor = floor.max(newest);
+                catch_up(inner, id, holder).await;
+            }
+            ReplicateOutcome::Failed { got } => {
+                last_got = got;
+                break;
+            }
+        }
+    }
+    Response::Err(WireError::QuorumUnavailable {
+        needed: sync_replicas,
+        got: last_got,
+    })
+}
 
-    // Replicate to secondaries; wait for `sync_replicas - 1` acks.
-    let secondaries: Vec<NodeId> = replicas[1..].to_vec();
-    let need = (sync_replicas.saturating_sub(1) as usize).min(secondaries.len());
-    let total = secondaries.len();
-
-    let (tx, mut rx) = mpsc::channel::<bool>();
-    for peer in secondaries {
+/// Fans an ordered mutation to `peers` and waits for `need` acks.
+///
+/// In `replay` mode (re-replication of an already-ordered tag) a
+/// [`Response::Stale`] whose `newest` is at least the replayed tag is an
+/// ack: that peer's history already contains or supersedes the slot. In
+/// fresh mode it is evidence the coordinator ordered at a stale tag.
+#[allow(clippy::too_many_arguments)]
+async fn replicate(
+    inner: &Rc<Inner>,
+    id: ObjectId,
+    tag: Tag,
+    mutation: &Mutation,
+    req_id: u64,
+    peers: &[NodeId],
+    need: usize,
+    replay: bool,
+) -> ReplicateOutcome {
+    let total = peers.len();
+    let (tx, mut rx) = mpsc::channel::<Result<(), Option<(Tag, NodeId)>>>();
+    for &peer in peers {
         let tx = tx.clone();
         let fabric = inner.fabric.clone();
         let from = inner.node;
@@ -348,43 +486,79 @@ async fn coordinate(
             id,
             tag,
             mutation: mutation.clone(),
+            req_id,
         });
         inner.fabric.handle().spawn(async move {
-            let ok = matches!(
-                apply_on(&fabric, from, peer, req).await,
-                Ok(Response::Applied)
-            );
-            let _ = tx.send(ok);
+            let outcome = match apply_on(&fabric, from, peer, req).await {
+                Ok(Response::Applied) => Ok(()),
+                Ok(Response::Stale { newest }) if replay && newest >= tag => Ok(()),
+                Ok(Response::Stale { newest }) => Err(Some((newest, peer))),
+                _ => Err(None),
+            };
+            let _ = tx.send(outcome);
         });
     }
     drop(tx);
 
-    if need > 0 {
-        let mut ok = 0usize;
-        let mut failed = 0usize;
-        while ok < need {
-            match rx.recv().await {
-                Some(true) => ok += 1,
-                Some(false) => {
-                    failed += 1;
-                    if total - failed < need {
-                        return Response::Err(WireError::QuorumUnavailable {
-                            needed: sync_replicas,
-                            got: (ok + 1) as u32,
-                        });
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut stale: Option<(Tag, NodeId)> = None;
+    while ok < need {
+        let outcome = match rx.recv().await {
+            Some(o) => o,
+            None => break,
+        };
+        match outcome {
+            Ok(()) => ok += 1,
+            Err(evidence) => {
+                if let Some((newest, holder)) = evidence {
+                    match &stale {
+                        Some((t, _)) if *t >= newest => {}
+                        _ => stale = Some((newest, holder)),
                     }
                 }
-                None => {
-                    return Response::Err(WireError::QuorumUnavailable {
-                        needed: sync_replicas,
-                        got: (ok + 1) as u32,
-                    });
+                failed += 1;
+                if total - failed < need {
+                    break;
                 }
             }
         }
     }
     // Remaining replication continues in the background (detached tasks).
-    Response::Coordinated { tag }
+    if ok >= need {
+        ReplicateOutcome::Acked
+    } else if let Some((newest, holder)) = stale {
+        ReplicateOutcome::Stale { newest, holder }
+    } else {
+        ReplicateOutcome::Failed {
+            got: (ok + 1) as u32,
+        }
+    }
+}
+
+/// Pulls the newest state of `id` from `holder` into the local engine
+/// (best effort — the caller's tag floor guarantees progress even when
+/// this fails).
+async fn catch_up(inner: &Rc<Inner>, id: ObjectId, holder: NodeId) {
+    let raw = match inner
+        .fabric
+        .call(
+            inner.node,
+            holder,
+            STORE_SERVICE,
+            STORE_TRANSPORT,
+            wire::encode_request(&Request::Fetch { id }),
+        )
+        .await
+    {
+        Ok(raw) => raw,
+        Err(_) => return,
+    };
+    if let Ok(Response::Object { object }) = wire::decode_response(&raw) {
+        charge_io(inner, object.data.len()).await;
+        inner.engine.borrow_mut().sync_in(id, object);
+        inner.synced_in.incr();
+    }
 }
 
 async fn apply_on(

@@ -41,6 +41,7 @@ use crate::cache::ObjectCache;
 use crate::engine::{MediaTier, Mutation};
 use crate::placement::Placement;
 use crate::replica::{ReplicaNode, STORE_SERVICE, STORE_TRANSPORT};
+use crate::retry::{RetryPolicy, RetryStats, RETRY_RNG_STREAM};
 use crate::version::Tag;
 use crate::wire::{self, Request, Response};
 
@@ -62,6 +63,9 @@ pub struct StoreConfig {
     /// Byte budget of each node-local client cache; `0` disables
     /// client-side caching.
     pub cache_bytes: usize,
+    /// Client-side fault recovery: per-attempt deadlines, bounded
+    /// seeded-jitter retries, and coordination failover.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StoreConfig {
@@ -72,6 +76,7 @@ impl Default for StoreConfig {
             anti_entropy: Some(Duration::from_millis(100)),
             inline_read_max: 64 * 1024,
             cache_bytes: 256 * 1024 * 1024,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -155,9 +160,33 @@ struct StoreInner {
     /// Optional per-operation observer (chaos harness history recording).
     tap: RefCell<Option<HistoryTap>>,
     /// Store-unique [`Request::Coordinate`] id allocator. The fabric can
-    /// duplicate messages, so every coordination carries an id the
-    /// primary deduplicates on.
+    /// duplicate messages and clients retry, so every coordination
+    /// carries an id coordinators deduplicate on.
     next_req_id: Cell<u64>,
+    /// Fault-recovery counters, aggregated across every client of this
+    /// store.
+    retry_counters: RetryCounters,
+}
+
+#[derive(Default)]
+struct RetryCounters {
+    retries: Cell<u64>,
+    failovers: Cell<u64>,
+    timeouts: Cell<u64>,
+}
+
+impl RetryCounters {
+    fn retry(&self) {
+        self.retries.set(self.retries.get() + 1);
+    }
+
+    fn failover(&self) {
+        self.failovers.set(self.failovers.get() + 1);
+    }
+
+    fn timeout(&self) {
+        self.timeouts.set(self.timeouts.get() + 1);
+    }
 }
 
 impl ReplicatedStore {
@@ -182,6 +211,7 @@ impl ReplicatedStore {
                 caches: RefCell::new(HashMap::new()),
                 tap: RefCell::new(None),
                 next_req_id: Cell::new(0),
+                retry_counters: RetryCounters::default(),
             }),
         }
     }
@@ -229,6 +259,17 @@ impl ReplicatedStore {
     pub fn invalidate_cached(&self, id: ObjectId) {
         for cache in self.inner.caches.borrow_mut().values_mut() {
             cache.invalidate(id);
+        }
+    }
+
+    /// Aggregated fault-recovery counters (retries, failovers, deadline
+    /// expiries) across all clients of this store.
+    pub fn retry_stats(&self) -> RetryStats {
+        let c = &self.inner.retry_counters;
+        RetryStats {
+            retries: c.retries.get(),
+            failovers: c.failovers.get(),
+            timeouts: c.timeouts.get(),
         }
     }
 
@@ -364,9 +405,18 @@ impl StoreClient {
     /// the full replica set that is reachable (tombstones guard the rest).
     pub async fn delete(&self, id: ObjectId) -> Result<Tag, PcsiError> {
         let n = self.store.placement().replication_factor() as u32;
-        let tag = self.mutate_with_acks(id, Mutation::Delete, n).await?;
-        self.store.invalidate_cached(id);
-        Ok(tag)
+        let result = self.mutate_with_acks(id, Mutation::Delete, n).await;
+        // Invalidate caches on success — and on *ambiguous* failure: a
+        // timeout or unreachable peer may hide a tombstone that was
+        // applied server-side with the ack lost in flight, and a cache
+        // still serving the deleted object's "immutable" bytes would
+        // never learn otherwise. Only a definitive server-side rejection
+        // proves the delete had no effect.
+        let ambiguous = matches!(&result, Err(e) if e.is_retryable());
+        if result.is_ok() || ambiguous {
+            self.store.invalidate_cached(id);
+        }
+        result
     }
 
     /// Routes a mutation through the object's primary.
@@ -391,6 +441,7 @@ impl StoreClient {
             self.origin,
             to,
             wire::encode_request(req),
+            None,
         )
         .await
     }
@@ -409,7 +460,6 @@ impl StoreClient {
             Mutation::Delete => ("delete", Bytes::new()),
         };
         let invoke = self.store.inner.fabric.handle().now();
-        let primary = self.store.placement().primary(id);
         let req_id = self.store.inner.next_req_id.get() + 1;
         self.store.inner.next_req_id.set(req_id);
         let req = Request::Coordinate {
@@ -418,11 +468,7 @@ impl StoreClient {
             sync_replicas,
             req_id,
         };
-        let result = match self.call_store(primary, &req).await {
-            Ok(Response::Coordinated { tag }) => Ok(tag),
-            Ok(other) => Err(PcsiError::Fault(format!("unexpected response {other:?}"))),
-            Err(e) => Err(e),
-        };
+        let result = self.coordinate_with_recovery(id, &req).await;
         self.store.emit_tap(|| TapEvent::Mutate {
             origin: self.origin,
             id,
@@ -434,6 +480,86 @@ impl StoreClient {
             outcome: result.as_ref().map(|&t| t).map_err(|e| e.to_string()),
         });
         result
+    }
+
+    /// Drives one coordination to completion under the configured
+    /// [`RetryPolicy`]: every attempt races the per-attempt deadline,
+    /// retryable failures are retried after seeded-jitter backoff, and
+    /// once the per-target budget is exhausted the request fails over to
+    /// the next replica in placement order (any replica may coordinate;
+    /// `req_id` dedup and stale-tag rejection keep the order single).
+    ///
+    /// The error finally surfaced prefers a server-reported verdict
+    /// (e.g. genuine [`PcsiError::QuorumUnavailable`]) over the
+    /// transport-level `Unreachable`/`Timeout` noise of the last attempt.
+    async fn coordinate_with_recovery(
+        &self,
+        id: ObjectId,
+        req: &Request,
+    ) -> Result<Tag, PcsiError> {
+        let policy = self.store.inner.config.retry.clone();
+        let handle = self.store.inner.fabric.handle().clone();
+        let start = handle.now();
+        let replicas = self.store.placement().replicas(id);
+        let n_targets = if policy.failover { replicas.len() } else { 1 };
+        let per_target = policy.attempts_per_target.max(1);
+        let rng = handle.rng().stream(RETRY_RNG_STREAM);
+        let counters = &self.store.inner.retry_counters;
+
+        let mut attempt_no = 0u32;
+        let mut transport_err: Option<PcsiError> = None;
+        let mut server_err: Option<PcsiError> = None;
+        for (ti, &target) in replicas.iter().take(n_targets).enumerate() {
+            if ti > 0 {
+                counters.failover();
+            }
+            for _ in 0..per_target {
+                if attempt_no > 0 {
+                    counters.retry();
+                    let delay = policy.backoff(attempt_no - 1, &rng);
+                    if !delay.is_zero() {
+                        handle.sleep(delay).await;
+                    }
+                    if let Some(budget) = policy.op_deadline {
+                        if handle.now() - start >= budget {
+                            counters.timeout();
+                            return Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout));
+                        }
+                    }
+                }
+                attempt_no += 1;
+                let outcome = call_store_raw(
+                    self.store.inner.fabric.clone(),
+                    self.origin,
+                    target,
+                    wire::encode_request(req),
+                    policy.attempt_timeout,
+                )
+                .await;
+                match outcome {
+                    Ok(Response::Coordinated { tag }) => return Ok(tag),
+                    Ok(other) => {
+                        return Err(PcsiError::Fault(format!("unexpected response {other:?}")))
+                    }
+                    Err(e) if !e.is_retryable() => return Err(e),
+                    Err(e) => {
+                        match &e {
+                            PcsiError::Timeout => {
+                                counters.timeout();
+                                transport_err = Some(e);
+                            }
+                            PcsiError::Unreachable(_) | PcsiError::Fault(_) => {
+                                transport_err = Some(e)
+                            }
+                            // Retryable verdicts computed *by* a replica
+                            // (quorum math, admission control).
+                            _ => server_err = Some(e),
+                        }
+                    }
+                }
+            }
+        }
+        Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout))
     }
 
     /// Reads a byte range at the requested consistency level.
@@ -482,14 +608,107 @@ impl StoreClient {
             self.store.inner.fabric.handle().sleep(t).await;
             return Ok((tag, data));
         }
-        let served = match consistency {
+        let served = self
+            .read_with_recovery(id, offset, len, consistency)
+            .await?;
+        if offset == 0 {
+            self.store.cache_admit(self.origin, id, &served);
+        }
+        Ok((served.tag, served.data))
+    }
+
+    /// Drives read attempts under the configured [`RetryPolicy`]: each
+    /// attempt races the per-attempt deadline, retryable failures back
+    /// off with seeded jitter, and eventual reads rotate through the
+    /// replica set so a crashed closest replica doesn't surface to the
+    /// caller while any replica is alive. Reads are idempotent, so an
+    /// abandoned attempt needs no further care.
+    async fn read_with_recovery(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        consistency: Consistency,
+    ) -> Result<Served, PcsiError> {
+        let policy = self.store.inner.config.retry.clone();
+        let handle = self.store.inner.fabric.handle().clone();
+        let start = handle.now();
+        let n_targets = self.store.placement().replicas(id).len();
+        let max_attempts = policy.max_attempts(n_targets);
+        let rng = handle.rng().stream(RETRY_RNG_STREAM);
+        let counters = &self.store.inner.retry_counters;
+
+        let mut last_err: Option<PcsiError> = None;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                counters.retry();
+                let delay = policy.backoff(attempt as u32 - 1, &rng);
+                if !delay.is_zero() {
+                    handle.sleep(delay).await;
+                }
+                if let Some(budget) = policy.op_deadline {
+                    if handle.now() - start >= budget {
+                        counters.timeout();
+                        return Err(last_err.unwrap_or(PcsiError::Timeout));
+                    }
+                }
+            }
+            let result = match policy.attempt_timeout {
+                Some(d) => {
+                    let client = self.clone();
+                    let raced = pcsi_sim::util::deadline(&handle, d, async move {
+                        client
+                            .read_attempt(id, offset, len, consistency, attempt)
+                            .await
+                    })
+                    .await;
+                    match raced {
+                        Some(r) => r,
+                        None => {
+                            counters.timeout();
+                            Err(PcsiError::Timeout)
+                        }
+                    }
+                }
+                None => {
+                    self.read_attempt(id, offset, len, consistency, attempt)
+                        .await
+                }
+            };
+            match result {
+                Ok(served) => return Ok(served),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(PcsiError::Timeout))
+    }
+
+    async fn read_attempt(
+        &self,
+        id: ObjectId,
+        offset: u64,
+        len: u64,
+        consistency: Consistency,
+        attempt: usize,
+    ) -> Result<Served, PcsiError> {
+        match consistency {
             Consistency::Eventual => {
-                let replica = self.store.placement().closest_replica(
+                let replicas = self.store.placement().replicas(id);
+                let closest = self.store.placement().closest_replica(
                     self.store.inner.fabric.topology(),
                     id,
                     self.origin,
                 );
-                self.read_from(replica, id, offset, len).await?
+                // First try the closest replica; on retry rotate through
+                // the rest of the set (any replica serves eventual reads).
+                let target = if attempt == 0 || !self.store.inner.config.retry.failover {
+                    closest
+                } else {
+                    let base = replicas.iter().position(|&n| n == closest).unwrap_or(0);
+                    replicas[(base + attempt) % replicas.len()]
+                };
+                self.read_from(target, id, offset, len).await
             }
             Consistency::Linearizable => {
                 let inline_limit = self.store.inner.config.inline_read_max;
@@ -515,16 +734,12 @@ impl StoreClient {
                         self.write_back(id, newest_node, &known, need - known.len())
                             .await?;
                     }
-                    self.read_from(newest_node, id, offset, len).await?
+                    self.read_from(newest_node, id, offset, len).await
                 } else {
-                    self.read_one_rtt(id, offset, len, inline_limit).await?
+                    self.read_one_rtt(id, offset, len, inline_limit).await
                 }
             }
-        };
-        if offset == 0 {
-            self.store.cache_admit(self.origin, id, &served);
         }
-        Ok((served.tag, served.data))
     }
 
     /// One-RTT linearizable read: fan the read itself to every replica
@@ -563,7 +778,7 @@ impl StoreClient {
                 inline_limit,
             });
             self.store.inner.fabric.handle().spawn(async move {
-                let outcome = match call_store_raw(fabric, origin, node, req).await {
+                let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::Data {
                         tag,
                         mutability,
@@ -660,20 +875,26 @@ impl StoreClient {
         need_acks: usize,
     ) -> Result<(), PcsiError> {
         let fetch = wire::encode_request(&Request::Fetch { id });
-        let object =
-            match call_store_raw(self.store.inner.fabric.clone(), self.origin, source, fetch).await
-            {
-                Ok(Response::Object { object }) => object,
-                // The object vanished between the read and the fetch —
-                // a racing delete; surface it as such.
-                Ok(Response::Absent) => return Err(PcsiError::NotFound(id)),
-                _ => {
-                    return Err(PcsiError::QuorumUnavailable {
-                        needed: need_acks,
-                        got: 0,
-                    })
-                }
-            };
+        let object = match call_store_raw(
+            self.store.inner.fabric.clone(),
+            self.origin,
+            source,
+            fetch,
+            None,
+        )
+        .await
+        {
+            Ok(Response::Object { object }) => object,
+            // The object vanished between the read and the fetch —
+            // a racing delete; surface it as such.
+            Ok(Response::Absent) => return Err(PcsiError::NotFound(id)),
+            _ => {
+                return Err(PcsiError::QuorumUnavailable {
+                    needed: need_acks,
+                    got: 0,
+                })
+            }
+        };
         let targets: Vec<NodeId> = self
             .store
             .placement()
@@ -693,7 +914,7 @@ impl StoreClient {
             });
             self.store.inner.fabric.handle().spawn(async move {
                 let ok = matches!(
-                    call_store_raw(fabric, origin, node, push).await,
+                    call_store_raw(fabric, origin, node, push, None).await,
                     Ok(Response::Applied)
                 );
                 let _ = tx.send(ok);
@@ -738,7 +959,7 @@ impl StoreClient {
             let origin = self.origin;
             let req = wire::encode_request(&Request::TagOf { id });
             self.store.inner.fabric.handle().spawn(async move {
-                let outcome = match call_store_raw(fabric, origin, node, req).await {
+                let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::TagIs { tag }) => Some((node, tag)),
                     _ => None,
                 };
@@ -809,18 +1030,29 @@ impl StoreClient {
 }
 
 /// One encoded request/response round trip over the fabric, decoded and
-/// error-mapped. A free function (rather than a `StoreClient` method) so
-/// the spawned fan-out tasks of quorum reads and read repair can use it.
+/// error-mapped, optionally raced against a per-attempt `deadline`. A
+/// free function (rather than a `StoreClient` method) so the spawned
+/// fan-out tasks of quorum reads and read repair can use it.
 async fn call_store_raw(
     fabric: Fabric,
     from: NodeId,
     to: NodeId,
     req: Bytes,
+    deadline: Option<Duration>,
 ) -> Result<Response, PcsiError> {
-    let raw = fabric
-        .call(from, to, STORE_SERVICE, STORE_TRANSPORT, req)
-        .await
-        .map_err(net_to_pcsi)?;
+    let raw = match deadline {
+        Some(d) => {
+            fabric
+                .call_with_deadline(from, to, STORE_SERVICE, STORE_TRANSPORT, req, d)
+                .await
+        }
+        None => {
+            fabric
+                .call(from, to, STORE_SERVICE, STORE_TRANSPORT, req)
+                .await
+        }
+    }
+    .map_err(net_to_pcsi)?;
     match wire::decode_response(&raw) {
         Ok(Response::Err(e)) => Err(e.into_pcsi()),
         Ok(resp) => Ok(resp),
@@ -828,12 +1060,18 @@ async fn call_store_raw(
     }
 }
 
+/// Honest transport-error taxonomy. A single failed RPC says nothing
+/// about the quorum as a whole, so it must *not* masquerade as
+/// [`PcsiError::QuorumUnavailable`] — that variant is reserved for
+/// genuine quorum math. Unreachable peers and expired deadlines map to
+/// their own retryable variants.
 fn net_to_pcsi(e: NetError) -> PcsiError {
-    match e {
+    match &e {
         NetError::NodeDown(_) | NetError::Partitioned(_, _) | NetError::Dropped(_, _) => {
-            PcsiError::QuorumUnavailable { needed: 1, got: 0 }
+            PcsiError::Unreachable(e.to_string())
         }
-        other => PcsiError::Fault(other.to_string()),
+        NetError::DeadlineExceeded => PcsiError::Timeout,
+        _ => PcsiError::Fault(e.to_string()),
     }
 }
 
@@ -867,6 +1105,7 @@ mod tests {
                 },
                 inline_read_max: 64 * 1024,
                 cache_bytes: 1 << 20,
+                ..StoreConfig::default()
             },
         );
         (fabric, store)
@@ -1203,6 +1442,7 @@ mod tests {
                     anti_entropy: None,
                     inline_read_max,
                     cache_bytes: 0,
+                    ..StoreConfig::default()
                 },
             );
             let h = fabric.handle().clone();
@@ -1319,6 +1559,7 @@ mod tests {
                 anti_entropy: None,
                 inline_read_max: 64 * 1024,
                 cache_bytes: 1024,
+                ..StoreConfig::default()
             },
         );
         sim.block_on({
@@ -1435,6 +1676,204 @@ mod tests {
                     .unwrap()
                     .with_engine(|e| e.read(id, 0, 100).map(|b| b.to_vec()));
                 assert_eq!(local.unwrap(), b"v2");
+            }
+        });
+    }
+
+    #[test]
+    fn writes_fail_over_past_a_crashed_primary() {
+        // The primary of the object is down, but a majority of replicas
+        // is alive: the recovery layer must route the coordination to
+        // the next replica in placement order instead of surfacing an
+        // error to the client.
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(30);
+                let replicas = store.placement().replicas(id);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let c = store.client(client_node);
+                c.put(
+                    id,
+                    Bytes::from_static(b"v1"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                fabric.set_node_down(replicas[0], true);
+                let tag = c
+                    .write_at(id, 0, Bytes::from_static(b"v2"), Consistency::Linearizable)
+                    .await
+                    .expect("a live majority must absorb the write");
+                assert_eq!(tag.writer, replicas[1].0, "ordered by the failover target");
+                let stats = store.retry_stats();
+                assert!(stats.failovers >= 1, "failover never fired: {stats:?}");
+                assert!(
+                    stats.retries >= 1,
+                    "per-target retries never fired: {stats:?}"
+                );
+                let (read_tag, data) = c.read_all(id, Consistency::Linearizable).await.unwrap();
+                assert_eq!(read_tag, tag);
+                assert_eq!(&data[..], b"v2");
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_messages_time_out_and_fail_over() {
+        // Every message on the client <-> primary link vanishes. With a
+        // per-attempt deadline below the fabric's retransmit timeout,
+        // each attempt against the primary surfaces as a client-side
+        // timeout — the path that finally generates `PcsiError::Timeout`
+        // — and the write still succeeds via failover.
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 0,
+                retry: RetryPolicy {
+                    attempt_timeout: Some(Duration::from_millis(1)),
+                    ..RetryPolicy::default()
+                },
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(31);
+                let replicas = store.placement().replicas(id);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                fabric.set_link_faults(
+                    client_node,
+                    replicas[0],
+                    pcsi_net::MessageFaults {
+                        drop: 1.0,
+                        duplicate: 0.0,
+                        delay_spike: 0.0,
+                        spike: Duration::ZERO,
+                    },
+                );
+                let c = store.client(client_node);
+                let tag = c
+                    .put(
+                        id,
+                        Bytes::from_static(b"survives"),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .expect("a dropped link to the primary must not fail the write");
+                assert_eq!(tag.writer, replicas[1].0);
+                let stats = store.retry_stats();
+                assert!(stats.timeouts >= 1, "attempts never timed out: {stats:?}");
+                assert!(stats.failovers >= 1, "failover never fired: {stats:?}");
+                let (_, data) = c.read_all(id, Consistency::Linearizable).await.unwrap();
+                assert_eq!(&data[..], b"survives");
+            }
+        });
+    }
+
+    #[test]
+    fn ambiguous_delete_failure_invalidates_caches() {
+        // A delete that errs ambiguously may still have landed a
+        // tombstone server-side (here: the full-set ack fails because
+        // one Apply is dropped, but a majority did apply). The cache
+        // must be invalidated on that ambiguous failure too — otherwise
+        // a cached "immutable" copy serves deleted bytes forever.
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 1 << 20,
+                // Single-shot so the ambiguous verdict surfaces directly.
+                retry: RetryPolicy::none(),
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(32);
+                let replicas = store.placement().replicas(id);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let c = store.client(client_node);
+                c.put(
+                    id,
+                    Bytes::from_static(b"doomed"),
+                    Mutability::Immutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // Cache the immutable object on the client's node.
+                c.read_all(id, Consistency::Linearizable).await.unwrap();
+                // Lose the replication traffic to the last replica: the
+                // tombstone lands on a majority, but the full-set delete
+                // ack fails — an ambiguous outcome for the client.
+                fabric.set_link_faults(
+                    replicas[0],
+                    replicas[2],
+                    pcsi_net::MessageFaults {
+                        drop: 1.0,
+                        duplicate: 0.0,
+                        delay_spike: 0.0,
+                        spike: Duration::ZERO,
+                    },
+                );
+                let err = c.delete(id).await.unwrap_err();
+                assert!(
+                    err.is_retryable(),
+                    "delete verdict must be ambiguous: {err:?}"
+                );
+                fabric.clear_message_faults();
+                // The cached copy must be gone: the next read goes to the
+                // quorum and observes the tombstone instead of serving
+                // the deleted bytes from cache.
+                let r = c.read_all(id, Consistency::Linearizable).await;
+                assert!(
+                    matches!(r, Err(PcsiError::NotFound(_))),
+                    "cache served a deleted object: {r:?}"
+                );
             }
         });
     }

@@ -44,6 +44,11 @@ pub enum Request {
         tag: Tag,
         /// The mutation.
         mutation: Mutation,
+        /// `req_id` of the coordination that ordered this mutation, or
+        /// `0` for internal traffic with no client request behind it.
+        /// Secondaries record it so a failed-over retry of the same
+        /// client request replays instead of re-ordering.
+        req_id: u64,
     },
     /// Read a byte range.
     Read {
@@ -132,6 +137,15 @@ pub enum Response {
     InventoryIs {
         /// Sorted `(id, tag)` pairs.
         entries: Vec<(ObjectId, Tag)>,
+    },
+    /// The receiver already holds state at least as new as the tag the
+    /// sender tried to apply. Not an ack: a coordinator collecting
+    /// replication acks must treat this as evidence it ordered at a
+    /// stale tag (e.g. a restarted primary that missed failover writes)
+    /// and catch up before retrying.
+    Stale {
+        /// The receiver's newest local tag.
+        newest: Tag,
     },
     /// A PCSI-level error.
     Err(WireError),
@@ -439,10 +453,16 @@ pub fn encode_request(req: &Request) -> Bytes {
             w.u64(*req_id);
             w.mutation(mutation);
         }
-        Request::Apply { id, tag, mutation } => {
+        Request::Apply {
+            id,
+            tag,
+            mutation,
+            req_id,
+        } => {
             w.u8(1);
             w.id(*id);
             w.tag(*tag);
+            w.u64(*req_id);
             w.mutation(mutation);
         }
         Request::Read { id, offset, len } => {
@@ -502,6 +522,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
         1 => Request::Apply {
             id: r.id()?,
             tag: r.tag()?,
+            req_id: r.u64()?,
             mutation: r.mutation()?,
         },
         2 => Request::Read {
@@ -582,6 +603,10 @@ pub fn encode_response(resp: &Response) -> Bytes {
                 w.id(*id);
                 w.tag(*tag);
             }
+        }
+        Response::Stale { newest } => {
+            w.u8(8);
+            w.tag(*newest);
         }
         Response::Err(e) => {
             w.u8(7);
@@ -670,6 +695,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
             4 => WireError::Other(r.str()?),
             b => return Err(CodecError(format!("bad error code {b}"))),
         }),
+        8 => Response::Stale { newest: r.tag()? },
         b => return Err(CodecError(format!("bad response op {b}"))),
     };
     r.done()?;
@@ -703,6 +729,7 @@ mod tests {
                     offset: 4,
                     data: Bytes::from_static(b"x"),
                 },
+                req_id: 42,
             },
             Request::Read {
                 id: oid(3),
@@ -724,6 +751,7 @@ mod tests {
                 mutation: Mutation::SetMutability {
                     to: Mutability::Immutable,
                 },
+                req_id: 0,
             },
             Request::Apply {
                 id: oid(8),
@@ -731,6 +759,7 @@ mod tests {
                 mutation: Mutation::Append {
                     data: Bytes::from_static(b"entry"),
                 },
+                req_id: u64::MAX,
             },
             Request::ReadWithTag {
                 id: oid(9),
@@ -795,6 +824,9 @@ mod tests {
             }),
             Response::Err(WireError::QuorumUnavailable { needed: 2, got: 1 }),
             Response::Err(WireError::Other("boom".into())),
+            Response::Stale {
+                newest: Tag { seq: 12, writer: 4 },
+            },
         ];
         for resp in resps {
             let wire = encode_response(&resp);
@@ -832,14 +864,21 @@ mod tests {
                 assert!(decode_request(&wire[..cut]).is_err(), "{req:?} cut {cut}");
             }
         }
-        let resp = encode_response(&Response::Data {
-            tag: Tag { seq: 4, writer: 1 },
-            mutability: Mutability::AppendOnly,
-            stable_len: 3,
-            data: Bytes::from_static(b"abc"),
-        });
-        for cut in 0..resp.len() {
-            assert!(decode_response(&resp[..cut]).is_err(), "response cut {cut}");
+        let resps = [
+            encode_response(&Response::Data {
+                tag: Tag { seq: 4, writer: 1 },
+                mutability: Mutability::AppendOnly,
+                stable_len: 3,
+                data: Bytes::from_static(b"abc"),
+            }),
+            encode_response(&Response::Stale {
+                newest: Tag { seq: 4, writer: 1 },
+            }),
+        ];
+        for resp in &resps {
+            for cut in 0..resp.len() {
+                assert!(decode_response(&resp[..cut]).is_err(), "response cut {cut}");
+            }
         }
     }
 

@@ -99,11 +99,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 req_id,
             }
         ),
-        (arb_id(), arb_tag(), arb_wire_mutation()).prop_map(|(id, tag, mutation)| Request::Apply {
-            id,
-            tag,
-            mutation
-        }),
+        (arb_id(), arb_tag(), arb_wire_mutation(), any::<u64>()).prop_map(
+            |(id, tag, mutation, req_id)| Request::Apply {
+                id,
+                tag,
+                mutation,
+                req_id,
+            }
+        ),
         (arb_id(), any::<u64>(), any::<u64>()).prop_map(|(id, offset, len)| Request::Read {
             id,
             offset,
@@ -155,6 +158,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Absent),
         proptest::collection::vec((arb_id(), arb_tag()), 0..12)
             .prop_map(|entries| Response::InventoryIs { entries }),
+        arb_tag().prop_map(|newest| Response::Stale { newest }),
         arb_wire_error().prop_map(Response::Err),
     ]
 }

@@ -84,7 +84,7 @@ fn eventual_convergence_survives_seeded_fault_sweeps() {
 fn one_rtt_reads_stay_fresh_and_repair_stale_replicas() {
     use pcsi_core::{Mutability, ObjectId};
     use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, Topology};
-    use pcsi_store::{MediaTier, ReplicatedStore, StoreConfig, Tag};
+    use pcsi_store::{MediaTier, ReplicatedStore, RetryPolicy, StoreConfig, Tag};
 
     for seed in [606u64, 707] {
         let mut sim = Sim::new(seed);
@@ -107,6 +107,9 @@ fn one_rtt_reads_stay_fresh_and_repair_stale_replicas() {
                     anti_entropy: None,
                     inline_read_max: 64 * 1024,
                     cache_bytes: 0,
+                    // Single-shot: this test pins down the raw one-RTT
+                    // read/repair protocol, not the recovery layer.
+                    retry: RetryPolicy::none(),
                 },
             );
             let id = ObjectId::from_parts(9, 1);

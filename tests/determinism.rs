@@ -119,6 +119,7 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
 
         let invoice = cloud.billing.invoice("det");
         let cache = cloud.store.cache_stats();
+        let retry = cloud.store.retry_stats();
         (
             h.now().as_nanos(),
             cloud.fabric.message_count(),
@@ -126,11 +127,14 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
             stats.issued.get(),
             stats.latency.quantile(0.99),
             format!(
-                "{:.12e}|cache {}/{}/{}",
+                "{:.12e}|cache {}/{}/{}|retry {}/{}/{}",
                 invoice.total(),
                 cache.hits,
                 cache.misses,
-                cache.evictions
+                cache.evictions,
+                retry.retries,
+                retry.failovers,
+                retry.timeouts
             ),
         )
     });
@@ -182,4 +186,33 @@ fn chaos_scenarios_fingerprint_identically_per_seed() {
         c.fingerprint(),
         "different seeds must explore different schedules"
     );
+}
+
+/// The fault-recovery layer draws its backoff jitter from a dedicated
+/// RNG stream, so a retried/failed-over run is as reproducible as a
+/// healthy one: same seed + same fault schedule → the identical
+/// sequence of retries, failovers and timeouts, down to the counters.
+#[test]
+fn retry_and_failover_traces_are_deterministic() {
+    use pcsi_chaos::{run_scenario, FaultPlan, ScenarioConfig};
+
+    let cfg = ScenarioConfig {
+        plan: FaultPlan::Drops,
+        ..ScenarioConfig::default()
+    };
+    let a = run_scenario(0x7E57_u64, &cfg);
+    let b = run_scenario(0x7E57_u64, &cfg);
+    assert!(
+        a.retry.retries > 0,
+        "the drop schedule must actually force retries:\n{}",
+        a.render()
+    );
+    assert_eq!(a.retry, b.retry, "recovery counters must replay exactly");
+    // The rendered report embeds the recovery counters, so the full
+    // retry/backoff trace participates in the fingerprint contract.
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+
+    let c = run_scenario(0x7E58_u64, &cfg);
+    assert_ne!(a.fingerprint(), c.fingerprint());
 }
