@@ -298,19 +298,22 @@ impl StorageEngine {
     }
 
     /// Installs a full replica state (anti-entropy pull), keeping the
-    /// newest tag.
-    pub fn sync_in(&mut self, id: ObjectId, incoming: StoredObject) {
+    /// newest tag. Returns whether the incoming state was installed —
+    /// callers tracking per-object request ledgers must swap theirs in
+    /// exactly when the state they describe is.
+    pub fn sync_in(&mut self, id: ObjectId, incoming: StoredObject) -> bool {
         if let Some(&death) = self.tombstones.get(&id) {
             if incoming.tag <= death {
-                return;
+                return false;
             }
         }
         match self.objects.get(&id) {
-            Some(existing) if existing.tag >= incoming.tag => {}
+            Some(existing) if existing.tag >= incoming.tag => false,
             _ => {
                 self.account_remove(id);
                 self.bytes_stored += incoming.data.len() as u64;
                 self.objects.insert(id, incoming);
+                true
             }
         }
     }

@@ -16,7 +16,7 @@
 //! the original replication message was lost to a crash or partition.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -27,7 +27,7 @@ use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::metrics::Counter;
 use pcsi_sim::sync::mpsc;
 
-use crate::engine::{MediaTier, Mutation, StorageEngine};
+use crate::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
 use crate::placement::Placement;
 use crate::version::Tag;
 use crate::wire::{self, Request, Response, WireError};
@@ -54,15 +54,13 @@ struct Inner {
     /// flight. The fabric delivers at-least-once (duplicate injection)
     /// and clients retry, so a re-delivered coordination must replay the
     /// response rather than order the mutation a second time. Failed
-    /// coordinations are *removed* so a retry re-executes.
-    seen_coordinates: RefCell<HashMap<u64, Option<Response>>>,
-    /// `req_id` → the tag it was ordered at, recorded when this node
-    /// coordinates a request or applies its fan-out. A retried (possibly
-    /// failed-over) coordination of a known `req_id` replays replication
-    /// at the recorded tag instead of ordering the mutation again at a
-    /// fresh one — without this, a retry arriving after newer writes
-    /// would silently revert them.
-    applied_reqs: RefCell<HashMap<u64, Tag>>,
+    /// coordinations are *removed* so a retry re-executes. Bounded at
+    /// [`SEEN_COORDINATES_CAP`] completed entries, oldest `req_id`
+    /// evicted first (in-flight claims are never evicted).
+    seen_coordinates: RefCell<BTreeMap<u64, Option<Response>>>,
+    /// Which client requests the local state provably contains — the
+    /// exactly-once ledger. See [`ReqLedger`].
+    ledger: RefCell<ReqLedger>,
     coordinated: Counter,
     applied: Counter,
     reads: Counter,
@@ -78,8 +76,8 @@ impl ReplicaNode {
             fabric: fabric.clone(),
             placement,
             engine: RefCell::new(StorageEngine::new(tier)),
-            seen_coordinates: RefCell::new(HashMap::new()),
-            applied_reqs: RefCell::new(HashMap::new()),
+            seen_coordinates: RefCell::new(BTreeMap::new()),
+            ledger: RefCell::new(ReqLedger::default()),
             coordinated: Counter::new(),
             applied: Counter::new(),
             reads: Counter::new(),
@@ -153,6 +151,114 @@ impl ReplicaNode {
     }
 }
 
+/// Completed coordinate-dedup entries kept per replica before the
+/// oldest are evicted. An evicted request that is retried falls through
+/// to [`coordinate`], whose [`ReqLedger`] lookup still replays it
+/// honestly instead of re-ordering.
+const SEEN_COORDINATES_CAP: usize = 4096;
+
+/// Ledger entries kept per object. A single client request retries for
+/// at most one operation's deadline, so the dedup window only needs to
+/// cover the requests that can still be in flight — not all history.
+const LEDGER_PER_OBJECT: usize = 32;
+
+/// Objects tracked in the ledger before the longest-idle one (smallest
+/// newest `req_id`) is dropped.
+const LEDGER_OBJECTS: usize = 4096;
+
+/// Per-object record of which client requests (`req_id`) the replica's
+/// **current state** for that object contains, and the tag each was
+/// applied at.
+///
+/// The invariant — every recorded request is part of the history line
+/// of the bytes currently stored — is what makes the exactly-once
+/// machinery honest:
+///
+/// * a coordinator *replays* a recorded request at its recorded tag
+///   instead of ordering it again;
+/// * a secondary answers [`Response::AlreadyApplied`] for a recorded
+///   request instead of applying it a second time at a fresh tag;
+/// * a replication ack may be inferred from a peer's state **only**
+///   through this ledger (or an exactly-equal tag) — never from
+///   `newest >= tag`, because the engine admits tag gaps: a peer whose
+///   tag advanced via a *different* write never applied this request.
+///
+/// To preserve the invariant across full-state transfer, the ledger is
+/// **replaced, not merged** whenever `sync_in` installs an incoming
+/// object: the incoming records describe the incoming state line; the
+/// local records described a line that was just discarded.
+#[derive(Default)]
+struct ReqLedger {
+    by_object: HashMap<ObjectId, Vec<(u64, Tag)>>,
+}
+
+impl ReqLedger {
+    /// The tag `req_id` was applied at on the current state line, if
+    /// recorded.
+    fn lookup(&self, id: ObjectId, req_id: u64) -> Option<Tag> {
+        self.by_object
+            .get(&id)?
+            .iter()
+            .find(|&&(r, _)| r == req_id)
+            .map(|&(_, tag)| tag)
+    }
+
+    /// Records that the current state line contains `req_id` at `tag`.
+    fn record(&mut self, id: ObjectId, req_id: u64, tag: Tag) {
+        let reqs = self.by_object.entry(id).or_default();
+        match reqs.iter_mut().find(|(r, _)| *r == req_id) {
+            // A replay at the recorded tag is idempotent; a catch-up
+            // re-order moved the request to a newer tag on this line.
+            Some(entry) => entry.1 = entry.1.max(tag),
+            None => reqs.push((req_id, tag)),
+        }
+        if reqs.len() > LEDGER_PER_OBJECT {
+            // Entries are appended in apply order, so the front is the
+            // oldest — the one least likely to still be retried.
+            reqs.remove(0);
+        }
+        self.evict_idle_objects();
+    }
+
+    /// Replaces the object's records with the ledger shipped alongside
+    /// an installed full-state transfer.
+    fn replace(&mut self, id: ObjectId, mut reqs: Vec<(u64, Tag)>) {
+        if reqs.len() > LEDGER_PER_OBJECT {
+            reqs.drain(..reqs.len() - LEDGER_PER_OBJECT);
+        }
+        if reqs.is_empty() {
+            self.by_object.remove(&id);
+        } else {
+            self.by_object.insert(id, reqs);
+        }
+        self.evict_idle_objects();
+    }
+
+    /// The records to ship with a full-state transfer of `id`.
+    fn snapshot(&self, id: ObjectId) -> Vec<(u64, Tag)> {
+        self.by_object.get(&id).cloned().unwrap_or_default()
+    }
+
+    fn evict_idle_objects(&mut self) {
+        while self.by_object.len() > LEDGER_OBJECTS {
+            // Client req_ids are allocated monotonically, so the object
+            // whose newest record is smallest has been idle longest.
+            // The (req, id) key is unique, keeping eviction independent
+            // of HashMap iteration order.
+            let idle = self
+                .by_object
+                .iter()
+                .map(|(&id, reqs)| (reqs.iter().map(|&(r, _)| r).max().unwrap_or(0), id))
+                .min()
+                .map(|(_, id)| id);
+            match idle {
+                Some(id) => self.by_object.remove(&id),
+                None => break,
+            };
+        }
+    }
+}
+
 /// Charges the engine's media time for an operation touching `bytes`.
 async fn charge_io(inner: &Inner, bytes: usize) {
     let t = inner.engine.borrow().tier().io_time(bytes);
@@ -180,29 +286,40 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             req_id,
         } => {
             charge_io(&inner, mutation_bytes(&mutation)).await;
-            let resp = {
-                let mut engine = inner.engine.borrow_mut();
-                let newest = engine.tag_of(id);
-                if tag <= newest {
-                    // Refuse to ack a stale-tagged apply. A coordinator
-                    // that restarted behind the replica set would
-                    // otherwise collect acks for writes that are
-                    // invisible to every read quorum.
-                    Response::Stale { newest }
-                } else {
-                    match engine.apply(id, tag, &mutation) {
-                        Ok(()) => Response::Applied,
-                        Err(e) => Response::Err(WireError::from_pcsi(&e)),
+            // Exactly-once by req_id, before any tag math: a failed-over
+            // coordinator re-orders the same client request at a fresh
+            // higher tag, and a replica that already applied it must not
+            // apply it again (Append is not idempotent).
+            let duplicate = (req_id != 0)
+                .then(|| inner.ledger.borrow().lookup(id, req_id))
+                .flatten();
+            if let Some(recorded) = duplicate {
+                Response::AlreadyApplied { tag: recorded }
+            } else {
+                let resp = {
+                    let mut engine = inner.engine.borrow_mut();
+                    let newest = engine.tag_of(id);
+                    if tag <= newest {
+                        // Refuse to ack a stale-tagged apply. A coordinator
+                        // that restarted behind the replica set would
+                        // otherwise collect acks for writes that are
+                        // invisible to every read quorum.
+                        Response::Stale { newest }
+                    } else {
+                        match engine.apply(id, tag, &mutation) {
+                            Ok(()) => Response::Applied,
+                            Err(e) => Response::Err(WireError::from_pcsi(&e)),
+                        }
+                    }
+                };
+                if matches!(resp, Response::Applied) {
+                    inner.applied.incr();
+                    if req_id != 0 {
+                        inner.ledger.borrow_mut().record(id, req_id, tag);
                     }
                 }
-            };
-            if matches!(resp, Response::Applied) {
-                inner.applied.incr();
-                if req_id != 0 {
-                    inner.applied_reqs.borrow_mut().insert(req_id, tag);
-                }
+                resp
             }
-            resp
         }
         Request::Read { id, offset, len } => {
             read_local(&inner, id, offset, len, u64::MAX, false).await
@@ -221,7 +338,8 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             match obj {
                 Some(object) => {
                     charge_io(&inner, object.data.len()).await;
-                    Response::Object { object }
+                    let reqs = inner.ledger.borrow().snapshot(id);
+                    Response::Object { object, reqs }
                 }
                 None => Response::Absent,
             }
@@ -229,9 +347,9 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
         Request::Inventory => Response::InventoryIs {
             entries: inner.engine.borrow().inventory(),
         },
-        Request::Push { id, object } => {
+        Request::Push { id, object, reqs } => {
             charge_io(&inner, object.data.len()).await;
-            inner.engine.borrow_mut().sync_in(id, object);
+            install_state(&inner, id, object, reqs);
             inner.repaired.incr();
             Response::Applied
         }
@@ -337,6 +455,18 @@ async fn coordinate_dedup(
         } else {
             seen.remove(&req_id);
         }
+        // Bound the table: drop the oldest *completed* entries (never an
+        // in-flight claim — removing one would let a concurrent duplicate
+        // re-execute the coordination while the original still runs).
+        let completed = seen.values().filter(|v| v.is_some()).count();
+        for _ in SEEN_COORDINATES_CAP..completed {
+            let oldest = seen
+                .iter()
+                .find(|(_, v)| v.is_some())
+                .map(|(&r, _)| r)
+                .expect("completed count > 0");
+            seen.remove(&oldest);
+        }
     }
     resp
 }
@@ -375,6 +505,17 @@ const MAX_CATCHUP_ROUNDS: u32 = 3;
 /// coordination can never assemble a majority of acks — and on such
 /// evidence the coordinator pulls the newest state, re-orders above it,
 /// and retries ([`MAX_CATCHUP_ROUNDS`] times).
+///
+/// When the local [`ReqLedger`] shows the request is already contained
+/// in this node's current state (it coordinated it before, or applied
+/// its fan-out), the coordination **replays** replication at the
+/// recorded tag instead of ordering again. A replay that finds peers
+/// advanced past the recorded tag *without* holding the request does
+/// not fabricate success: their history line does not contain the
+/// write, so acking would let it silently vanish under LWW
+/// convergence. The honest outcome is a retryable quorum failure — the
+/// client's failover then re-orders the request on the winning line,
+/// where [`Response::AlreadyApplied`] dedup keeps it exactly-once.
 async fn coordinate(
     inner: &Rc<Inner>,
     id: ObjectId,
@@ -400,28 +541,35 @@ async fn coordinate(
 
     charge_io(inner, mutation_bytes(&mutation)).await;
 
-    // A retried (possibly failed-over) coordination of a request this
-    // node already ordered — or applied the fan-out of — must not order
-    // it again: replay replication at the recorded tag. Peers whose
-    // state already advanced past that tag count as acks (their history
-    // subsumes the slot).
-    let recorded = (req_id != 0)
-        .then(|| inner.applied_reqs.borrow().get(&req_id).copied())
-        .flatten();
-    if let Some(tag) = recorded {
-        return match replicate(inner, id, tag, &mutation, req_id, &peers, need, true).await {
-            ReplicateOutcome::Acked => Response::Coordinated { tag },
-            ReplicateOutcome::Stale { .. } => unreachable!("stale counts as ack in replay"),
-            ReplicateOutcome::Failed { got } => Response::Err(WireError::QuorumUnavailable {
-                needed: sync_replicas,
-                got,
-            }),
-        };
-    }
-
     let mut floor = Tag::ZERO;
     let mut last_got = 1u32;
     for _round in 0..=MAX_CATCHUP_ROUNDS {
+        // A request this node's current state already contains — it
+        // ordered it before, applied its fan-out, or a previous round
+        // of this loop applied it and the catch-up pull failed to
+        // replace the line — must not be applied locally again: replay
+        // replication at the recorded tag.
+        let recorded = (req_id != 0)
+            .then(|| inner.ledger.borrow().lookup(id, req_id))
+            .flatten();
+        if let Some(tag) = recorded {
+            return match replicate(inner, id, tag, &mutation, req_id, &peers, need, true).await {
+                ReplicateOutcome::Acked => Response::Coordinated { tag },
+                // Peers advanced past the recorded tag on a line that
+                // does not contain this request: success here would be
+                // a lie (the write loses LWW convergence). Surface a
+                // retryable failure; the client's failover re-orders on
+                // the winning line.
+                ReplicateOutcome::Stale { .. } => Response::Err(WireError::QuorumUnavailable {
+                    needed: sync_replicas,
+                    got: 1,
+                }),
+                ReplicateOutcome::Failed { got } => Response::Err(WireError::QuorumUnavailable {
+                    needed: sync_replicas,
+                    got,
+                }),
+            };
+        }
         // Order and apply locally. Charge the media time first: the tag
         // read and the apply must not straddle an await, or two
         // concurrent coordinations for the same object would both read
@@ -439,12 +587,17 @@ async fn coordinate(
             tag
         };
         if req_id != 0 {
-            inner.applied_reqs.borrow_mut().insert(req_id, tag);
+            inner.ledger.borrow_mut().record(id, req_id, tag);
         }
         match replicate(inner, id, tag, &mutation, req_id, &peers, need, false).await {
             ReplicateOutcome::Acked => return Response::Coordinated { tag },
             ReplicateOutcome::Stale { newest, holder } => {
                 floor = floor.max(newest);
+                // On success this replaces both the state *and* the
+                // ledger line, clearing this round's local record so the
+                // next round re-orders fresh; on failure the record
+                // stays and the next round replays instead — never a
+                // second local apply on a line that already has one.
                 catch_up(inner, id, holder).await;
             }
             ReplicateOutcome::Failed { got } => {
@@ -461,10 +614,21 @@ async fn coordinate(
 
 /// Fans an ordered mutation to `peers` and waits for `need` acks.
 ///
-/// In `replay` mode (re-replication of an already-ordered tag) a
-/// [`Response::Stale`] whose `newest` is at least the replayed tag is an
-/// ack: that peer's history already contains or supersedes the slot. In
-/// fresh mode it is evidence the coordinator ordered at a stale tag.
+/// What counts as an ack is deliberately narrow — a peer's reply is an
+/// ack only when it **proves** the peer's state contains this request:
+///
+/// * [`Response::Applied`] — it applied it just now;
+/// * [`Response::AlreadyApplied`] — its ledger records the request
+///   (possibly at a different tag after a failover re-order; both
+///   lines contain the request, so whichever wins LWW keeps it);
+/// * in `replay` mode, [`Response::Stale`] at **exactly** the replayed
+///   tag — tags are minted once, so state at that tag *is* this
+///   mutation's apply (covers a peer whose ledger entry was evicted).
+///
+/// A `Stale` above the replayed tag is NOT an ack: the engine admits
+/// tag gaps, so the peer may have advanced via a different write and
+/// never applied this one. In fresh mode any `Stale` is evidence the
+/// coordinator ordered at a stale tag.
 #[allow(clippy::too_many_arguments)]
 async fn replicate(
     inner: &Rc<Inner>,
@@ -491,7 +655,8 @@ async fn replicate(
         inner.fabric.handle().spawn(async move {
             let outcome = match apply_on(&fabric, from, peer, req).await {
                 Ok(Response::Applied) => Ok(()),
-                Ok(Response::Stale { newest }) if replay && newest >= tag => Ok(()),
+                Ok(Response::AlreadyApplied { .. }) => Ok(()),
+                Ok(Response::Stale { newest }) if replay && newest == tag => Ok(()),
                 Ok(Response::Stale { newest }) => Err(Some((newest, peer))),
                 _ => Err(None),
             };
@@ -536,6 +701,17 @@ async fn replicate(
     }
 }
 
+/// Installs a full object state plus the request ledger describing it.
+/// The ledger is replaced only when the state is — swapping one without
+/// the other would break the "records ⊆ current state line" invariant
+/// both dedup paths rely on.
+fn install_state(inner: &Inner, id: ObjectId, object: StoredObject, reqs: Vec<(u64, Tag)>) {
+    let installed = inner.engine.borrow_mut().sync_in(id, object);
+    if installed {
+        inner.ledger.borrow_mut().replace(id, reqs);
+    }
+}
+
 /// Pulls the newest state of `id` from `holder` into the local engine
 /// (best effort — the caller's tag floor guarantees progress even when
 /// this fails).
@@ -554,9 +730,9 @@ async fn catch_up(inner: &Rc<Inner>, id: ObjectId, holder: NodeId) {
         Ok(raw) => raw,
         Err(_) => return,
     };
-    if let Ok(Response::Object { object }) = wire::decode_response(&raw) {
+    if let Ok(Response::Object { object, reqs }) = wire::decode_response(&raw) {
         charge_io(inner, object.data.len()).await;
-        inner.engine.borrow_mut().sync_in(id, object);
+        install_state(inner, id, object, reqs);
         inner.synced_in.incr();
     }
 }
@@ -629,9 +805,9 @@ async fn anti_entropy_round(inner: &Rc<Inner>) {
             Ok(raw) => raw,
             Err(_) => return,
         };
-        if let Ok(Response::Object { object }) = wire::decode_response(&raw) {
+        if let Ok(Response::Object { object, reqs }) = wire::decode_response(&raw) {
             charge_io(inner, object.data.len()).await;
-            inner.engine.borrow_mut().sync_in(id, object);
+            install_state(inner, id, object, reqs);
             inner.synced_in.incr();
         }
     }
@@ -657,5 +833,78 @@ pub async fn remote_tag(
         Ok(Response::TagIs { tag }) => Ok(tag),
         Ok(other) => Err(NetError::Remote(format!("unexpected response {other:?}"))),
         Err(e) => Err(NetError::Remote(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ObjectId {
+        ObjectId::from_parts(7, n)
+    }
+
+    fn tag(seq: u64, writer: u32) -> Tag {
+        Tag { seq, writer }
+    }
+
+    #[test]
+    fn ledger_records_and_replaces() {
+        let mut l = ReqLedger::default();
+        l.record(id(1), 10, tag(3, 0));
+        assert_eq!(l.lookup(id(1), 10), Some(tag(3, 0)));
+        assert_eq!(l.lookup(id(1), 11), None);
+        assert_eq!(l.lookup(id(2), 10), None);
+        // Re-recording keeps the newest tag (catch-up re-order moved it).
+        l.record(id(1), 10, tag(5, 1));
+        assert_eq!(l.lookup(id(1), 10), Some(tag(5, 1)));
+        l.record(id(1), 10, tag(4, 0));
+        assert_eq!(l.lookup(id(1), 10), Some(tag(5, 1)));
+        // A full-state install replaces, never merges: records from the
+        // losing line must not survive next to the winner's.
+        l.replace(id(1), vec![(20, tag(9, 2))]);
+        assert_eq!(l.lookup(id(1), 10), None);
+        assert_eq!(l.lookup(id(1), 20), Some(tag(9, 2)));
+        // Replacing with an empty ledger drops the object entirely.
+        l.replace(id(1), vec![]);
+        assert_eq!(l.snapshot(id(1)), vec![]);
+    }
+
+    #[test]
+    fn ledger_caps_records_per_object() {
+        let mut l = ReqLedger::default();
+        for r in 0..(LEDGER_PER_OBJECT as u64 + 8) {
+            l.record(id(1), r, tag(r + 1, 0));
+        }
+        assert_eq!(l.snapshot(id(1)).len(), LEDGER_PER_OBJECT);
+        // The oldest records fell off the front; the newest survive.
+        assert_eq!(l.lookup(id(1), 0), None);
+        assert_eq!(l.lookup(id(1), 7), None);
+        assert_eq!(l.lookup(id(1), 8), Some(tag(9, 0)));
+        // An oversized shipped ledger is trimmed the same way.
+        let big: Vec<(u64, Tag)> = (0..(LEDGER_PER_OBJECT as u64 + 4))
+            .map(|r| (r, tag(r + 1, 1)))
+            .collect();
+        l.replace(id(2), big);
+        assert_eq!(l.snapshot(id(2)).len(), LEDGER_PER_OBJECT);
+        assert_eq!(l.lookup(id(2), 3), None);
+        assert_eq!(l.lookup(id(2), 4), Some(tag(5, 1)));
+    }
+
+    #[test]
+    fn ledger_evicts_longest_idle_objects() {
+        let mut l = ReqLedger::default();
+        // req_ids are monotone across the client population, so object
+        // insertion order here matches idleness order.
+        for n in 0..(LEDGER_OBJECTS as u64 + 3) {
+            l.record(id(n), n + 100, tag(1, 0));
+        }
+        assert_eq!(l.by_object.len(), LEDGER_OBJECTS);
+        for n in 0..3 {
+            assert_eq!(l.lookup(id(n), n + 100), None, "object {n} evicted");
+        }
+        for n in 3..6 {
+            assert_eq!(l.lookup(id(n), n + 100), Some(tag(1, 0)));
+        }
     }
 }

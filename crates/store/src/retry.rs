@@ -119,6 +119,24 @@ impl RetryPolicy {
         let scale = 1.0 - self.jitter.min(1.0) * rng.f64();
         cap.mul_f64(scale)
     }
+
+    /// Operation budget left after `elapsed` time spent; `None` when no
+    /// overall deadline is configured, `Some(ZERO)` when exhausted.
+    pub fn remaining_budget(&self, elapsed: Duration) -> Option<Duration> {
+        self.op_deadline.map(|b| b.saturating_sub(elapsed))
+    }
+
+    /// The deadline to race the next attempt against: the per-attempt
+    /// timeout clamped to the remaining operation budget. Without the
+    /// clamp, an attempt started just inside the budget could overrun
+    /// `op_deadline` by nearly a full `attempt_timeout`.
+    pub fn attempt_deadline(&self, remaining: Option<Duration>) -> Option<Duration> {
+        match (self.attempt_timeout, remaining) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (Some(a), None) => Some(a),
+            (None, r) => r,
+        }
+    }
 }
 
 /// Aggregated fault-recovery counters across all clients of a store.
@@ -193,6 +211,42 @@ mod tests {
         assert_eq!(p.op_deadline, None);
         let rng = DetRng::seeded(0);
         assert_eq!(p.backoff(0, &rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn attempt_deadline_clamps_to_remaining_budget() {
+        let p = RetryPolicy {
+            attempt_timeout: Some(Duration::from_millis(250)),
+            op_deadline: Some(Duration::from_secs(2)),
+            ..RetryPolicy::default()
+        };
+        // Plenty of budget: the per-attempt timeout governs.
+        let rem = p.remaining_budget(Duration::from_millis(100));
+        assert_eq!(rem, Some(Duration::from_millis(1900)));
+        assert_eq!(p.attempt_deadline(rem), Some(Duration::from_millis(250)));
+        // Less budget than one attempt: the remainder governs.
+        let rem = p.remaining_budget(Duration::from_millis(1900));
+        assert_eq!(p.attempt_deadline(rem), Some(Duration::from_millis(100)));
+        // Budget exhausted (or overrun): zero, never negative.
+        let rem = p.remaining_budget(Duration::from_secs(5));
+        assert_eq!(rem, Some(Duration::ZERO));
+        assert_eq!(p.attempt_deadline(rem), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn attempt_deadline_without_either_bound() {
+        let p = RetryPolicy {
+            attempt_timeout: None,
+            op_deadline: Some(Duration::from_secs(1)),
+            ..RetryPolicy::default()
+        };
+        // No per-attempt timeout: attempts still race the remaining
+        // operation budget.
+        let rem = p.remaining_budget(Duration::from_millis(400));
+        assert_eq!(p.attempt_deadline(rem), Some(Duration::from_millis(600)));
+        let none = RetryPolicy::none();
+        assert_eq!(none.remaining_budget(Duration::from_secs(9)), None);
+        assert_eq!(none.attempt_deadline(None), None);
     }
 
     #[test]

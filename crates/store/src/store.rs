@@ -516,16 +516,23 @@ impl StoreClient {
             for _ in 0..per_target {
                 if attempt_no > 0 {
                     counters.retry();
-                    let delay = policy.backoff(attempt_no - 1, &rng);
+                    let mut delay = policy.backoff(attempt_no - 1, &rng);
+                    if let Some(rem) = policy.remaining_budget(handle.now() - start) {
+                        // Never sleep past the operation deadline.
+                        delay = delay.min(rem);
+                    }
                     if !delay.is_zero() {
                         handle.sleep(delay).await;
                     }
-                    if let Some(budget) = policy.op_deadline {
-                        if handle.now() - start >= budget {
-                            counters.timeout();
-                            return Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout));
-                        }
-                    }
+                }
+                // Check the budget before *every* attempt (the first
+                // included) and clamp the attempt's deadline to what is
+                // left: an exhausted budget must not buy one more full
+                // attempt_timeout of overrun.
+                let remaining = policy.remaining_budget(handle.now() - start);
+                if remaining == Some(Duration::ZERO) {
+                    counters.timeout();
+                    return Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout));
                 }
                 attempt_no += 1;
                 let outcome = call_store_raw(
@@ -533,7 +540,7 @@ impl StoreClient {
                     self.origin,
                     target,
                     wire::encode_request(req),
-                    policy.attempt_timeout,
+                    policy.attempt_deadline(remaining),
                 )
                 .await;
                 match outcome {
@@ -642,18 +649,23 @@ impl StoreClient {
         for attempt in 0..max_attempts {
             if attempt > 0 {
                 counters.retry();
-                let delay = policy.backoff(attempt as u32 - 1, &rng);
+                let mut delay = policy.backoff(attempt as u32 - 1, &rng);
+                if let Some(rem) = policy.remaining_budget(handle.now() - start) {
+                    // Never sleep past the operation deadline.
+                    delay = delay.min(rem);
+                }
                 if !delay.is_zero() {
                     handle.sleep(delay).await;
                 }
-                if let Some(budget) = policy.op_deadline {
-                    if handle.now() - start >= budget {
-                        counters.timeout();
-                        return Err(last_err.unwrap_or(PcsiError::Timeout));
-                    }
-                }
             }
-            let result = match policy.attempt_timeout {
+            // Same budget discipline as the write path: check before
+            // every attempt, clamp each attempt to what is left.
+            let remaining = policy.remaining_budget(handle.now() - start);
+            if remaining == Some(Duration::ZERO) {
+                counters.timeout();
+                return Err(last_err.unwrap_or(PcsiError::Timeout));
+            }
+            let result = match policy.attempt_deadline(remaining) {
                 Some(d) => {
                     let client = self.clone();
                     let raced = pcsi_sim::util::deadline(&handle, d, async move {
@@ -875,7 +887,7 @@ impl StoreClient {
         need_acks: usize,
     ) -> Result<(), PcsiError> {
         let fetch = wire::encode_request(&Request::Fetch { id });
-        let object = match call_store_raw(
+        let (object, reqs) = match call_store_raw(
             self.store.inner.fabric.clone(),
             self.origin,
             source,
@@ -884,7 +896,7 @@ impl StoreClient {
         )
         .await
         {
-            Ok(Response::Object { object }) => object,
+            Ok(Response::Object { object, reqs }) => (object, reqs),
             // The object vanished between the read and the fetch —
             // a racing delete; surface it as such.
             Ok(Response::Absent) => return Err(PcsiError::NotFound(id)),
@@ -911,6 +923,7 @@ impl StoreClient {
             let push = wire::encode_request(&Request::Push {
                 id,
                 object: object.clone(),
+                reqs: reqs.clone(),
             });
             self.store.inner.fabric.handle().spawn(async move {
                 let ok = matches!(
@@ -1874,6 +1887,269 @@ mod tests {
                     matches!(r, Err(PcsiError::NotFound(_))),
                     "cache served a deleted object: {r:?}"
                 );
+            }
+        });
+    }
+
+    /// Coordinates one append on `target` over the raw wire, bypassing
+    /// the client recovery layer (fault-scenario choreography).
+    async fn raw_append(
+        fabric: &Fabric,
+        from: NodeId,
+        target: NodeId,
+        id: ObjectId,
+        data: &'static [u8],
+        req_id: u64,
+    ) -> Response {
+        let req = wire::encode_request(&Request::Coordinate {
+            id,
+            mutation: Mutation::Append {
+                data: Bytes::from_static(data),
+            },
+            sync_replicas: 1,
+            req_id,
+        });
+        let raw = fabric
+            .call(from, target, STORE_SERVICE, STORE_TRANSPORT, req)
+            .await
+            .expect("raw coordinate must reach the target");
+        wire::decode_response(&raw).unwrap()
+    }
+
+    fn replica_bytes(store: &ReplicatedStore, node: NodeId, id: ObjectId) -> Vec<u8> {
+        store
+            .replica_on(node)
+            .unwrap()
+            .with_engine(|e| e.read(id, 0, u64::MAX).map(|b| b.to_vec()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn failover_reorder_does_not_double_apply() {
+        // Regression for the exactly-once hole: a coordination succeeds
+        // server-side at the primary (its fan-out reached one secondary)
+        // but the ack to the client is lost. The client fails over; the
+        // failover target never saw the request and re-orders it at a
+        // fresh higher tag. Replicas that already applied it must answer
+        // `AlreadyApplied` instead of applying the non-idempotent append
+        // a second time — before the fix they deduplicated only by tag,
+        // and the fresh tag sailed past that check.
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 0,
+                retry: RetryPolicy {
+                    attempt_timeout: None,
+                    op_deadline: None,
+                    attempts_per_target: 1,
+                    failover: true,
+                    base_backoff: Duration::from_micros(10),
+                    max_backoff: Duration::from_micros(10),
+                    jitter: 0.0,
+                },
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(40);
+                let replicas = store.placement().replicas(id);
+                let (a, b) = (replicas[0], replicas[1]);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let c = store.client(client_node);
+                c.put(
+                    id,
+                    Bytes::from_static(b"base"),
+                    Mutability::AppendOnly,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // The primary cannot reach the failover target, so the
+                // target will not learn of the append from the fan-out.
+                fabric.partition(&[a], &[b]);
+                // Once the primary has received the append (and before
+                // it can reply), cut it off from the client: the
+                // coordination still completes server-side (the third
+                // replica acks the majority) but the client sees an
+                // ambiguous transport error and fails over.
+                let watcher = {
+                    let ra = store.replica_on(a).unwrap().clone();
+                    let fabric = fabric.clone();
+                    let h = fabric.handle().clone();
+                    async move {
+                        while ra.coordinated_count() < 2 {
+                            h.sleep(Duration::from_micros(1)).await;
+                        }
+                        fabric.partition(&[client_node], &[a]);
+                    }
+                };
+                drop(fabric.handle().spawn(watcher));
+                let tag = c
+                    .append(id, Bytes::from_static(b"x"), Consistency::Linearizable)
+                    .await
+                    .expect("failover must absorb the lost-ack append");
+                assert_eq!(tag.writer, b.0, "re-ordered by the failover target");
+                assert!(store.retry_stats().failovers >= 1);
+                fabric.heal_partitions();
+                // Pulls target a random storage node (not necessarily a
+                // fellow replica), so run rounds until the set agrees.
+                for _ in 0..64 {
+                    if replicas
+                        .iter()
+                        .all(|&n| replica_bytes(&store, n, id) == b"basex")
+                    {
+                        break;
+                    }
+                    for r in store.replicas() {
+                        r.anti_entropy_once().await;
+                    }
+                }
+                for &node in &replicas {
+                    assert_eq!(
+                        replica_bytes(&store, node, id),
+                        b"basex",
+                        "append applied exactly once on {node} after failover re-order",
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn replay_does_not_ack_peers_ahead_without_the_request() {
+        // Regression for the unsound replay ack: the primary applies a
+        // write locally but loses its whole fan-out; while the client
+        // backs off, two unrelated writes land on the other replicas
+        // through a different coordinator. The retried coordination
+        // replays at the recorded tag and finds both peers *ahead* of it
+        // — on a history line that does not contain the write. Before
+        // the fix `Stale { newest >= tag }` counted as an ack, so the
+        // replay reported success while the write existed only on the
+        // primary's losing line and silently vanished at convergence.
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 0,
+                retry: RetryPolicy {
+                    attempt_timeout: None,
+                    op_deadline: None,
+                    attempts_per_target: 2,
+                    failover: true,
+                    // A fixed, jitter-free backoff wide enough for the
+                    // concurrent writes to land inside it.
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(5),
+                    jitter: 0.0,
+                },
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(41);
+                let replicas = store.placement().replicas(id);
+                let (a, b, c_node) = (replicas[0], replicas[1], replicas[2]);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let client = store.client(client_node);
+                client
+                    .put(
+                        id,
+                        Bytes::from_static(b"p"),
+                        Mutability::AppendOnly,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                // Isolate the primary from its peers (the client still
+                // reaches it): attempt 1 applies locally, loses the
+                // fan-out, and surfaces QuorumUnavailable.
+                fabric.partition(&[a], &[b, c_node]);
+                // During the client's backoff: land two writes on the
+                // rest of the set through replica B, then heal — the
+                // retry's replay now finds its peers ahead of the
+                // recorded tag without holding the request.
+                let racer = {
+                    let store = store.clone();
+                    let fabric = fabric.clone();
+                    let h = fabric.handle().clone();
+                    async move {
+                        while store.retry_stats().retries < 1 {
+                            h.sleep(Duration::from_micros(5)).await;
+                        }
+                        let r1 = raw_append(&fabric, client_node, b, id, b"a", 900).await;
+                        assert!(matches!(r1, Response::Coordinated { .. }), "{r1:?}");
+                        let r2 = raw_append(&fabric, client_node, b, id, b"b", 901).await;
+                        assert!(matches!(r2, Response::Coordinated { .. }), "{r2:?}");
+                        fabric.heal_partitions();
+                    }
+                };
+                drop(fabric.handle().spawn(racer));
+                let tag = client
+                    .append(id, Bytes::from_static(b"x"), Consistency::Linearizable)
+                    .await
+                    .expect("failover must land the append on the winning line");
+                // The replay against the primary must NOT have claimed
+                // success at the recorded tag; the write lands re-ordered
+                // by the failover target, above the concurrent writes.
+                assert_eq!(tag.writer, b.0, "ordered by the failover target");
+                assert!(tag.seq >= 4, "ordered above the concurrent writes: {tag}");
+                let stats = store.retry_stats();
+                assert!(stats.retries >= 2 && stats.failovers >= 1, "{stats:?}");
+                // Pulls target a random storage node (not necessarily a
+                // fellow replica), so run rounds until the set agrees.
+                for _ in 0..64 {
+                    if replicas
+                        .iter()
+                        .all(|&n| replica_bytes(&store, n, id) == b"pabx")
+                    {
+                        break;
+                    }
+                    for r in store.replicas() {
+                        r.anti_entropy_once().await;
+                    }
+                }
+                for &node in &replicas {
+                    assert_eq!(
+                        replica_bytes(&store, node, id),
+                        b"pabx",
+                        "acknowledged append must survive convergence on {node}",
+                    );
+                }
             }
         });
     }

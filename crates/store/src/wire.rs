@@ -94,6 +94,11 @@ pub enum Request {
         id: ObjectId,
         /// The state to install.
         object: StoredObject,
+        /// The sender's request ledger for the object: `(req_id, tag)`
+        /// of every client request contained in `object`'s history.
+        /// Installed alongside the state so exactly-once dedup survives
+        /// state transfer.
+        reqs: Vec<(u64, Tag)>,
     },
 }
 
@@ -130,6 +135,11 @@ pub enum Response {
     Object {
         /// The replica state.
         object: StoredObject,
+        /// The sender's request ledger for the object (see
+        /// [`Request::Push::reqs`]). A receiver installing `object` must
+        /// install these too, or a later failed-over retry of a request
+        /// contained in the state would be re-applied.
+        reqs: Vec<(u64, Tag)>,
     },
     /// The object is not present on this replica.
     Absent,
@@ -146,6 +156,15 @@ pub enum Response {
     Stale {
         /// The receiver's newest local tag.
         newest: Tag,
+    },
+    /// The receiver's current state already contains the request the
+    /// sender tried to apply (matched by `req_id` in its ledger), so it
+    /// was not applied again. Counts as a replication ack: the peer
+    /// provably holds the mutation, exactly once.
+    AlreadyApplied {
+        /// The tag the receiver recorded the request at (may differ
+        /// from the sender's tag after a failover re-order).
+        tag: Tag,
     },
     /// A PCSI-level error.
     Err(WireError),
@@ -289,6 +308,14 @@ impl Writer {
         self.buf.extend_from_slice(b);
     }
 
+    fn reqs(&mut self, reqs: &[(u64, Tag)]) {
+        self.u32(reqs.len() as u32);
+        for &(req_id, tag) in reqs {
+            self.u64(req_id);
+            self.tag(tag);
+        }
+    }
+
     fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
     }
@@ -382,6 +409,15 @@ impl<'a> Reader<'a> {
     fn bytes(&mut self) -> Result<Bytes, CodecError> {
         let len = self.u32()? as usize;
         Ok(Bytes::copy_from_slice(self.take(len, "bytes")?))
+    }
+
+    fn reqs(&mut self) -> Result<Vec<(u64, Tag)>, CodecError> {
+        let n = self.u32()? as usize;
+        let mut reqs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            reqs.push((self.u64()?, self.tag()?));
+        }
+        Ok(reqs)
     }
 
     fn str(&mut self) -> Result<String, CodecError> {
@@ -492,13 +528,14 @@ pub fn encode_request(req: &Request) -> Bytes {
             w.u64(*len);
             w.u64(*inline_limit);
         }
-        Request::Push { id, object } => {
+        Request::Push { id, object, reqs } => {
             w.u8(7);
             w.id(*id);
             w.tag(object.tag);
             w.mutability(object.mutability);
             w.u64(object.stable_len);
             w.bytes(&object.data);
+            w.reqs(reqs);
         }
     }
     w.finish()
@@ -545,6 +582,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
             let mutability = r.mutability()?;
             let stable_len = r.u64()?;
             let data = r.bytes()?;
+            let reqs = r.reqs()?;
             Request::Push {
                 id,
                 object: StoredObject {
@@ -553,6 +591,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
                     mutability,
                     stable_len,
                 },
+                reqs,
             }
         }
         b => return Err(CodecError(format!("bad request op {b}"))),
@@ -588,12 +627,13 @@ pub fn encode_response(resp: &Response) -> Bytes {
             w.u8(3);
             w.tag(*tag);
         }
-        Response::Object { object } => {
+        Response::Object { object, reqs } => {
             w.u8(4);
             w.tag(object.tag);
             w.mutability(object.mutability);
             w.u64(object.stable_len);
             w.bytes(&object.data);
+            w.reqs(reqs);
         }
         Response::Absent => w.u8(5),
         Response::InventoryIs { entries } => {
@@ -607,6 +647,10 @@ pub fn encode_response(resp: &Response) -> Bytes {
         Response::Stale { newest } => {
             w.u8(8);
             w.tag(*newest);
+        }
+        Response::AlreadyApplied { tag } => {
+            w.u8(9);
+            w.tag(*tag);
         }
         Response::Err(e) => {
             w.u8(7);
@@ -659,6 +703,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
             let mutability = r.mutability()?;
             let stable_len = r.u64()?;
             let data = r.bytes()?;
+            let reqs = r.reqs()?;
             Response::Object {
                 object: StoredObject {
                     data,
@@ -666,6 +711,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
                     mutability,
                     stable_len,
                 },
+                reqs,
             }
         }
         5 => Response::Absent,
@@ -696,6 +742,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
             b => return Err(CodecError(format!("bad error code {b}"))),
         }),
         8 => Response::Stale { newest: r.tag()? },
+        9 => Response::AlreadyApplied { tag: r.tag()? },
         b => return Err(CodecError(format!("bad response op {b}"))),
     };
     r.done()?;
@@ -775,6 +822,17 @@ mod tests {
                     mutability: Mutability::AppendOnly,
                     stable_len: 8,
                 },
+                reqs: vec![(7, Tag { seq: 10, writer: 1 }), (9, Tag { seq: 11, writer: 2 })],
+            },
+            Request::Push {
+                id: oid(11),
+                object: StoredObject {
+                    data: Bytes::new(),
+                    tag: Tag { seq: 1, writer: 0 },
+                    mutability: Mutability::Mutable,
+                    stable_len: 0,
+                },
+                reqs: vec![],
             },
         ];
         for req in reqs {
@@ -804,6 +862,7 @@ mod tests {
                     mutability: Mutability::FixedSize,
                     stable_len: 5,
                 },
+                reqs: vec![(3, Tag { seq: 3, writer: 1 })],
             },
             Response::Absent,
             Response::InventoryIs {
@@ -826,6 +885,9 @@ mod tests {
             Response::Err(WireError::Other("boom".into())),
             Response::Stale {
                 newest: Tag { seq: 12, writer: 4 },
+            },
+            Response::AlreadyApplied {
+                tag: Tag { seq: 6, writer: 2 },
             },
         ];
         for resp in resps {
@@ -856,6 +918,7 @@ mod tests {
                     mutability: Mutability::Mutable,
                     stable_len: 3,
                 },
+                reqs: vec![(5, Tag { seq: 4, writer: 1 })],
             },
         ];
         for req in &reqs {

@@ -76,6 +76,10 @@ fn arb_wire_mutation() -> impl Strategy<Value = Mutation> {
     ]
 }
 
+fn arb_reqs() -> impl Strategy<Value = Vec<(u64, Tag)>> {
+    proptest::collection::vec((any::<u64>(), arb_tag()), 0..8)
+}
+
 fn arb_object() -> impl Strategy<Value = StoredObject> {
     (arb_bytes(), arb_tag(), arb_mutability(), any::<u64>()).prop_map(
         |(data, tag, mutability, stable_len)| StoredObject {
@@ -123,7 +127,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 inline_limit,
             }
         ),
-        (arb_id(), arb_object()).prop_map(|(id, object)| Request::Push { id, object }),
+        (arb_id(), arb_object(), arb_reqs())
+            .prop_map(|(id, object, reqs)| Request::Push { id, object, reqs }),
     ]
 }
 
@@ -154,11 +159,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
             }
         ),
         arb_tag().prop_map(|tag| Response::TagIs { tag }),
-        arb_object().prop_map(|object| Response::Object { object }),
+        (arb_object(), arb_reqs()).prop_map(|(object, reqs)| Response::Object { object, reqs }),
         Just(Response::Absent),
         proptest::collection::vec((arb_id(), arb_tag()), 0..12)
             .prop_map(|entries| Response::InventoryIs { entries }),
         arb_tag().prop_map(|newest| Response::Stale { newest }),
+        arb_tag().prop_map(|tag| Response::AlreadyApplied { tag }),
         arb_wire_error().prop_map(Response::Err),
     ]
 }
