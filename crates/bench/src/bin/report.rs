@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use pcsi_bench::experiments::{
     capability, consistency, crossover, efficiency, flexibility, mutability, pipeline, recovery,
-    rest_vs_nfs, table1, ycsb, DEFAULT_SEED,
+    rest_vs_nfs, stages, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
 
@@ -98,6 +98,26 @@ fn report_rest_vs_nfs() {
         r.cost_ratio()
     );
     println!("         (absolute values differ with the substrate; ratios are the claim)\n");
+
+    println!("### trace-derived stage breakdown of one warm 1 KB GET\n");
+    let s = rest_vs_nfs::stage_breakdown(DEFAULT_SEED);
+    let mut t = Table::new(&["interface", "protocol", "network", "storage", "other"]);
+    for (label, b) in [
+        ("NFS-like stateful protocol", &s.nfs),
+        ("DynamoDB-like REST", &s.rest),
+        ("PCSI-native (reference + binary)", &s.pcsi),
+    ] {
+        t.row(&[
+            label.into(),
+            ns(b.ns(stages::PROTOCOL) as f64),
+            ns(b.ns(stages::NETWORK) as f64),
+            ns(b.ns(stages::STORAGE) as f64),
+            ns(b.ns(stages::OTHER) as f64),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(self time per span category over one traced request; the interfaces differ");
+    println!("in protocol CPU, not in wire or media time)\n");
 }
 
 fn report_mutability() {
@@ -389,6 +409,26 @@ fn report_crossover() {
     match crossover::shape_holds(&points) {
         Ok(()) => println!(
             "\nshape check: PASS (REST flattens at its CPU floor; PCSI rides the hardware)\n"
+        ),
+        Err(e) => println!("\nshape check: FAIL — {e}\n"),
+    }
+
+    println!("### trace-derived stage shares of one signed-REST 1 KB GET\n");
+    let bps = crossover::breakdowns(DEFAULT_SEED);
+    let mut t = Table::new(&["network", "interface", "protocol", "network", "storage"]);
+    for p in &bps {
+        t.row(&[
+            p.generation.label().into(),
+            p.interface.into(),
+            format!("{:.0}%", 100.0 * p.stages.share(stages::PROTOCOL)),
+            format!("{:.0}%", 100.0 * p.stages.share(stages::NETWORK)),
+            format!("{:.0}%", 100.0 * p.stages.share(stages::STORAGE)),
+        ]);
+    }
+    print!("{}", t.render());
+    match crossover::breakdown_shape_holds(&bps) {
+        Ok(()) => println!(
+            "\nshape check: PASS (protocol share: minority at 1 ms RTT, dominant at 1 us RTT)\n"
         ),
         Err(e) => println!("\nshape check: FAIL — {e}\n"),
     }

@@ -18,6 +18,9 @@ use pcsi_net::{NetworkGeneration, NodeId};
 use pcsi_proto::sign::Credentials;
 use pcsi_sim::metrics::Histogram;
 use pcsi_sim::Sim;
+use pcsi_trace::Sampling;
+
+use super::stages::{self, StageBreakdown};
 
 /// One generation × interface measurement.
 #[derive(Debug, Clone)]
@@ -107,6 +110,114 @@ pub fn run(seed: u64, ops: u32) -> Vec<Point> {
     out
 }
 
+/// One generation × interface trace-derived stage split.
+#[derive(Debug, Clone)]
+pub struct BreakdownPoint {
+    /// Network generation.
+    pub generation: NetworkGeneration,
+    /// Interface label.
+    pub interface: &'static str,
+    /// Per-stage self-time totals of one warm 1 KB GET.
+    pub stages: StageBreakdown,
+}
+
+/// Traces one warm 1 KB GET per interface at every generation and
+/// splits its latency into protocol / network / storage self time.
+///
+/// This is the span-level version of [`run`]'s aggregate claim: the
+/// protocol share of a signed-REST fetch is a minority when the wire is
+/// slow (1 ms RTT) and dominates when the wire is fast (1 µs RTT).
+pub fn breakdowns(seed: u64) -> Vec<BreakdownPoint> {
+    let mut out = Vec::new();
+    for generation in NetworkGeneration::ALL {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        let (rest_stages, pcsi_stages) = sim.block_on(async move {
+            let cloud = CloudBuilder::new()
+                .network(generation)
+                .deterministic_network()
+                .tracing(Sampling::Always)
+                .build(&h);
+            let tracer = cloud.tracer.clone().expect("tracing enabled");
+            let payload = vec![9u8; 1024];
+
+            let kc = cloud.kernel.client(NodeId(0), "e9");
+            let obj = kc
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Eventual)
+                        .with_initial(payload.clone()),
+                )
+                .await
+                .unwrap();
+            // One warm-up read, then the measured one.
+            kc.read(&obj, 0, 1024).await.unwrap();
+            kc.read(&obj, 0, 1024).await.unwrap();
+
+            let mut keys = HashMap::new();
+            keys.insert("AK1".to_owned(), Credentials::new("AK1", b"k".to_vec()));
+            let rest = RestGateway::deploy(
+                cloud.fabric.clone(),
+                cloud.store.clone(),
+                cloud.billing.clone(),
+                NodeId(1),
+                NodeId(5),
+                keys,
+            );
+            rest.set_tracer(Some(tracer.clone()));
+            let rc = rest.client(NodeId(0), Credentials::new("AK1", b"k".to_vec()));
+            rc.kv_put("t", "k", &payload).await.unwrap();
+            rc.kv_get("t", "k").await.unwrap();
+            rc.kv_get("t", "k").await.unwrap();
+
+            let spans = tracer.sink().snapshot();
+            let rest_trace = stages::last_root(&spans, "rest.request").expect("a traced REST GET");
+            let pcsi_trace =
+                stages::last_root(&spans, "kernel.read").expect("a traced kernel read");
+            (
+                StageBreakdown::of(&spans, rest_trace),
+                StageBreakdown::of(&spans, pcsi_trace),
+            )
+        });
+        out.push(BreakdownPoint {
+            generation,
+            interface: "signed REST",
+            stages: rest_stages,
+        });
+        out.push(BreakdownPoint {
+            generation,
+            interface: "PCSI-native",
+            stages: pcsi_stages,
+        });
+    }
+    out
+}
+
+/// The trace-level crossover, machine-checkable: REST's protocol share
+/// is a minority at 1 ms RTT and dominant at 1 µs RTT.
+pub fn breakdown_shape_holds(points: &[BreakdownPoint]) -> Result<(), String> {
+    let share = |generation: NetworkGeneration| -> f64 {
+        points
+            .iter()
+            .find(|p| p.generation == generation && p.interface == "signed REST")
+            .map(|p| p.stages.share(stages::PROTOCOL))
+            .unwrap_or(f64::NAN)
+    };
+    let slow = share(NetworkGeneration::Dc2005);
+    if slow.is_nan() || slow >= 0.5 {
+        return Err(format!(
+            "protocol share should be a minority on the 2005 network (got {slow:.2})"
+        ));
+    }
+    let fast = share(NetworkGeneration::FastEmerging);
+    if fast.is_nan() || fast <= 0.5 {
+        return Err(format!(
+            "protocol share should dominate on the fast network (got {fast:.2})"
+        ));
+    }
+    Ok(())
+}
+
 /// The killer-microseconds shape, machine-checkable.
 pub fn shape_holds(points: &[Point]) -> Result<(), String> {
     let get = |generation: NetworkGeneration, iface: &str| -> f64 {
@@ -147,6 +258,22 @@ mod tests {
     fn killer_microseconds_shape() {
         let points = run(DEFAULT_SEED, 50);
         shape_holds(&points).unwrap();
+    }
+
+    #[test]
+    fn trace_breakdown_crossover() {
+        let points = breakdowns(DEFAULT_SEED);
+        breakdown_shape_holds(&points).unwrap();
+        // The attribution is near-complete: unclassified self time is a
+        // sliver of each REST request.
+        for p in points.iter().filter(|p| p.interface == "signed REST") {
+            assert!(
+                p.stages.share(stages::OTHER) < 0.2,
+                "{:?} unattributed share too large: {:?}",
+                p.generation,
+                p.stages
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod mutability;
 pub mod pipeline;
 pub mod recovery;
 pub mod rest_vs_nfs;
+pub mod stages;
 pub mod table1;
 pub mod ycsb;
 

@@ -21,6 +21,9 @@ use pcsi_net::NodeId;
 use pcsi_proto::sign::Credentials;
 use pcsi_sim::metrics::Histogram;
 use pcsi_sim::Sim;
+use pcsi_trace::Sampling;
+
+use super::stages::{self, StageBreakdown};
 
 /// Results for one interface.
 #[derive(Debug, Clone)]
@@ -161,10 +164,100 @@ pub fn run(seed: u64, fetches: u32) -> Results {
     })
 }
 
+/// Trace-derived stage splits of one warm 1 KB GET per interface.
+#[derive(Debug, Clone)]
+pub struct StageResults {
+    /// NFS-like stateful protocol.
+    pub nfs: StageBreakdown,
+    /// DynamoDB-like REST.
+    pub rest: StageBreakdown,
+    /// PCSI-native.
+    pub pcsi: StageBreakdown,
+}
+
+/// Traces one warm fetch per interface on the default 2021 network and
+/// splits it into protocol / network / storage self time — the
+/// span-level explanation of [`Results`]' latency ratio: the REST path
+/// carries ~60× the protocol CPU of the NFS path.
+pub fn stage_breakdown(seed: u64) -> StageResults {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let cloud = CloudBuilder::new().tracing(Sampling::Always).build(&h);
+        let tracer = cloud.tracer.clone().expect("tracing enabled");
+        let billing = cloud.billing.clone();
+        let mut keys = HashMap::new();
+        keys.insert("AK1".to_owned(), Credentials::new("AK1", b"k".to_vec()));
+        let rest = RestGateway::deploy(
+            cloud.fabric.clone(),
+            cloud.store.clone(),
+            billing.clone(),
+            NodeId(1),
+            NodeId(5),
+            keys,
+        );
+        rest.set_tracer(Some(tracer.clone()));
+        let nfs = NfsServer::deploy(
+            cloud.fabric.clone(),
+            billing.clone(),
+            NodeId(6),
+            b"nfs-secret",
+        );
+        nfs.set_tracer(Some(tracer.clone()));
+        let payload = vec![0x5Au8; 1024];
+        let client_node = NodeId(0);
+
+        let mount = nfs.mount(client_node, b"nfs-secret", "nfs").await.unwrap();
+        let fh = mount.lookup("bench-1k", true).await.unwrap();
+        mount.write(fh, 0, &payload).await.unwrap();
+        mount.read(fh, 0, 1024).await.unwrap();
+
+        let rc = rest.client(client_node, Credentials::new("AK1", b"k".to_vec()));
+        rc.kv_put("bench", "obj-1k", &payload).await.unwrap();
+        rc.kv_get("bench", "obj-1k").await.unwrap();
+        rc.kv_get("bench", "obj-1k").await.unwrap();
+
+        let kc = cloud.kernel.client(client_node, "pcsi");
+        let obj = kc
+            .create(
+                CreateOptions::regular()
+                    .with_consistency(Consistency::Eventual)
+                    .with_initial(payload.clone()),
+            )
+            .await
+            .unwrap();
+        kc.read(&obj, 0, 1024).await.unwrap();
+        kc.read(&obj, 0, 1024).await.unwrap();
+
+        let spans = tracer.sink().snapshot();
+        let pick = |name: &str| stages::last_root(&spans, name).expect("traced request");
+        StageResults {
+            nfs: StageBreakdown::of(&spans, pick("nfs.request")),
+            rest: StageBreakdown::of(&spans, pick("rest.request")),
+            pcsi: StageBreakdown::of(&spans, pick("kernel.read")),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn stage_breakdown_explains_the_gap() {
+        let s = stage_breakdown(DEFAULT_SEED);
+        // The interfaces differ in protocol CPU, not in wire or media:
+        // REST burns an order of magnitude more than NFS per fetch.
+        let rest_protocol = s.rest.ns(stages::PROTOCOL);
+        let nfs_protocol = s.nfs.ns(stages::PROTOCOL);
+        assert!(
+            rest_protocol > 10 * nfs_protocol,
+            "REST protocol {rest_protocol} ns vs NFS {nfs_protocol} ns"
+        );
+        // PCSI-native's protocol overhead is below even NFS's.
+        assert!(s.pcsi.ns(stages::PROTOCOL) <= nfs_protocol);
+    }
 
     #[test]
     fn ratios_match_paper_shape() {

@@ -23,6 +23,7 @@ use pcsi_net::{Fabric, MessageFaults, NodeId};
 use pcsi_sim::rng::DetRng;
 use pcsi_sim::{Sim, SimHandle};
 use pcsi_store::{RetryPolicy, RetryStats, StoreConfig};
+use pcsi_trace::{render_trace, AttrValue, Sampling};
 
 use crate::checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
 use crate::history::{encode_value, Op, Recorder};
@@ -72,6 +73,11 @@ pub struct ScenarioConfig {
     /// resulting history. Implies a targeted partition schedule
     /// regardless of `plan`, and workers hammer only that register.
     pub inject_stale_reads: bool,
+    /// Trace sampling for the run. The default is [`Sampling::Off`],
+    /// which leaves the run bit-for-bit identical to an untraced build;
+    /// with sampling on, a checker violation's report carries the
+    /// rendered span tree of an operation on the violating object.
+    pub sampling: Sampling,
 }
 
 impl Default for ScenarioConfig {
@@ -83,6 +89,7 @@ impl Default for ScenarioConfig {
             lin_objects: 2,
             ev_objects: 2,
             inject_stale_reads: false,
+            sampling: Sampling::Off,
         }
     }
 }
@@ -109,6 +116,9 @@ pub struct ScenarioReport {
     pub client_errors: u64,
     /// Aggregate client fault-recovery counters for the run.
     pub retry: RetryStats,
+    /// With tracing on and a checker violation found: the rendered span
+    /// tree of a traced operation on the first violating object.
+    pub violation_trace: Option<String>,
 }
 
 impl ScenarioReport {
@@ -145,6 +155,10 @@ impl ScenarioReport {
         } else {
             for v in &self.violations {
                 out.push_str(&format!("violation {v}\n"));
+            }
+            if let Some(trace) = &self.violation_trace {
+                out.push_str("trace of an operation on the violating object:\n");
+                out.push_str(trace);
             }
         }
         out
@@ -189,6 +203,7 @@ pub fn run_scenario(seed: u64, cfg: &ScenarioConfig) -> ScenarioReport {
         net_faults: outcome.net_faults,
         client_errors: outcome.client_errors,
         retry: outcome.retry,
+        violation_trace: outcome.violation_trace,
     }
 }
 
@@ -199,6 +214,7 @@ struct DriveOutcome {
     net_faults: (u64, u64, u64),
     client_errors: u64,
     retry: RetryStats,
+    violation_trace: Option<String>,
 }
 
 async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
@@ -220,6 +236,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
         RetryPolicy::default()
     };
     let cloud = CloudBuilder::new()
+        .tracing(cfg.sampling)
         .store(StoreConfig {
             // Anti-entropy is driven manually after heal, so the
             // quiescence point is explicit and bounded.
@@ -377,6 +394,21 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
         }
     }
 
+    // With tracing on, attach the span tree of a traced store operation
+    // on the first violating object — the timeline a human debugs from.
+    let violation_trace = violations.first().and_then(|v| {
+        let tracer = cloud.tracer.as_ref()?;
+        let spans = tracer.sink().snapshot();
+        let needle = format!("{:?}", v.object);
+        let trace = spans.iter().find_map(|s| {
+            s.attrs
+                .iter()
+                .any(|(k, val)| *k == "object" && matches!(val, AttrValue::Text(t) if *t == needle))
+                .then_some(s.trace)
+        })?;
+        Some(render_trace(&spans, trace))
+    });
+
     let net = (
         fabric.messages_dropped(),
         fabric.messages_duplicated(),
@@ -390,6 +422,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
         net_faults: net,
         client_errors: client_errors.get(),
         retry: store.retry_stats(),
+        violation_trace,
     }
 }
 

@@ -6,6 +6,7 @@
 //! seed printed and byte-identically reproducible.
 
 use pcsi_chaos::{run_scenario, sweep_seeds, FaultPlan, ScenarioConfig};
+use pcsi_trace::Sampling;
 
 #[test]
 fn healthy_store_sweep_passes_all_checks() {
@@ -103,6 +104,7 @@ fn checker_rejects_injected_stale_reads_and_the_seed_reproduces() {
         lin_objects: 1,
         ev_objects: 0,
         inject_stale_reads: true,
+        ..ScenarioConfig::default()
     };
     let mut failing = None;
     for seed in 0xBAD_0000..0xBAD_0010u64 {
@@ -131,6 +133,102 @@ fn checker_rejects_injected_stale_reads_and_the_seed_reproduces() {
         "failing seed must reproduce byte-identically"
     );
     assert_eq!(first.fingerprint(), again.fingerprint());
+}
+
+#[test]
+fn violation_reports_carry_a_span_tree_when_traced() {
+    // Same injected freshness bug, but with tracing on: the report of
+    // the violating run must include the rendered span tree of an
+    // operation on the violating object — the timeline a human debugs
+    // from.
+    let cfg = ScenarioConfig {
+        plan: FaultPlan::PartitionHeal,
+        workers: 3,
+        ops_per_worker: 20,
+        lin_objects: 1,
+        ev_objects: 0,
+        inject_stale_reads: true,
+        sampling: Sampling::Always,
+    };
+    let mut failing = None;
+    for seed in 0xBAD_0000..0xBAD_0010u64 {
+        let report = run_scenario(seed, &cfg);
+        if !report.ok() {
+            failing = Some(report);
+            break;
+        }
+    }
+    let report = failing.expect("no seed surfaced the injected stale read");
+    let trace = report
+        .violation_trace
+        .as_deref()
+        .expect("traced violation must carry a span tree");
+    assert!(
+        trace.contains("store.") || trace.contains("kernel."),
+        "span tree should show the op's protocol stages:\n{trace}"
+    );
+    assert!(
+        report.render().contains("trace of an operation"),
+        "render() must include the violation trace"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_fault_schedules() {
+    // Always-on tracing draws its span ids from a dedicated RNG stream,
+    // so the seeded fault schedule — each event's kind, target and
+    // spacing — is unchanged from the untraced run's. Two honest
+    // differences remain, both because traced frames carry real extra
+    // wire bytes (16-byte context + presence flag): setup finishes a
+    // few ns later, shifting every event by one constant offset, and
+    // the workload's stop time moves, so the driver may fit a different
+    // number of events before its final heal-all. After rebasing to the
+    // first event, one schedule must be a prefix of the other, and the
+    // traced run must stay violation-free. CI runs this across the
+    // sweep (CHAOS_SEEDS widens it).
+    let schedule = |faults: &[String]| -> Vec<(u64, String)> {
+        let parse = |l: &str| -> (u64, String) {
+            let (t, what) = l
+                .strip_prefix("t=")
+                .and_then(|r| r.split_once("ns "))
+                .expect("fault lines are `t=<ns>ns <what>`");
+            (t.parse().expect("timestamp"), what.to_owned())
+        };
+        let events: Vec<_> = faults
+            .iter()
+            .filter(|l| !l.ends_with("heal-all"))
+            .map(|l| parse(l))
+            .collect();
+        let base = events.first().map_or(0, |(t, _)| *t);
+        events.into_iter().map(|(t, w)| (t - base, w)).collect()
+    };
+    for &seed in &sweep_seeds(0x7AC3_0000, 8) {
+        let off = run_scenario(seed, &ScenarioConfig::default());
+        let on = run_scenario(
+            seed,
+            &ScenarioConfig {
+                sampling: Sampling::Always,
+                ..ScenarioConfig::default()
+            },
+        );
+        let (a, b) = (schedule(&off.faults), schedule(&on.faults));
+        let n = a.len().min(b.len());
+        assert_eq!(
+            a[..n],
+            b[..n],
+            "seed {seed}: tracing changed the fault schedule"
+        );
+        assert_eq!(
+            off.ops.len(),
+            on.ops.len(),
+            "seed {seed}: tracing changed the number of completed ops"
+        );
+        assert!(
+            on.ok(),
+            "seed {seed} violated the contract with tracing on:\n{}",
+            on.render()
+        );
+    }
 }
 
 #[test]

@@ -14,6 +14,7 @@ use pcsi_faas::scheduler::PlacementPolicy;
 use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, Topology};
 use pcsi_sim::SimHandle;
 use pcsi_store::{ReplicatedStore, StoreConfig};
+use pcsi_trace::{Sampling, Tracer};
 
 use crate::billing::Billing;
 use crate::kernel::Kernel;
@@ -76,6 +77,8 @@ pub struct CloudBuilder {
     store: StoreConfig,
     runtime: RuntimeConfig,
     goal: Goal,
+    sampling: Sampling,
+    trace_capacity: usize,
 }
 
 impl Default for CloudBuilder {
@@ -87,6 +90,8 @@ impl Default for CloudBuilder {
             store: StoreConfig::default(),
             runtime: RuntimeConfig::default(),
             goal: Goal::Balanced,
+            sampling: Sampling::Off,
+            trace_capacity: 16384,
         }
     }
 }
@@ -146,6 +151,24 @@ impl CloudBuilder {
         self
     }
 
+    /// Enables distributed tracing at the given sampling policy.
+    ///
+    /// The default is [`Sampling::Off`]: no tracer is installed, no span
+    /// IDs are drawn, and every layer's instrumentation collapses to a
+    /// no-op, so untraced runs are bit-for-bit identical to builds of
+    /// this crate that predate tracing.
+    pub fn tracing(mut self, s: Sampling) -> Self {
+        self.sampling = s;
+        self
+    }
+
+    /// Caps the number of finished spans retained in the trace sink
+    /// (oldest evicted first). Default 16384.
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.trace_capacity = spans;
+        self
+    }
+
     /// Deploys the cloud onto a simulation.
     pub fn build(self, handle: &SimHandle) -> Cloud {
         let latency = if self.deterministic_net {
@@ -167,12 +190,21 @@ impl CloudBuilder {
             self.goal,
         );
         register_standard_devices(&kernel, handle);
+        let tracer = match self.sampling {
+            Sampling::Off => None,
+            s => {
+                let t = Tracer::new(handle, s, self.trace_capacity);
+                kernel.set_tracer(Some(t.clone()));
+                Some(t)
+            }
+        };
         Cloud {
             fabric,
             store,
             runtime,
             billing,
             kernel,
+            tracer,
         }
     }
 }
@@ -190,6 +222,8 @@ pub struct Cloud {
     pub billing: Billing,
     /// The PCSI kernel.
     pub kernel: Kernel,
+    /// The trace collector, when tracing is enabled.
+    pub tracer: Option<Tracer>,
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use pcsi_fs::{DirEntry, Directory, FifoQueue};
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::executor::LocalBoxFuture;
 use pcsi_store::{gc, ReplicatedStore};
+use pcsi_trace::{AttrValue, SpanHandle, TraceContext, Tracer};
 
 use crate::billing::Billing;
 
@@ -50,6 +51,10 @@ struct Inner {
     fifos: RefCell<HashMap<ObjectId, FifoQueue>>,
     devices: RefCell<DeviceRegistry>,
     goal: Goal,
+    /// Optional deterministic tracer: every `CloudInterface` op opens a
+    /// root span here, and the context flows down through the store and
+    /// the FaaS runtime.
+    tracer: RefCell<Option<Tracer>>,
 }
 
 /// The provider kernel. Cheap to clone.
@@ -79,6 +84,7 @@ impl Kernel {
                 fifos: RefCell::new(HashMap::new()),
                 devices: RefCell::new(DeviceRegistry::new()),
                 goal,
+                tracer: RefCell::new(None),
             }),
         }
     }
@@ -90,7 +96,22 @@ impl Kernel {
             kernel: self.clone(),
             node,
             account: account.to_owned(),
+            ctx: None,
         }
+    }
+
+    /// Installs (or removes) the tracer, propagating it to the store
+    /// (clients and replicas) and the FaaS runtime so one sink holds the
+    /// whole cross-layer trace.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        self.inner.store.set_tracer(tracer.clone());
+        self.inner.runtime.set_tracer(tracer.clone());
+        *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.borrow().clone()
     }
 
     /// Registers a host body for a function image name.
@@ -207,6 +228,10 @@ pub struct KernelClient {
     kernel: Kernel,
     node: NodeId,
     account: String,
+    /// Trace context operations run under: `None` for user-facing
+    /// clients (each op opens a root span), `Some` for clients handed to
+    /// function bodies (ops nest under the invocation).
+    ctx: Option<TraceContext>,
 }
 
 impl KernelClient {
@@ -230,7 +255,30 @@ impl KernelClient {
     }
 
     fn store_client(&self) -> pcsi_store::StoreClient {
-        self.inner().store.client(self.node)
+        self.inner().store.client(self.node).traced(self.ctx)
+    }
+
+    /// A clone whose operations (and store calls) run under `ctx` —
+    /// used to nest an op's work under the span just opened for it.
+    fn with_ctx(&self, ctx: Option<TraceContext>) -> KernelClient {
+        KernelClient {
+            kernel: self.kernel.clone(),
+            node: self.node,
+            account: self.account.clone(),
+            ctx: ctx.or(self.ctx),
+        }
+    }
+
+    /// Opens the span for one kernel operation: a root when this client
+    /// faces a user, a child when it is a function body's data plane.
+    fn op_span(&self, name: &'static str) -> SpanHandle {
+        match self.inner().tracer.borrow().as_ref() {
+            Some(t) => match self.ctx {
+                Some(ctx) => t.child(ctx, name),
+                None => t.root(name),
+            },
+            None => SpanHandle::disabled(),
+        }
     }
 
     /// Reads the complete contents of a byte object (helper used by
@@ -346,6 +394,19 @@ impl KernelClient {
         req: InvokeRequest,
         goal: Goal,
     ) -> Result<InvokeResponse, PcsiError> {
+        let span = self.op_span("kernel.invoke");
+        let this = self.with_ctx(span.ctx());
+        let result = this.invoke_goal_impl(f, req, goal).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn invoke_goal_impl(
+        &self,
+        f: &Reference,
+        req: InvokeRequest,
+        goal: Goal,
+    ) -> Result<InvokeResponse, PcsiError> {
         let meta = self.kernel.check(f, Rights::INVOKE)?;
         if meta.kind != ObjectKind::Function {
             return Err(PcsiError::WrongKind {
@@ -359,24 +420,47 @@ impl KernelClient {
 
         let runtime = &self.inner().runtime;
         let warm = |v: &str| !runtime.warm_nodes(&image.name, v).is_empty();
-        let variant = choose_variant(&image, req.body.len(), goal, warm)?.clone();
 
+        // Scheduling: variant choice plus placement/reservation. The
+        // section is synchronous (no awaits), so the span is zero-width
+        // in virtual time — it marks the decision point on the timeline.
+        let mut sched_span = match self.inner().tracer.borrow().as_ref() {
+            Some(t) => t.child_of(self.ctx, "faas.schedule"),
+            None => SpanHandle::disabled(),
+        };
+        let variant = match choose_variant(&image, req.body.len(), goal, warm) {
+            Ok(v) => v.clone(),
+            Err(e) => {
+                sched_span.attr_with("error", || AttrValue::Text(e.to_string()));
+                sched_span.finish();
+                return Err(e);
+            }
+        };
         // Warm instances are always preferred (their resources are pinned
         // and they skip the boot); the placement policy governs where new
         // instances go. Placement and reservation share one synchronous
         // section, so concurrent invocations cannot race each other onto
         // a single slot and spuriously overload a node. (The runtime's
         // policy is the kernel's policy — both come from the builder.)
-        let lease = runtime
-            .reserve_placed(&image, &variant, Some(self.node))
-            .map_err(|e| match e {
-                PcsiError::Overloaded(_) => PcsiError::Overloaded(format!(
-                    "no capacity for {}/{}",
-                    image.name, variant.name
-                )),
-                other => other,
-            })?;
+        let lease = match runtime.reserve_placed(&image, &variant, Some(self.node)) {
+            Ok(l) => l,
+            Err(e) => {
+                let e = match e {
+                    PcsiError::Overloaded(_) => PcsiError::Overloaded(format!(
+                        "no capacity for {}/{}",
+                        image.name, variant.name
+                    )),
+                    other => other,
+                };
+                sched_span.attr_with("error", || AttrValue::Text(e.to_string()));
+                sched_span.finish();
+                return Err(e);
+            }
+        };
         let node = lease.node();
+        sched_span.attr("node", u64::from(node.0));
+        sched_span.attr("cold", if lease.is_cold() { "true" } else { "false" });
+        sched_span.finish();
 
         // Dispatch hop: request body travels to the chosen node (the slot
         // is already held, so awaiting here is safe).
@@ -388,14 +472,16 @@ impl KernelClient {
                 .map_err(|e| PcsiError::Fault(e.to_string()))?;
         }
 
-        // The body's data plane originates from the execution node.
+        // The body's data plane originates from the execution node; its
+        // data-plane ops trace as children of this invocation.
         let body_client: Rc<dyn DataPlane> = Rc::new(KernelClient {
             kernel: self.kernel.clone(),
             node,
             account: self.account.clone(),
+            ctx: self.ctx,
         });
         let (resp, ran_on) = runtime
-            .run_lease(lease, &image, &variant, req, body_client)
+            .run_lease_traced(lease, &image, &variant, req, body_client, self.ctx)
             .await?;
 
         // Response hop back.
@@ -417,8 +503,120 @@ impl KernelClient {
     }
 }
 
+/// Stamps the error attribute (if any) and closes an op span.
+fn finish_op<T>(mut span: SpanHandle, result: &Result<T, PcsiError>) {
+    if let Err(e) = result {
+        span.attr_with("error", || AttrValue::Text(e.to_string()));
+    }
+    span.finish();
+}
+
 impl CloudInterface for KernelClient {
     async fn create(&self, opts: CreateOptions) -> Result<Reference, PcsiError> {
+        let span = self.op_span("kernel.create");
+        let this = self.with_ctx(span.ctx());
+        let result = this.create_impl(opts).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn read(&self, r: &Reference, offset: u64, len: u64) -> Result<Bytes, PcsiError> {
+        let span = self.op_span("kernel.read");
+        let this = self.with_ctx(span.ctx());
+        let result = this.read_impl(r, offset, len).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn write(&self, r: &Reference, offset: u64, data: Bytes) -> Result<(), PcsiError> {
+        let span = self.op_span("kernel.write");
+        let this = self.with_ctx(span.ctx());
+        let result = this.write_impl(r, offset, data).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn append(&self, r: &Reference, data: Bytes) -> Result<u64, PcsiError> {
+        let span = self.op_span("kernel.append");
+        let this = self.with_ctx(span.ctx());
+        let result = this.append_impl(r, data).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn pop(&self, r: &Reference) -> Result<Bytes, PcsiError> {
+        let span = self.op_span("kernel.pop");
+        let this = self.with_ctx(span.ctx());
+        let result = this.pop_impl(r).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn stat(&self, r: &Reference) -> Result<ObjectMeta, PcsiError> {
+        let span = self.op_span("kernel.stat");
+        let result = self.kernel.check(r, Rights::READ);
+        finish_op(span, &result);
+        result
+    }
+
+    async fn set_mutability(&self, r: &Reference, to: Mutability) -> Result<(), PcsiError> {
+        let span = self.op_span("kernel.set_mutability");
+        let this = self.with_ctx(span.ctx());
+        let result = this.set_mutability_impl(r, to).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn delete(&self, r: &Reference) -> Result<(), PcsiError> {
+        let span = self.op_span("kernel.delete");
+        let this = self.with_ctx(span.ctx());
+        let result = this.delete_impl(r).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn link(&self, dir: &Reference, name: &str, target: &Reference) -> Result<(), PcsiError> {
+        let span = self.op_span("kernel.link");
+        let this = self.with_ctx(span.ctx());
+        let result = this.link_impl(dir, name, target).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn unlink(&self, dir: &Reference, name: &str) -> Result<(), PcsiError> {
+        let span = self.op_span("kernel.unlink");
+        let this = self.with_ctx(span.ctx());
+        let result = this.unlink_impl(dir, name).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn lookup(&self, dir: &Reference, path: &str) -> Result<Reference, PcsiError> {
+        let span = self.op_span("kernel.lookup");
+        let this = self.with_ctx(span.ctx());
+        let result = this.lookup_impl(dir, path).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn list(&self, dir: &Reference) -> Result<Vec<String>, PcsiError> {
+        let span = self.op_span("kernel.list");
+        let this = self.with_ctx(span.ctx());
+        let result = this.list_impl(dir).await;
+        finish_op(span, &result);
+        result
+    }
+
+    async fn invoke(&self, f: &Reference, req: InvokeRequest) -> Result<InvokeResponse, PcsiError> {
+        self.invoke_goal(f, req, self.inner().goal).await
+    }
+}
+
+/// Operation bodies, factored out of the `CloudInterface` impl so every
+/// op can run under the span its wrapper just opened (via
+/// [`KernelClient::with_ctx`]).
+impl KernelClient {
+    async fn create_impl(&self, opts: CreateOptions) -> Result<Reference, PcsiError> {
         if !matches!(opts.kind, ObjectKind::Regular | ObjectKind::Function)
             && !opts.initial.is_empty()
         {
@@ -469,7 +667,7 @@ impl CloudInterface for KernelClient {
         Ok(Reference::mint(id, Rights::ALL, 0))
     }
 
-    async fn read(&self, r: &Reference, offset: u64, len: u64) -> Result<Bytes, PcsiError> {
+    async fn read_impl(&self, r: &Reference, offset: u64, len: u64) -> Result<Bytes, PcsiError> {
         let meta = self.kernel.check(r, Rights::READ)?;
         match &meta.kind {
             ObjectKind::Regular | ObjectKind::Function | ObjectKind::Directory => {
@@ -489,7 +687,7 @@ impl CloudInterface for KernelClient {
         }
     }
 
-    async fn write(&self, r: &Reference, offset: u64, data: Bytes) -> Result<(), PcsiError> {
+    async fn write_impl(&self, r: &Reference, offset: u64, data: Bytes) -> Result<(), PcsiError> {
         let meta = self.kernel.check(r, Rights::WRITE)?;
         match &meta.kind {
             ObjectKind::Regular | ObjectKind::Function => {
@@ -527,7 +725,7 @@ impl CloudInterface for KernelClient {
         }
     }
 
-    async fn append(&self, r: &Reference, data: Bytes) -> Result<u64, PcsiError> {
+    async fn append_impl(&self, r: &Reference, data: Bytes) -> Result<u64, PcsiError> {
         let meta = self.kernel.check(r, Rights::APPEND)?;
         match &meta.kind {
             ObjectKind::Regular | ObjectKind::Function => {
@@ -577,7 +775,7 @@ impl CloudInterface for KernelClient {
         }
     }
 
-    async fn pop(&self, r: &Reference) -> Result<Bytes, PcsiError> {
+    async fn pop_impl(&self, r: &Reference) -> Result<Bytes, PcsiError> {
         let meta = self.kernel.check(r, Rights::READ)?;
         if !matches!(meta.kind, ObjectKind::Fifo | ObjectKind::Socket) {
             return Err(PcsiError::WrongKind {
@@ -607,11 +805,7 @@ impl CloudInterface for KernelClient {
         Ok(msg)
     }
 
-    async fn stat(&self, r: &Reference) -> Result<ObjectMeta, PcsiError> {
-        self.kernel.check(r, Rights::READ)
-    }
-
-    async fn set_mutability(&self, r: &Reference, to: Mutability) -> Result<(), PcsiError> {
+    async fn set_mutability_impl(&self, r: &Reference, to: Mutability) -> Result<(), PcsiError> {
         let meta = self.kernel.check(r, Rights::MANAGE)?;
         // Validate the Figure-1 transition before touching the store.
         meta.mutability.transition_to(to)?;
@@ -627,7 +821,7 @@ impl CloudInterface for KernelClient {
         Ok(())
     }
 
-    async fn delete(&self, r: &Reference) -> Result<(), PcsiError> {
+    async fn delete_impl(&self, r: &Reference) -> Result<(), PcsiError> {
         let meta = self.kernel.check(r, Rights::MANAGE)?;
         if matches!(
             meta.kind,
@@ -641,7 +835,12 @@ impl CloudInterface for KernelClient {
         Ok(())
     }
 
-    async fn link(&self, dir: &Reference, name: &str, target: &Reference) -> Result<(), PcsiError> {
+    async fn link_impl(
+        &self,
+        dir: &Reference,
+        name: &str,
+        target: &Reference,
+    ) -> Result<(), PcsiError> {
         let dmeta = self.kernel.check(dir, Rights::WRITE)?;
         // Publishing a name delegates the target: GRANT required.
         self.kernel.check(target, Rights::GRANT)?;
@@ -650,14 +849,14 @@ impl CloudInterface for KernelClient {
         self.store_dir(dir.id(), &d).await
     }
 
-    async fn unlink(&self, dir: &Reference, name: &str) -> Result<(), PcsiError> {
+    async fn unlink_impl(&self, dir: &Reference, name: &str) -> Result<(), PcsiError> {
         let dmeta = self.kernel.check(dir, Rights::WRITE)?;
         let mut d = self.load_dir(dir.id(), &dmeta).await?;
         d.unlink(name)?;
         self.store_dir(dir.id(), &d).await
     }
 
-    async fn lookup(&self, dir: &Reference, path: &str) -> Result<Reference, PcsiError> {
+    async fn lookup_impl(&self, dir: &Reference, path: &str) -> Result<Reference, PcsiError> {
         let segments = pcsi_fs::path::split(path)?;
         let mut current = dir.clone();
         for seg in &segments {
@@ -679,14 +878,10 @@ impl CloudInterface for KernelClient {
         Ok(current)
     }
 
-    async fn list(&self, dir: &Reference) -> Result<Vec<String>, PcsiError> {
+    async fn list_impl(&self, dir: &Reference) -> Result<Vec<String>, PcsiError> {
         let meta = self.kernel.check(dir, Rights::READ)?;
         let d = self.load_dir(dir.id(), &meta).await?;
         Ok(d.names())
-    }
-
-    async fn invoke(&self, f: &Reference, req: InvokeRequest) -> Result<InvokeResponse, PcsiError> {
-        self.invoke_goal(f, req, self.inner().goal).await
     }
 }
 

@@ -25,6 +25,7 @@ use pcsi_net::fabric::RpcHandler;
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_store::engine::{MediaTier, Mutation, StorageEngine};
 use pcsi_store::version::Tag;
+use pcsi_trace::{SpanHandle, Tracer};
 
 use crate::billing::Billing;
 
@@ -262,6 +263,7 @@ pub struct NfsServer {
     fabric: Fabric,
     node: NodeId,
     state: Rc<RefCell<ServerState>>,
+    tracer: Rc<RefCell<Option<Tracer>>>,
 }
 
 impl NfsServer {
@@ -278,17 +280,25 @@ impl NfsServer {
             next_file: 1,
             next_tag: 1,
         }));
+        let tracer: Rc<RefCell<Option<Tracer>>> = Rc::new(RefCell::new(None));
         let handler: RpcHandler = {
             let state = Rc::clone(&state);
             let fabric2 = fabric.clone();
             let secret = secret.to_vec();
-            Rc::new(move |payload, _ctx| {
+            let tracer = Rc::clone(&tracer);
+            Rc::new(move |payload, ctx| {
                 let state = Rc::clone(&state);
                 let fabric2 = fabric2.clone();
                 let billing = billing.clone();
                 let secret = secret.clone();
+                let tracer = tracer.borrow().clone();
                 Box::pin(async move {
-                    let reply = serve(&fabric2, &billing, &state, &secret, payload).await;
+                    let span = match &tracer {
+                        Some(t) => t.child_of(ctx.trace, "nfs.server"),
+                        None => SpanHandle::disabled(),
+                    };
+                    let reply = serve(&fabric2, &billing, &state, &secret, payload, &span).await;
+                    span.finish();
                     Ok(encode_reply(&reply))
                 })
             })
@@ -298,7 +308,13 @@ impl NfsServer {
             fabric,
             node,
             state,
+            tracer,
         }
+    }
+
+    /// Installs (or clears) the tracer used by client and server spans.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *self.tracer.borrow_mut() = tracer;
     }
 
     /// The server's node.
@@ -349,11 +365,25 @@ impl NfsServer {
     }
 
     async fn call(&self, from: NodeId, op: &NfsOp) -> Result<NfsReply, PcsiError> {
+        let span = match self.tracer.borrow().as_ref() {
+            Some(t) => t.root("nfs.request"),
+            None => SpanHandle::disabled(),
+        };
+        let transport_span = span.span("nfs.transport");
         let raw = self
             .fabric
-            .call(from, self.node, "nfs", Transport::Tcp, encode_op(op))
+            .call_traced(
+                from,
+                self.node,
+                "nfs",
+                Transport::Tcp,
+                encode_op(op),
+                transport_span.ctx(),
+            )
             .await
             .map_err(|e| PcsiError::Fault(e.to_string()))?;
+        transport_span.finish();
+        span.finish();
         decode_reply(&raw).ok_or_else(|| PcsiError::BadPayload("bad NFS reply".into()))
     }
 }
@@ -375,6 +405,7 @@ async fn serve(
     state: &Rc<RefCell<ServerState>>,
     server_secret: &[u8],
     payload: Bytes,
+    span: &SpanHandle,
 ) -> NfsReply {
     let h = fabric.handle();
     let Some(op) = decode_op(&payload) else {
@@ -386,7 +417,9 @@ async fn serve(
     match op {
         NfsOp::Mount { secret } => {
             // One-time authentication; subsequent ops ride the session.
+            let auth_span = span.span("nfs.auth");
             h.sleep(MOUNT_CPU).await;
+            auth_span.finish();
             if !pcsi_proto::hash::ct_eq(&secret, server_secret) {
                 return NfsReply::Error {
                     code: E_AUTH,
@@ -404,7 +437,9 @@ async fn serve(
             name,
             create,
         } => {
+            let op_span = span.span("nfs.op");
             h.sleep(NFS_OP_CPU).await;
+            op_span.finish();
             let Some(account) = session_account(state, session) else {
                 return stale_session();
             };
@@ -448,7 +483,9 @@ async fn serve(
             offset,
             len,
         } => {
+            let op_span = span.span("nfs.op");
             h.sleep(NFS_OP_CPU).await;
+            op_span.finish();
             let Some(account) = session_account(state, session) else {
                 return stale_session();
             };
@@ -468,7 +505,9 @@ async fn serve(
                     .io_time(result.as_ref().map(|d| d.len()).unwrap_or(0));
                 (result, io)
             };
+            let io_span = span.span("nfs.io");
             h.sleep(io_time).await;
+            io_span.finish();
             match result {
                 Ok(data) => NfsReply::Data { data },
                 Err(e) => NfsReply::Error {
@@ -483,7 +522,9 @@ async fn serve(
             offset,
             data,
         } => {
+            let op_span = span.span("nfs.op");
             h.sleep(NFS_OP_CPU).await;
+            op_span.finish();
             let Some(account) = session_account(state, session) else {
                 return stale_session();
             };
@@ -492,7 +533,9 @@ async fn serve(
                 let s = state.borrow();
                 s.engine.tier().io_time(data.len())
             };
+            let io_span = span.span("nfs.io");
             h.sleep(io).await;
+            io_span.finish();
             let mut s = state.borrow_mut();
             let Some(&id) = s.handles.get(&handle) else {
                 return NfsReply::Error {

@@ -36,6 +36,7 @@ use pcsi_proto::http::{Method, Request, Response};
 use pcsi_proto::sign::{sign_request, verify_request, Credentials, Scope};
 use pcsi_proto::{json, Value};
 use pcsi_store::ReplicatedStore;
+use pcsi_trace::{SpanHandle, TraceContext, Tracer};
 
 use crate::billing::Billing;
 
@@ -82,6 +83,7 @@ struct Inner {
     fabric: Fabric,
     lb_node: NodeId,
     gateway_node: NodeId,
+    tracer: Rc<RefCell<Option<Tracer>>>,
 }
 
 /// Derives the storage object id for a REST resource path.
@@ -113,6 +115,7 @@ impl RestGateway {
         keys: HashMap<String, Credentials>,
     ) -> Self {
         let keys = Rc::new(keys);
+        let tracer: Rc<RefCell<Option<Tracer>>> = Rc::new(RefCell::new(None));
 
         // Gateway: the real work.
         let gw_handler: RpcHandler = {
@@ -120,15 +123,25 @@ impl RestGateway {
             let store = store.clone();
             let billing = billing.clone();
             let keys = Rc::clone(&keys);
-            Rc::new(move |payload, _ctx| {
+            let tracer = Rc::clone(&tracer);
+            Rc::new(move |payload, ctx| {
                 let fabric = fabric.clone();
                 let store = store.clone();
                 let billing = billing.clone();
                 let keys = Rc::clone(&keys);
+                let tracer = tracer.borrow().clone();
                 Box::pin(async move {
-                    let resp =
-                        handle_request(&fabric, &store, &billing, &keys, gateway_node, payload)
-                            .await;
+                    let resp = handle_request(
+                        &fabric,
+                        &store,
+                        &billing,
+                        &keys,
+                        gateway_node,
+                        payload,
+                        tracer,
+                        ctx.trace,
+                    )
+                    .await;
                     Ok(Bytes::from(resp.encode()))
                 })
             })
@@ -138,19 +151,32 @@ impl RestGateway {
         // Load balancer: charge its CPU and forward.
         let lb_handler: RpcHandler = {
             let fabric = fabric.clone();
-            Rc::new(move |payload, _ctx| {
+            let tracer = Rc::clone(&tracer);
+            Rc::new(move |payload, ctx| {
                 let fabric = fabric.clone();
+                let tracer = tracer.borrow().clone();
                 Box::pin(async move {
+                    let span = match (&tracer, ctx.trace) {
+                        (Some(t), Some(c)) => t.child(c, "rest.lb"),
+                        _ => SpanHandle::disabled(),
+                    };
                     fabric.handle().sleep(LB_CPU).await;
-                    fabric
-                        .call(
+                    // The forward hop is a nested transport span so the
+                    // balancer span's self time is purely its CPU.
+                    let fwd_span = span.span("rest.transport");
+                    let result = fabric
+                        .call_traced(
                             lb_node,
                             gateway_node,
                             "rest-gateway",
                             Transport::Tcp,
                             payload,
+                            fwd_span.ctx(),
                         )
-                        .await
+                        .await;
+                    fwd_span.finish();
+                    span.finish();
+                    result
                 })
             })
         };
@@ -161,8 +187,15 @@ impl RestGateway {
                 fabric,
                 lb_node,
                 gateway_node,
+                tracer,
             }),
         }
+    }
+
+    /// Installs (or clears) the tracer used by the client, load
+    /// balancer, and gateway instrumentation.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *self.inner.tracer.borrow_mut() = tracer;
     }
 
     /// The load balancer's node (clients connect here).
@@ -186,6 +219,7 @@ impl RestGateway {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 async fn handle_request(
     fabric: &Fabric,
     store: &ReplicatedStore,
@@ -193,11 +227,19 @@ async fn handle_request(
     keys: &HashMap<String, Credentials>,
     gateway_node: NodeId,
     payload: Bytes,
+    tracer: Option<Tracer>,
+    trace: Option<TraceContext>,
 ) -> Response {
     let h = fabric.handle();
+    let mut span = match &tracer {
+        Some(t) => t.child_of(trace, "rest.gateway"),
+        None => SpanHandle::disabled(),
+    };
 
     // 1. HTTP parse (+ later format): framing CPU.
+    let parse_span = span.span("rest.http_parse");
     h.sleep(HTTP_CPU).await;
+    parse_span.finish();
     let request = match Request::decode(&payload) {
         Ok(r) => r,
         Err(e) => {
@@ -207,14 +249,17 @@ async fn handle_request(
 
     // 2. Stateless authentication: every request pays signature
     //    verification (the real HMAC work runs here).
+    let auth_span = span.span("rest.auth");
     h.sleep(auth_cpu(payload.len())).await;
     let now_s = h.now().as_secs_f64() as u64 + 1_700_000_000;
     let lookup = |id: &str| keys.get(id).cloned();
     if let Err(e) = verify_request(&request, lookup, &scope(), now_s, 3600) {
         return Response::new(403).with_body(error_json("AccessDenied", &e.to_string()));
     }
+    auth_span.finish();
 
     // 3. Routing / metering / logging.
+    let route_span = span.span("rest.route");
     h.sleep(ROUTING_CPU).await;
     let account = request
         .headers
@@ -227,16 +272,19 @@ async fn handle_request(
         &pcsi_net::node::Resources::cpu(1, 0),
         request_cpu(request.body.len()),
     );
+    route_span.finish();
 
     // 4. Dispatch by resource class.
     let path = request.target.clone();
-    let client = store.client(gateway_node);
+    let client = store.client(gateway_node).traced(span.ctx());
     let id = path_object_id(&path);
     let result: Result<Response, PcsiError> = if path.starts_with("/kv/") {
         match request.method {
             Method::Put => {
                 // JSON unmarshal of the item.
+                let marshal_span = span.span("rest.marshal");
                 h.sleep(marshal_cpu(request.body.len())).await;
+                marshal_span.finish();
                 let body_text = String::from_utf8_lossy(&request.body).into_owned();
                 match json::decode(&body_text) {
                     Ok(item) => {
@@ -264,9 +312,11 @@ async fn handle_request(
             Method::Get => match client.read_all(id, Consistency::Eventual).await {
                 Ok((_tag, data)) => {
                     // JSON marshal of the response item.
+                    let marshal_span = span.span("rest.marshal");
                     let value = Value::object([("value", Value::Str(json::base64_encode(&data)))]);
                     let body = json::encode(&value);
                     h.sleep(marshal_cpu(body.len())).await;
+                    marshal_span.finish();
                     Ok(Response::new(200)
                         .with_header("content-type", "application/json")
                         .with_body(body.into_bytes()))
@@ -299,11 +349,14 @@ async fn handle_request(
         Ok(Response::new(404).with_body(error_json("NoSuchResource", &path)))
     };
 
-    match result {
+    let resp = match result {
         Ok(resp) => resp,
         Err(PcsiError::NotFound(_)) => Response::new(404).with_body(error_json("NoSuchKey", &path)),
         Err(e) => Response::new(500).with_body(error_json("InternalError", &e.to_string())),
-    }
+    };
+    span.attr("status", u64::from(resp.status));
+    span.finish();
+    resp
 }
 
 fn error_json(code: &str, message: &str) -> Vec<u8> {
@@ -350,30 +403,46 @@ pub struct RestClient {
 impl RestClient {
     async fn send(&self, mut request: Request) -> Result<Response, RestError> {
         let h = self.gateway.inner.fabric.handle();
+        let mut span = match self.gateway.inner.tracer.borrow().as_ref() {
+            Some(t) => t.root("rest.request"),
+            None => SpanHandle::disabled(),
+        };
+        span.attr_with("target", || {
+            pcsi_trace::AttrValue::Text(request.target.clone())
+        });
         let now_s = h.now().as_secs_f64() as u64 + 1_700_000_000;
         *self.epoch_s.borrow_mut() = now_s;
         request.headers.insert("host", "api.sim-west-1.pcsi.cloud");
+        let sign_span = span.span("rest.sign");
         sign_request(&mut request, &self.creds, &scope(), now_s);
+        sign_span.finish();
         // Client-side marshal/framing cost is charged to the client's own
         // machine time (not billed).
+        let marshal_span = span.span("rest.marshal");
         h.sleep(marshal_cpu(request.body.len()) + HTTP_CPU / 2)
             .await;
         let wire = Bytes::from(request.encode());
+        marshal_span.finish();
+        let transport_span = span.span("rest.transport");
         let raw = self
             .gateway
             .inner
             .fabric
-            .call(
+            .call_traced(
                 self.from,
                 self.gateway.inner.lb_node,
                 "rest-lb",
                 Transport::Tcp,
                 wire,
+                transport_span.ctx(),
             )
             .await
             .map_err(|e| RestError::Net(e.to_string()))?;
+        transport_span.finish();
         let response =
             Response::decode(&raw).map_err(|e| RestError::Net(format!("bad response: {e}")))?;
+        span.attr("status", u64::from(response.status));
+        span.finish();
         if response.is_success() {
             Ok(response)
         } else {

@@ -18,6 +18,7 @@ use pcsi_core::PcsiError;
 use pcsi_net::NodeId;
 use pcsi_sim::metrics::Counter;
 use pcsi_sim::{SimHandle, SimTime};
+use pcsi_trace::Tracer;
 
 use crate::cluster::ClusterState;
 use crate::function::{DataPlane, FnCtx, FunctionImage, Variant};
@@ -96,6 +97,9 @@ struct Inner {
     rejections: Counter,
     in_flight: std::cell::Cell<u32>,
     peak_in_flight: std::cell::Cell<u32>,
+    /// Optional tracer: invocations record cold-start and body spans
+    /// under the caller's context.
+    tracer: RefCell<Option<Tracer>>,
 }
 
 impl Runtime {
@@ -113,6 +117,7 @@ impl Runtime {
                 rejections: Counter::new(),
                 in_flight: std::cell::Cell::new(0),
                 peak_in_flight: std::cell::Cell::new(0),
+                tracer: RefCell::new(None),
             }),
         };
         rt.start_reaper();
@@ -122,6 +127,11 @@ impl Runtime {
     /// Registers a host body for an image name.
     pub fn register_body(&self, name: &str, body: crate::function::FunctionBody) {
         self.inner.registry.borrow_mut().register(name, body);
+    }
+
+    /// Installs (or removes) the tracer invocation spans record into.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *self.inner.tracer.borrow_mut() = tracer;
     }
 
     /// The cluster allocation state (experiments sample utilization here).
@@ -341,6 +351,21 @@ impl Runtime {
         req: InvokeRequest,
         data: Rc<dyn DataPlane>,
     ) -> Result<(InvokeResponse, NodeId), PcsiError> {
+        self.run_lease_traced(lease, image, variant, req, data, None)
+            .await
+    }
+
+    /// [`Runtime::run_lease`] with an incoming trace context: the
+    /// cold-start wait and the body execution record as child spans.
+    pub async fn run_lease_traced(
+        &self,
+        lease: Lease,
+        image: &FunctionImage,
+        variant: &Variant,
+        req: InvokeRequest,
+        data: Rc<dyn DataPlane>,
+        trace: Option<pcsi_trace::TraceContext>,
+    ) -> Result<(InvokeResponse, NodeId), PcsiError> {
         let body = self.inner.registry.borrow().body(&image.name)?;
         let Lease {
             key,
@@ -348,10 +373,16 @@ impl Runtime {
             cold_start,
             demand: _,
         } = lease;
+        let span_of = |name| match self.inner.tracer.borrow().as_ref() {
+            Some(t) => t.child_of(trace, name),
+            None => pcsi_trace::SpanHandle::disabled(),
+        };
         let started = self.inner.handle.now();
         if cold_start {
             self.inner.cold_starts.incr();
+            let cold_span = span_of("faas.cold_start");
             self.inner.handle.sleep(variant.backend.cold_start()).await;
+            cold_span.finish();
         }
 
         self.inner.invocations.incr();
@@ -360,6 +391,9 @@ impl Runtime {
         self.inner
             .peak_in_flight
             .set(self.inner.peak_in_flight.get().max(in_flight));
+
+        let mut invoke_span = span_of("faas.invoke");
+        invoke_span.attr("node", u64::from(node.0));
 
         // The isolation boundary crossing.
         self.inner
@@ -376,6 +410,7 @@ impl Runtime {
             speedup: variant.speedup,
         };
         let result = body(ctx).await;
+        invoke_span.finish();
         self.inner.in_flight.set(self.inner.in_flight.get() - 1);
 
         // Return the instance to the warm pool regardless of outcome

@@ -142,6 +142,9 @@ pub struct CallCtx {
     pub from: NodeId,
     /// The node the handler runs on.
     pub to: NodeId,
+    /// Trace context propagated by [`Fabric::call_traced`]; `None` for
+    /// untraced calls. Handlers parent their spans under it.
+    pub trace: Option<pcsi_trace::TraceContext>,
 }
 
 /// An RPC handler bound to a `(node, service)` pair.
@@ -443,7 +446,28 @@ impl Fabric {
         transport: Transport,
         payload: Bytes,
     ) -> Result<Bytes, NetError> {
-        let req_len = payload.len();
+        self.call_traced(from, to, service, transport, payload, None)
+            .await
+    }
+
+    /// Like [`Fabric::call`], but carries a trace context to the
+    /// handler (surfaced as [`CallCtx::trace`]). The context's
+    /// [`pcsi_trace::TraceContext::WIRE_LEN`] bytes ride the request and
+    /// are charged to virtual time like any other payload bytes, so a
+    /// traced message is honestly a little bigger than an untraced one.
+    pub async fn call_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        transport: Transport,
+        payload: Bytes,
+        trace: Option<pcsi_trace::TraceContext>,
+    ) -> Result<Bytes, NetError> {
+        let req_len = payload.len()
+            + trace
+                .map(|_| pcsi_trace::TraceContext::WIRE_LEN)
+                .unwrap_or(0);
 
         // Seeded duplicate injection: with probability `duplicate` the
         // request is delivered twice and the handler runs twice, the
@@ -483,12 +507,12 @@ impl Fabric {
                     .await
                     .is_ok()
                 {
-                    let _ = dup_handler(dup_payload, CallCtx { from, to }).await;
+                    let _ = dup_handler(dup_payload, CallCtx { from, to, trace }).await;
                 }
             }));
         }
 
-        let response = handler(payload, CallCtx { from, to }).await?;
+        let response = handler(payload, CallCtx { from, to, trace }).await?;
 
         let resp_len = response.len();
         self.deliver(to, from, resp_len, transport).await?;
@@ -514,6 +538,30 @@ impl Fabric {
         let service = service.to_owned();
         let raced = pcsi_sim::util::deadline(&self.inner.handle, deadline, async move {
             fabric.call(from, to, &service, transport, payload).await
+        })
+        .await;
+        raced.unwrap_or(Err(NetError::DeadlineExceeded))
+    }
+
+    /// [`Fabric::call_traced`] raced against a deadline; the same
+    /// ambiguity caveats as [`Fabric::call_with_deadline`] apply.
+    #[allow(clippy::too_many_arguments)]
+    pub async fn call_with_deadline_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        transport: Transport,
+        payload: Bytes,
+        deadline: Duration,
+        trace: Option<pcsi_trace::TraceContext>,
+    ) -> Result<Bytes, NetError> {
+        let fabric = self.clone();
+        let service = service.to_owned();
+        let raced = pcsi_sim::util::deadline(&self.inner.handle, deadline, async move {
+            fabric
+                .call_traced(from, to, &service, transport, payload, trace)
+                .await
         })
         .await;
         raced.unwrap_or(Err(NetError::DeadlineExceeded))

@@ -26,6 +26,7 @@ use pcsi_net::fabric::{CallCtx, NetError, RpcHandler};
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::metrics::Counter;
 use pcsi_sim::sync::mpsc;
+use pcsi_trace::{SpanHandle, TraceContext, Tracer};
 
 use crate::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
 use crate::placement::Placement;
@@ -66,6 +67,9 @@ struct Inner {
     reads: Counter,
     synced_in: Counter,
     repaired: Counter,
+    /// Optional tracer shared with the store's clients: server-side
+    /// spans nest under the client attempt whose context rode the wire.
+    tracer: RefCell<Option<Tracer>>,
 }
 
 impl ReplicaNode {
@@ -83,6 +87,7 @@ impl ReplicaNode {
             reads: Counter::new(),
             synced_in: Counter::new(),
             repaired: Counter::new(),
+            tracer: RefCell::new(None),
         });
         let handler: RpcHandler = {
             let inner = Rc::clone(&inner);
@@ -148,6 +153,11 @@ impl ReplicaNode {
     /// Runs one anti-entropy exchange immediately (tests).
     pub async fn anti_entropy_once(&self) {
         anti_entropy_round(&self.inner).await;
+    }
+
+    /// Installs (or removes) the tracer server-side spans record into.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *self.inner.tracer.borrow_mut() = tracer;
     }
 }
 
@@ -265,20 +275,42 @@ async fn charge_io(inner: &Inner, bytes: usize) {
     inner.fabric.handle().sleep(t).await;
 }
 
-async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
-    let request = match wire::decode_request(&payload) {
+/// The server-side span name for a request kind.
+fn request_span_name(req: &Request) -> &'static str {
+    match req {
+        Request::Coordinate { .. } => "replica.coordinate",
+        Request::Apply { .. } => "replica.apply",
+        Request::Read { .. } | Request::ReadWithTag { .. } => "replica.read",
+        Request::TagOf { .. } => "replica.tag_of",
+        Request::Fetch { .. } => "replica.fetch",
+        Request::Inventory => "replica.inventory",
+        Request::Push { .. } => "replica.push",
+    }
+}
+
+async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
+    let (request, wire_ctx) = match wire::decode_request_traced(&payload) {
         Ok(r) => r,
         Err(e) => {
             return wire::encode_response(&Response::Err(WireError::Other(e.to_string())));
         }
     };
+    // The store protocol carries the context in its own envelope; the
+    // fabric-level context covers callers that route through `call_traced`.
+    let trace_ctx = wire_ctx.or(call_ctx.trace);
+    let mut span = match inner.tracer.borrow().as_ref() {
+        Some(t) => t.child_of(trace_ctx, request_span_name(&request)),
+        None => SpanHandle::disabled(),
+    };
+    span.attr("node", u64::from(inner.node.0));
+    let child_ctx = span.ctx();
     let response = match request {
         Request::Coordinate {
             id,
             mutation,
             sync_replicas,
             req_id,
-        } => coordinate_dedup(&inner, req_id, id, mutation, sync_replicas).await,
+        } => coordinate_dedup(&inner, req_id, id, mutation, sync_replicas, child_ctx).await,
         Request::Apply {
             id,
             tag,
@@ -354,6 +386,7 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, _ctx: CallCtx) -> Bytes {
             Response::Applied
         }
     };
+    span.finish();
     wire::encode_response(&response)
 }
 
@@ -429,6 +462,7 @@ async fn coordinate_dedup(
     id: ObjectId,
     mutation: Mutation,
     sync_replicas: u32,
+    ctx: Option<TraceContext>,
 ) -> Response {
     loop {
         let claimed = {
@@ -447,7 +481,7 @@ async fn coordinate_dedup(
         }
         inner.fabric.handle().sleep(Duration::from_micros(50)).await;
     }
-    let resp = coordinate(inner, id, mutation, sync_replicas, req_id).await;
+    let resp = coordinate(inner, id, mutation, sync_replicas, req_id, ctx).await;
     {
         let mut seen = inner.seen_coordinates.borrow_mut();
         if matches!(resp, Response::Coordinated { .. }) {
@@ -522,6 +556,7 @@ async fn coordinate(
     mutation: Mutation,
     sync_replicas: u32,
     req_id: u64,
+    ctx: Option<TraceContext>,
 ) -> Response {
     let replicas = inner.placement.replicas(id);
     if !replicas.contains(&inner.node) {
@@ -553,7 +588,8 @@ async fn coordinate(
             .then(|| inner.ledger.borrow().lookup(id, req_id))
             .flatten();
         if let Some(tag) = recorded {
-            return match replicate(inner, id, tag, &mutation, req_id, &peers, need, true).await {
+            return match replicate(inner, id, tag, &mutation, req_id, &peers, need, true, ctx).await
+            {
                 ReplicateOutcome::Acked => Response::Coordinated { tag },
                 // Peers advanced past the recorded tag on a line that
                 // does not contain this request: success here would be
@@ -589,7 +625,7 @@ async fn coordinate(
         if req_id != 0 {
             inner.ledger.borrow_mut().record(id, req_id, tag);
         }
-        match replicate(inner, id, tag, &mutation, req_id, &peers, need, false).await {
+        match replicate(inner, id, tag, &mutation, req_id, &peers, need, false, ctx).await {
             ReplicateOutcome::Acked => return Response::Coordinated { tag },
             ReplicateOutcome::Stale { newest, holder } => {
                 floor = floor.max(newest);
@@ -639,6 +675,7 @@ async fn replicate(
     peers: &[NodeId],
     need: usize,
     replay: bool,
+    ctx: Option<TraceContext>,
 ) -> ReplicateOutcome {
     let total = peers.len();
     let (tx, mut rx) = mpsc::channel::<Result<(), Option<(Tag, NodeId)>>>();
@@ -646,12 +683,15 @@ async fn replicate(
         let tx = tx.clone();
         let fabric = inner.fabric.clone();
         let from = inner.node;
-        let req = wire::encode_request(&Request::Apply {
-            id,
-            tag,
-            mutation: mutation.clone(),
-            req_id,
-        });
+        let req = wire::encode_request_traced(
+            &Request::Apply {
+                id,
+                tag,
+                mutation: mutation.clone(),
+                req_id,
+            },
+            ctx,
+        );
         inner.fabric.handle().spawn(async move {
             let outcome = match apply_on(&fabric, from, peer, req).await {
                 Ok(Response::Applied) => Ok(()),

@@ -36,6 +36,7 @@ use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
 use pcsi_sim::sync::mpsc;
 use pcsi_sim::SimTime;
+use pcsi_trace::{AttrValue, SpanHandle, TraceContext, Tracer};
 
 use crate::cache::ObjectCache;
 use crate::engine::{MediaTier, Mutation};
@@ -159,6 +160,10 @@ struct StoreInner {
     caches: RefCell<HashMap<NodeId, ObjectCache>>,
     /// Optional per-operation observer (chaos harness history recording).
     tap: RefCell<Option<HistoryTap>>,
+    /// Optional deterministic tracer. Client operations open spans here;
+    /// the context rides the wire envelope so replica spans nest under
+    /// the client attempt that caused them.
+    tracer: RefCell<Option<Tracer>>,
     /// Store-unique [`Request::Coordinate`] id allocator. The fabric can
     /// duplicate messages and clients retry, so every coordination
     /// carries an id coordinators deduplicate on.
@@ -210,6 +215,7 @@ impl ReplicatedStore {
                 config,
                 caches: RefCell::new(HashMap::new()),
                 tap: RefCell::new(None),
+                tracer: RefCell::new(None),
                 next_req_id: Cell::new(0),
                 retry_counters: RetryCounters::default(),
             }),
@@ -221,6 +227,21 @@ impl ReplicatedStore {
     /// it must not issue store operations itself.
     pub fn set_history_tap(&self, tap: Option<HistoryTap>) {
         *self.inner.tap.borrow_mut() = tap;
+    }
+
+    /// Installs (or removes) the tracer. Client operations open spans on
+    /// it, and every replica records server-side spans into the same
+    /// sink, nested under the client attempt via the wire context.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        for r in &self.inner.replicas {
+            r.set_tracer(tracer.clone());
+        }
+        *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.borrow().clone()
     }
 
     fn emit_tap(&self, make: impl FnOnce() -> TapEvent) {
@@ -252,6 +273,7 @@ impl ReplicatedStore {
         StoreClient {
             store: self.clone(),
             origin: node,
+            ctx: None,
         }
     }
 
@@ -347,12 +369,35 @@ struct QuorumReply {
 pub struct StoreClient {
     store: ReplicatedStore,
     origin: NodeId,
+    /// Incoming trace context: operation spans become children of it.
+    /// Without one (a bare client) each operation opens a root span.
+    ctx: Option<TraceContext>,
 }
 
 impl StoreClient {
     /// The origin node.
     pub fn origin(&self) -> NodeId {
         self.origin
+    }
+
+    /// Binds this client's operations to an incoming trace context, so
+    /// store spans nest under the caller (e.g. a kernel op or a REST
+    /// gateway request) instead of opening their own roots.
+    pub fn traced(mut self, ctx: Option<TraceContext>) -> StoreClient {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Opens the span for one client-facing store operation: a child of
+    /// the bound context when one exists, else a fresh root (subject to
+    /// sampling). Disabled (zero-cost) when no tracer is installed.
+    fn op_span(&self, name: &'static str) -> SpanHandle {
+        let tracer = self.store.inner.tracer.borrow();
+        match (tracer.as_ref(), self.ctx) {
+            (Some(t), Some(ctx)) => t.child(ctx, name),
+            (Some(t), None) => t.root(name),
+            (None, _) => SpanHandle::disabled(),
+        }
     }
 
     /// Creates or replaces an object.
@@ -435,12 +480,19 @@ impl StoreClient {
 
     /// Sends one typed request to a replica and decodes the reply,
     /// mapping transport failures and wire-level errors to [`PcsiError`].
-    async fn call_store(&self, to: NodeId, req: &Request) -> Result<Response, PcsiError> {
+    /// `ctx` (when sampled) rides the wire so replica spans nest under
+    /// the client span that caused them.
+    async fn call_store(
+        &self,
+        to: NodeId,
+        req: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, PcsiError> {
         call_store_raw(
             self.store.inner.fabric.clone(),
             self.origin,
             to,
-            wire::encode_request(req),
+            wire::encode_request_traced(req, ctx),
             None,
         )
         .await
@@ -468,7 +520,15 @@ impl StoreClient {
             sync_replicas,
             req_id,
         };
-        let result = self.coordinate_with_recovery(id, &req).await;
+        let mut span = self.op_span("store.mutate");
+        span.attr("op", op);
+        span.attr_with("object", || AttrValue::Text(format!("{id:?}")));
+        span.attr("acks", u64::from(sync_replicas));
+        let result = self.coordinate_with_recovery(id, &req, &span).await;
+        if result.is_err() {
+            span.attr("error", "true");
+        }
+        span.finish();
         self.store.emit_tap(|| TapEvent::Mutate {
             origin: self.origin,
             id,
@@ -496,6 +556,7 @@ impl StoreClient {
         &self,
         id: ObjectId,
         req: &Request,
+        parent: &SpanHandle,
     ) -> Result<Tag, PcsiError> {
         let policy = self.store.inner.config.retry.clone();
         let handle = self.store.inner.fabric.handle().clone();
@@ -522,7 +583,9 @@ impl StoreClient {
                         delay = delay.min(rem);
                     }
                     if !delay.is_zero() {
+                        let backoff_span = parent.span("store.backoff");
                         handle.sleep(delay).await;
+                        backoff_span.finish();
                     }
                 }
                 // Check the budget before *every* attempt (the first
@@ -535,14 +598,23 @@ impl StoreClient {
                     return Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout));
                 }
                 attempt_no += 1;
+                let mut att = parent.span("store.attempt");
+                att.attr("target", u64::from(target.0));
+                if ti > 0 {
+                    att.attr("failover", ti as u64);
+                }
                 let outcome = call_store_raw(
                     self.store.inner.fabric.clone(),
                     self.origin,
                     target,
-                    wire::encode_request(req),
+                    wire::encode_request_traced(req, att.ctx()),
                     policy.attempt_deadline(remaining),
                 )
                 .await;
+                if let Err(e) = &outcome {
+                    att.attr_with("error", || AttrValue::Text(e.to_string()));
+                }
+                att.finish();
                 match outcome {
                     Ok(Response::Coordinated { tag }) => return Ok(tag),
                     Ok(other) => {
@@ -586,7 +658,20 @@ impl StoreClient {
         consistency: Consistency,
     ) -> Result<(Tag, Bytes), PcsiError> {
         let invoke = self.store.inner.fabric.handle().now();
-        let result = self.read_inner(id, offset, len, consistency).await;
+        let mut span = self.op_span("store.read");
+        span.attr(
+            "consistency",
+            match consistency {
+                Consistency::Linearizable => "linearizable",
+                Consistency::Eventual => "eventual",
+            },
+        );
+        span.attr_with("object", || AttrValue::Text(format!("{id:?}")));
+        let result = self.read_inner(id, offset, len, consistency, &span).await;
+        if result.is_err() {
+            span.attr("error", "true");
+        }
+        span.finish();
         self.store.emit_tap(|| TapEvent::Read {
             origin: self.origin,
             id,
@@ -609,14 +694,18 @@ impl StoreClient {
         offset: u64,
         len: u64,
         consistency: Consistency,
+        parent: &SpanHandle,
     ) -> Result<(Tag, Bytes), PcsiError> {
         if let Some((tag, data)) = self.store.cache_get(self.origin, id, offset, len) {
+            let mut cache_span = parent.span("store.cache");
+            cache_span.attr("hit", "true");
             let t = MediaTier::Dram.io_time(data.len());
             self.store.inner.fabric.handle().sleep(t).await;
+            cache_span.finish();
             return Ok((tag, data));
         }
         let served = self
-            .read_with_recovery(id, offset, len, consistency)
+            .read_with_recovery(id, offset, len, consistency, parent)
             .await?;
         if offset == 0 {
             self.store.cache_admit(self.origin, id, &served);
@@ -636,6 +725,7 @@ impl StoreClient {
         offset: u64,
         len: u64,
         consistency: Consistency,
+        parent: &SpanHandle,
     ) -> Result<Served, PcsiError> {
         let policy = self.store.inner.config.retry.clone();
         let handle = self.store.inner.fabric.handle().clone();
@@ -655,7 +745,9 @@ impl StoreClient {
                     delay = delay.min(rem);
                 }
                 if !delay.is_zero() {
+                    let backoff_span = parent.span("store.backoff");
                     handle.sleep(delay).await;
+                    backoff_span.finish();
                 }
             }
             // Same budget discipline as the write path: check before
@@ -665,12 +757,15 @@ impl StoreClient {
                 counters.timeout();
                 return Err(last_err.unwrap_or(PcsiError::Timeout));
             }
+            let mut att = parent.span("store.attempt");
+            att.attr("attempt", attempt as u64);
+            let ctx = att.ctx();
             let result = match policy.attempt_deadline(remaining) {
                 Some(d) => {
                     let client = self.clone();
                     let raced = pcsi_sim::util::deadline(&handle, d, async move {
                         client
-                            .read_attempt(id, offset, len, consistency, attempt)
+                            .read_attempt(id, offset, len, consistency, attempt, ctx)
                             .await
                     })
                     .await;
@@ -683,10 +778,14 @@ impl StoreClient {
                     }
                 }
                 None => {
-                    self.read_attempt(id, offset, len, consistency, attempt)
+                    self.read_attempt(id, offset, len, consistency, attempt, ctx)
                         .await
                 }
             };
+            if let Err(e) = &result {
+                att.attr_with("error", || AttrValue::Text(e.to_string()));
+            }
+            att.finish();
             match result {
                 Ok(served) => return Ok(served),
                 Err(e) if !e.is_retryable() => return Err(e),
@@ -703,6 +802,7 @@ impl StoreClient {
         len: u64,
         consistency: Consistency,
         attempt: usize,
+        ctx: Option<TraceContext>,
     ) -> Result<Served, PcsiError> {
         match consistency {
             Consistency::Eventual => {
@@ -720,7 +820,7 @@ impl StoreClient {
                     let base = replicas.iter().position(|&n| n == closest).unwrap_or(0);
                     replicas[(base + attempt) % replicas.len()]
                 };
-                self.read_from(target, id, offset, len).await
+                self.read_from(target, id, offset, len, ctx).await
             }
             Consistency::Linearizable => {
                 let inline_limit = self.store.inner.config.inline_read_max;
@@ -729,7 +829,7 @@ impl StoreClient {
                     // read from the newest replica. Same write-back rule
                     // as the one-RTT path: a tag seen at fewer than a
                     // majority must be made durable before serving it.
-                    let (replies, need) = self.tag_quorum(id).await?;
+                    let (replies, need) = self.tag_quorum(id, ctx).await?;
                     let &(newest_node, newest_tag) = replies
                         .iter()
                         .max_by_key(|(_, t)| *t)
@@ -743,12 +843,12 @@ impl StoreClient {
                         .map(|(n, _)| *n)
                         .collect();
                     if known.len() < need {
-                        self.write_back(id, newest_node, &known, need - known.len())
+                        self.write_back(id, newest_node, &known, need - known.len(), ctx)
                             .await?;
                     }
-                    self.read_from(newest_node, id, offset, len).await
+                    self.read_from(newest_node, id, offset, len, ctx).await
                 } else {
-                    self.read_one_rtt(id, offset, len, inline_limit).await
+                    self.read_one_rtt(id, offset, len, inline_limit, ctx).await
                 }
             }
         }
@@ -774,6 +874,7 @@ impl StoreClient {
         offset: u64,
         len: u64,
         inline_limit: u64,
+        ctx: Option<TraceContext>,
     ) -> Result<Served, PcsiError> {
         let replicas = self.store.placement().replicas(id);
         let need = self.store.placement().majority();
@@ -783,12 +884,15 @@ impl StoreClient {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let req = wire::encode_request(&Request::ReadWithTag {
-                id,
-                offset,
-                len,
-                inline_limit,
-            });
+            let req = wire::encode_request_traced(
+                &Request::ReadWithTag {
+                    id,
+                    offset,
+                    len,
+                    inline_limit,
+                },
+                ctx,
+            );
             self.store.inner.fabric.handle().spawn(async move {
                 let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::Data {
@@ -860,7 +964,7 @@ impl StoreClient {
                 .filter(|r| r.tag == best_tag)
                 .map(|r| r.node)
                 .collect();
-            self.write_back(id, replies[best].node, &known, need - holders)
+            self.write_back(id, replies[best].node, &known, need - holders, ctx)
                 .await?;
         }
         let best_node = replies[best].node;
@@ -868,7 +972,7 @@ impl StoreClient {
             Some(served) => Ok(served),
             // Payload above the inline limit (or a tombstone): read the
             // newest replica directly.
-            None => self.read_from(best_node, id, offset, len).await,
+            None => self.read_from(best_node, id, offset, len, ctx).await,
         }
     }
 
@@ -885,8 +989,9 @@ impl StoreClient {
         source: NodeId,
         known: &[NodeId],
         need_acks: usize,
+        ctx: Option<TraceContext>,
     ) -> Result<(), PcsiError> {
-        let fetch = wire::encode_request(&Request::Fetch { id });
+        let fetch = wire::encode_request_traced(&Request::Fetch { id }, ctx);
         let (object, reqs) = match call_store_raw(
             self.store.inner.fabric.clone(),
             self.origin,
@@ -920,11 +1025,14 @@ impl StoreClient {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let push = wire::encode_request(&Request::Push {
-                id,
-                object: object.clone(),
-                reqs: reqs.clone(),
-            });
+            let push = wire::encode_request_traced(
+                &Request::Push {
+                    id,
+                    object: object.clone(),
+                    reqs: reqs.clone(),
+                },
+                ctx,
+            );
             self.store.inner.fabric.handle().spawn(async move {
                 let ok = matches!(
                     call_store_raw(fabric, origin, node, push, None).await,
@@ -961,7 +1069,11 @@ impl StoreClient {
 
     /// Queries all replicas for their tag and returns the first majority
     /// of `(node, tag)` replies plus the majority size.
-    async fn tag_quorum(&self, id: ObjectId) -> Result<(Vec<(NodeId, Tag)>, usize), PcsiError> {
+    async fn tag_quorum(
+        &self,
+        id: ObjectId,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Vec<(NodeId, Tag)>, usize), PcsiError> {
         let replicas = self.store.placement().replicas(id);
         let need = self.store.placement().majority();
         let total = replicas.len();
@@ -970,7 +1082,7 @@ impl StoreClient {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let req = wire::encode_request(&Request::TagOf { id });
+            let req = wire::encode_request_traced(&Request::TagOf { id }, ctx);
             self.store.inner.fabric.handle().spawn(async move {
                 let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::TagIs { tag }) => Some((node, tag)),
@@ -1012,9 +1124,10 @@ impl StoreClient {
         id: ObjectId,
         offset: u64,
         len: u64,
+        ctx: Option<TraceContext>,
     ) -> Result<Served, PcsiError> {
         match self
-            .call_store(replica, &Request::Read { id, offset, len })
+            .call_store(replica, &Request::Read { id, offset, len }, ctx)
             .await?
         {
             Response::Data {

@@ -11,6 +11,7 @@ use std::fmt;
 
 use bytes::{Bytes, BytesMut};
 use pcsi_core::{Mutability, ObjectId, PcsiError};
+use pcsi_trace::TraceContext;
 
 use crate::engine::{Mutation, StoredObject};
 use crate::version::Tag;
@@ -473,9 +474,34 @@ impl<'a> Reader<'a> {
 
 // ---- request ----
 
+/// Flag byte introducing the optional trailing [`TraceContext`]
+/// extension on an encoded request. Exactly one value is valid, so a
+/// stray trailing byte still fails decoding.
+const TRACE_EXT_FLAG: u8 = 1;
+
 /// Encodes a request.
 pub fn encode_request(req: &Request) -> Bytes {
     let mut w = Writer::new();
+    write_request(&mut w, req);
+    w.finish()
+}
+
+/// Encodes a request with an optional trailing trace-context extension:
+/// `[flag = 1][trace id u64][parent span u64]`, 17 bytes. Absent
+/// context encodes exactly like [`encode_request`], so old-format
+/// frames and untraced frames are the same bytes — and a traced frame
+/// honestly pays its extra wire bytes in virtual time.
+pub fn encode_request_traced(req: &Request, ctx: Option<TraceContext>) -> Bytes {
+    let mut w = Writer::new();
+    write_request(&mut w, req);
+    if let Some(ctx) = ctx {
+        w.u8(TRACE_EXT_FLAG);
+        w.buf.extend_from_slice(&ctx.encode());
+    }
+    w.finish()
+}
+
+fn write_request(w: &mut Writer, req: &Request) {
     match req {
         Request::Coordinate {
             id,
@@ -538,12 +564,38 @@ pub fn encode_request(req: &Request) -> Bytes {
             w.reqs(reqs);
         }
     }
-    w.finish()
 }
 
 /// Decodes a request.
 pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
     let mut r = Reader::new(buf);
+    let req = read_request(&mut r)?;
+    r.done()?;
+    Ok(req)
+}
+
+/// Decodes a request plus its optional trailing trace context. Frames
+/// without the extension (including every pre-extension frame) decode
+/// with `None`; a present extension must be exactly
+/// `[1][16 context bytes]` or the frame is rejected.
+pub fn decode_request_traced(buf: &[u8]) -> Result<(Request, Option<TraceContext>), CodecError> {
+    let mut r = Reader::new(buf);
+    let req = read_request(&mut r)?;
+    if r.pos == r.buf.len() {
+        return Ok((req, None));
+    }
+    match r.u8()? {
+        TRACE_EXT_FLAG => {}
+        b => return Err(CodecError(format!("bad trace extension flag {b}"))),
+    }
+    let raw = r.take(TraceContext::WIRE_LEN, "trace context")?;
+    let ctx =
+        TraceContext::decode(raw).ok_or_else(|| CodecError("short trace extension".to_string()))?;
+    r.done()?;
+    Ok((req, Some(ctx)))
+}
+
+fn read_request(r: &mut Reader) -> Result<Request, CodecError> {
     let req = match r.u8()? {
         0 => {
             let id = r.id()?;
@@ -596,7 +648,6 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
         }
         b => return Err(CodecError(format!("bad request op {b}"))),
     };
-    r.done()?;
     Ok(req)
 }
 
@@ -758,6 +809,50 @@ mod tests {
     }
 
     #[test]
+    fn traced_requests_roundtrip_and_untraced_frames_still_decode() {
+        use pcsi_trace::{SpanId, TraceId};
+
+        let req = Request::Read {
+            id: oid(7),
+            offset: 8,
+            len: 16,
+        };
+        let ctx = TraceContext {
+            trace: TraceId(0xDEAD_BEEF),
+            parent: SpanId(0x1234_5678),
+        };
+
+        // Traced frame round-trips both halves.
+        let traced = encode_request_traced(&req, Some(ctx));
+        assert_eq!(
+            traced.len(),
+            encode_request(&req).len() + 1 + TraceContext::WIRE_LEN
+        );
+        assert_eq!(
+            decode_request_traced(&traced).unwrap(),
+            (req.clone(), Some(ctx))
+        );
+
+        // Untraced encoding is byte-identical to the pre-extension
+        // format, and both decoders accept it.
+        let plain = encode_request_traced(&req, None);
+        assert_eq!(plain, encode_request(&req));
+        assert_eq!(decode_request_traced(&plain).unwrap(), (req.clone(), None));
+        assert_eq!(decode_request(&plain).unwrap(), req);
+
+        // The strict decoder rejects the extension as trailing bytes.
+        assert!(decode_request(&traced).is_err());
+
+        // A bad flag byte or short context is rejected.
+        let mut bad_flag = plain.to_vec();
+        bad_flag.push(2);
+        assert!(decode_request_traced(&bad_flag).is_err());
+        let mut short = plain.to_vec();
+        short.extend_from_slice(&[TRACE_EXT_FLAG, 0, 0, 0]);
+        assert!(decode_request_traced(&short).is_err());
+    }
+
+    #[test]
     fn requests_roundtrip() {
         let reqs = vec![
             Request::Coordinate {
@@ -822,7 +917,10 @@ mod tests {
                     mutability: Mutability::AppendOnly,
                     stable_len: 8,
                 },
-                reqs: vec![(7, Tag { seq: 10, writer: 1 }), (9, Tag { seq: 11, writer: 2 })],
+                reqs: vec![
+                    (7, Tag { seq: 10, writer: 1 }),
+                    (9, Tag { seq: 11, writer: 2 }),
+                ],
             },
             Request::Push {
                 id: oid(11),

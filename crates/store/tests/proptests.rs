@@ -8,9 +8,11 @@ use pcsi_net::Topology;
 use pcsi_store::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
 use pcsi_store::version::{Tag, VersionVector};
 use pcsi_store::wire::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response, WireError,
+    decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,
+    encode_response, Request, Response, WireError,
 };
 use pcsi_store::Placement;
+use pcsi_trace::{SpanId, TraceContext, TraceId};
 
 fn oid(n: u64) -> ObjectId {
     ObjectId::from_parts(11, n % 16 + 1)
@@ -127,8 +129,21 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 inline_limit,
             }
         ),
-        (arb_id(), arb_object(), arb_reqs())
-            .prop_map(|(id, object, reqs)| Request::Push { id, object, reqs }),
+        (arb_id(), arb_object(), arb_reqs()).prop_map(|(id, object, reqs)| Request::Push {
+            id,
+            object,
+            reqs
+        }),
+    ]
+}
+
+fn arb_trace_ctx() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, p)| Some(TraceContext {
+            trace: TraceId(t),
+            parent: SpanId(p),
+        })),
     ]
 }
 
@@ -295,6 +310,48 @@ proptest! {
         let wire = encode_request(&req);
         for cut in 0..wire.len() {
             prop_assert!(decode_request(&wire[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    /// The traced envelope round-trips any request with and without a
+    /// context, and an untraced envelope is byte-identical to the plain
+    /// codec — old frames and new frames are the same bytes.
+    #[test]
+    fn wire_traced_requests_roundtrip(req in arb_request(), ctx in arb_trace_ctx()) {
+        let wire = encode_request_traced(&req, ctx);
+        let (back, back_ctx) = decode_request_traced(&wire).unwrap();
+        prop_assert_eq!(back, req.clone());
+        prop_assert_eq!(back_ctx, ctx);
+        if ctx.is_none() {
+            prop_assert_eq!(wire, encode_request(&req));
+        } else {
+            // The context rides behind the plain body, so a decoder that
+            // has never heard of tracing still reads the request itself.
+            prop_assert_eq!(
+                wire.len(),
+                encode_request(&req).len() + 1 + TraceContext::WIRE_LEN
+            );
+        }
+    }
+
+    /// Truncating a traced frame is detected at every cut point except
+    /// one: cutting exactly at the plain-body boundary yields a valid
+    /// pre-tracing frame, which must decode as the request with no
+    /// context — that is the compatibility guarantee, not a hole.
+    #[test]
+    fn wire_traced_truncation_always_detected(req in arb_request()) {
+        let ctx = TraceContext { trace: TraceId(7), parent: SpanId(9) };
+        let wire = encode_request_traced(&req, Some(ctx));
+        let plain_len = encode_request(&req).len();
+        for cut in 0..wire.len() {
+            let decoded = decode_request_traced(&wire[..cut]);
+            if cut == plain_len {
+                let (back, none) = decoded.unwrap();
+                prop_assert_eq!(back, req.clone());
+                prop_assert_eq!(none, None);
+            } else {
+                prop_assert!(decoded.is_err(), "cut {} decoded", cut);
+            }
         }
     }
 

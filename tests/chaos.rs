@@ -65,6 +65,7 @@ fn eventual_convergence_survives_seeded_fault_sweeps() {
                     lin_objects: 1,
                     ev_objects: 3,
                     inject_stale_reads: false,
+                    ..ScenarioConfig::default()
                 },
             );
             assert!(

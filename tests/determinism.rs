@@ -21,10 +21,25 @@ use pcsi_sim::Sim;
 /// observable: final virtual time, poll count, fabric traffic, latency
 /// stats, billing.
 fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
+    run_with(seed, None).0
+}
+
+/// Like [`run`], but optionally attaches an explicit tracer to the
+/// kernel (the builder would skip attaching one for `Sampling::Off`)
+/// and also returns how many trace ids the tracer drew.
+fn run_with(
+    seed: u64,
+    sampling: Option<pcsi_trace::Sampling>,
+) -> ((u64, u64, u64, u64, u64, String), u64) {
     let mut sim = Sim::new(seed);
     let h = sim.handle();
-    let fingerprint = sim.block_on(async move {
+    let (fingerprint, id_draws) = sim.block_on(async move {
         let cloud = CloudBuilder::new().build(&h);
+        let tracer = sampling.map(|s| {
+            let t = pcsi_trace::Tracer::new(&h, s, 16384);
+            cloud.kernel.set_tracer(Some(t.clone()));
+            t
+        });
         cloud.kernel.register_body(
             "mix",
             Rc::new(|ctx| {
@@ -121,31 +136,37 @@ fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
         let cache = cloud.store.cache_stats();
         let retry = cloud.store.retry_stats();
         (
-            h.now().as_nanos(),
-            cloud.fabric.message_count(),
-            cloud.fabric.bytes_moved(),
-            stats.issued.get(),
-            stats.latency.quantile(0.99),
-            format!(
-                "{:.12e}|cache {}/{}/{}|retry {}/{}/{}",
-                invoice.total(),
-                cache.hits,
-                cache.misses,
-                cache.evictions,
-                retry.retries,
-                retry.failovers,
-                retry.timeouts
+            (
+                h.now().as_nanos(),
+                cloud.fabric.message_count(),
+                cloud.fabric.bytes_moved(),
+                stats.issued.get(),
+                stats.latency.quantile(0.99),
+                format!(
+                    "{:.12e}|cache {}/{}/{}|retry {}/{}/{}",
+                    invoice.total(),
+                    cache.hits,
+                    cache.misses,
+                    cache.evictions,
+                    retry.retries,
+                    retry.failovers,
+                    retry.timeouts
+                ),
             ),
+            tracer.map_or(0, |t| t.id_draws()),
         )
     });
     let polls = sim.poll_count();
     (
-        fingerprint.0,
-        fingerprint.1 ^ polls,
-        fingerprint.2,
-        fingerprint.3,
-        fingerprint.4,
-        fingerprint.5,
+        (
+            fingerprint.0,
+            fingerprint.1 ^ polls,
+            fingerprint.2,
+            fingerprint.3,
+            fingerprint.4,
+            fingerprint.5,
+        ),
+        id_draws,
     )
 }
 
@@ -215,4 +236,79 @@ fn retry_and_failover_traces_are_deterministic() {
 
     let c = run_scenario(0x7E58_u64, &cfg);
     assert_ne!(a.fingerprint(), c.fingerprint());
+}
+
+/// A tracer sampling at `Off` must be free: no trace ids drawn, and the
+/// whole universe — virtual time, poll count, wire traffic, caching and
+/// recovery counters — byte-identical to a run with no tracer at all.
+#[test]
+fn tracing_off_is_zero_overhead() {
+    let (base, _) = run_with(90210, None);
+    let (off, id_draws) = run_with(90210, Some(pcsi_trace::Sampling::Off));
+    assert_eq!(id_draws, 0, "Off sampling must never draw a trace id");
+    assert_eq!(
+        base, off,
+        "an attached-but-off tracer perturbed the simulation"
+    );
+}
+
+/// Traces of a faulty run — spans for every retry, backoff and failover
+/// — replay byte-identically per seed and diverge across seeds, so a
+/// rendered trace from a failing run is as reproducible as the run.
+#[test]
+fn trace_fingerprints_are_deterministic_under_faults() {
+    use pcsi_net::MessageFaults;
+    use pcsi_trace::{fingerprint, render_spans, Sampling};
+
+    fn traced_run(seed: u64) -> (String, u64) {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let cloud = CloudBuilder::new().tracing(Sampling::Always).build(&h);
+            let c = cloud.kernel.client(NodeId(0), "trc");
+            let lin = c
+                .create(
+                    CreateOptions::regular()
+                        .with_consistency(Consistency::Linearizable)
+                        .with_initial(vec![1u8; 256]),
+                )
+                .await
+                .unwrap();
+            // Heavy drops force retransmit timeouts, retries and
+            // failovers; the recovery path must show up in the spans.
+            cloud.fabric.set_message_faults(MessageFaults {
+                drop: 0.2,
+                ..MessageFaults::NONE
+            });
+            for i in 0..12u64 {
+                let _ = c.write(&lin, 0, Bytes::from(vec![i as u8; 32])).await;
+                let _ = c.read(&lin, 0, 32).await;
+            }
+            let retry = cloud.store.retry_stats();
+            let spans = cloud.tracer.as_ref().unwrap().sink().snapshot();
+            (
+                render_spans(&spans),
+                retry.retries + retry.failovers + retry.timeouts,
+            )
+        })
+    }
+
+    let (render_a, recoveries) = traced_run(0xF00D);
+    assert!(
+        recoveries > 0,
+        "the drop schedule never exercised the recovery layer"
+    );
+    assert!(
+        render_a.contains("store.backoff"),
+        "retried ops must carry backoff spans:\n{render_a}"
+    );
+    let (render_b, _) = traced_run(0xF00D);
+    assert_eq!(fingerprint(&render_a), fingerprint(&render_b));
+    assert_eq!(render_a, render_b, "traces must replay byte-identically");
+    let (render_c, _) = traced_run(0xF00E);
+    assert_ne!(
+        fingerprint(&render_a),
+        fingerprint(&render_c),
+        "different seeds must produce different traces"
+    );
 }
