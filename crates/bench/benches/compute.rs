@@ -145,7 +145,7 @@ fn provisioning_modes(c: &mut Criterion) {
                             }
                         })
                         .await;
-                    Duration::from_nanos((stats.latency.mean() * iters as f64) as u64)
+                    Duration::from_nanos(stats.latency.mean() * iters)
                 })
             });
         });

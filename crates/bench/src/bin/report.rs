@@ -81,12 +81,24 @@ fn report_table1() {
 fn report_rest_vs_nfs() {
     println!("## §2.1 — 1 KB fetch: NFS vs DynamoDB-style REST (E2)\n");
     let r = rest_vs_nfs::run(DEFAULT_SEED, 500);
-    let mut t = Table::new(&["interface", "mean", "p99", "compute USD/M"]);
+    let mut t = Table::new(&[
+        "interface",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+        "p99.9",
+        "compute USD/M",
+    ]);
     for i in [&r.nfs, &r.rest, &r.pcsi] {
+        let q = i.latency;
         t.row(&[
             i.label.into(),
-            ns(i.mean_ns),
-            ns(i.p99_ns),
+            ns(q.mean as f64),
+            ns(q.p50 as f64),
+            ns(q.p95 as f64),
+            ns(q.p99 as f64),
+            ns(q.p999 as f64),
             format!("{:.5}", i.usd_per_million),
         ]);
     }

@@ -17,9 +17,9 @@ use pcsi_cloud::rest::RestGateway;
 use pcsi_cloud::CloudBuilder;
 use pcsi_core::api::CreateOptions;
 use pcsi_core::{CloudInterface, Consistency};
+use pcsi_metrics::{Histogram, Quantiles};
 use pcsi_net::NodeId;
 use pcsi_proto::sign::Credentials;
-use pcsi_sim::metrics::Histogram;
 use pcsi_sim::Sim;
 use pcsi_trace::Sampling;
 
@@ -34,6 +34,9 @@ pub struct InterfaceResult {
     pub mean_ns: f64,
     /// p99 fetch latency (ns).
     pub p99_ns: f64,
+    /// Full latency quantile snapshot (p50/p95/p99/p999 from the
+    /// histogram the run recorded).
+    pub latency: Quantiles,
     /// Metered compute cost per million fetches (USD).
     pub usd_per_million: f64,
 }
@@ -66,7 +69,7 @@ pub fn run(seed: u64, fetches: u32) -> Results {
     let mut sim = Sim::new(seed);
     let h = sim.handle();
     sim.block_on(async move {
-        let cloud = CloudBuilder::new().build(&h);
+        let cloud = CloudBuilder::new().metrics(true).build(&h);
         let billing = cloud.billing.clone();
         let mut keys = HashMap::new();
         keys.insert("AK1".to_owned(), Credentials::new("AK1", b"k".to_vec()));
@@ -78,12 +81,14 @@ pub fn run(seed: u64, fetches: u32) -> Results {
             NodeId(5),
             keys,
         );
+        rest.set_metrics(cloud.metrics.clone());
         let nfs = NfsServer::deploy(
             cloud.fabric.clone(),
             billing.clone(),
             NodeId(6),
             b"nfs-secret",
         );
+        nfs.set_metrics(cloud.metrics.clone());
         let payload = vec![0x5Au8; 1024];
         let client_node = NodeId(0);
 
@@ -141,25 +146,32 @@ pub fn run(seed: u64, fetches: u32) -> Results {
         let pcsi_cost = pcsi_per_op.as_secs_f64() * (0.048 / 3600.0) * f64::from(fetches);
 
         let per_m = |total: f64, n: f64| total / n * 1e6;
+        let result = |label, hist: &Histogram, usd_per_million| {
+            let q = hist.quantiles();
+            InterfaceResult {
+                label,
+                mean_ns: q.mean as f64,
+                p99_ns: q.p99 as f64,
+                latency: q,
+                usd_per_million,
+            }
+        };
         Results {
-            nfs: InterfaceResult {
-                label: "NFS-like stateful protocol",
-                mean_ns: nfs_hist.mean(),
-                p99_ns: nfs_hist.quantile(0.99) as f64,
-                usd_per_million: per_m(nfs_cost, f64::from(fetches + 2)),
-            },
-            rest: InterfaceResult {
-                label: "DynamoDB-like REST",
-                mean_ns: rest_hist.mean(),
-                p99_ns: rest_hist.quantile(0.99) as f64,
-                usd_per_million: per_m(rest_cost, rest_reqs as f64),
-            },
-            pcsi: InterfaceResult {
-                label: "PCSI-native (reference + binary)",
-                mean_ns: pcsi_hist.mean(),
-                p99_ns: pcsi_hist.quantile(0.99) as f64,
-                usd_per_million: per_m(pcsi_cost, f64::from(fetches)),
-            },
+            nfs: result(
+                "NFS-like stateful protocol",
+                &nfs_hist,
+                per_m(nfs_cost, f64::from(fetches + 2)),
+            ),
+            rest: result(
+                "DynamoDB-like REST",
+                &rest_hist,
+                per_m(rest_cost, rest_reqs as f64),
+            ),
+            pcsi: result(
+                "PCSI-native (reference + binary)",
+                &pcsi_hist,
+                per_m(pcsi_cost, f64::from(fetches)),
+            ),
         }
     })
 }

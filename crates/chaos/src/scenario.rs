@@ -19,6 +19,7 @@ use std::time::Duration;
 use pcsi_cloud::CloudBuilder;
 use pcsi_core::api::CreateOptions;
 use pcsi_core::{CloudInterface, Consistency, ObjectId};
+use pcsi_metrics::Metrics;
 use pcsi_net::{Fabric, MessageFaults, NodeId};
 use pcsi_sim::rng::DetRng;
 use pcsi_sim::{Sim, SimHandle};
@@ -119,6 +120,10 @@ pub struct ScenarioReport {
     /// With tracing on and a checker violation found: the rendered span
     /// tree of a traced operation on the first violating object.
     pub violation_trace: Option<String>,
+    /// The deployment's rendered metrics snapshot at the end of the run
+    /// (every layer's counters and latency histograms) — the aggregate
+    /// view a human reads next to the op-level history.
+    pub metrics_snapshot: String,
 }
 
 impl ScenarioReport {
@@ -161,6 +166,7 @@ impl ScenarioReport {
                 out.push_str(trace);
             }
         }
+        out.push_str(&self.metrics_snapshot);
         out
     }
 
@@ -204,6 +210,7 @@ pub fn run_scenario(seed: u64, cfg: &ScenarioConfig) -> ScenarioReport {
         client_errors: outcome.client_errors,
         retry: outcome.retry,
         violation_trace: outcome.violation_trace,
+        metrics_snapshot: outcome.metrics_snapshot,
     }
 }
 
@@ -215,6 +222,7 @@ struct DriveOutcome {
     client_errors: u64,
     retry: RetryStats,
     violation_trace: Option<String>,
+    metrics_snapshot: String,
 }
 
 async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
@@ -237,6 +245,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
     };
     let cloud = CloudBuilder::new()
         .tracing(cfg.sampling)
+        .metrics(true)
         .store(StoreConfig {
             // Anti-entropy is driven manually after heal, so the
             // quiescence point is explicit and bounded.
@@ -423,6 +432,11 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
         client_errors: client_errors.get(),
         retry: store.retry_stats(),
         violation_trace,
+        metrics_snapshot: cloud
+            .metrics
+            .as_ref()
+            .map(Metrics::render)
+            .unwrap_or_default(),
     }
 }
 

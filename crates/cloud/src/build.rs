@@ -11,6 +11,7 @@ use pcsi_faas::cluster::ClusterState;
 use pcsi_faas::registry::Goal;
 use pcsi_faas::runtime::{Runtime, RuntimeConfig};
 use pcsi_faas::scheduler::PlacementPolicy;
+use pcsi_metrics::Metrics;
 use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, Topology};
 use pcsi_sim::SimHandle;
 use pcsi_store::{ReplicatedStore, StoreConfig};
@@ -28,7 +29,11 @@ use crate::kernel::Kernel;
 ///   the simulation's `device-random` stream,
 /// * `null` — accepts and discards writes, reads empty,
 /// * `log` — writes append to a kernel-held diagnostic log; reads return
-///   the whole log (bounded at 64 KiB).
+///   the whole log (bounded at 64 KiB),
+/// * `metrics` — read returns the rendered metrics snapshot of the
+///   deployment's registry (a marker comment when metrics are off), so a
+///   function can observe the system with a plain file read through its
+///   capability-scoped namespace.
 fn register_standard_devices(kernel: &Kernel, handle: &SimHandle) {
     use bytes::Bytes;
     use std::cell::RefCell;
@@ -66,6 +71,18 @@ fn register_standard_devices(kernel: &Kernel, handle: &SimHandle) {
             Ok(Bytes::new())
         }),
     );
+
+    // The class is registered even when metrics are off, so namespaces
+    // (and the programs reading them) look identical either way — only
+    // the snapshot's contents differ.
+    let metrics = kernel.metrics();
+    kernel.register_device(
+        "metrics",
+        Rc::new(move |_input| match &metrics {
+            Some(m) => Ok(Bytes::from(m.render())),
+            None => Ok(Bytes::from_static(b"# pcsi-metrics disabled\n")),
+        }),
+    );
 }
 
 /// Configuration for a simulated cloud deployment.
@@ -79,6 +96,7 @@ pub struct CloudBuilder {
     goal: Goal,
     sampling: Sampling,
     trace_capacity: usize,
+    metrics: bool,
 }
 
 impl Default for CloudBuilder {
@@ -92,6 +110,7 @@ impl Default for CloudBuilder {
             goal: Goal::Balanced,
             sampling: Sampling::Off,
             trace_capacity: 16384,
+            metrics: false,
         }
     }
 }
@@ -169,6 +188,20 @@ impl CloudBuilder {
         self
     }
 
+    /// Enables the unified metrics registry: every layer (kernel ops,
+    /// store client, replica protocol, fabric, FaaS runtime, baselines)
+    /// publishes its counters and latency histograms into one registry,
+    /// readable as a text snapshot through the `metrics` device class.
+    ///
+    /// The default is off: no registry exists, instrumentation collapses
+    /// to a per-event `Option` check, and — because the registry draws
+    /// no randomness and never touches virtual time — enabling it cannot
+    /// perturb a seeded run either way.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Deploys the cloud onto a simulation.
     pub fn build(self, handle: &SimHandle) -> Cloud {
         let latency = if self.deterministic_net {
@@ -189,6 +222,15 @@ impl CloudBuilder {
             billing.clone(),
             self.goal,
         );
+        // Metrics install before device registration: the `metrics`
+        // device handler snapshots the registry it captures here.
+        let metrics = if self.metrics {
+            let m = Metrics::new();
+            kernel.set_metrics(Some(m.clone()));
+            Some(m)
+        } else {
+            None
+        };
         register_standard_devices(&kernel, handle);
         let tracer = match self.sampling {
             Sampling::Off => None,
@@ -205,6 +247,7 @@ impl CloudBuilder {
             billing,
             kernel,
             tracer,
+            metrics,
         }
     }
 }
@@ -224,6 +267,8 @@ pub struct Cloud {
     pub kernel: Kernel,
     /// The trace collector, when tracing is enabled.
     pub tracer: Option<Tracer>,
+    /// The unified metrics registry, when metrics are enabled.
+    pub metrics: Option<Metrics>,
 }
 
 #[cfg(test)]

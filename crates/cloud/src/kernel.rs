@@ -30,8 +30,10 @@ use pcsi_faas::registry::{choose_variant, Goal};
 use pcsi_faas::runtime::Runtime;
 use pcsi_fs::device::{DeviceHandler, DeviceRegistry};
 use pcsi_fs::{DirEntry, Directory, FifoQueue};
+use pcsi_metrics::Metrics;
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::executor::LocalBoxFuture;
+use pcsi_sim::SimTime;
 use pcsi_store::{gc, ReplicatedStore};
 use pcsi_trace::{AttrValue, SpanHandle, TraceContext, Tracer};
 
@@ -55,6 +57,11 @@ struct Inner {
     /// root span here, and the context flows down through the store and
     /// the FaaS runtime.
     tracer: RefCell<Option<Tracer>>,
+    /// Optional metrics registry: every `CloudInterface` op records a
+    /// per-op count and latency histogram, and the registry is shared
+    /// with the fabric, store and runtime so one snapshot covers every
+    /// layer.
+    metrics: RefCell<Option<Metrics>>,
 }
 
 /// The provider kernel. Cheap to clone.
@@ -85,6 +92,7 @@ impl Kernel {
                 devices: RefCell::new(DeviceRegistry::new()),
                 goal,
                 tracer: RefCell::new(None),
+                metrics: RefCell::new(None),
             }),
         }
     }
@@ -112,6 +120,23 @@ impl Kernel {
     /// The installed tracer, if any.
     pub fn tracer(&self) -> Option<Tracer> {
         self.inner.tracer.borrow().clone()
+    }
+
+    /// Installs (or removes) the metrics registry, propagating it to the
+    /// fabric, the store (clients and replicas) and the FaaS runtime so
+    /// one snapshot holds every layer's series. With `None` (the
+    /// default) no registry exists anywhere and instrumentation
+    /// collapses to a per-event `Option` check.
+    pub fn set_metrics(&self, metrics: Option<Metrics>) {
+        self.inner.fabric.set_metrics(metrics.as_ref());
+        self.inner.store.set_metrics(metrics.clone());
+        self.inner.runtime.set_metrics(metrics.as_ref());
+        *self.inner.metrics.borrow_mut() = metrics;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<Metrics> {
+        self.inner.metrics.borrow().clone()
     }
 
     /// Registers a host body for a function image name.
@@ -281,6 +306,21 @@ impl KernelClient {
         }
     }
 
+    /// Records one completed `CloudInterface` op into the registry (if
+    /// installed): per-op count, per-op error count, latency histogram.
+    fn record_op(&self, op: &'static str, started: SimTime, ok: bool) {
+        if let Some(m) = self.inner().metrics.borrow().as_ref() {
+            let labels = [("op", op)];
+            m.counter("kernel.ops", &labels).incr();
+            if !ok {
+                m.counter("kernel.errors", &labels).incr();
+            }
+            let elapsed = self.inner().fabric.handle().now() - started;
+            m.histogram("kernel.op_ns", &labels)
+                .record_duration(elapsed);
+        }
+    }
+
     /// Reads the complete contents of a byte object (helper used by
     /// lookups, invoke, and the public `read`). Node-local caching of
     /// immutable bytes and stable append-only prefixes happens inside the
@@ -395,8 +435,10 @@ impl KernelClient {
         goal: Goal,
     ) -> Result<InvokeResponse, PcsiError> {
         let span = self.op_span("kernel.invoke");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.invoke_goal_impl(f, req, goal).await;
+        self.record_op("invoke", started, result.is_ok());
         finish_op(span, &result);
         result
     }
@@ -514,95 +556,119 @@ fn finish_op<T>(mut span: SpanHandle, result: &Result<T, PcsiError>) {
 impl CloudInterface for KernelClient {
     async fn create(&self, opts: CreateOptions) -> Result<Reference, PcsiError> {
         let span = self.op_span("kernel.create");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.create_impl(opts).await;
+        self.record_op("create", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn read(&self, r: &Reference, offset: u64, len: u64) -> Result<Bytes, PcsiError> {
         let span = self.op_span("kernel.read");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.read_impl(r, offset, len).await;
+        self.record_op("read", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn write(&self, r: &Reference, offset: u64, data: Bytes) -> Result<(), PcsiError> {
         let span = self.op_span("kernel.write");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.write_impl(r, offset, data).await;
+        self.record_op("write", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn append(&self, r: &Reference, data: Bytes) -> Result<u64, PcsiError> {
         let span = self.op_span("kernel.append");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.append_impl(r, data).await;
+        self.record_op("append", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn pop(&self, r: &Reference) -> Result<Bytes, PcsiError> {
         let span = self.op_span("kernel.pop");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.pop_impl(r).await;
+        self.record_op("pop", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn stat(&self, r: &Reference) -> Result<ObjectMeta, PcsiError> {
         let span = self.op_span("kernel.stat");
+        let started = self.inner().fabric.handle().now();
         let result = self.kernel.check(r, Rights::READ);
+        self.record_op("stat", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn set_mutability(&self, r: &Reference, to: Mutability) -> Result<(), PcsiError> {
         let span = self.op_span("kernel.set_mutability");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.set_mutability_impl(r, to).await;
+        self.record_op("set_mutability", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn delete(&self, r: &Reference) -> Result<(), PcsiError> {
         let span = self.op_span("kernel.delete");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.delete_impl(r).await;
+        self.record_op("delete", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn link(&self, dir: &Reference, name: &str, target: &Reference) -> Result<(), PcsiError> {
         let span = self.op_span("kernel.link");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.link_impl(dir, name, target).await;
+        self.record_op("link", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn unlink(&self, dir: &Reference, name: &str) -> Result<(), PcsiError> {
         let span = self.op_span("kernel.unlink");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.unlink_impl(dir, name).await;
+        self.record_op("unlink", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn lookup(&self, dir: &Reference, path: &str) -> Result<Reference, PcsiError> {
         let span = self.op_span("kernel.lookup");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.lookup_impl(dir, path).await;
+        self.record_op("lookup", started, result.is_ok());
         finish_op(span, &result);
         result
     }
 
     async fn list(&self, dir: &Reference) -> Result<Vec<String>, PcsiError> {
         let span = self.op_span("kernel.list");
+        let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.list_impl(dir).await;
+        self.record_op("list", started, result.is_ok());
         finish_op(span, &result);
         result
     }

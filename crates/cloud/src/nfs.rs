@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use pcsi_core::{Mutability, ObjectId, PcsiError};
+use pcsi_metrics::Metrics;
 use pcsi_net::fabric::RpcHandler;
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_store::engine::{MediaTier, Mutation, StorageEngine};
@@ -264,6 +265,7 @@ pub struct NfsServer {
     node: NodeId,
     state: Rc<RefCell<ServerState>>,
     tracer: Rc<RefCell<Option<Tracer>>>,
+    metrics: Rc<RefCell<Option<Metrics>>>,
 }
 
 impl NfsServer {
@@ -281,23 +283,29 @@ impl NfsServer {
             next_tag: 1,
         }));
         let tracer: Rc<RefCell<Option<Tracer>>> = Rc::new(RefCell::new(None));
+        let metrics: Rc<RefCell<Option<Metrics>>> = Rc::new(RefCell::new(None));
         let handler: RpcHandler = {
             let state = Rc::clone(&state);
             let fabric2 = fabric.clone();
             let secret = secret.to_vec();
             let tracer = Rc::clone(&tracer);
+            let metrics = Rc::clone(&metrics);
             Rc::new(move |payload, ctx| {
                 let state = Rc::clone(&state);
                 let fabric2 = fabric2.clone();
                 let billing = billing.clone();
                 let secret = secret.clone();
                 let tracer = tracer.borrow().clone();
+                let metrics = metrics.borrow().clone();
                 Box::pin(async move {
                     let span = match &tracer {
                         Some(t) => t.child_of(ctx.trace, "nfs.server"),
                         None => SpanHandle::disabled(),
                     };
-                    let reply = serve(&fabric2, &billing, &state, &secret, payload, &span).await;
+                    let reply = serve(
+                        &fabric2, &billing, &state, &secret, payload, &span, &metrics,
+                    )
+                    .await;
                     span.finish();
                     Ok(encode_reply(&reply))
                 })
@@ -309,12 +317,20 @@ impl NfsServer {
             node,
             state,
             tracer,
+            metrics,
         }
     }
 
     /// Installs (or clears) the tracer used by client and server spans.
     pub fn set_tracer(&self, tracer: Option<Tracer>) {
         *self.tracer.borrow_mut() = tracer;
+    }
+
+    /// Installs (or clears) the metrics registry: the server then counts
+    /// every operation (`nfs.ops{op=…}` / `nfs.errors{op=…}`) and records
+    /// server-side latency (`nfs.op_ns{op=…}`).
+    pub fn set_metrics(&self, metrics: Option<Metrics>) {
+        *self.metrics.borrow_mut() = metrics;
     }
 
     /// The server's node.
@@ -406,14 +422,51 @@ async fn serve(
     server_secret: &[u8],
     payload: Bytes,
     span: &SpanHandle,
+    metrics: &Option<Metrics>,
 ) -> NfsReply {
     let h = fabric.handle();
+    let started = h.now();
     let Some(op) = decode_op(&payload) else {
-        return NfsReply::Error {
+        let reply = NfsReply::Error {
             code: E_IO,
             message: "malformed request".into(),
         };
+        record_nfs_op(metrics, "-", &reply, h.now() - started);
+        return reply;
     };
+    let name = match &op {
+        NfsOp::Mount { .. } => "mount",
+        NfsOp::Lookup { .. } => "lookup",
+        NfsOp::Read { .. } => "read",
+        NfsOp::Write { .. } => "write",
+    };
+    let reply = dispatch(fabric, billing, state, server_secret, op, span).await;
+    record_nfs_op(metrics, name, &reply, h.now() - started);
+    reply
+}
+
+/// Counts one served NFS operation and records its server-side latency.
+/// A no-op when metrics are off.
+fn record_nfs_op(metrics: &Option<Metrics>, op: &str, reply: &NfsReply, elapsed: Duration) {
+    if let Some(m) = metrics {
+        let labels = [("op", op)];
+        m.counter("nfs.ops", &labels).incr();
+        if matches!(reply, NfsReply::Error { .. }) {
+            m.counter("nfs.errors", &labels).incr();
+        }
+        m.histogram("nfs.op_ns", &labels).record_duration(elapsed);
+    }
+}
+
+async fn dispatch(
+    fabric: &Fabric,
+    billing: &Billing,
+    state: &Rc<RefCell<ServerState>>,
+    server_secret: &[u8],
+    op: NfsOp,
+    span: &SpanHandle,
+) -> NfsReply {
+    let h = fabric.handle();
     match op {
         NfsOp::Mount { secret } => {
             // One-time authentication; subsequent ops ride the session.

@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use pcsi_core::{Consistency, Mutability, ObjectId, PcsiError};
+use pcsi_metrics::Metrics;
 use pcsi_net::fabric::RpcHandler;
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_proto::http::{Method, Request, Response};
@@ -84,6 +85,7 @@ struct Inner {
     lb_node: NodeId,
     gateway_node: NodeId,
     tracer: Rc<RefCell<Option<Tracer>>>,
+    metrics: Rc<RefCell<Option<Metrics>>>,
 }
 
 /// Derives the storage object id for a REST resource path.
@@ -116,6 +118,7 @@ impl RestGateway {
     ) -> Self {
         let keys = Rc::new(keys);
         let tracer: Rc<RefCell<Option<Tracer>>> = Rc::new(RefCell::new(None));
+        let metrics: Rc<RefCell<Option<Metrics>>> = Rc::new(RefCell::new(None));
 
         // Gateway: the real work.
         let gw_handler: RpcHandler = {
@@ -124,12 +127,14 @@ impl RestGateway {
             let billing = billing.clone();
             let keys = Rc::clone(&keys);
             let tracer = Rc::clone(&tracer);
+            let metrics = Rc::clone(&metrics);
             Rc::new(move |payload, ctx| {
                 let fabric = fabric.clone();
                 let store = store.clone();
                 let billing = billing.clone();
                 let keys = Rc::clone(&keys);
                 let tracer = tracer.borrow().clone();
+                let metrics = metrics.borrow().clone();
                 Box::pin(async move {
                     let resp = handle_request(
                         &fabric,
@@ -140,6 +145,7 @@ impl RestGateway {
                         payload,
                         tracer,
                         ctx.trace,
+                        metrics,
                     )
                     .await;
                     Ok(Bytes::from(resp.encode()))
@@ -188,6 +194,7 @@ impl RestGateway {
                 lb_node,
                 gateway_node,
                 tracer,
+                metrics,
             }),
         }
     }
@@ -196,6 +203,13 @@ impl RestGateway {
     /// balancer, and gateway instrumentation.
     pub fn set_tracer(&self, tracer: Option<Tracer>) {
         *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// Installs (or clears) the metrics registry: the gateway then counts
+    /// every request by method and status (`rest.requests`) and records
+    /// gateway-side latency (`rest.request_ns{method=…}`).
+    pub fn set_metrics(&self, metrics: Option<Metrics>) {
+        *self.inner.metrics.borrow_mut() = metrics;
     }
 
     /// The load balancer's node (clients connect here).
@@ -229,8 +243,10 @@ async fn handle_request(
     payload: Bytes,
     tracer: Option<Tracer>,
     trace: Option<TraceContext>,
+    metrics: Option<Metrics>,
 ) -> Response {
     let h = fabric.handle();
+    let started = h.now();
     let mut span = match &tracer {
         Some(t) => t.child_of(trace, "rest.gateway"),
         None => SpanHandle::disabled(),
@@ -243,9 +259,12 @@ async fn handle_request(
     let request = match Request::decode(&payload) {
         Ok(r) => r,
         Err(e) => {
-            return Response::new(400).with_body(error_json("BadHttp", &e.to_string()));
+            let resp = Response::new(400).with_body(error_json("BadHttp", &e.to_string()));
+            record_request(&metrics, "-", &resp, h.now() - started);
+            return resp;
         }
     };
+    let method = request.method.as_str();
 
     // 2. Stateless authentication: every request pays signature
     //    verification (the real HMAC work runs here).
@@ -254,7 +273,9 @@ async fn handle_request(
     let now_s = h.now().as_secs_f64() as u64 + 1_700_000_000;
     let lookup = |id: &str| keys.get(id).cloned();
     if let Err(e) = verify_request(&request, lookup, &scope(), now_s, 3600) {
-        return Response::new(403).with_body(error_json("AccessDenied", &e.to_string()));
+        let resp = Response::new(403).with_body(error_json("AccessDenied", &e.to_string()));
+        record_request(&metrics, method, &resp, h.now() - started);
+        return resp;
     }
     auth_span.finish();
 
@@ -356,7 +377,20 @@ async fn handle_request(
     };
     span.attr("status", u64::from(resp.status));
     span.finish();
+    record_request(&metrics, method, &resp, h.now() - started);
     resp
+}
+
+/// Counts one gateway request by method and status, and records the
+/// gateway-side latency histogram. A no-op when metrics are off.
+fn record_request(metrics: &Option<Metrics>, method: &str, resp: &Response, elapsed: Duration) {
+    if let Some(m) = metrics {
+        let status = resp.status.to_string();
+        m.counter("rest.requests", &[("method", method), ("status", &status)])
+            .incr();
+        m.histogram("rest.request_ns", &[("method", method)])
+            .record_duration(elapsed);
+    }
 }
 
 fn error_json(code: &str, message: &str) -> Vec<u8> {

@@ -9,8 +9,8 @@ use std::future::Future;
 use std::rc::Rc;
 use std::time::Duration;
 
+use pcsi_metrics::{Counter, Histogram, Metrics};
 use pcsi_sim::executor::LocalBoxFuture;
-use pcsi_sim::metrics::{Counter, Histogram};
 use pcsi_sim::{DetRng, SimHandle, SimTime};
 
 /// Request arrival-rate shapes (requests per second over time).
@@ -88,6 +88,10 @@ impl RateShape {
 }
 
 /// Outcome statistics of one open-loop run.
+///
+/// Built on [`pcsi_metrics`] primitives, so a run's latency distribution
+/// answers exact quantile queries ([`Histogram::quantiles`]) and the whole
+/// struct can be published into a registry with [`RunStats::publish`].
 #[derive(Debug)]
 pub struct RunStats {
     /// Per-request latency (ns).
@@ -115,24 +119,21 @@ impl RunStats {
         if self.issued.get() == 0 {
             return 1.0;
         }
-        // Failures and stragglers count against the SLO.
-        let within = if self.latency.count() == 0 {
-            0
-        } else {
-            let slo_ns = slo.as_nanos() as u64;
-            // Approximate via quantile inversion: binary search on q.
-            let (mut lo, mut hi) = (0.0f64, 1.0f64);
-            for _ in 0..24 {
-                let mid = (lo + hi) / 2.0;
-                if self.latency.quantile(mid) <= slo_ns {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            (lo * self.latency.count() as f64) as u64
-        };
-        within as f64 / self.issued.get() as f64
+        // Failures and stragglers count against the SLO: only recorded
+        // (successful) latencies can fall within it.
+        let slo_ns = u64::try_from(slo.as_nanos()).unwrap_or(u64::MAX);
+        let within = self.latency.fraction_le(slo_ns) * self.latency.count() as f64;
+        within / self.issued.get() as f64
+    }
+
+    /// Publishes this run's series into `metrics` under the given
+    /// `workload` label, so they appear in rendered snapshots.
+    pub fn publish(&self, metrics: &Metrics, workload: &str) {
+        let labels = [("workload", workload)];
+        metrics.bind_counter("workload.issued", &labels, &self.issued);
+        metrics.bind_counter("workload.ok", &labels, &self.ok);
+        metrics.bind_counter("workload.failed", &labels, &self.failed);
+        metrics.bind_histogram("workload.latency_ns", &labels, &self.latency);
     }
 }
 
@@ -351,6 +352,59 @@ mod tests {
         let loose = stats.slo_attainment(Duration::from_millis(50));
         assert!((0.35..0.65).contains(&tight), "tight {tight}");
         assert!(loose > 0.95, "loose {loose}");
+    }
+
+    #[test]
+    fn metrics_histogram_agrees_with_sim_histogram() {
+        // RunStats moved from pcsi_sim::metrics::Histogram to the
+        // pcsi-metrics one; both are log2/32-sub-bucket HDR designs, so on
+        // a known distribution their quantiles must agree to within one
+        // bucket (relative error 1/32) and the new exact-rank
+        // `fraction_le` must agree with counting.
+        let old = pcsi_sim::metrics::Histogram::new();
+        let new = Histogram::new();
+        // 1..=10_000 uniform: p50 = 5000, p99 = 9900, p99.9 = 9990.
+        for v in 1..=10_000u64 {
+            old.record(v);
+            new.record(v);
+        }
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let a = old.quantile(q) as f64;
+            let b = new.quantile(q) as f64;
+            let exact = q * 10_000.0;
+            assert!((a - b).abs() <= exact / 32.0 + 1.0, "q={q}: {a} vs {b}");
+            assert!((b - exact).abs() <= exact / 32.0 + 1.0, "q={q}: {b}");
+        }
+        // Exactly 2500 of the 10k values are <= 2500; the bucket holding
+        // 2500 spans at most 2500/32 values.
+        let frac = new.fraction_le(2500);
+        assert!((frac - 0.25).abs() <= (2500.0 / 32.0) / 10_000.0, "{frac}");
+        assert_eq!(new.count(), old.count());
+    }
+
+    #[test]
+    fn run_stats_publish_into_registry() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let stats = sim.block_on({
+            let h = h.clone();
+            async move {
+                let rng = h.rng().stream("wl");
+                drive_open_loop(
+                    &h,
+                    &rng,
+                    RateShape::Steady { rps: 500.0 },
+                    Duration::from_secs(2),
+                    |_i| boxed(async { Ok(()) }),
+                )
+                .await
+            }
+        });
+        let m = Metrics::new();
+        stats.publish(&m, "steady");
+        let rendered = m.render();
+        assert!(rendered.contains("workload.issued{workload=\"steady\"}"));
+        assert!(rendered.contains("workload.latency_ns{workload=\"steady\"}"));
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::time::Duration;
 
 use pcsi_core::api::{InvokeRequest, InvokeResponse};
 use pcsi_core::PcsiError;
+use pcsi_metrics::{Counter, Gauge, Histogram, Metrics};
 use pcsi_net::NodeId;
-use pcsi_sim::metrics::Counter;
 use pcsi_sim::{SimHandle, SimTime};
 use pcsi_trace::Tracer;
 
@@ -95,11 +95,23 @@ struct Inner {
     invocations: Counter,
     cold_starts: Counter,
     rejections: Counter,
-    in_flight: std::cell::Cell<u32>,
+    /// Concurrent in-flight invocations right now (a gauge so the
+    /// metrics registry can publish the live value).
+    in_flight: Gauge,
     peak_in_flight: std::cell::Cell<u32>,
+    /// Latency histograms, populated only while a registry is installed.
+    hists: RefCell<Option<FaasHists>>,
     /// Optional tracer: invocations record cold-start and body spans
     /// under the caller's context.
     tracer: RefCell<Option<Tracer>>,
+}
+
+/// Histograms recorded per invocation when metrics are enabled.
+struct FaasHists {
+    /// Cold-start boot time, nanoseconds.
+    cold_start_ns: Histogram,
+    /// End-to-end invocation latency (cold start included), nanoseconds.
+    invoke_ns: Histogram,
 }
 
 impl Runtime {
@@ -115,8 +127,9 @@ impl Runtime {
                 invocations: Counter::new(),
                 cold_starts: Counter::new(),
                 rejections: Counter::new(),
-                in_flight: std::cell::Cell::new(0),
+                in_flight: Gauge::new(),
                 peak_in_flight: std::cell::Cell::new(0),
+                hists: RefCell::new(None),
                 tracer: RefCell::new(None),
             }),
         };
@@ -132,6 +145,25 @@ impl Runtime {
     /// Installs (or removes) the tracer invocation spans record into.
     pub fn set_tracer(&self, tracer: Option<Tracer>) {
         *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// Installs (or removes) the metrics registry: the runtime's
+    /// always-on counters are published as named series and the latency
+    /// histograms start recording.
+    pub fn set_metrics(&self, metrics: Option<&Metrics>) {
+        match metrics {
+            Some(m) => {
+                m.bind_counter("faas.invocations", &[], &self.inner.invocations);
+                m.bind_counter("faas.cold_starts", &[], &self.inner.cold_starts);
+                m.bind_counter("faas.rejections", &[], &self.inner.rejections);
+                m.bind_gauge("faas.in_flight", &[], &self.inner.in_flight);
+                *self.inner.hists.borrow_mut() = Some(FaasHists {
+                    cold_start_ns: m.histogram("faas.cold_start_ns", &[]),
+                    invoke_ns: m.histogram("faas.invoke_ns", &[]),
+                });
+            }
+            None => *self.inner.hists.borrow_mut() = None,
+        }
     }
 
     /// The cluster allocation state (experiments sample utilization here).
@@ -380,14 +412,18 @@ impl Runtime {
         let started = self.inner.handle.now();
         if cold_start {
             self.inner.cold_starts.incr();
+            let boot = variant.backend.cold_start();
+            if let Some(h) = self.inner.hists.borrow().as_ref() {
+                h.cold_start_ns.record_duration(boot);
+            }
             let cold_span = span_of("faas.cold_start");
-            self.inner.handle.sleep(variant.backend.cold_start()).await;
+            self.inner.handle.sleep(boot).await;
             cold_span.finish();
         }
 
         self.inner.invocations.incr();
-        let in_flight = self.inner.in_flight.get() + 1;
-        self.inner.in_flight.set(in_flight);
+        self.inner.in_flight.add(1);
+        let in_flight = self.inner.in_flight.get().max(0) as u32;
         self.inner
             .peak_in_flight
             .set(self.inner.peak_in_flight.get().max(in_flight));
@@ -411,7 +447,7 @@ impl Runtime {
         };
         let result = body(ctx).await;
         invoke_span.finish();
-        self.inner.in_flight.set(self.inner.in_flight.get() - 1);
+        self.inner.in_flight.add(-1);
 
         // Return the instance to the warm pool regardless of outcome
         // (a failed invocation does not destroy the sandbox).
@@ -428,6 +464,9 @@ impl Runtime {
 
         let out = result?;
         let billed = self.inner.handle.now() - started;
+        if let Some(h) = self.inner.hists.borrow().as_ref() {
+            h.invoke_ns.record_duration(billed);
+        }
         Ok((
             InvokeResponse {
                 body: out,

@@ -1,0 +1,711 @@
+//! Deterministic metrics for the simulated cloud.
+//!
+//! A [`Metrics`] registry holds typed families of [`Counter`]s,
+//! [`Gauge`]s and log₂-bucketed [`Histogram`]s, each family fanned out
+//! into label-distinguished series with **bounded cardinality**
+//! ([`MAX_SERIES_PER_FAMILY`]). A registry renders to a stable text
+//! [`Metrics::render`] snapshot — families sorted by name, series sorted
+//! by canonical label string, every value an integer — so the same
+//! sequence of recordings produces byte-identical output and a
+//! [`fingerprint`] that determinism tests can pin per seed.
+//!
+//! # The zero-cost-when-disabled discipline
+//!
+//! Same contract as `pcsi-trace`: components hold an `Option<Metrics>`
+//! (installed via a `set_metrics` method at build time) and resolve
+//! their series handles **once**, when the registry is installed. With
+//! metrics disabled the per-event cost is a `None` check — no
+//! allocation, no label formatting, and the crate draws **no RNG at
+//! all**, so enabling or disabling metrics can never perturb a seeded
+//! simulation. Label values that exist only per event are formatted
+//! inside the enabled branch (see [`MetricsExt::with`], the
+//! closure-deferred form), never eagerly.
+//!
+//! Handles are plain `Rc<Cell>`s, so a component may also create them
+//! *detached* (e.g. [`Counter::new`]) and keep counting whether or not a
+//! registry exists; [`Metrics::bind_counter`] later publishes the same
+//! cell as a named series. This is how the pre-existing ad-hoc counters
+//! (cache hits, retry counters, fabric message counts) migrate onto the
+//! registry without double bookkeeping: the legacy accessors and the
+//! rendered snapshot read the very same cell.
+//!
+//! # Histograms
+//!
+//! [`Histogram`] uses the HDR scheme shared with `pcsi_sim`: values
+//! below [`SUB_BUCKETS`] get exact unit buckets; above, a power-of-two
+//! major bucket is split into [`SUB_BUCKETS`] linear sub-buckets,
+//! bounding the relative quantization error by `1/SUB_BUCKETS` ≈ 3%.
+//! Quantile queries ([`Histogram::quantile`], [`Histogram::quantiles`])
+//! return the **lower edge** of the bucket holding the target rank, so
+//! the true order statistic always lies in
+//! `[reported, bucket_upper_bound(reported))` — the property the
+//! quantile proptest pins.
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two bucket (relative error ≤ 1/32).
+pub const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+const N_BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// Series admitted per family before further label sets are dropped.
+///
+/// A metrics pipeline must not let an unbounded label (object ids, peer
+/// addresses) exhaust memory; past this bound new label sets record into
+/// a detached cell and the family counts them in its `dropped` line.
+pub const MAX_SERIES_PER_FAMILY: usize = 64;
+
+/// A monotone event counter (`Rc<Cell<u64>>`; clone to share).
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Creates a detached zeroed counter (bindable to a registry later).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight count).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// Creates a detached zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.set(v);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: RefCell<Vec<u64>>,
+    count: Cell<u64>,
+    sum: Cell<u128>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+}
+
+/// A log₂-bucketed histogram over `u64` values (typically nanoseconds).
+///
+/// O(1) record, O(buckets) quantile, ~3% bounded relative error. Shares
+/// the bucketing scheme of `pcsi_sim::metrics::Histogram`, so migrated
+/// quantiles agree bucket for bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Rc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed quantile snapshot of a [`Histogram`] (all values integer
+/// nanoseconds, so rendering is byte-stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Number of samples.
+    pub count: u64,
+    /// Integer mean (`sum / count`, 0 if empty).
+    pub mean: u64,
+    /// Minimum (0 if empty).
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Creates a detached empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Rc::new(HistogramInner {
+                buckets: RefCell::new(vec![0; N_BUCKETS]),
+                count: Cell::new(0),
+                sum: Cell::new(0),
+                min: Cell::new(u64::MAX),
+                max: Cell::new(0),
+            }),
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Lowest value of bucket `idx` (the value quantile queries report).
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let major = (idx / SUB_BUCKETS) as u32 - 1 + SUB_BITS;
+        if major >= 64 {
+            return u64::MAX; // One past the top bucket.
+        }
+        let sub = (idx % SUB_BUCKETS) as u64;
+        (1u64 << major).saturating_add(sub << (major - SUB_BITS))
+    }
+
+    /// The half-open range `[lo, hi)` of the bucket `value` falls in;
+    /// every sample recorded as `value` is reported as `lo` by quantile
+    /// queries, and every true order statistic lies inside its reported
+    /// bucket's range. `hi` saturates at `u64::MAX` for the top bucket.
+    pub fn bucket_bounds(value: u64) -> (u64, u64) {
+        let idx = Self::index_of(value);
+        let lo = Self::value_of(idx);
+        let hi = if idx + 1 < N_BUCKETS {
+            Self::value_of(idx + 1)
+        } else {
+            u64::MAX
+        };
+        (lo, hi)
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.inner.buckets.borrow_mut()[Self::index_of(value)] += 1;
+        self.inner.count.set(self.inner.count.get() + 1);
+        self.inner.sum.set(self.inner.sum.get() + u128::from(value));
+        self.inner.min.set(self.inner.min.get().min(value));
+        self.inner.max.set(self.inner.max.get().max(value));
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.get()
+    }
+
+    /// Integer mean of recorded values (0 if empty).
+    pub fn mean(&self) -> u64 {
+        let n = self.inner.count.get();
+        if n == 0 {
+            0
+        } else {
+            u64::try_from(self.inner.sum.get() / u128::from(n)).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.inner.count.get() == 0 {
+            0
+        } else {
+            self.inner.min.get()
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.inner.max.get()
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): the lower edge of the
+    /// bucket containing the rank-`⌈q·n⌉` sample; 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.inner.count.get();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0;
+        for (i, &c) in self.inner.buckets.borrow().iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i);
+            }
+        }
+        self.inner.max.get()
+    }
+
+    /// Fraction of samples recorded in buckets at or below `value`'s
+    /// bucket (1.0 if empty — an SLO over no requests is trivially met).
+    pub fn fraction_le(&self, value: u64) -> f64 {
+        let n = self.inner.count.get();
+        if n == 0 {
+            return 1.0;
+        }
+        let idx = Self::index_of(value);
+        let below: u64 = self.inner.buckets.borrow()[..=idx].iter().sum();
+        below as f64 / n as f64
+    }
+
+    /// The fixed p50/p95/p99/p999 snapshot used by snapshots and tables.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+
+    /// Removes all recorded values.
+    pub fn reset(&self) {
+        self.inner
+            .buckets
+            .borrow_mut()
+            .iter_mut()
+            .for_each(|b| *b = 0);
+        self.inner.count.set(0);
+        self.inner.sum.set(0);
+        self.inner.min.set(u64::MAX);
+        self.inner.max.set(0);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    /// Canonical label string → series. BTreeMap keeps render order
+    /// independent of registration order.
+    series: BTreeMap<String, Series>,
+    /// Label sets refused past [`MAX_SERIES_PER_FAMILY`].
+    dropped: Cell<u64>,
+}
+
+struct Inner {
+    families: RefCell<BTreeMap<&'static str, Family>>,
+}
+
+/// A handle to the shared metrics registry. Cheap to clone; absence
+/// (`Option<Metrics>` = `None`) *is* the disabled state.
+#[derive(Clone)]
+pub struct Metrics {
+    inner: Rc<Inner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders `labels` canonically: sorted by key, `{k="v",…}`, empty for
+/// no labels.
+fn label_string(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort();
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics {
+            inner: Rc::new(Inner {
+                families: RefCell::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    fn get_or_insert(&self, name: &'static str, labels: &[(&str, &str)], make: Series) -> Series {
+        let mut families = self.inner.families.borrow_mut();
+        let family = families.entry(name).or_insert_with(|| Family {
+            series: BTreeMap::new(),
+            dropped: Cell::new(0),
+        });
+        let key = label_string(labels);
+        if let Some(existing) = family.series.get(&key) {
+            return existing.clone();
+        }
+        if family.series.len() >= MAX_SERIES_PER_FAMILY {
+            family.dropped.set(family.dropped.get() + 1);
+            return make; // Detached: still records, never rendered.
+        }
+        family.series.insert(key, make.clone());
+        make
+    }
+
+    /// Gets or creates the counter series `name{labels}`.
+    pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, Series::Counter(Counter::new())) {
+            Series::Counter(c) => c,
+            other => panic!(
+                "metric family {name:?} is a {}, not a counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Gets or creates the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, Series::Gauge(Gauge::new())) {
+            Series::Gauge(g) => g,
+            other => panic!("metric family {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram series `name{labels}`.
+    pub fn histogram(&self, name: &'static str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, labels, Series::Histogram(Histogram::new())) {
+            Series::Histogram(h) => h,
+            other => panic!(
+                "metric family {name:?} is a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Publishes an existing (possibly detached) counter cell as
+    /// `name{labels}` — the migration path for pre-registry counters:
+    /// the legacy accessor and the snapshot read the same cell.
+    pub fn bind_counter(&self, name: &'static str, labels: &[(&str, &str)], counter: &Counter) {
+        self.get_or_insert(name, labels, Series::Counter(counter.clone()));
+    }
+
+    /// Publishes an existing gauge cell as `name{labels}`.
+    pub fn bind_gauge(&self, name: &'static str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.get_or_insert(name, labels, Series::Gauge(gauge.clone()));
+    }
+
+    /// Publishes an existing histogram as `name{labels}`.
+    pub fn bind_histogram(&self, name: &'static str, labels: &[(&str, &str)], histo: &Histogram) {
+        self.get_or_insert(name, labels, Series::Histogram(histo.clone()));
+    }
+
+    /// Number of registered series across all families (tests).
+    pub fn series_count(&self) -> usize {
+        self.inner
+            .families
+            .borrow()
+            .values()
+            .map(|f| f.series.len())
+            .sum()
+    }
+
+    /// Renders the stable text snapshot: one line per series,
+    /// `<kind> <name>{labels} <values>`, families sorted by name, series
+    /// sorted by canonical label string, all values integers.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# pcsi-metrics snapshot\n");
+        for (name, family) in self.inner.families.borrow().iter() {
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("counter {name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("gauge {name}{labels} {}\n", g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let q = h.quantiles();
+                        out.push_str(&format!(
+                            "histogram {name}{labels} count={} mean={} min={} p50={} p95={} p99={} p999={} max={}\n",
+                            q.count, q.mean, q.min, q.p50, q.p95, q.p99, q.p999, q.max
+                        ));
+                    }
+                }
+            }
+            if family.dropped.get() > 0 {
+                out.push_str(&format!(
+                    "# {name}: {} series dropped over cardinality bound\n",
+                    family.dropped.get()
+                ));
+            }
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`Metrics::render`] — the value determinism
+    /// tests pin per seed.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(&self.render())
+    }
+}
+
+/// FNV-1a over a rendered snapshot (same constants as `pcsi-trace`).
+pub fn fingerprint(rendered: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in rendered.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The closure-deferred call-site sugar for `Option<Metrics>` holders:
+/// `metrics.with(|m| …)` runs only when enabled, so label formatting and
+/// handle lookups inside the closure cost nothing when disabled.
+pub trait MetricsExt {
+    /// Runs `f` against the registry if metrics are enabled.
+    fn with(&self, f: impl FnOnce(&Metrics));
+}
+
+impl MetricsExt for Option<Metrics> {
+    fn with(&self, f: impl FnOnce(&Metrics)) {
+        if let Some(m) = self {
+            f(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_cells() {
+        let m = Metrics::new();
+        let a = m.counter("x.events", &[]);
+        let b = m.counter("x.events", &[]);
+        a.incr();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+
+        let g = m.gauge("x.depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(m.gauge("x.depth", &[]).get(), 3);
+    }
+
+    #[test]
+    fn bound_counters_render_the_legacy_cell() {
+        let m = Metrics::new();
+        let detached = Counter::new();
+        detached.add(41);
+        m.bind_counter("fabric.messages", &[], &detached);
+        detached.incr();
+        assert!(m.render().contains("counter fabric.messages 42\n"));
+    }
+
+    #[test]
+    fn labels_are_canonicalized_and_sorted() {
+        let m = Metrics::new();
+        m.counter("k.ops", &[("op", "read"), ("node", "3")]).incr();
+        // Same series regardless of label order at the call site.
+        m.counter("k.ops", &[("node", "3"), ("op", "read")]).incr();
+        let r = m.render();
+        assert!(
+            r.contains("counter k.ops{node=\"3\",op=\"read\"} 2\n"),
+            "{r}"
+        );
+        assert_eq!(m.series_count(), 1);
+    }
+
+    #[test]
+    fn render_is_independent_of_registration_order() {
+        let build = |flip: bool| {
+            let m = Metrics::new();
+            let names: [&'static str; 2] = ["b.second", "a.first"];
+            let order = if flip { [0, 1] } else { [1, 0] };
+            for &i in &order {
+                m.counter(names[i], &[("op", "x")]).add(7);
+                m.counter(names[i], &[("op", "a")]).add(3);
+            }
+            m.render()
+        };
+        assert_eq!(build(false), build(true));
+        assert_eq!(fingerprint(&build(false)), fingerprint(&build(true)));
+    }
+
+    #[test]
+    fn cardinality_is_bounded_and_reported() {
+        let m = Metrics::new();
+        for i in 0..(MAX_SERIES_PER_FAMILY + 9) {
+            let v = format!("{i}");
+            m.counter("hot.family", &[("id", &v)]).incr();
+        }
+        assert_eq!(m.series_count(), MAX_SERIES_PER_FAMILY);
+        let r = m.render();
+        assert!(
+            r.contains("# hot.family: 9 series dropped over cardinality bound\n"),
+            "{r}"
+        );
+        // Dropped label sets still record into a working (detached) cell.
+        let c = m.counter("hot.family", &[("id", "overflow-again")]);
+        c.add(5);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.gauge("x.v", &[]);
+        m.counter("x.v", &[]);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+        // Below SUB_BUCKETS every bucket holds exactly one value.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(Histogram::bucket_bounds(v), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // A power of two starts a fresh major bucket: the value below it
+        // lands in a different bucket.
+        for exp in (SUB_BITS + 1)..63 {
+            let v = 1u64 << exp;
+            let (lo, hi) = Histogram::bucket_bounds(v);
+            assert_eq!(lo, v, "2^{exp} must open its bucket");
+            let (_, hi_prev) = Histogram::bucket_bounds(v - 1);
+            assert_eq!(hi_prev, v, "2^{exp}-1 must end the previous bucket");
+            // Sub-bucket width within major bucket `exp` is 2^(exp-5).
+            assert_eq!(hi - lo, 1u64 << (exp - SUB_BITS));
+        }
+        // Every value sits inside its own bucket bounds.
+        for v in [0, 1, 31, 32, 33, 1000, 123_456_789, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(v);
+            assert!(lo <= v && (v < hi || hi == u64::MAX), "{v}: [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_fractions() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.count, 1000);
+        assert!((480..=520).contains(&q.p50), "p50 = {}", q.p50);
+        assert!((920..=960).contains(&q.p95), "p95 = {}", q.p95);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.p999);
+        assert!(q.p999 <= q.max && q.min <= q.p50);
+        assert_eq!(q.mean, 500); // 500.5 truncated.
+        let f = h.fraction_le(500);
+        assert!((0.45..=0.55).contains(&f), "fraction_le(500) = {f}");
+        assert_eq!(h.fraction_le(u64::MAX), 1.0);
+
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.fraction_le(1), 1.0);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let h = Histogram::new();
+        let v = 987_654_321u64;
+        h.record(v);
+        let q = h.quantile(0.5);
+        let err = (v as f64 - q as f64).abs() / v as f64;
+        assert!(err <= 1.0 / SUB_BUCKETS as f64, "error {err}");
+    }
+
+    #[test]
+    fn snapshot_renders_histograms() {
+        let m = Metrics::new();
+        let h = m.histogram("op.latency_ns", &[("op", "read")]);
+        h.record(100);
+        h.record(300);
+        let r = m.render();
+        assert!(r.starts_with("# pcsi-metrics snapshot\n"));
+        assert!(
+            r.contains("histogram op.latency_ns{op=\"read\"} count=2 mean=200 min=100 "),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_matches_fnv_constants() {
+        // Empty input must produce the FNV-1a offset basis, pinning the
+        // exact constants shared with pcsi-trace.
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fingerprint("a"), fingerprint("b"));
+    }
+
+    #[test]
+    fn with_runs_only_when_enabled() {
+        let none: Option<Metrics> = None;
+        none.with(|_| panic!("must not run disabled"));
+        let some = Some(Metrics::new());
+        let mut ran = false;
+        some.with(|_| ran = true);
+        assert!(ran);
+    }
+}

@@ -19,8 +19,8 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use pcsi_metrics::{Counter, Histogram, Metrics};
 use pcsi_sim::executor::LocalBoxFuture;
-use pcsi_sim::metrics::Counter;
 use pcsi_sim::{SimHandle, SimTime};
 
 use crate::latency::LatencyModel;
@@ -190,6 +190,9 @@ struct FabricInner {
     dropped: Counter,
     duplicated: Counter,
     delayed: Counter,
+    /// Per-message payload-size histogram; recorded only when a metrics
+    /// registry is installed (the counters above are always-on cells).
+    msg_bytes: RefCell<Option<Histogram>>,
 }
 
 impl Fabric {
@@ -215,6 +218,7 @@ impl Fabric {
                 dropped: Counter::new(),
                 duplicated: Counter::new(),
                 delayed: Counter::new(),
+                msg_bytes: RefCell::new(None),
             }),
         }
     }
@@ -232,6 +236,25 @@ impl Fabric {
     /// The simulation handle (for components built on the fabric).
     pub fn handle(&self) -> &SimHandle {
         &self.inner.handle
+    }
+
+    /// Publishes the fabric's telemetry on `metrics`: the always-on
+    /// message/byte/fault counters become registered series (same cells
+    /// the accessors read), and a per-message payload-size histogram
+    /// starts recording. Pass `None` to stop histogram recording; the
+    /// counters keep counting either way.
+    pub fn set_metrics(&self, metrics: Option<&Metrics>) {
+        match metrics {
+            Some(m) => {
+                m.bind_counter("fabric.messages", &[], &self.inner.messages);
+                m.bind_counter("fabric.bytes", &[], &self.inner.bytes);
+                m.bind_counter("fabric.dropped", &[], &self.inner.dropped);
+                m.bind_counter("fabric.duplicated", &[], &self.inner.duplicated);
+                m.bind_counter("fabric.delayed", &[], &self.inner.delayed);
+                *self.inner.msg_bytes.borrow_mut() = Some(m.histogram("fabric.message_bytes", &[]));
+            }
+            None => *self.inner.msg_bytes.borrow_mut() = None,
+        }
     }
 
     /// Total messages delivered so far.
@@ -360,6 +383,9 @@ impl Fabric {
         let h = &self.inner.handle;
         self.inner.messages.incr();
         self.inner.bytes.add(bytes as u64);
+        if let Some(h) = self.inner.msg_bytes.borrow().as_ref() {
+            h.record(bytes as u64);
+        }
 
         let hop = self.inner.topology.hop_class(from, to);
         if hop == crate::topology::HopClass::Local {

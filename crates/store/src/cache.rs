@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use pcsi_core::{Mutability, ObjectId};
-use pcsi_sim::metrics::Counter;
+use pcsi_metrics::{Counter, Metrics};
 
 use crate::version::Tag;
 
@@ -90,6 +90,16 @@ impl ObjectCache {
     /// Entries evicted to stay within budget so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.get()
+    }
+
+    /// Publishes this cache's counters as per-node series on `metrics`.
+    /// The registry binds the very cells the accessors above read, so
+    /// the snapshot and `cache_stats()` can never disagree.
+    pub(crate) fn publish_metrics(&self, metrics: &Metrics, node: &str) {
+        let labels = [("node", node)];
+        metrics.bind_counter("store.cache.hits", &labels, &self.hits);
+        metrics.bind_counter("store.cache.misses", &labels, &self.misses);
+        metrics.bind_counter("store.cache.evictions", &labels, &self.evictions);
     }
 
     /// Serves `[offset, offset + len)` if the cached bytes cover it,

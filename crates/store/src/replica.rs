@@ -22,9 +22,9 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use pcsi_core::ObjectId;
+use pcsi_metrics::{Counter, Histogram, Metrics};
 use pcsi_net::fabric::{CallCtx, NetError, RpcHandler};
 use pcsi_net::{Fabric, NodeId, Transport};
-use pcsi_sim::metrics::Counter;
 use pcsi_sim::sync::mpsc;
 use pcsi_trace::{SpanHandle, TraceContext, Tracer};
 
@@ -65,8 +65,12 @@ struct Inner {
     coordinated: Counter,
     applied: Counter,
     reads: Counter,
+    fetched: Counter,
     synced_in: Counter,
     repaired: Counter,
+    /// Synchronous-ack quorum sizes observed per coordination round
+    /// (this node included). Recorded only when a registry is installed.
+    quorum_acks: RefCell<Option<Histogram>>,
     /// Optional tracer shared with the store's clients: server-side
     /// spans nest under the client attempt whose context rode the wire.
     tracer: RefCell<Option<Tracer>>,
@@ -85,8 +89,10 @@ impl ReplicaNode {
             coordinated: Counter::new(),
             applied: Counter::new(),
             reads: Counter::new(),
+            fetched: Counter::new(),
             synced_in: Counter::new(),
             repaired: Counter::new(),
+            quorum_acks: RefCell::new(None),
             tracer: RefCell::new(None),
         });
         let handler: RpcHandler = {
@@ -135,6 +141,11 @@ impl ReplicaNode {
         self.inner.repaired.get()
     }
 
+    /// Full-object fetches served (anti-entropy pulls, write-back reads).
+    pub fn fetched_count(&self) -> u64 {
+        self.inner.fetched.get()
+    }
+
     /// Spawns the periodic anti-entropy task (runs for the simulation's
     /// lifetime). `interval` is jittered ±20% per round to avoid lockstep.
     pub fn start_anti_entropy(&self, interval: Duration) {
@@ -158,6 +169,27 @@ impl ReplicaNode {
     /// Installs (or removes) the tracer server-side spans record into.
     pub fn set_tracer(&self, tracer: Option<Tracer>) {
         *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// Installs (or removes) the metrics registry. The protocol counters
+    /// are always-on cells; installing publishes them as per-node series
+    /// and enables the quorum-ack-size histogram.
+    pub fn set_metrics(&self, metrics: Option<Metrics>) {
+        match metrics {
+            Some(m) => {
+                let node = self.inner.node.0.to_string();
+                let labels = [("node", node.as_str())];
+                m.bind_counter("replica.coordinated", &labels, &self.inner.coordinated);
+                m.bind_counter("replica.applied", &labels, &self.inner.applied);
+                m.bind_counter("replica.reads", &labels, &self.inner.reads);
+                m.bind_counter("replica.fetched", &labels, &self.inner.fetched);
+                m.bind_counter("replica.synced_in", &labels, &self.inner.synced_in);
+                m.bind_counter("replica.repaired", &labels, &self.inner.repaired);
+                *self.inner.quorum_acks.borrow_mut() =
+                    Some(m.histogram("replica.quorum_acks", &labels));
+            }
+            None => *self.inner.quorum_acks.borrow_mut() = None,
+        }
     }
 }
 
@@ -370,6 +402,7 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             match obj {
                 Some(object) => {
                     charge_io(&inner, object.data.len()).await;
+                    inner.fetched.incr();
                     let reqs = inner.ledger.borrow().snapshot(id);
                     Response::Object { object, reqs }
                 }
@@ -731,6 +764,9 @@ async fn replicate(
     }
     // Remaining replication continues in the background (detached tasks).
     if ok >= need {
+        if let Some(h) = inner.quorum_acks.borrow().as_ref() {
+            h.record((ok + 1) as u64);
+        }
         ReplicateOutcome::Acked
     } else if let Some((newest, holder)) = stale {
         ReplicateOutcome::Stale { newest, holder }

@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use pcsi_core::{Consistency, Mutability, ObjectId, PcsiError};
+use pcsi_metrics::{Counter, Metrics};
 use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
 use pcsi_sim::sync::mpsc;
@@ -171,26 +172,30 @@ struct StoreInner {
     /// Fault-recovery counters, aggregated across every client of this
     /// store.
     retry_counters: RetryCounters,
+    /// Optional metrics registry. When installed, the always-on cells
+    /// above (and every lazily created cache's) are published as named
+    /// series; nothing is double-counted.
+    metrics: RefCell<Option<Metrics>>,
 }
 
 #[derive(Default)]
 struct RetryCounters {
-    retries: Cell<u64>,
-    failovers: Cell<u64>,
-    timeouts: Cell<u64>,
+    retries: Counter,
+    failovers: Counter,
+    timeouts: Counter,
 }
 
 impl RetryCounters {
     fn retry(&self) {
-        self.retries.set(self.retries.get() + 1);
+        self.retries.incr();
     }
 
     fn failover(&self) {
-        self.failovers.set(self.failovers.get() + 1);
+        self.failovers.incr();
     }
 
     fn timeout(&self) {
-        self.timeouts.set(self.timeouts.get() + 1);
+        self.timeouts.incr();
     }
 }
 
@@ -218,6 +223,7 @@ impl ReplicatedStore {
                 tracer: RefCell::new(None),
                 next_req_id: Cell::new(0),
                 retry_counters: RetryCounters::default(),
+                metrics: RefCell::new(None),
             }),
         }
     }
@@ -242,6 +248,33 @@ impl ReplicatedStore {
     /// The installed tracer, if any.
     pub fn tracer(&self) -> Option<Tracer> {
         self.inner.tracer.borrow().clone()
+    }
+
+    /// Installs (or removes) the metrics registry. Installing binds the
+    /// store's fault-recovery counters, every existing client cache's
+    /// counters, and each replica's protocol counters as named series —
+    /// the registry publishes the same cells the legacy accessors
+    /// ([`ReplicatedStore::retry_stats`], [`ReplicatedStore::cache_stats`])
+    /// read, so the two views agree by construction.
+    pub fn set_metrics(&self, metrics: Option<Metrics>) {
+        if let Some(m) = &metrics {
+            let c = &self.inner.retry_counters;
+            m.bind_counter("store.retries", &[], &c.retries);
+            m.bind_counter("store.failovers", &[], &c.failovers);
+            m.bind_counter("store.timeouts", &[], &c.timeouts);
+            for (node, cache) in self.inner.caches.borrow().iter() {
+                cache.publish_metrics(m, &node.0.to_string());
+            }
+        }
+        for r in &self.inner.replicas {
+            r.set_metrics(metrics.clone());
+        }
+        *self.inner.metrics.borrow_mut() = metrics;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<Metrics> {
+        self.inner.metrics.borrow().clone()
     }
 
     fn emit_tap(&self, make: impl FnOnce() -> TapEvent) {
@@ -307,22 +340,30 @@ impl ReplicatedStore {
         stats
     }
 
-    fn cache_get(&self, node: NodeId, id: ObjectId, offset: u64, len: u64) -> Option<(Tag, Bytes)> {
+    /// The cache for `node`, created (and published to the metrics
+    /// registry when one is installed) on first touch.
+    fn with_cache<T>(&self, node: NodeId, f: impl FnOnce(&mut ObjectCache) -> T) -> T {
         let capacity = self.inner.config.cache_bytes;
-        if capacity == 0 {
+        let mut caches = self.inner.caches.borrow_mut();
+        let cache = caches.entry(node).or_insert_with(|| {
+            let cache = ObjectCache::new(capacity);
+            if let Some(m) = self.inner.metrics.borrow().as_ref() {
+                cache.publish_metrics(m, &node.0.to_string());
+            }
+            cache
+        });
+        f(cache)
+    }
+
+    fn cache_get(&self, node: NodeId, id: ObjectId, offset: u64, len: u64) -> Option<(Tag, Bytes)> {
+        if self.inner.config.cache_bytes == 0 {
             return None;
         }
-        self.inner
-            .caches
-            .borrow_mut()
-            .entry(node)
-            .or_insert_with(|| ObjectCache::new(capacity))
-            .get(id, offset, len)
+        self.with_cache(node, |cache| cache.get(id, offset, len))
     }
 
     fn cache_admit(&self, node: NodeId, id: ObjectId, served: &Served) {
-        let capacity = self.inner.config.cache_bytes;
-        if capacity == 0 {
+        if self.inner.config.cache_bytes == 0 {
             return;
         }
         // Only whole-from-zero data is admissible. The engine keeps
@@ -336,12 +377,9 @@ impl ReplicatedStore {
             Mutability::AppendOnly => {}
             _ => return,
         }
-        self.inner
-            .caches
-            .borrow_mut()
-            .entry(node)
-            .or_insert_with(|| ObjectCache::new(capacity))
-            .admit(id, served.mutability, served.tag, served.data.clone());
+        self.with_cache(node, |cache| {
+            cache.admit(id, served.mutability, served.tag, served.data.clone())
+        });
     }
 }
 

@@ -75,7 +75,7 @@ fn main() {
         })
         .await;
 
-        let s = stats.latency.summary();
+        let s = stats.latency.quantiles();
         println!(
             "requests:        {} issued, {} ok, {} failed",
             stats.issued.get(),

@@ -17,24 +17,30 @@ use pcsi_faas::function::{FunctionImage, WorkModel};
 use pcsi_net::NodeId;
 use pcsi_sim::Sim;
 
+/// The universe fingerprint: final virtual time, poll count, fabric
+/// traffic, issued requests, tail latency, billing/cache/retry digest.
+type Fingerprint = (u64, u64, u64, u64, u64, String);
+
 /// Runs a mixed workload and returns a fingerprint of everything
 /// observable: final virtual time, poll count, fabric traffic, latency
 /// stats, billing.
-fn run(seed: u64) -> (u64, u64, u64, u64, u64, String) {
-    run_with(seed, None).0
+fn run(seed: u64) -> Fingerprint {
+    run_with(seed, None, false).0
 }
 
 /// Like [`run`], but optionally attaches an explicit tracer to the
 /// kernel (the builder would skip attaching one for `Sampling::Off`)
-/// and also returns how many trace ids the tracer drew.
+/// and also returns how many trace ids the tracer drew, plus — with
+/// `metrics` on — the rendered end-of-run metrics snapshot.
 fn run_with(
     seed: u64,
     sampling: Option<pcsi_trace::Sampling>,
-) -> ((u64, u64, u64, u64, u64, String), u64) {
+    metrics: bool,
+) -> (Fingerprint, u64, Option<String>) {
     let mut sim = Sim::new(seed);
     let h = sim.handle();
-    let (fingerprint, id_draws) = sim.block_on(async move {
-        let cloud = CloudBuilder::new().build(&h);
+    let (fingerprint, id_draws, snapshot) = sim.block_on(async move {
+        let cloud = CloudBuilder::new().metrics(metrics).build(&h);
         let tracer = sampling.map(|s| {
             let t = pcsi_trace::Tracer::new(&h, s, 16384);
             cloud.kernel.set_tracer(Some(t.clone()));
@@ -154,6 +160,7 @@ fn run_with(
                 ),
             ),
             tracer.map_or(0, |t| t.id_draws()),
+            cloud.metrics.as_ref().map(pcsi_metrics::Metrics::render),
         )
     });
     let polls = sim.poll_count();
@@ -167,6 +174,7 @@ fn run_with(
             fingerprint.5,
         ),
         id_draws,
+        snapshot,
     )
 }
 
@@ -243,12 +251,48 @@ fn retry_and_failover_traces_are_deterministic() {
 /// recovery counters — byte-identical to a run with no tracer at all.
 #[test]
 fn tracing_off_is_zero_overhead() {
-    let (base, _) = run_with(90210, None);
-    let (off, id_draws) = run_with(90210, Some(pcsi_trace::Sampling::Off));
+    let (base, _, _) = run_with(90210, None, false);
+    let (off, id_draws, _) = run_with(90210, Some(pcsi_trace::Sampling::Off), false);
     assert_eq!(id_draws, 0, "Off sampling must never draw a trace id");
     assert_eq!(
         base, off,
         "an attached-but-off tracer perturbed the simulation"
+    );
+}
+
+/// The metrics registry draws no randomness and never touches virtual
+/// time, so enabling it must leave the universe fingerprint — virtual
+/// time, poll count, wire traffic, latency stats, billing — exactly
+/// equal to the metrics-off baseline.
+#[test]
+fn metrics_are_zero_overhead_when_disabled_and_inert_when_enabled() {
+    let (base, _, no_snapshot) = run_with(90210, None, false);
+    assert!(no_snapshot.is_none(), "metrics-off run built a registry");
+    let (on, _, snapshot) = run_with(90210, None, true);
+    assert_eq!(
+        base, on,
+        "enabling the metrics registry perturbed the simulation"
+    );
+    let snapshot = snapshot.expect("metrics-on run must render a snapshot");
+    assert!(snapshot.contains("kernel.ops"), "{snapshot}");
+}
+
+/// Two metrics-on runs of the same seed must render byte-identical
+/// snapshots: every counter, every histogram bucket, every label, in
+/// the same order. Different seeds must diverge.
+#[test]
+fn metrics_snapshots_fingerprint_identically_per_seed() {
+    let (_, _, a) = run_with(424242, None, true);
+    let (_, _, b) = run_with(424242, None, true);
+    let (a, b) = (a.unwrap(), b.unwrap());
+    assert_eq!(a, b, "same seed must render byte-identical snapshots");
+    assert_eq!(pcsi_metrics::fingerprint(&a), pcsi_metrics::fingerprint(&b));
+
+    let (_, _, c) = run_with(424243, None, true);
+    assert_ne!(
+        pcsi_metrics::fingerprint(&a),
+        pcsi_metrics::fingerprint(&c.unwrap()),
+        "different seeds must render different snapshots"
     );
 }
 
