@@ -8,18 +8,42 @@
 //! Artifact names: `table1`, `rest-vs-nfs`, `mutability`, `pipeline`,
 //! `efficiency`, `flexibility`, `consistency`, `capability`, `crossover`,
 //! `ycsb`, `recovery`.
+//!
+//! Perf-snapshot modes (opt-in, not part of the default run):
+//!
+//! ```text
+//! cargo run --release -p pcsi-bench --bin report -- bench
+//!     # run the hot-path events/sec suite and write BENCH_<pr>.json
+//!     # ($BENCH_PR names the pr, default "dev"; $BENCH_BASELINE points
+//!     # at a prior snapshot to embed and compute the speedup ratio)
+//! cargo run --release -p pcsi-bench --bin report -- bench-check <file>
+//!     # validate a snapshot against the current schema; exits nonzero
+//!     # on drift
+//! ```
 
 use std::time::Duration;
 
 use pcsi_bench::experiments::{
-    capability, consistency, crossover, efficiency, flexibility, mutability, pipeline, recovery,
-    rest_vs_nfs, stages, table1, ycsb, DEFAULT_SEED,
+    capability, consistency, crossover, efficiency, flexibility, hotpath, mutability, pipeline,
+    recovery, rest_vs_nfs, stages, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
+use pcsi_bench::snapshot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-check") {
+        bench_check(args.get(1).map(String::as_str));
+        return;
+    }
+    // The perf suite is opt-in: it burns real wall-clock by design.
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    if args.iter().any(|a| a == "bench") {
+        report_bench();
+        if args.len() == 1 {
+            return;
+        }
+    }
 
     println!("The RESTless Cloud (HotOS '21) — reproduction report");
     println!("seed = {DEFAULT_SEED:#x}; all simulated numbers are deterministic.\n");
@@ -443,5 +467,62 @@ fn report_crossover() {
             "\nshape check: PASS (protocol share: minority at 1 ms RTT, dominant at 1 us RTT)\n"
         ),
         Err(e) => println!("\nshape check: FAIL — {e}\n"),
+    }
+}
+
+fn report_bench() {
+    println!("## Hot-path events/sec suite (perf snapshot)\n");
+    let suite = hotpath::run_suite(DEFAULT_SEED);
+    let mut t = Table::new(&["experiment", "wall", "events", "events/sec"]);
+    for e in &suite.experiments {
+        t.row(&[
+            e.name.into(),
+            format!("{:.1}ms", e.wall_ms()),
+            e.events.to_string(),
+            format!("{:.0}", e.events_per_sec()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nheadline (driver_sweep): {:.0} events/sec; buffer pool {} hits / {} misses",
+        suite.headline_events_per_sec(),
+        suite.pool_hits,
+        suite.pool_misses
+    );
+
+    let pr = std::env::var("BENCH_PR").unwrap_or_else(|_| "dev".into());
+    let baseline = std::env::var("BENCH_BASELINE").ok().map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read BENCH_BASELINE {path}: {e}"))
+    });
+    let json = snapshot::render(&suite, &pr, baseline.as_deref());
+    snapshot::validate(&json).expect("emitted snapshot must conform to its own schema");
+    let path = format!("BENCH_{pr}.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+    if let Some(ratio) = snapshot::parse(&json)
+        .ok()
+        .and_then(|doc| doc.get("ratio_events_per_sec").and_then(|r| r.as_num()))
+    {
+        println!("speedup vs baseline: {ratio:.2}x events/sec");
+    }
+    println!();
+}
+
+fn bench_check(path: Option<&str>) {
+    let path = path.unwrap_or_else(|| {
+        eprintln!("usage: report bench-check <BENCH_*.json>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match snapshot::validate(&text) {
+        Ok(()) => println!("bench-check: {path} conforms to {}", snapshot::SCHEMA),
+        Err(e) => {
+            eprintln!("bench-check: schema drift in {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

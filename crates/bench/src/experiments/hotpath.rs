@@ -1,0 +1,327 @@
+//! Hot-path events/sec microbenchmarks (the perf-trajectory suite).
+//!
+//! Everything else in this crate measures *virtual* time — latencies on
+//! the simulated clock, which the scheduler and codec rewrites must not
+//! change at all. This module measures the opposite axis: how much
+//! *host* wall-clock the simulator burns to push a fixed, deterministic
+//! amount of simulated work through the executor, the fabric, and the
+//! wire codec. Each experiment's event count is derived from the
+//! deterministic run itself (poll counts, fabric messages, completed
+//! ops), so two trees running the same seed process byte-identical
+//! schedules and the events/sec ratio reduces to a pure wall-clock
+//! ratio — which is exactly what a perf PR needs to prove.
+//!
+//! | experiment    | hot path exercised                                |
+//! |---------------|---------------------------------------------------|
+//! | `wire_codec`  | request/response encode + decode, no simulator    |
+//! | `timer_churn` | executor timer registration / firing              |
+//! | `rpc_echo`    | fabric delivery (timers + jitter + counters)      |
+//! | `driver_sweep`| full stack: YCSB-style open loop + chaos scenarios|
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use pcsi_chaos::{run_scenario, ScenarioConfig};
+use pcsi_cloud::workload::{boxed, drive_open_loop, RateShape, ZipfKeys};
+use pcsi_cloud::CloudBuilder;
+use pcsi_core::api::CreateOptions;
+use pcsi_core::{CloudInterface, Consistency, Mutability, ObjectId};
+use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, NodeId, Topology, Transport};
+use pcsi_sim::Sim;
+use pcsi_store::engine::Mutation;
+use pcsi_store::version::Tag;
+use pcsi_store::wire::{self, Request, Response};
+
+use super::table1;
+
+/// One experiment's outcome: a deterministic event count over a
+/// measured wall-clock interval.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    /// Experiment name (stable; keys the snapshot JSON).
+    pub name: &'static str,
+    /// Host wall-clock the run took.
+    pub wall: Duration,
+    /// Deterministic events processed (same for every run of the seed).
+    pub events: u64,
+}
+
+impl ExpResult {
+    /// Bundles a measurement.
+    pub fn new(name: &'static str, wall: Duration, events: u64) -> Self {
+        ExpResult { name, wall, events }
+    }
+
+    /// Wall-clock in fractional milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3
+    }
+
+    /// Events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full suite's outcome, ready for [`crate::snapshot::render`].
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Seed that drove every experiment.
+    pub seed: u64,
+    /// Per-experiment measurements, in run order.
+    pub experiments: Vec<ExpResult>,
+    /// Table-1 latencies `(label, simulated ns)` — carried in the
+    /// snapshot so a perf PR also shows it did not move modeled time.
+    pub table1_ns: Vec<(String, f64)>,
+    /// Pooled-buffer hits over the suite (allocation proxy).
+    pub pool_hits: u64,
+    /// Pooled-buffer misses over the suite (allocation proxy).
+    pub pool_misses: u64,
+}
+
+impl SuiteResult {
+    /// The headline number: the end-to-end `driver_sweep` events/sec.
+    pub fn headline_events_per_sec(&self) -> f64 {
+        self.experiments
+            .iter()
+            .find(|e| e.name == "driver_sweep")
+            .map(ExpResult::events_per_sec)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs every experiment and collects the snapshot inputs.
+pub fn run_suite(seed: u64) -> SuiteResult {
+    let experiments = vec![
+        wire_codec(seed),
+        timer_churn(seed),
+        rpc_echo(seed),
+        driver_sweep(seed),
+    ];
+    let table1_ns = table1::run(seed)
+        .into_iter()
+        .map(|r| (r.label, r.ours_ns))
+        .collect();
+    let (pool_hits, pool_misses) = bytes::pool_stats();
+    SuiteResult {
+        seed,
+        experiments,
+        table1_ns,
+        pool_hits,
+        pool_misses,
+    }
+}
+
+/// Codec-only: encode and decode a payload-bearing request and
+/// response pair, round and round. One iteration = 4 events.
+pub fn wire_codec(seed: u64) -> ExpResult {
+    const ITERS: u64 = 100_000;
+    let payload = Bytes::from(vec![0xA5u8; 1024]);
+    let req = Request::Coordinate {
+        id: ObjectId::from_parts(7, seed),
+        mutation: Mutation::PutFull {
+            data: payload.clone(),
+            mutability: Mutability::Mutable,
+        },
+        sync_replicas: 2,
+        req_id: 42,
+    };
+    let resp = Response::Data {
+        tag: Tag { seq: 9, writer: 1 },
+        mutability: Mutability::Mutable,
+        stable_len: payload.len() as u64,
+        data: payload,
+    };
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let req_frame = wire::encode_request(&req);
+        let decoded_req = wire::decode_request(&req_frame).expect("request roundtrip");
+        std::hint::black_box(decoded_req);
+        let resp_frame = wire::encode_response(&resp);
+        let decoded_resp = wire::decode_response(&resp_frame).expect("response roundtrip");
+        std::hint::black_box(decoded_resp);
+    }
+    ExpResult::new("wire_codec", t0.elapsed(), ITERS * 4)
+}
+
+/// Executor-only: many tasks each sleeping through many jittered
+/// timers. Events = task polls (each sleep registers and fires one
+/// timer).
+pub fn timer_churn(seed: u64) -> ExpResult {
+    const TASKS: u64 = 256;
+    const ROUNDS: u64 = 800;
+    let t0 = Instant::now();
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    sim.block_on({
+        let h = h.clone();
+        async move {
+            let mut joins = Vec::new();
+            for w in 0..TASKS {
+                let h2 = h.clone();
+                let rng = h.rng().stream_indexed("bench-timer", w);
+                joins.push(h.spawn(async move {
+                    for _ in 0..ROUNDS {
+                        h2.sleep(Duration::from_nanos(rng.gen_range(50..5_000)))
+                            .await;
+                    }
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+        }
+    });
+    ExpResult::new("timer_churn", t0.elapsed(), sim.poll_count())
+}
+
+/// Fabric-only: back-to-back RPC echoes across racks. Every call pays
+/// the full delivery pipeline (fault draws, jitter draw, endpoint
+/// overheads, egress serialization) twice. Events = messages + polls.
+pub fn rpc_echo(seed: u64) -> ExpResult {
+    const CALLS: u64 = 20_000;
+    let t0 = Instant::now();
+    let mut sim = Sim::new(seed);
+    let fabric = Fabric::new(
+        sim.handle(),
+        Topology::uniform(2, 2),
+        LatencyModel::new(NetworkGeneration::Dc2021),
+    );
+    fabric.bind(
+        NodeId(3),
+        "echo",
+        Rc::new(|payload, _ctx| Box::pin(async move { Ok(payload) })),
+    );
+    let messages = sim.block_on({
+        let fabric = fabric.clone();
+        async move {
+            let payload = Bytes::from(vec![0x5Au8; 256]);
+            for _ in 0..CALLS {
+                fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(3),
+                        "echo",
+                        Transport::Rdma,
+                        payload.clone(),
+                    )
+                    .await
+                    .expect("echo on a healthy fabric");
+            }
+            fabric.message_count()
+        }
+    });
+    ExpResult::new("rpc_echo", t0.elapsed(), messages + sim.poll_count())
+}
+
+/// The headline end-to-end driver: a YCSB-style zipf-keyed open-loop
+/// mix over the full cloud stack, followed by a sweep of default
+/// (mixed-fault) chaos scenarios. Events = fabric messages + executor
+/// polls from the open-loop run, plus completed chaos ops.
+pub fn driver_sweep(seed: u64) -> ExpResult {
+    const KEYS: usize = 64;
+    const VALUE: usize = 256;
+    const CHAOS_RUNS: u64 = 8;
+    let t0 = Instant::now();
+
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let mut events = sim.block_on({
+        let h = h.clone();
+        async move {
+            let cloud = CloudBuilder::new().build(&h);
+            let c = cloud.kernel.client(NodeId(0), "bench");
+            let mut refs = Vec::with_capacity(KEYS);
+            for k in 0..KEYS {
+                let opts = match k % 4 {
+                    0 => CreateOptions::regular()
+                        .with_consistency(Consistency::Linearizable)
+                        .with_initial(vec![1u8; VALUE]),
+                    1 => CreateOptions::immutable(vec![2u8; VALUE]),
+                    _ => CreateOptions::regular().with_initial(vec![3u8; VALUE]),
+                };
+                refs.push(c.create(opts).await.expect("create on a healthy cluster"));
+            }
+            // Shared, not cloned per request: the per-op closure runs at
+            // 4k rps and a Vec clone there is pure driver overhead.
+            let refs = Rc::new(refs);
+            let rng = h.rng().stream("bench-driver");
+            let keys = ZipfKeys::new(h.rng().stream("bench-zipf"), KEYS as u64, 0.99);
+            let stats = drive_open_loop(
+                &h,
+                &rng,
+                RateShape::Steady { rps: 4_000.0 },
+                Duration::from_secs(10),
+                {
+                    let c = c.clone();
+                    move |i| {
+                        let c = c.clone();
+                        let keys = keys.clone();
+                        let refs = Rc::clone(&refs);
+                        boxed(async move {
+                            let k = keys.next_key() as usize;
+                            let r = &refs[k];
+                            // Immutable keys only read; the rest go 50/50.
+                            if k % 4 == 1 || i % 2 == 0 {
+                                c.read(r, 0, 64)
+                                    .await
+                                    .map(|_| ())
+                                    .map_err(|e| e.to_string())
+                            } else {
+                                // Pool-backed so steady-state writes stop
+                                // allocating value buffers.
+                                let mut value = bytes::BytesMut::with_capacity(64);
+                                value.extend_from_slice(&[i as u8; 64]);
+                                c.write(r, 0, value.freeze())
+                                    .await
+                                    .map(|_| ())
+                                    .map_err(|e| e.to_string())
+                            }
+                        })
+                    }
+                },
+            )
+            .await;
+            cloud.fabric.message_count() + stats.issued.get()
+        }
+    });
+    events += sim.poll_count();
+
+    for i in 0..CHAOS_RUNS {
+        let report = run_scenario(seed.wrapping_add(0xC0FFEE + i), &ScenarioConfig::default());
+        assert!(report.ok(), "chaos sweep violation at seed offset {i}");
+        events += report.ops.len() as u64;
+    }
+    ExpResult::new("driver_sweep", t0.elapsed(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The suite's event counts must be seed-deterministic: the whole
+    /// snapshot design (baseline vs current comparing pure wall-clock)
+    /// rests on both trees processing identical schedules.
+    #[test]
+    fn event_counts_are_deterministic() {
+        let a = timer_churn(11);
+        let b = timer_churn(11);
+        assert_eq!(a.events, b.events);
+        let a = rpc_echo(11);
+        let b = rpc_echo(11);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_per_sec_is_sane() {
+        let r = ExpResult::new("x", Duration::from_millis(500), 1_000);
+        assert!((r.events_per_sec() - 2_000.0).abs() < 1e-6);
+        assert!((r.wall_ms() - 500.0).abs() < 1e-9);
+    }
+}

@@ -5,6 +5,7 @@ pub mod consistency;
 pub mod crossover;
 pub mod efficiency;
 pub mod flexibility;
+pub mod hotpath;
 pub mod mutability;
 pub mod pipeline;
 pub mod recovery;

@@ -20,6 +20,8 @@
 //! | [`experiments::consistency`] | §3.3 — the consistency menu (E7) |
 //! | [`experiments::capability`] | §3.2 — stateful refs vs per-request auth (E8) |
 //! | [`experiments::crossover`] | §2.1 — overhead share as networks speed up (E9) |
+//! | [`experiments::hotpath`] | hot-path events/sec suite → `BENCH_<pr>.json` |
 
 pub mod experiments;
 pub mod reportfmt;
+pub mod snapshot;

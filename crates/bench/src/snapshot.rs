@@ -1,0 +1,479 @@
+//! Per-PR performance snapshots (`BENCH_<pr>.json`).
+//!
+//! The report binary's `bench` artifact runs the hot-path microbench
+//! suite ([`crate::experiments::hotpath`]) and writes one JSON snapshot
+//! per PR so the repository carries a perf trajectory, not just a
+//! current number. The schema is versioned ([`SCHEMA`]); CI's
+//! `bench-smoke` job re-validates every emitted file with
+//! [`validate`] and fails on drift, so a snapshot written by one PR
+//! stays machine-readable for all later ones.
+//!
+//! The workspace has no serde (all dependencies are vendored), so this
+//! module hand-rolls both directions: a small escaping writer and a
+//! strict recursive-descent JSON reader sufficient for the snapshot
+//! grammar.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::experiments::hotpath::SuiteResult;
+
+/// Schema identifier embedded in (and required of) every snapshot.
+pub const SCHEMA: &str = "pcsi-bench-snapshot/v1";
+
+/// A parsed JSON value (the subset the snapshot grammar needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; parsed as f64 (snapshot numbers all fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap) — good enough here, the
+    /// snapshot grammar never depends on member order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The f64 value of a number node.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value of a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the suite result as a schema-conformant snapshot document.
+///
+/// `baseline` is a previously emitted snapshot (the pre-change tree,
+/// same harness); when present its headline events/sec is embedded and
+/// the speedup ratio computed, which is how a PR proves its measured
+/// improvement inside the committed artifact itself.
+pub fn render(suite: &SuiteResult, pr: &str, baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+    let _ = writeln!(out, "  \"pr\": {},", quote(pr));
+    let _ = writeln!(out, "  \"seed\": {},", suite.seed);
+    out.push_str("  \"snapshot\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"events_per_sec\": {},",
+        num(suite.headline_events_per_sec())
+    );
+    out.push_str("    \"experiments\": {\n");
+    for (i, e) in suite.experiments.iter().enumerate() {
+        let comma = if i + 1 == suite.experiments.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "      {}: {{\"wall_ms\": {}, \"events\": {}, \"events_per_sec\": {}}}{}",
+            quote(e.name),
+            num(e.wall_ms()),
+            e.events,
+            num(e.events_per_sec()),
+            comma
+        );
+    }
+    out.push_str("    },\n");
+    out.push_str("    \"table1_ns\": {\n");
+    for (i, (label, ns)) in suite.table1_ns.iter().enumerate() {
+        let comma = if i + 1 == suite.table1_ns.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(out, "      {}: {}{}", quote(label), num(*ns), comma);
+    }
+    out.push_str("    },\n");
+    let _ = writeln!(
+        out,
+        "    \"alloc\": {{\"pool_hits\": {}, \"pool_misses\": {}}}",
+        suite.pool_hits, suite.pool_misses
+    );
+    out.push_str("  }");
+    if let Some(base) = baseline.and_then(extract_baseline) {
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "  \"baseline\": {{\"pr\": {}, \"events_per_sec\": {}}},",
+            quote(&base.0),
+            num(base.1)
+        );
+        let ratio = if base.1 > 0.0 {
+            suite.headline_events_per_sec() / base.1
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  \"ratio_events_per_sec\": {}", num(ratio));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `(pr, headline events/sec)` out of a baseline snapshot; `None`
+/// when the text is not a valid snapshot.
+fn extract_baseline(text: &str) -> Option<(String, f64)> {
+    let doc = parse(text).ok()?;
+    let pr = doc.get("pr")?.as_str()?.to_owned();
+    let eps = doc.get("snapshot")?.get("events_per_sec")?.as_num()?;
+    Some((pr, eps))
+}
+
+/// Checks that `text` is a valid snapshot under the current [`SCHEMA`].
+///
+/// Every structural requirement is spelled out so a drifted producer
+/// fails with a message naming the missing piece.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field: schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    doc.get("pr")
+        .and_then(Json::as_str)
+        .ok_or("missing string field: pr")?;
+    doc.get("seed")
+        .and_then(Json::as_num)
+        .ok_or("missing number field: seed")?;
+    let snap = doc
+        .get("snapshot")
+        .ok_or("missing object field: snapshot")?;
+    snap.get("events_per_sec")
+        .and_then(Json::as_num)
+        .ok_or("missing number field: snapshot.events_per_sec")?;
+    let exps = match snap.get("experiments") {
+        Some(Json::Obj(m)) if !m.is_empty() => m,
+        _ => return Err("snapshot.experiments must be a non-empty object".into()),
+    };
+    for (name, exp) in exps {
+        for field in ["wall_ms", "events", "events_per_sec"] {
+            exp.get(field).and_then(Json::as_num).ok_or(format!(
+                "missing number field: snapshot.experiments.{name}.{field}"
+            ))?;
+        }
+    }
+    match snap.get("table1_ns") {
+        Some(Json::Obj(m)) if !m.is_empty() => {
+            for (label, v) in m {
+                v.as_num()
+                    .ok_or(format!("snapshot.table1_ns[{label:?}] must be a number"))?;
+            }
+        }
+        _ => return Err("snapshot.table1_ns must be a non-empty object".into()),
+    }
+    let alloc = snap
+        .get("alloc")
+        .ok_or("missing object field: snapshot.alloc")?;
+    for field in ["pool_hits", "pool_misses"] {
+        alloc
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or(format!("missing number field: snapshot.alloc.{field}"))?;
+    }
+    // Baseline block is optional, but when present must be well-formed.
+    if let Some(base) = doc.get("baseline") {
+        base.get("pr")
+            .and_then(Json::as_str)
+            .ok_or("baseline.pr must be a string")?;
+        base.get("events_per_sec")
+            .and_then(Json::as_num)
+            .ok_or("baseline.events_per_sec must be a number")?;
+        doc.get("ratio_events_per_sec")
+            .and_then(Json::as_num)
+            .ok_or("ratio_events_per_sec must accompany baseline")?;
+    }
+    Ok(())
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 so it round-trips through the parser (always carries
+/// a decimal point or exponent, never `NaN`/`inf` which JSON forbids).
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.0".into();
+    }
+    let s = format!("{v:.3}");
+    s
+}
+
+/// Parses a complete JSON document (trailing garbage is an error).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        // Snapshot strings never use surrogate pairs.
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    _ => return Err(format!("bad escape at offset {}", *pos)),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 starting at c.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    *pos = end;
+                }
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {s:?} at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::hotpath::ExpResult;
+    use std::time::Duration;
+
+    fn suite() -> SuiteResult {
+        SuiteResult {
+            seed: 7,
+            experiments: vec![
+                ExpResult::new("timer_churn", Duration::from_millis(120), 100_000),
+                ExpResult::new("driver_sweep", Duration::from_millis(800), 1_000_000),
+            ],
+            table1_ns: vec![("within-server function call".into(), 5_000.0)],
+            pool_hits: 10,
+            pool_misses: 2,
+        }
+    }
+
+    #[test]
+    fn rendered_snapshot_validates() {
+        let text = render(&suite(), "6", None);
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn baseline_embedding_and_ratio() {
+        let base = render(&suite(), "base", None);
+        let text = render(&suite(), "6", Some(&base));
+        validate(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        assert_eq!(
+            doc.get("baseline").unwrap().get("pr").unwrap().as_str(),
+            Some("base")
+        );
+        let ratio = doc.get("ratio_events_per_sec").unwrap().as_num().unwrap();
+        assert!((ratio - 1.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn schema_drift_is_rejected() {
+        let text = render(&suite(), "6", None);
+        // Wrong schema tag.
+        let drifted = text.replace(SCHEMA, "pcsi-bench-snapshot/v0");
+        assert!(validate(&drifted).unwrap_err().contains("schema"));
+        // Dropped field.
+        let drifted = text.replace("\"events_per_sec\"", "\"eps\"");
+        assert!(validate(&drifted).is_err());
+        // Not JSON at all.
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let doc =
+            parse(r#"{"a": [1, -2.5, 1e3], "s": "x\n\"y\" A", "b": true, "n": null}"#).unwrap();
+        let arr = match doc.get("a").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[2].as_num(), Some(1000.0));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x\n\"y\" A"));
+        assert_eq!(doc.get("b").unwrap(), &Json::Bool(true));
+        assert!(parse(r#"{"a": 1} trailing"#).is_err());
+    }
+}

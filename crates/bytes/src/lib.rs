@@ -10,10 +10,96 @@
 #![warn(missing_docs)]
 
 use std::borrow::Borrow;
+use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// ---- buffer pool ---------------------------------------------------------
+
+/// Largest buffer the pool will hold on to; bigger ones are freed so a
+/// single huge frame can't pin memory forever.
+const POOL_MAX_BUF: usize = 64 * 1024;
+/// Most buffers the pool retains per thread.
+const POOL_MAX_BUFS: usize = 64;
+
+thread_local! {
+    /// Recycled backing buffers, LIFO so the warmest one is reused first.
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pool telemetry; process-wide so the bench harness reads one pair of
+/// counters no matter which thread ran the workload.
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Buffer-pool counters `(hits, misses)` — the allocation proxy the
+/// bench snapshots record. A hit means [`BytesMut::with_capacity`]
+/// reused a recycled buffer instead of allocating a fresh one.
+pub fn pool_stats() -> (u64, u64) {
+    (
+        POOL_HITS.load(Ordering::Relaxed),
+        POOL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Takes a recycled buffer with at least `cap` capacity, or allocates.
+fn pool_take(cap: usize) -> Vec<u8> {
+    let reused = if cap <= POOL_MAX_BUF {
+        POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten()
+    } else {
+        None
+    };
+    match reused {
+        Some(mut v) if v.capacity() >= cap => {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v
+        }
+        Some(mut v) => {
+            // Reused storage, but it must grow first; count the realloc
+            // honestly as a miss.
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.reserve(cap);
+            v
+        }
+        None => {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// Returns a buffer to the pool (or frees it if the pool is full or the
+/// buffer is outside the retained size band).
+fn pool_put(v: Vec<u8>) {
+    if v.capacity() == 0 || v.capacity() > POOL_MAX_BUF {
+        return;
+    }
+    // `try_with`: recycling may run during thread teardown, after the
+    // TLS slot is gone — just drop the buffer then.
+    let _ = POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_MAX_BUFS {
+            p.push(v);
+        }
+    });
+}
+
+/// An owned backing buffer that returns itself to the thread-local pool
+/// when the last [`Bytes`] view over it drops.
+struct PoolChunk {
+    buf: Vec<u8>,
+}
+
+impl Drop for PoolChunk {
+    fn drop(&mut self) {
+        pool_put(std::mem::take(&mut self.buf));
+    }
+}
 
 /// A cheaply cloneable, immutable view of contiguous memory.
 ///
@@ -29,7 +115,9 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// A `Vec` adopted without copying; recycled into the buffer pool
+    /// when the last view drops.
+    Owned(Arc<PoolChunk>),
 }
 
 impl Bytes {
@@ -102,7 +190,7 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         let all = match &self.data {
             Repr::Static(s) => s,
-            Repr::Shared(a) => &a[..],
+            Repr::Owned(c) => &c.buf[..],
         };
         &all[self.start..self.end]
     }
@@ -198,9 +286,12 @@ impl PartialEq<Bytes> for Vec<u8> {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // Adopt the Vec in place (`Arc::from(v)` would copy every byte
+        // into a fresh refcounted allocation); the buffer joins the
+        // recycling pool when the last view drops.
         let end = v.len();
         Bytes {
-            data: Repr::Shared(Arc::from(v)),
+            data: Repr::Owned(Arc::new(PoolChunk { buf: v })),
             start: 0,
             end,
         }
@@ -264,10 +355,14 @@ impl BytesMut {
         BytesMut { buf: Vec::new() }
     }
 
-    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    /// Creates an empty buffer with at least `cap` bytes of capacity,
+    /// drawing from the thread-local recycling pool when possible. A
+    /// pooled buffer keeps whatever (larger) capacity it grew to in its
+    /// previous life, so steady-state encoders stop reallocating even
+    /// when frames outgrow `cap`.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
-            buf: Vec::with_capacity(cap),
+            buf: pool_take(cap),
         }
     }
 
@@ -286,7 +381,9 @@ impl BytesMut {
         self.buf.extend_from_slice(data);
     }
 
-    /// Converts the buffer into an immutable [`Bytes`] without copying.
+    /// Converts the buffer into an immutable [`Bytes`] without copying:
+    /// the backing storage is adopted as-is and recycled into the pool
+    /// when the last view of it drops.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
@@ -384,5 +481,60 @@ mod tests {
         a.hash(&mut h1);
         b.hash(&mut h2);
         assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn freeze_adopts_storage_without_copying() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"hello world");
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello world");
+        // Zero-copy: the frozen view reads from the same allocation the
+        // mutable buffer wrote into.
+        assert_eq!(b.as_ref().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn dropped_buffers_are_recycled() {
+        // Warm the pool, remembering the backing allocation.
+        let mut m = BytesMut::with_capacity(100);
+        m.extend_from_slice(&[7u8; 100]);
+        let ptr = m.as_ref().as_ptr();
+        drop(m.freeze());
+
+        let (h0, _) = pool_stats();
+        let m2 = BytesMut::with_capacity(64);
+        let (h1, _) = pool_stats();
+        assert_eq!(h1, h0 + 1, "second acquisition should hit the pool");
+        assert_eq!(m2.as_ref().as_ptr(), ptr, "same buffer came back");
+        assert!(m2.is_empty());
+        assert!(m2.buf.capacity() >= 100, "recycled capacity is retained");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let big = 2 * POOL_MAX_BUF;
+        let mut m = BytesMut::with_capacity(big);
+        m.extend_from_slice(&[1u8; 4]);
+        let ptr = m.as_ref().as_ptr();
+        let (_, miss0) = pool_stats();
+        drop(m.freeze());
+        let m2 = BytesMut::with_capacity(big);
+        let (_, miss1) = pool_stats();
+        assert!(miss1 > miss0, "oversized request must allocate fresh");
+        assert_ne!(m2.as_ref().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn slices_keep_the_chunk_alive_until_last_drop() {
+        let mut m = BytesMut::with_capacity(32);
+        m.extend_from_slice(b"abcdefgh");
+        let b = m.freeze();
+        let head = b.slice(..4);
+        let tail = b.slice(4..);
+        drop(b);
+        assert_eq!(&head[..], b"abcd");
+        assert_eq!(&tail[..], b"efgh");
     }
 }

@@ -11,7 +11,7 @@
 //! * [`check_reads_observe_writes`] — no read may return a value that
 //!   was never written (validity, any consistency level).
 
-use std::collections::HashSet;
+use fxhash::FxHashSet;
 
 use pcsi_core::ObjectId;
 use pcsi_store::ReplicatedStore;
@@ -91,7 +91,7 @@ pub fn check_linearizable(object: ObjectId, initial: u64, ops: &[Op]) -> Result<
         .filter(|(_, op)| op.required)
         .fold(0u128, |mask, (i, _)| mask | (1u128 << i));
 
-    let mut memo: HashSet<(u128, u64)> = HashSet::new();
+    let mut memo: FxHashSet<(u128, u64)> = FxHashSet::default();
     if search(&compiled, required_mask, &mut memo, 0, initial) {
         return Ok(());
     }
@@ -116,7 +116,7 @@ pub fn check_linearizable(object: ObjectId, initial: u64, ops: &[Op]) -> Result<
 fn search(
     ops: &[COp],
     required_mask: u128,
-    memo: &mut HashSet<(u128, u64)>,
+    memo: &mut FxHashSet<(u128, u64)>,
     done: u128,
     state: u64,
 ) -> bool {
@@ -191,7 +191,7 @@ pub fn check_reads_observe_writes(
     initial: u64,
     ops: &[Op],
 ) -> Result<(), Violation> {
-    let written: HashSet<u64> = ops
+    let written: FxHashSet<u64> = ops
         .iter()
         .filter_map(|op| match op.kind {
             OpKind::Write { value, .. } => Some(value),

@@ -7,8 +7,8 @@
 //! so workloads write [`encode_value`]d payloads and the recorder
 //! decodes what reads observed.
 
+use fxhash::FxHashSet;
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -84,7 +84,7 @@ impl Op {
 }
 
 struct RecorderInner {
-    tracked: HashSet<ObjectId>,
+    tracked: FxHashSet<ObjectId>,
     ops: Vec<Op>,
 }
 
@@ -100,7 +100,7 @@ impl Recorder {
     pub fn install(store: &ReplicatedStore) -> Recorder {
         let recorder = Recorder {
             inner: Rc::new(RefCell::new(RecorderInner {
-                tracked: HashSet::new(),
+                tracked: FxHashSet::default(),
                 ops: Vec::new(),
             })),
         };

@@ -14,8 +14,8 @@
 //! where it actually runs. Function bodies get a client bound to the node
 //! the scheduler picked — data locality is visible to them too.
 
+use fxhash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -49,8 +49,8 @@ struct Inner {
     runtime: Runtime,
     billing: Billing,
     alloc: RefCell<IdAllocator>,
-    meta: RefCell<HashMap<ObjectId, MetaEntry>>,
-    fifos: RefCell<HashMap<ObjectId, FifoQueue>>,
+    meta: RefCell<FxHashMap<ObjectId, MetaEntry>>,
+    fifos: RefCell<FxHashMap<ObjectId, FifoQueue>>,
     devices: RefCell<DeviceRegistry>,
     goal: Goal,
     /// Optional deterministic tracer: every `CloudInterface` op opens a
@@ -62,6 +62,11 @@ struct Inner {
     /// with the fabric, store and runtime so one snapshot covers every
     /// layer.
     metrics: RefCell<Option<Metrics>>,
+    /// Resolved `kernel.ops`/`kernel.op_ns` series per op name, so the
+    /// per-op hot path skips the registry's label-string lookup. The
+    /// error counter is *not* cached: it is registered lazily on first
+    /// error, keeping rendered snapshots identical to the uncached path.
+    op_series: RefCell<FxHashMap<&'static str, (pcsi_metrics::Counter, pcsi_metrics::Histogram)>>,
 }
 
 /// The provider kernel. Cheap to clone.
@@ -87,12 +92,13 @@ impl Kernel {
                 runtime,
                 billing,
                 alloc: RefCell::new(IdAllocator::new(realm)),
-                meta: RefCell::new(HashMap::new()),
-                fifos: RefCell::new(HashMap::new()),
+                meta: RefCell::new(FxHashMap::default()),
+                fifos: RefCell::new(FxHashMap::default()),
                 devices: RefCell::new(DeviceRegistry::new()),
                 goal,
                 tracer: RefCell::new(None),
                 metrics: RefCell::new(None),
+                op_series: RefCell::new(FxHashMap::default()),
             }),
         }
     }
@@ -131,6 +137,7 @@ impl Kernel {
         self.inner.fabric.set_metrics(metrics.as_ref());
         self.inner.store.set_metrics(metrics.clone());
         self.inner.runtime.set_metrics(metrics.as_ref());
+        self.inner.op_series.borrow_mut().clear();
         *self.inner.metrics.borrow_mut() = metrics;
     }
 
@@ -309,15 +316,34 @@ impl KernelClient {
     /// Records one completed `CloudInterface` op into the registry (if
     /// installed): per-op count, per-op error count, latency histogram.
     fn record_op(&self, op: &'static str, started: SimTime, ok: bool) {
-        if let Some(m) = self.inner().metrics.borrow().as_ref() {
-            let labels = [("op", op)];
-            m.counter("kernel.ops", &labels).incr();
-            if !ok {
-                m.counter("kernel.errors", &labels).incr();
+        let inner = self.inner();
+        let cached = {
+            let mut cache = inner.op_series.borrow_mut();
+            match cache.get(op) {
+                Some(s) => Some(s.clone()),
+                None => match inner.metrics.borrow().as_ref() {
+                    Some(m) => {
+                        let labels = [("op", op)];
+                        let s = (
+                            m.counter("kernel.ops", &labels),
+                            m.histogram("kernel.op_ns", &labels),
+                        );
+                        cache.insert(op, s.clone());
+                        Some(s)
+                    }
+                    None => None,
+                },
             }
-            let elapsed = self.inner().fabric.handle().now() - started;
-            m.histogram("kernel.op_ns", &labels)
-                .record_duration(elapsed);
+        };
+        if let Some((ops, op_ns)) = cached {
+            ops.incr();
+            if !ok {
+                if let Some(m) = inner.metrics.borrow().as_ref() {
+                    m.counter("kernel.errors", &[("op", op)]).incr();
+                }
+            }
+            let elapsed = inner.fabric.handle().now() - started;
+            op_ns.record_duration(elapsed);
         }
     }
 

@@ -14,8 +14,8 @@
 //! what you build a warehouse-scale system from; the paper's point is
 //! that the *interface* cost gap is real, not that NFS should win.
 
+use fxhash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -249,9 +249,9 @@ fn decode_reply(buf: &[u8]) -> Option<NfsReply> {
 
 struct ServerState {
     engine: StorageEngine,
-    sessions: HashMap<u64, String>, // session -> account
-    handles: HashMap<FileHandle, ObjectId>,
-    names: HashMap<String, FileHandle>,
+    sessions: FxHashMap<u64, String>, // session -> account
+    handles: FxHashMap<FileHandle, ObjectId>,
+    names: FxHashMap<String, FileHandle>,
     next_session: u64,
     next_handle: FileHandle,
     next_file: u64,
@@ -274,9 +274,9 @@ impl NfsServer {
     pub fn deploy(fabric: Fabric, billing: Billing, node: NodeId, secret: &[u8]) -> Self {
         let state = Rc::new(RefCell::new(ServerState {
             engine: StorageEngine::new(MediaTier::Nvme),
-            sessions: HashMap::new(),
-            handles: HashMap::new(),
-            names: HashMap::new(),
+            sessions: FxHashMap::default(),
+            handles: FxHashMap::default(),
+            names: FxHashMap::default(),
             next_session: 1,
             next_handle: 1,
             next_file: 1,

@@ -194,19 +194,23 @@ pub async fn drive_open_loop(
 #[derive(Clone)]
 pub struct ZipfKeys {
     rng: DetRng,
-    n: u64,
-    theta: f64,
+    params: pcsi_sim::ZipfParams,
 }
 
 impl ZipfKeys {
     /// Creates a generator (`theta` 0 = uniform, 0.99 = YCSB default).
+    /// The sampler constants are computed once here, so per-key draws
+    /// stay cheap in request loops.
     pub fn new(rng: DetRng, n: u64, theta: f64) -> Self {
-        ZipfKeys { rng, n, theta }
+        ZipfKeys {
+            rng,
+            params: pcsi_sim::ZipfParams::new(n, theta),
+        }
     }
 
     /// Samples a key rank in `[0, n)`.
     pub fn next_key(&self) -> u64 {
-        self.rng.zipf(self.n, self.theta)
+        self.rng.zipf_from(&self.params)
     }
 
     /// Formats a sampled key as a storage key string.

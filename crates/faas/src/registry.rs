@@ -7,7 +7,7 @@
 //! request size, warm-pool state and a price sheet, it ranks the image's
 //! variants.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::time::Duration;
 
 use pcsi_core::PcsiError;
@@ -185,7 +185,7 @@ fn ordered(v: f64) -> u64 {
 /// The host-side body table: image name → executable closure.
 #[derive(Clone, Default)]
 pub struct FunctionRegistry {
-    bodies: HashMap<String, FunctionBody>,
+    bodies: FxHashMap<String, FunctionBody>,
 }
 
 impl FunctionRegistry {

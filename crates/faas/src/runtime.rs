@@ -9,7 +9,9 @@
 //! (§2.4) falls out of this lifecycle.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use fxhash::FxHashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -91,7 +93,7 @@ struct Inner {
     cluster: ClusterState,
     registry: RefCell<FunctionRegistry>,
     config: RuntimeConfig,
-    pools: RefCell<HashMap<PoolKey, VecDeque<WarmInstance>>>,
+    pools: RefCell<FxHashMap<PoolKey, VecDeque<WarmInstance>>>,
     invocations: Counter,
     cold_starts: Counter,
     rejections: Counter,
@@ -123,7 +125,7 @@ impl Runtime {
                 cluster,
                 registry: RefCell::new(FunctionRegistry::new()),
                 config,
-                pools: RefCell::new(HashMap::new()),
+                pools: RefCell::new(FxHashMap::default()),
                 invocations: Counter::new(),
                 cold_starts: Counter::new(),
                 rejections: Counter::new(),

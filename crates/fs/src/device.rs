@@ -7,7 +7,7 @@
 //! creates device objects (e.g. `clock`, `metrics`, `random`, `log`) in
 //! function namespaces; functions use plain object I/O on them.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -19,7 +19,7 @@ pub type DeviceHandler = Rc<dyn Fn(Bytes) -> Result<Bytes, PcsiError>>;
 /// The registry mapping device class names to handlers.
 #[derive(Clone, Default)]
 pub struct DeviceRegistry {
-    handlers: HashMap<String, DeviceHandler>,
+    handlers: FxHashMap<String, DeviceHandler>,
 }
 
 impl DeviceRegistry {

@@ -360,15 +360,31 @@ impl Default for Metrics {
 }
 
 /// Renders `labels` canonically: sorted by key, `{k="v",…}`, empty for
-/// no labels.
+/// no labels. Built in a single pass into one `String` — this runs on
+/// every registry lookup, so it must not allocate per label pair.
 fn label_string(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
     let mut pairs: Vec<(&str, &str)> = labels.to_vec();
     pairs.sort();
-    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
-    format!("{{{}}}", body.join(","))
+    let cap = 2 + pairs
+        .iter()
+        .map(|(k, v)| k.len() + v.len() + 4)
+        .sum::<usize>();
+    let mut out = String::with_capacity(cap);
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 impl Metrics {
@@ -381,7 +397,12 @@ impl Metrics {
         }
     }
 
-    fn get_or_insert(&self, name: &'static str, labels: &[(&str, &str)], make: Series) -> Series {
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
         let mut families = self.inner.families.borrow_mut();
         let family = families.entry(name).or_insert_with(|| Family {
             series: BTreeMap::new(),
@@ -391,6 +412,7 @@ impl Metrics {
         if let Some(existing) = family.series.get(&key) {
             return existing.clone();
         }
+        let make = make();
         if family.series.len() >= MAX_SERIES_PER_FAMILY {
             family.dropped.set(family.dropped.get() + 1);
             return make; // Detached: still records, never rendered.
@@ -401,7 +423,7 @@ impl Metrics {
 
     /// Gets or creates the counter series `name{labels}`.
     pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> Counter {
-        match self.get_or_insert(name, labels, Series::Counter(Counter::new())) {
+        match self.get_or_insert(name, labels, || Series::Counter(Counter::new())) {
             Series::Counter(c) => c,
             other => panic!(
                 "metric family {name:?} is a {}, not a counter",
@@ -412,7 +434,7 @@ impl Metrics {
 
     /// Gets or creates the gauge series `name{labels}`.
     pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Gauge {
-        match self.get_or_insert(name, labels, Series::Gauge(Gauge::new())) {
+        match self.get_or_insert(name, labels, || Series::Gauge(Gauge::new())) {
             Series::Gauge(g) => g,
             other => panic!("metric family {name:?} is a {}, not a gauge", other.kind()),
         }
@@ -420,7 +442,7 @@ impl Metrics {
 
     /// Gets or creates the histogram series `name{labels}`.
     pub fn histogram(&self, name: &'static str, labels: &[(&str, &str)]) -> Histogram {
-        match self.get_or_insert(name, labels, Series::Histogram(Histogram::new())) {
+        match self.get_or_insert(name, labels, || Series::Histogram(Histogram::new())) {
             Series::Histogram(h) => h,
             other => panic!(
                 "metric family {name:?} is a {}, not a histogram",
@@ -433,17 +455,17 @@ impl Metrics {
     /// `name{labels}` — the migration path for pre-registry counters:
     /// the legacy accessor and the snapshot read the same cell.
     pub fn bind_counter(&self, name: &'static str, labels: &[(&str, &str)], counter: &Counter) {
-        self.get_or_insert(name, labels, Series::Counter(counter.clone()));
+        self.get_or_insert(name, labels, || Series::Counter(counter.clone()));
     }
 
     /// Publishes an existing gauge cell as `name{labels}`.
     pub fn bind_gauge(&self, name: &'static str, labels: &[(&str, &str)], gauge: &Gauge) {
-        self.get_or_insert(name, labels, Series::Gauge(gauge.clone()));
+        self.get_or_insert(name, labels, || Series::Gauge(gauge.clone()));
     }
 
     /// Publishes an existing histogram as `name{labels}`.
     pub fn bind_histogram(&self, name: &'static str, labels: &[(&str, &str)], histo: &Histogram) {
-        self.get_or_insert(name, labels, Series::Histogram(histo.clone()));
+        self.get_or_insert(name, labels, || Series::Histogram(histo.clone()));
     }
 
     /// Number of registered series across all families (tests).

@@ -12,8 +12,8 @@
 //! Fault injection (node crashes, partitions) lives here too, because the
 //! network is where faults are observed.
 
+use fxhash::{FxHashMap, FxHashSet};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
@@ -151,16 +151,19 @@ pub struct CallCtx {
 pub type RpcHandler = Rc<dyn Fn(Bytes, CallCtx) -> LocalBoxFuture<Result<Bytes, NetError>>>;
 
 struct State {
-    services: HashMap<(NodeId, String), RpcHandler>,
-    down: HashSet<NodeId>,
+    /// Handlers by node, then service name, so the per-call lookup is
+    /// two borrowed-key probes — no `(NodeId, String)` tuple (and no
+    /// `String` allocation) per RPC.
+    services: FxHashMap<NodeId, FxHashMap<String, RpcHandler>>,
+    down: FxHashSet<NodeId>,
     /// Symmetric set of blocked node pairs (stored with a <= b).
-    blocked: HashSet<(NodeId, NodeId)>,
+    blocked: FxHashSet<(NodeId, NodeId)>,
     egress_busy_until: Vec<SimTime>,
     /// Fault probabilities applied to every non-local link without a
     /// per-link override.
     default_faults: MessageFaults,
     /// Per-link overrides (symmetric, stored with a <= b).
-    link_faults: HashMap<(NodeId, NodeId), MessageFaults>,
+    link_faults: FxHashMap<(NodeId, NodeId), MessageFaults>,
     /// Cached: true iff any configured fault is active. When false,
     /// `deliver` makes zero fault-RNG draws, so enabling the machinery
     /// costs nothing for fault-free runs.
@@ -185,6 +188,13 @@ struct FabricInner {
     topology: Topology,
     latency: LatencyModel,
     state: RefCell<State>,
+    /// Cached handles to the deterministic fault/jitter streams. A
+    /// stream handle shares state with every other handle to the same
+    /// name, and stream seeds are a pure function of `(seed, name)`,
+    /// so grabbing them eagerly here draws the exact sequences the
+    /// per-message lookups used to — without a map probe per message.
+    faults_rng: pcsi_sim::DetRng,
+    jitter_rng: pcsi_sim::DetRng,
     messages: Counter,
     bytes: Counter,
     dropped: Counter,
@@ -199,18 +209,20 @@ impl Fabric {
     /// Creates a fabric over `topology` with the given latency model.
     pub fn new(handle: SimHandle, topology: Topology, latency: LatencyModel) -> Self {
         let n = topology.len();
+        let faults_rng = handle.rng().stream("net-faults");
+        let jitter_rng = handle.rng().stream("net-jitter");
         Fabric {
             inner: Rc::new(FabricInner {
                 handle,
                 topology,
                 latency,
                 state: RefCell::new(State {
-                    services: HashMap::new(),
-                    down: HashSet::new(),
-                    blocked: HashSet::new(),
+                    services: FxHashMap::default(),
+                    down: FxHashSet::default(),
+                    blocked: FxHashSet::default(),
                     egress_busy_until: vec![SimTime::ZERO; n],
                     default_faults: MessageFaults::NONE,
-                    link_faults: HashMap::new(),
+                    link_faults: FxHashMap::default(),
                     faults_armed: false,
                 }),
                 messages: Counter::new(),
@@ -219,6 +231,8 @@ impl Fabric {
                 duplicated: Counter::new(),
                 delayed: Counter::new(),
                 msg_bytes: RefCell::new(None),
+                faults_rng,
+                jitter_rng,
             }),
         }
     }
@@ -274,7 +288,9 @@ impl Fabric {
             .state
             .borrow_mut()
             .services
-            .insert((node, service.to_owned()), handler);
+            .entry(node)
+            .or_default()
+            .insert(service.to_owned(), handler);
     }
 
     /// Marks a node crashed (`true`) or recovered (`false`).
@@ -403,7 +419,7 @@ impl Fabric {
         // to runs on a fabric without the machinery.
         let faults = self.faults_for(from, to);
         if faults.active() {
-            let rng = h.rng().stream("net-faults");
+            let rng = &self.inner.faults_rng;
             if faults.drop > 0.0 && rng.bool(faults.drop) {
                 self.inner.dropped.incr();
                 h.sleep(transport.endpoint_overhead() + RETRANSMIT_TIMEOUT)
@@ -431,10 +447,7 @@ impl Fabric {
         h.sleep_until(tx_done).await;
 
         // Propagation with jitter (serialization already charged above).
-        let prop = self
-            .inner
-            .latency
-            .one_way(hop, 0, &h.rng().stream("net-jitter"));
+        let prop = self.inner.latency.one_way(hop, 0, &self.inner.jitter_rng);
         h.sleep(prop).await;
 
         // Receiver may have died while the message was in flight.
@@ -501,20 +514,15 @@ impl Fabric {
         // is flipped before the first delivery so the draw sequence does
         // not depend on handler behavior.
         let faults = self.faults_for(from, to);
-        let duplicate = faults.duplicate > 0.0
-            && self
-                .inner
-                .handle
-                .rng()
-                .stream("net-faults")
-                .bool(faults.duplicate);
+        let duplicate = faults.duplicate > 0.0 && self.inner.faults_rng.bool(faults.duplicate);
 
         self.deliver(from, to, req_len, transport).await?;
 
         let handler = {
             let s = self.inner.state.borrow();
             s.services
-                .get(&(to, service.to_owned()))
+                .get(&to)
+                .and_then(|svcs| svcs.get(service))
                 .cloned()
                 .ok_or_else(|| NetError::NoService(service.to_owned()))?
         };
@@ -522,20 +530,20 @@ impl Fabric {
         if duplicate {
             self.inner.duplicated.incr();
             let fabric = self.clone();
+            // The duplicate shares the request frame: `Bytes::clone` is
+            // a refcount bump on the same backing buffer, and both
+            // deliveries charge the full wire length (`req_len`
+            // includes trace-context bytes the payload alone lacks).
             let dup_payload = payload.clone();
-            let dup_handler = handler.clone();
-            drop(self.inner.handle.spawn(async move {
+            let dup_handler = Rc::clone(&handler);
+            self.inner.handle.spawn_detached(async move {
                 // The duplicate takes its own trip through the fabric
                 // (and may itself be dropped or delayed) before the
                 // handler re-executes; its response goes nowhere.
-                if fabric
-                    .deliver(from, to, dup_payload.len(), transport)
-                    .await
-                    .is_ok()
-                {
+                if fabric.deliver(from, to, req_len, transport).await.is_ok() {
                     let _ = dup_handler(dup_payload, CallCtx { from, to, trace }).await;
                 }
-            }));
+            });
         }
 
         let response = handler(payload, CallCtx { from, to, trace }).await?;

@@ -9,20 +9,20 @@
 //! (deadline, registration-sequence) order, which makes runs deterministic.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
 use crate::rng::RngStreams;
 use crate::sync::oneshot;
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// A non-`Send` boxed future, the unit of spawning in the simulator.
 pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T> + 'static>>;
@@ -62,8 +62,13 @@ impl ReadyQueue {
             .push_back(id);
     }
 
-    fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+    /// Swaps the queued batch out into `into` (which must be empty),
+    /// leaving the queue empty. One lock per batch instead of one per
+    /// task; FIFO order is preserved because the batch is processed
+    /// front-to-back before the next swap.
+    fn take_batch(&self, into: &mut VecDeque<TaskId>) {
+        debug_assert!(into.is_empty());
+        std::mem::swap(&mut *self.queue.lock().expect("ready queue poisoned"), into);
     }
 }
 
@@ -73,7 +78,10 @@ impl ReadyQueue {
 /// by several channels in one instant is polled once.
 struct TaskWaker {
     id: TaskId,
-    ready: Weak<ReadyQueue>,
+    // Strong reference: the queue holds only task ids (never wakers), so
+    // no cycle is possible, and skipping a `Weak::upgrade` per wake
+    // matters on the hot path.
+    ready: Arc<ReadyQueue>,
     queued: AtomicBool,
 }
 
@@ -84,9 +92,7 @@ impl Wake for TaskWaker {
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::AcqRel) {
-            if let Some(ready) = self.ready.upgrade() {
-                ready.push(self.id);
-            }
+            self.ready.push(self.id);
         }
     }
 }
@@ -94,41 +100,19 @@ impl Wake for TaskWaker {
 struct Task {
     future: LocalBoxFuture<()>,
     waker: Arc<TaskWaker>,
-}
-
-/// A timer entry; ordered by `(deadline, seq)` for deterministic firing.
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-
-impl Eq for TimerEntry {}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
+    /// The `waker` pre-wrapped as a `Waker`, built once at spawn so each
+    /// poll borrows it instead of cloning and dropping an `Arc`.
+    waker_obj: Waker,
 }
 
 struct Inner {
     now: SimTime,
     tasks: Vec<Option<Task>>,
     free: Vec<TaskId>,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    timer_seq: u64,
+    /// Pending timers, fired in `(deadline, seq)` order. The wheel's
+    /// anchor tracks `now` exactly: it advances only when a timer pops,
+    /// and `now` is set to each popped deadline.
+    timers: TimerWheel,
     live_tasks: usize,
     polls: u64,
 }
@@ -139,8 +123,7 @@ impl Inner {
             now: SimTime::ZERO,
             tasks: Vec::new(),
             free: Vec::new(),
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
+            timers: TimerWheel::new(),
             live_tasks: 0,
             polls: 0,
         }
@@ -177,6 +160,8 @@ pub struct Sim {
     inner: Rc<RefCell<Inner>>,
     ready: Arc<ReadyQueue>,
     rng: RngStreams,
+    /// Reusable batch buffer for [`Sim::drain_ready`].
+    scratch: VecDeque<TaskId>,
 }
 
 impl Sim {
@@ -186,6 +171,7 @@ impl Sim {
             inner: Rc::new(RefCell::new(Inner::new())),
             ready: Arc::new(ReadyQueue::default()),
             rng: RngStreams::new(seed),
+            scratch: VecDeque::new(),
         }
     }
 
@@ -213,12 +199,12 @@ impl Sim {
         let h = self.handle();
         let join = h.spawn(root);
         let mut join = Box::pin(join);
+        let waker = Waker::from(Arc::new(NoopWaker));
 
         loop {
             self.drain_ready();
 
             // Check the root before advancing time.
-            let waker = Waker::from(Arc::new(NoopWaker));
             let mut cx = Context::from_waker(&waker);
             if let Poll::Ready(v) = join.as_mut().poll(&mut cx) {
                 return v;
@@ -236,27 +222,36 @@ impl Sim {
 
     /// Polls runnable tasks until the ready queue is empty.
     fn drain_ready(&mut self) {
-        while let Some(id) = self.ready.pop() {
-            self.poll_task(id);
+        let mut batch = std::mem::take(&mut self.scratch);
+        loop {
+            self.ready.take_batch(&mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            while let Some(id) = batch.pop_front() {
+                self.poll_task(id);
+            }
         }
+        self.scratch = batch;
     }
 
     /// Advances the clock to the earliest timer and wakes it.
     ///
     /// Returns `false` if no timers are pending.
     fn advance_to_next_timer(&mut self) -> bool {
-        let entry = {
+        let waker = {
             let mut inner = self.inner.borrow_mut();
             match inner.timers.pop() {
-                Some(Reverse(e)) => {
-                    debug_assert!(e.deadline >= inner.now, "timer in the past");
-                    inner.now = e.deadline.max(inner.now);
-                    e
+                Some((deadline_ns, waker)) => {
+                    let deadline = SimTime::from_nanos(deadline_ns);
+                    debug_assert!(deadline >= inner.now, "timer in the past");
+                    inner.now = deadline.max(inner.now);
+                    waker
                 }
                 None => return false,
             }
         };
-        entry.waker.wake();
+        waker.wake();
         true
     }
 
@@ -274,8 +269,7 @@ impl Sim {
         };
         task.waker.queued.store(false, Ordering::Release);
 
-        let waker = Waker::from(Arc::clone(&task.waker));
-        let mut cx = Context::from_waker(&waker);
+        let mut cx = Context::from_waker(&task.waker_obj);
         let mut future = task.future;
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
@@ -288,6 +282,7 @@ impl Sim {
                 inner.tasks[id] = Some(Task {
                     future,
                     waker: task.waker,
+                    waker_obj: task.waker_obj,
                 });
             }
         }
@@ -336,11 +331,21 @@ impl SimHandle {
     /// Dropping the handle detaches the task (it keeps running).
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         let (tx, rx) = oneshot::channel();
-        let wrapped: LocalBoxFuture<()> = Box::pin(async move {
+        self.spawn_boxed(Box::pin(async move {
             // The receiver may be gone (detached); ignore send failure.
             let _ = tx.send(fut.await);
-        });
+        }));
+        JoinHandle { rx }
+    }
 
+    /// Spawns a task whose result nobody awaits: no result channel is
+    /// allocated. Use for fire-and-forget work (fan-out sends, detached
+    /// background deliveries) on hot paths.
+    pub fn spawn_detached(&self, fut: impl Future<Output = ()> + 'static) {
+        self.spawn_boxed(Box::pin(fut));
+    }
+
+    fn spawn_boxed(&self, wrapped: LocalBoxFuture<()>) {
         let mut inner = self.inner.borrow_mut();
         let id = match inner.free.pop() {
             Some(id) => id,
@@ -351,23 +356,24 @@ impl SimHandle {
         };
         let waker = Arc::new(TaskWaker {
             id,
-            ready: Arc::downgrade(&self.ready),
+            ready: Arc::clone(&self.ready),
             queued: AtomicBool::new(true),
         });
+        let waker_obj = Waker::from(Arc::clone(&waker));
         inner.tasks[id] = Some(Task {
             future: wrapped,
             waker,
+            waker_obj,
         });
         inner.live_tasks += 1;
         drop(inner);
         self.ready.push(id);
-        JoinHandle { rx }
     }
 
     /// Returns a future that completes `d` later in virtual time.
     pub fn sleep(&self, d: Duration) -> Sleep {
         Sleep {
-            handle: self.clone(),
+            inner: Rc::clone(&self.inner),
             deadline: self.now() + d,
         }
     }
@@ -376,7 +382,7 @@ impl SimHandle {
     /// (immediately if `at` is in the past).
     pub fn sleep_until(&self, at: SimTime) -> Sleep {
         Sleep {
-            handle: self.clone(),
+            inner: Rc::clone(&self.inner),
             deadline: at,
         }
     }
@@ -405,21 +411,6 @@ impl SimHandle {
         .await
     }
 
-    /// Registers `waker` to be woken at `deadline`.
-    ///
-    /// Exposed for use by synchronization primitives in this crate; most
-    /// code should use [`SimHandle::sleep`].
-    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.timer_seq;
-        inner.timer_seq += 1;
-        inner.timers.push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
-    }
-
     /// Yields once, letting every other runnable task at this instant run.
     pub async fn yield_now(&self) {
         let mut yielded = false;
@@ -445,8 +436,12 @@ impl fmt::Debug for SimHandle {
 }
 
 /// Future returned by [`SimHandle::sleep`] and [`SimHandle::sleep_until`].
+///
+/// Holds only the executor core (not a full [`SimHandle`]): sleeps are
+/// created on every RPC delivery, so construction and drop stay at one
+/// refcount bump.
 pub struct Sleep {
-    handle: SimHandle,
+    inner: Rc<RefCell<Inner>>,
     deadline: SimTime,
 }
 
@@ -454,13 +449,15 @@ impl Future for Sleep {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.handle.now() >= self.deadline {
+        let mut inner = self.inner.borrow_mut();
+        if inner.now >= self.deadline {
             Poll::Ready(())
         } else {
             // Re-registering on every poll is harmless: stale entries fire a
             // spurious wake and the deadline check above absorbs it.
-            self.handle
-                .register_timer(self.deadline, cx.waker().clone());
+            inner
+                .timers
+                .insert(self.deadline.as_nanos(), cx.waker().clone());
             Poll::Pending
         }
     }

@@ -42,7 +42,8 @@ pub mod rng;
 pub mod sync;
 pub mod time;
 pub mod util;
+mod wheel;
 
 pub use executor::{JoinHandle, LocalBoxFuture, Sim, SimHandle, TimeoutError};
-pub use rng::{DetRng, RngStreams};
+pub use rng::{DetRng, RngStreams, ZipfParams};
 pub use time::SimTime;

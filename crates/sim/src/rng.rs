@@ -7,9 +7,10 @@
 //! component then cannot perturb the draws an existing component sees.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::ops::Range;
 use std::rc::Rc;
+
+use fxhash::FxHashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -40,7 +41,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 #[derive(Clone)]
 pub struct RngStreams {
     seed: u64,
-    streams: Rc<RefCell<HashMap<String, Rc<RefCell<StdRng>>>>>,
+    streams: Rc<RefCell<FxHashMap<String, Rc<RefCell<StdRng>>>>>,
 }
 
 impl RngStreams {
@@ -48,7 +49,7 @@ impl RngStreams {
     pub fn new(seed: u64) -> Self {
         RngStreams {
             seed,
-            streams: Rc::new(RefCell::new(HashMap::new())),
+            streams: Rc::new(RefCell::new(FxHashMap::default())),
         }
     }
 
@@ -60,13 +61,20 @@ impl RngStreams {
     /// Returns the stream named `name`, creating it on first use.
     pub fn stream(&self, name: &str) -> DetRng {
         let mut map = self.streams.borrow_mut();
-        let rng = map.entry(name.to_owned()).or_insert_with(|| {
-            let s = splitmix64(self.seed ^ fnv1a(name.as_bytes()));
-            Rc::new(RefCell::new(StdRng::seed_from_u64(s)))
-        });
-        DetRng {
-            inner: Rc::clone(rng),
+        // Look up by `&str` first: components fetch their stream on
+        // every draw, and the steady-state path must not allocate a
+        // `String` per call just to feed `entry()`. Stream seeds are a
+        // pure function of `(seed, name)`, so first-use creation order
+        // never affects the sequences.
+        if let Some(rng) = map.get(name) {
+            return DetRng {
+                inner: Rc::clone(rng),
+            };
         }
+        let s = splitmix64(self.seed ^ fnv1a(name.as_bytes()));
+        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(s)));
+        map.insert(name.to_owned(), Rc::clone(&rng));
+        DetRng { inner: rng }
     }
 
     /// Returns the stream `"{name}/{index}"` — a convenience for
@@ -157,27 +165,28 @@ impl DetRng {
     ///
     /// Panics if `n == 0` or `theta < 0`.
     pub fn zipf(&self, n: u64, theta: f64) -> u64 {
-        assert!(n > 0, "zipf() needs n > 0");
-        assert!(theta >= 0.0, "zipf() needs theta >= 0");
-        if theta == 0.0 {
-            return self.gen_range(0..n);
+        self.zipf_from(&ZipfParams::new(n, theta))
+    }
+
+    /// Like [`DetRng::zipf`], but with the distribution constants
+    /// precomputed once in a [`ZipfParams`]. A draw is then one uniform
+    /// sample plus a single `powf` — the right shape for per-request
+    /// samplers in hot workload loops. Draw-for-draw identical to
+    /// [`DetRng::zipf`] with the same `(n, theta)`.
+    pub fn zipf_from(&self, p: &ZipfParams) -> u64 {
+        if p.theta == 0.0 {
+            return self.gen_range(0..p.n);
         }
-        // Quick-and-accurate method from Gray et al., "Quickly generating
-        // billion-record synthetic databases" (SIGMOD '94).
-        let nf = n as f64;
-        let zetan = zeta_approx(nf, theta);
-        let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta_approx(2.0, theta) / zetan);
         let u = self.f64();
-        let uz = u * zetan;
+        let uz = u * p.zetan;
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(theta) {
+        if uz < p.two_thresh {
             return 1;
         }
-        let rank = (nf * (eta * u - eta + 1.0).powf(alpha)) as u64;
-        rank.min(n - 1)
+        let rank = (p.nf * (p.eta * u - p.eta + 1.0).powf(p.alpha)) as u64;
+        rank.min(p.n - 1)
     }
 
     /// Picks a uniformly random element of `items`.
@@ -231,6 +240,59 @@ impl std::fmt::Debug for DetRng {
 /// Approximates the generalized harmonic number `H_{n,theta}` (the zeta
 /// normalizer) with the Euler–Maclaurin integral form; exact enough for
 /// workload skew and `O(1)` instead of `O(n)`.
+/// Precomputed constants for [`DetRng::zipf_from`]: everything in the
+/// Gray et al. (SIGMOD '94) sampler that depends only on `(n, theta)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfParams {
+    n: u64,
+    nf: f64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    /// `1 + 0.5^theta`, the CDF threshold below which the rank is 1.
+    two_thresh: f64,
+}
+
+impl ZipfParams {
+    /// Computes the sampler constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf() needs n > 0");
+        assert!(theta >= 0.0, "zipf() needs theta >= 0");
+        let nf = n as f64;
+        if theta == 0.0 {
+            // Uniform degenerate case; the draw path never reads these.
+            return ZipfParams {
+                n,
+                nf,
+                theta,
+                zetan: 0.0,
+                alpha: 0.0,
+                eta: 0.0,
+                two_thresh: 0.0,
+            };
+        }
+        // Quick-and-accurate method from Gray et al., "Quickly generating
+        // billion-record synthetic databases" (SIGMOD '94).
+        let zetan = zeta_approx(nf, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta_approx(2.0, theta) / zetan);
+        ZipfParams {
+            n,
+            nf,
+            theta,
+            zetan,
+            alpha,
+            eta,
+            two_thresh: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+}
+
 fn zeta_approx(n: f64, theta: f64) -> f64 {
     if (theta - 1.0).abs() < 1e-9 {
         n.ln() + 0.577_215_664_901_532_9

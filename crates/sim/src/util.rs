@@ -116,7 +116,8 @@ pub async fn first_k<T: 'static>(
     let (tx, mut rx) = mpsc::channel();
     for fut in futures {
         let tx = tx.clone();
-        handle.spawn(async move {
+        // Results travel over the channel; no JoinHandle needed.
+        handle.spawn_detached(async move {
             // The receiver may already have its k results; ignore failure.
             let _ = tx.send(fut.await);
         });
@@ -147,13 +148,14 @@ pub async fn deadline<T: 'static>(
     let (tx, mut rx) = mpsc::channel();
     {
         let tx = tx.clone();
-        handle.spawn(async move {
+        // Both racers report through the channel; no JoinHandle needed.
+        handle.spawn_detached(async move {
             let _ = tx.send(Some(fut.await));
         });
     }
     {
         let h = handle.clone();
-        handle.spawn(async move {
+        handle.spawn_detached(async move {
             h.sleep(dur).await;
             let _ = tx.send(None);
         });

@@ -10,7 +10,7 @@
 //! Entries remember the [`Tag`] the bytes were served under, so cached
 //! reads report the same version information a replica read would.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use bytes::Bytes;
 use pcsi_core::{Mutability, ObjectId};
@@ -56,7 +56,7 @@ impl Entry {
 pub struct ObjectCache {
     capacity_bytes: usize,
     used_bytes: usize,
-    entries: HashMap<ObjectId, (Entry, u64)>,
+    entries: FxHashMap<ObjectId, (Entry, u64)>,
     clock: u64,
     hits: Counter,
     misses: Counter,

@@ -7,7 +7,7 @@
 //! latency and bandwidth of a configured [`MediaTier`], so experiments see
 //! DRAM-vs-NVMe-vs-disk effects.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -124,11 +124,11 @@ pub const MAX_OBJECT_BYTES: u64 = 1 << 32;
 #[derive(Debug)]
 pub struct StorageEngine {
     tier: MediaTier,
-    objects: HashMap<ObjectId, StoredObject>,
+    objects: FxHashMap<ObjectId, StoredObject>,
     /// Tombstones: tag at which each object was deleted. Mutations and
     /// anti-entropy pulls at or below the tombstone tag are ignored, so a
     /// straggling replica cannot resurrect a deleted object here.
-    tombstones: HashMap<ObjectId, Tag>,
+    tombstones: FxHashMap<ObjectId, Tag>,
     bytes_stored: u64,
 }
 
@@ -137,8 +137,8 @@ impl StorageEngine {
     pub fn new(tier: MediaTier) -> Self {
         StorageEngine {
             tier,
-            objects: HashMap::new(),
-            tombstones: HashMap::new(),
+            objects: FxHashMap::default(),
+            tombstones: FxHashMap::default(),
             bytes_stored: 0,
         }
     }

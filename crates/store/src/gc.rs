@@ -11,7 +11,7 @@
 //! every object it names). The kernel supplies both; this module supplies
 //! the algorithm and the sweep.
 
-use std::collections::HashSet;
+use fxhash::FxHashSet;
 
 use pcsi_core::ObjectId;
 
@@ -45,7 +45,7 @@ pub fn mark(
     edges: impl Fn(ObjectId) -> Vec<ObjectId>,
     all_objects: Vec<ObjectId>,
 ) -> Vec<ObjectId> {
-    let mut live: HashSet<ObjectId> = HashSet::new();
+    let mut live: FxHashSet<ObjectId> = FxHashSet::default();
     let mut stack: Vec<ObjectId> = roots.into_iter().collect();
     while let Some(id) = stack.pop() {
         if live.insert(id) {

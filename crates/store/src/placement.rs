@@ -5,14 +5,26 @@
 //! so a rack failure cannot take out a whole replica set. The first
 //! replica in the set is the object's *primary* (the mutation serializer).
 
+use std::cell::RefCell;
+
+use fxhash::FxHashMap;
 use pcsi_core::ObjectId;
 use pcsi_net::{NodeId, Topology};
+
+/// Upper bound on memoized replica sets; the cache resets when full so a
+/// scan over a huge keyspace cannot grow it without bound.
+const CACHE_MAX: usize = 4096;
 
 /// Deterministic replica-set computation.
 #[derive(Debug, Clone)]
 pub struct Placement {
     storage_nodes: Vec<(NodeId, u32)>, // (node, rack)
     n_replicas: usize,
+    // Replica sets are a pure function of (storage_nodes, n_replicas, id)
+    // and both inputs are fixed at construction, so memoizing per object
+    // is invisible to callers. It turns the per-op rendezvous sort into a
+    // hash lookup on the quorum hot path.
+    cache: RefCell<FxHashMap<ObjectId, Vec<NodeId>>>,
 }
 
 impl Placement {
@@ -36,6 +48,7 @@ impl Placement {
         Placement {
             storage_nodes,
             n_replicas,
+            cache: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -74,6 +87,25 @@ impl Placement {
     /// assert_eq!(set, p.replicas(ObjectId::from_parts(1, 42)));
     /// ```
     pub fn replicas(&self, id: ObjectId) -> Vec<NodeId> {
+        self.with_replicas(id, <[NodeId]>::to_vec)
+    }
+
+    /// Runs `f` on the (memoized) replica set without cloning it.
+    fn with_replicas<R>(&self, id: ObjectId, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        if let Some(set) = self.cache.borrow().get(&id) {
+            return f(set);
+        }
+        let chosen = self.compute_replicas(id);
+        let out = f(&chosen);
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= CACHE_MAX {
+            cache.clear();
+        }
+        cache.insert(id, chosen);
+        out
+    }
+
+    fn compute_replicas(&self, id: ObjectId) -> Vec<NodeId> {
         let mut scored: Vec<(u64, NodeId, u32)> = self
             .storage_nodes
             .iter()
@@ -108,15 +140,16 @@ impl Placement {
 
     /// The primary (mutation serializer) for an object.
     pub fn primary(&self, id: ObjectId) -> NodeId {
-        self.replicas(id)[0]
+        self.with_replicas(id, |set| set[0])
     }
 
     /// The replica of `id` closest to `from` (used by eventual reads).
     pub fn closest_replica(&self, topology: &Topology, id: ObjectId, from: NodeId) -> NodeId {
-        let set = self.replicas(id);
-        *set.iter()
-            .min_by_key(|&&r| (topology.hop_class(from, r), r))
-            .expect("replica set non-empty")
+        self.with_replicas(id, |set| {
+            *set.iter()
+                .min_by_key(|&&r| (topology.hop_class(from, r), r))
+                .expect("replica set non-empty")
+        })
     }
 }
 
@@ -182,6 +215,22 @@ mod tests {
             f64::from(max) / f64::from(min) < 2.0,
             "unbalanced: {primary_counts:?}"
         );
+    }
+
+    #[test]
+    fn memoized_sets_match_fresh_computation() {
+        let topo = Topology::uniform(4, 4);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        // Overflow the cache so both the hit path and the reset path run.
+        for round in 0..2 {
+            for i in 0..(CACHE_MAX as u64 + 10) {
+                assert_eq!(
+                    p.replicas(oid(i)),
+                    p.compute_replicas(oid(i)),
+                    "round {round}"
+                );
+            }
+        }
     }
 
     #[test]

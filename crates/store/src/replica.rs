@@ -16,7 +16,9 @@
 //! the original replication message was lost to a crash or partition.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use fxhash::FxHashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -231,7 +233,7 @@ const LEDGER_OBJECTS: usize = 4096;
 /// local records described a line that was just discarded.
 #[derive(Default)]
 struct ReqLedger {
-    by_object: HashMap<ObjectId, Vec<(u64, Tag)>>,
+    by_object: FxHashMap<ObjectId, Vec<(u64, Tag)>>,
 }
 
 impl ReqLedger {
@@ -712,20 +714,23 @@ async fn replicate(
 ) -> ReplicateOutcome {
     let total = peers.len();
     let (tx, mut rx) = mpsc::channel::<Result<(), Option<(Tag, NodeId)>>>();
+    // The Apply frame is identical for every peer: encode (and clone the
+    // mutation into it) exactly once, then share the frozen bytes.
+    let frame = wire::encode_request_traced(
+        &Request::Apply {
+            id,
+            tag,
+            mutation: mutation.clone(),
+            req_id,
+        },
+        ctx,
+    );
     for &peer in peers {
         let tx = tx.clone();
         let fabric = inner.fabric.clone();
         let from = inner.node;
-        let req = wire::encode_request_traced(
-            &Request::Apply {
-                id,
-                tag,
-                mutation: mutation.clone(),
-                req_id,
-            },
-            ctx,
-        );
-        inner.fabric.handle().spawn(async move {
+        let req = frame.clone();
+        inner.fabric.handle().spawn_detached(async move {
             let outcome = match apply_on(&fabric, from, peer, req).await {
                 Ok(Response::Applied) => Ok(()),
                 Ok(Response::AlreadyApplied { .. }) => Ok(()),

@@ -25,8 +25,8 @@
 //! `IMMUTABLE` objects and the stable prefixes of `APPEND_ONLY` objects
 //! are served node-locally at DRAM cost with zero fabric traffic.
 
+use fxhash::FxHashMap;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -158,7 +158,7 @@ struct StoreInner {
     config: StoreConfig,
     /// One mutability-aware cache per client node, created lazily.
     /// Clients are handed out per call, so the cache state lives here.
-    caches: RefCell<HashMap<NodeId, ObjectCache>>,
+    caches: RefCell<FxHashMap<NodeId, ObjectCache>>,
     /// Optional per-operation observer (chaos harness history recording).
     tap: RefCell<Option<HistoryTap>>,
     /// Optional deterministic tracer. Client operations open spans here;
@@ -218,7 +218,7 @@ impl ReplicatedStore {
                 placement,
                 replicas,
                 config,
-                caches: RefCell::new(HashMap::new()),
+                caches: RefCell::new(FxHashMap::default()),
                 tap: RefCell::new(None),
                 tracer: RefCell::new(None),
                 next_req_id: Cell::new(0),
@@ -608,6 +608,11 @@ impl StoreClient {
         let mut attempt_no = 0u32;
         let mut transport_err: Option<PcsiError> = None;
         let mut server_err: Option<PcsiError> = None;
+        // When tracing is unsampled every attempt sends the identical
+        // untraced frame, so encode it once and share it across retries
+        // and failovers. Sampled attempts still encode per-span: their
+        // trace context differs on every attempt.
+        let mut untraced_frame: Option<Bytes> = None;
         for (ti, &target) in replicas.iter().take(n_targets).enumerate() {
             if ti > 0 {
                 counters.failover();
@@ -641,11 +646,17 @@ impl StoreClient {
                 if ti > 0 {
                     att.attr("failover", ti as u64);
                 }
+                let frame = match att.ctx() {
+                    ctx @ Some(_) => wire::encode_request_traced(req, ctx),
+                    None => untraced_frame
+                        .get_or_insert_with(|| wire::encode_request(req))
+                        .clone(),
+                };
                 let outcome = call_store_raw(
                     self.store.inner.fabric.clone(),
                     self.origin,
                     target,
-                    wire::encode_request_traced(req, att.ctx()),
+                    frame,
                     policy.attempt_deadline(remaining),
                 )
                 .await;
@@ -768,7 +779,7 @@ impl StoreClient {
         let policy = self.store.inner.config.retry.clone();
         let handle = self.store.inner.fabric.handle().clone();
         let start = handle.now();
-        let n_targets = self.store.placement().replicas(id).len();
+        let n_targets = self.store.placement().replication_factor();
         let max_attempts = policy.max_attempts(n_targets);
         let rng = handle.rng().stream(RETRY_RNG_STREAM);
         let counters = &self.store.inner.retry_counters;
@@ -918,20 +929,23 @@ impl StoreClient {
         let need = self.store.placement().majority();
         let total = replicas.len();
         let (tx, mut rx) = mpsc::channel::<Option<QuorumReply>>();
+        // One encode for the whole quorum: every replica receives the
+        // identical frame, so each send just bumps the refcount.
+        let frame = wire::encode_request_traced(
+            &Request::ReadWithTag {
+                id,
+                offset,
+                len,
+                inline_limit,
+            },
+            ctx,
+        );
         for node in replicas {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let req = wire::encode_request_traced(
-                &Request::ReadWithTag {
-                    id,
-                    offset,
-                    len,
-                    inline_limit,
-                },
-                ctx,
-            );
-            self.store.inner.fabric.handle().spawn(async move {
+            let req = frame.clone();
+            self.store.inner.fabric.handle().spawn_detached(async move {
                 let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::Data {
                         tag,
@@ -1059,19 +1073,16 @@ impl StoreClient {
             .collect();
         let total = targets.len();
         let (tx, mut rx) = mpsc::channel::<bool>();
+        // Encode the push once — it embeds the full object payload, so
+        // re-encoding (and deep-cloning the object) per peer would cost
+        // O(replicas × object size).
+        let frame = wire::encode_request_traced(&Request::Push { id, object, reqs }, ctx);
         for node in targets {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let push = wire::encode_request_traced(
-                &Request::Push {
-                    id,
-                    object: object.clone(),
-                    reqs: reqs.clone(),
-                },
-                ctx,
-            );
-            self.store.inner.fabric.handle().spawn(async move {
+            let push = frame.clone();
+            self.store.inner.fabric.handle().spawn_detached(async move {
                 let ok = matches!(
                     call_store_raw(fabric, origin, node, push, None).await,
                     Ok(Response::Applied)
@@ -1116,12 +1127,13 @@ impl StoreClient {
         let need = self.store.placement().majority();
         let total = replicas.len();
         let (tx, mut rx) = mpsc::channel::<Option<(NodeId, Tag)>>();
+        let frame = wire::encode_request_traced(&Request::TagOf { id }, ctx);
         for node in replicas {
             let tx = tx.clone();
             let fabric = self.store.inner.fabric.clone();
             let origin = self.origin;
-            let req = wire::encode_request_traced(&Request::TagOf { id }, ctx);
-            self.store.inner.fabric.handle().spawn(async move {
+            let req = frame.clone();
+            self.store.inner.fabric.handle().spawn_detached(async move {
                 let outcome = match call_store_raw(fabric, origin, node, req, None).await {
                     Ok(Response::TagIs { tag }) => Some((node, tag)),
                     _ => None,

@@ -359,14 +359,19 @@ impl Writer {
     }
 }
 
+/// Borrowing decoder over a received frame.
+///
+/// Holds the frame as `&Bytes` (not `&[u8]`) so that payload fields can
+/// be returned as zero-copy [`Bytes::slice`] views sharing the frame's
+/// backing buffer: decoding a 1 MiB `PutFull` moves no payload bytes.
 struct Reader<'a> {
-    buf: &'a [u8],
+    frame: &'a Bytes,
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+    fn new(frame: &'a Bytes) -> Self {
+        Reader { frame, pos: 0 }
     }
 
     fn err(&self, what: &str) -> CodecError {
@@ -374,10 +379,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
-        if self.buf.len() - self.pos < n {
+        if self.frame.len() - self.pos < n {
             return Err(self.err(what));
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = &self.frame[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
@@ -409,7 +414,16 @@ impl<'a> Reader<'a> {
 
     fn bytes(&mut self) -> Result<Bytes, CodecError> {
         let len = self.u32()? as usize;
-        Ok(Bytes::copy_from_slice(self.take(len, "bytes")?))
+        if self.frame.len() - self.pos < len {
+            return Err(self.err("bytes"));
+        }
+        // Zero-copy: a view into the received frame, not a fresh
+        // allocation. The payload keeps the frame's backing buffer
+        // alive, which is the right trade in a simulator where frames
+        // are dropped as soon as the request completes.
+        let view = self.frame.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(view)
     }
 
     fn reqs(&mut self) -> Result<Vec<(u64, Tag)>, CodecError> {
@@ -422,8 +436,14 @@ impl<'a> Reader<'a> {
     }
 
     fn str(&mut self) -> Result<String, CodecError> {
-        let raw = self.bytes()?;
-        String::from_utf8(raw.to_vec()).map_err(|_| CodecError("bad utf8".into()))
+        // Straight from the borrowed frame bytes to the owned String —
+        // the old path went frame -> Bytes -> Vec -> String, copying
+        // the text twice.
+        let len = self.u32()? as usize;
+        let raw = self.take(len, "string")?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError("bad utf8".into()))
     }
 
     fn mutability(&mut self) -> Result<Mutability, CodecError> {
@@ -461,12 +481,12 @@ impl<'a> Reader<'a> {
     }
 
     fn done(&self) -> Result<(), CodecError> {
-        if self.pos == self.buf.len() {
+        if self.pos == self.frame.len() {
             Ok(())
         } else {
             Err(CodecError(format!(
                 "{} trailing bytes",
-                self.buf.len() - self.pos
+                self.frame.len() - self.pos
             )))
         }
     }
@@ -566,8 +586,9 @@ fn write_request(w: &mut Writer, req: &Request) {
     }
 }
 
-/// Decodes a request.
-pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
+/// Decodes a request. Payload fields come back as zero-copy views of
+/// `buf`'s backing buffer.
+pub fn decode_request(buf: &Bytes) -> Result<Request, CodecError> {
     let mut r = Reader::new(buf);
     let req = read_request(&mut r)?;
     r.done()?;
@@ -578,10 +599,10 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
 /// without the extension (including every pre-extension frame) decode
 /// with `None`; a present extension must be exactly
 /// `[1][16 context bytes]` or the frame is rejected.
-pub fn decode_request_traced(buf: &[u8]) -> Result<(Request, Option<TraceContext>), CodecError> {
+pub fn decode_request_traced(buf: &Bytes) -> Result<(Request, Option<TraceContext>), CodecError> {
     let mut r = Reader::new(buf);
     let req = read_request(&mut r)?;
-    if r.pos == r.buf.len() {
+    if r.pos == r.frame.len() {
         return Ok((req, None));
     }
     match r.u8()? {
@@ -736,8 +757,9 @@ pub fn encode_response(resp: &Response) -> Bytes {
     w.finish()
 }
 
-/// Decodes a response.
-pub fn decode_response(buf: &[u8]) -> Result<Response, CodecError> {
+/// Decodes a response. Payload fields come back as zero-copy views of
+/// `buf`'s backing buffer.
+pub fn decode_response(buf: &Bytes) -> Result<Response, CodecError> {
     let mut r = Reader::new(buf);
     let resp = match r.u8()? {
         0 => Response::Coordinated { tag: r.tag()? },
@@ -846,10 +868,10 @@ mod tests {
         // A bad flag byte or short context is rejected.
         let mut bad_flag = plain.to_vec();
         bad_flag.push(2);
-        assert!(decode_request_traced(&bad_flag).is_err());
+        assert!(decode_request_traced(&Bytes::from(bad_flag)).is_err());
         let mut short = plain.to_vec();
         short.extend_from_slice(&[TRACE_EXT_FLAG, 0, 0, 0]);
-        assert!(decode_request_traced(&short).is_err());
+        assert!(decode_request_traced(&Bytes::from(short)).is_err());
     }
 
     #[test]
@@ -1022,7 +1044,10 @@ mod tests {
         for req in &reqs {
             let wire = encode_request(req);
             for cut in 0..wire.len() {
-                assert!(decode_request(&wire[..cut]).is_err(), "{req:?} cut {cut}");
+                assert!(
+                    decode_request(&wire.slice(..cut)).is_err(),
+                    "{req:?} cut {cut}"
+                );
             }
         }
         let resps = [
@@ -1038,7 +1063,10 @@ mod tests {
         ];
         for resp in &resps {
             for cut in 0..resp.len() {
-                assert!(decode_response(&resp[..cut]).is_err(), "response cut {cut}");
+                assert!(
+                    decode_response(&resp.slice(..cut)).is_err(),
+                    "response cut {cut}"
+                );
             }
         }
     }
@@ -1047,7 +1075,7 @@ mod tests {
     fn trailing_bytes_detected() {
         let mut wire = encode_request(&Request::Inventory).to_vec();
         wire.push(0);
-        assert!(decode_request(&wire).is_err());
+        assert!(decode_request(&Bytes::from(wire)).is_err());
     }
 
     #[test]
@@ -1079,8 +1107,8 @@ mod tests {
 
     #[test]
     fn bad_bytes_rejected() {
-        assert!(decode_request(&[99]).is_err());
-        assert!(decode_response(&[99]).is_err());
-        assert!(decode_response(&[]).is_err());
+        assert!(decode_request(&Bytes::from_static(&[99])).is_err());
+        assert!(decode_response(&Bytes::from_static(&[99])).is_err());
+        assert!(decode_response(&Bytes::new()).is_err());
     }
 }

@@ -309,7 +309,7 @@ proptest! {
     fn wire_request_truncation_always_detected(req in arb_request()) {
         let wire = encode_request(&req);
         for cut in 0..wire.len() {
-            prop_assert!(decode_request(&wire[..cut]).is_err(), "cut {}", cut);
+            prop_assert!(decode_request(&wire.slice(..cut)).is_err(), "cut {}", cut);
         }
     }
 
@@ -344,7 +344,7 @@ proptest! {
         let wire = encode_request_traced(&req, Some(ctx));
         let plain_len = encode_request(&req).len();
         for cut in 0..wire.len() {
-            let decoded = decode_request_traced(&wire[..cut]);
+            let decoded = decode_request_traced(&wire.slice(..cut));
             if cut == plain_len {
                 let (back, none) = decoded.unwrap();
                 prop_assert_eq!(back, req.clone());
@@ -360,7 +360,7 @@ proptest! {
     fn wire_response_trailing_bytes_detected(resp in arb_response(), junk in any::<u8>()) {
         let mut wire = encode_response(&resp).to_vec();
         wire.push(junk);
-        prop_assert!(decode_response(&wire).is_err());
+        prop_assert!(decode_response(&Bytes::from(wire)).is_err());
     }
 
     /// Placement: deterministic, correct cardinality, no duplicates, and

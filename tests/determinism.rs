@@ -356,3 +356,55 @@ fn trace_fingerprints_are_deterministic_under_faults() {
         "different seeds must produce different traces"
     );
 }
+
+/// The hot-path rewrites (timer-wheel scheduler, zero-copy wire path,
+/// pooled buffers, fast hashing) are pure mechanism swaps: they must
+/// not move the simulation by a single poll, byte, or RNG draw. These
+/// constants were captured on the heap-based, copying tree; every
+/// later tree must reproduce them exactly, so a perf change that
+/// perturbs the schedule fails here rather than silently shifting
+/// every experiment in the repository.
+#[test]
+fn fingerprints_match_the_heap_based_golden_values() {
+    use pcsi_chaos::{run_scenario, FaultPlan, ScenarioConfig};
+
+    let f = run(424242);
+    assert_eq!(
+        f,
+        (
+            3043331600,
+            62147,
+            452716,
+            620,
+            247463936,
+            "5.966411437039e-4|cache 0/1705/0|retry 0/0/0".to_owned()
+        ),
+        "mixed-workload universe drifted from the heap-based seed"
+    );
+
+    let chaos = run_scenario(0xC0FFEE, &ScenarioConfig::default()).fingerprint();
+    assert_eq!(
+        chaos, 0x45c2_29c8_a364_3b20,
+        "chaos scenario report drifted from the heap-based seed"
+    );
+
+    let drops = run_scenario(
+        0x7E57,
+        &ScenarioConfig {
+            plan: FaultPlan::Drops,
+            ..ScenarioConfig::default()
+        },
+    )
+    .fingerprint();
+    assert_eq!(
+        drops, 0xa2ee_2214_27f0_c2a6,
+        "drop-recovery scenario report drifted from the heap-based seed"
+    );
+
+    let (_, _, snapshot) = run_with(90210, None, true);
+    let metrics = pcsi_metrics::fingerprint(&snapshot.unwrap());
+    assert_eq!(
+        metrics, 0x28cf_183c_8b58_4348,
+        "metrics snapshot drifted from the heap-based seed"
+    );
+}
