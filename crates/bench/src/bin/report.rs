@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use pcsi_bench::experiments::{
     capability, consistency, crossover, efficiency, flexibility, hotpath, mutability, pipeline,
-    recovery, rest_vs_nfs, stages, table1, ycsb, DEFAULT_SEED,
+    recovery, rest_vs_nfs, shard_scaling, stages, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
 use pcsi_bench::snapshot;
@@ -490,12 +490,44 @@ fn report_bench() {
         suite.pool_misses
     );
 
+    println!(
+        "\n## Shard scaling (ring {} -> {} under live load)\n",
+        shard_scaling::RING_BEFORE,
+        shard_scaling::RING_AFTER
+    );
+    let shard = shard_scaling::run(DEFAULT_SEED);
+    let mut t = Table::new(&["window", "ring", "ops/sec", "p99"]);
+    t.row(&[
+        "before".into(),
+        shard.nodes_before.to_string(),
+        format!("{:.0}", shard.tput_before),
+        format!("{:.0}us", shard.p99_before_us),
+    ]);
+    t.row(&[
+        "migration".into(),
+        format!("{}->{}", shard.nodes_before, shard.nodes_after),
+        "-".into(),
+        format!("{:.0}us", shard.p99_migration_us),
+    ]);
+    t.row(&[
+        "after".into(),
+        shard.nodes_after.to_string(),
+        format!("{:.0}", shard.tput_after),
+        format!("{:.0}us", shard.p99_after_us),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\nscale-out gain: {:.2}x aggregate throughput; {} objects migrated",
+        shard.ratio(),
+        shard.objects_moved
+    );
+
     let pr = std::env::var("BENCH_PR").unwrap_or_else(|_| "dev".into());
     let baseline = std::env::var("BENCH_BASELINE").ok().map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read BENCH_BASELINE {path}: {e}"))
     });
-    let json = snapshot::render(&suite, &pr, baseline.as_deref());
+    let json = snapshot::render(&suite, Some(&shard), &pr, baseline.as_deref());
     snapshot::validate(&json).expect("emitted snapshot must conform to its own schema");
     let path = format!("BENCH_{pr}.json");
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -131,6 +131,7 @@ pub fn wire_codec(seed: u64) -> ExpResult {
         },
         sync_replicas: 2,
         req_id: 42,
+        expires_ns: 0,
     };
     let resp = Response::Data {
         tag: Tag { seq: 9, writer: 1 },

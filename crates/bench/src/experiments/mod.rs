@@ -10,6 +10,7 @@ pub mod mutability;
 pub mod pipeline;
 pub mod recovery;
 pub mod rest_vs_nfs;
+pub mod shard_scaling;
 pub mod stages;
 pub mod table1;
 pub mod ycsb;

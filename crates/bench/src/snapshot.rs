@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::experiments::hotpath::SuiteResult;
+use crate::experiments::shard_scaling::ShardScalingResult;
 
 /// Schema identifier embedded in (and required of) every snapshot.
 pub const SCHEMA: &str = "pcsi-bench-snapshot/v1";
@@ -67,11 +68,21 @@ impl Json {
 
 /// Renders the suite result as a schema-conformant snapshot document.
 ///
+/// `shard` is the horizontal-scaling experiment's outcome
+/// ([`crate::experiments::shard_scaling`]); when present the snapshot
+/// carries a `shard_scaling` block proving the measured scale-out gain
+/// and migration-window tail inside the committed artifact itself.
+///
 /// `baseline` is a previously emitted snapshot (the pre-change tree,
 /// same harness); when present its headline events/sec is embedded and
 /// the speedup ratio computed, which is how a PR proves its measured
 /// improvement inside the committed artifact itself.
-pub fn render(suite: &SuiteResult, pr: &str, baseline: Option<&str>) -> String {
+pub fn render(
+    suite: &SuiteResult,
+    shard: Option<&ShardScalingResult>,
+    pr: &str,
+    baseline: Option<&str>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
@@ -111,11 +122,30 @@ pub fn render(suite: &SuiteResult, pr: &str, baseline: Option<&str>) -> String {
         let _ = writeln!(out, "      {}: {}{}", quote(label), num(*ns), comma);
     }
     out.push_str("    },\n");
-    let _ = writeln!(
+    let _ = write!(
         out,
         "    \"alloc\": {{\"pool_hits\": {}, \"pool_misses\": {}}}",
         suite.pool_hits, suite.pool_misses
     );
+    if let Some(s) = shard {
+        out.push_str(",\n    \"shard_scaling\": {\n");
+        let _ = writeln!(out, "      \"nodes_before\": {},", s.nodes_before);
+        let _ = writeln!(out, "      \"nodes_after\": {},", s.nodes_after);
+        let _ = writeln!(out, "      \"tput_before\": {},", num(s.tput_before));
+        let _ = writeln!(out, "      \"tput_after\": {},", num(s.tput_after));
+        let _ = writeln!(out, "      \"ratio\": {},", num(s.ratio()));
+        let _ = writeln!(out, "      \"p99_before_us\": {},", num(s.p99_before_us));
+        let _ = writeln!(
+            out,
+            "      \"p99_migration_us\": {},",
+            num(s.p99_migration_us)
+        );
+        let _ = writeln!(out, "      \"p99_after_us\": {},", num(s.p99_after_us));
+        let _ = writeln!(out, "      \"objects_moved\": {}", s.objects_moved);
+        out.push_str("    }\n");
+    } else {
+        out.push('\n');
+    }
     out.push_str("  }");
     if let Some(base) = baseline.and_then(extract_baseline) {
         out.push_str(",\n");
@@ -200,6 +230,25 @@ pub fn validate(text: &str) -> Result<(), String> {
             .get(field)
             .and_then(Json::as_num)
             .ok_or(format!("missing number field: snapshot.alloc.{field}"))?;
+    }
+    // The shard-scaling block is optional (older snapshots predate it),
+    // but when present must carry every measured field.
+    if let Some(shard) = snap.get("shard_scaling") {
+        for field in [
+            "nodes_before",
+            "nodes_after",
+            "tput_before",
+            "tput_after",
+            "ratio",
+            "p99_before_us",
+            "p99_migration_us",
+            "p99_after_us",
+            "objects_moved",
+        ] {
+            shard.get(field).and_then(Json::as_num).ok_or(format!(
+                "missing number field: snapshot.shard_scaling.{field}"
+            ))?;
+        }
     }
     // Baseline block is optional, but when present must be well-formed.
     if let Some(base) = doc.get("baseline") {
@@ -430,16 +479,45 @@ mod tests {
         }
     }
 
+    fn shard() -> ShardScalingResult {
+        ShardScalingResult {
+            nodes_before: 3,
+            nodes_after: 12,
+            tput_before: 45_000.0,
+            tput_after: 160_000.0,
+            p99_before_us: 1_500.0,
+            p99_migration_us: 4_000.0,
+            p99_after_us: 400.0,
+            objects_moved: 64,
+        }
+    }
+
     #[test]
     fn rendered_snapshot_validates() {
-        let text = render(&suite(), "6", None);
+        let text = render(&suite(), None, "6", None);
         validate(&text).unwrap();
     }
 
     #[test]
+    fn shard_scaling_block_renders_and_validates() {
+        let text = render(&suite(), Some(&shard()), "7", None);
+        validate(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        let block = doc.get("snapshot").unwrap().get("shard_scaling").unwrap();
+        assert_eq!(block.get("nodes_after").unwrap().as_num(), Some(12.0));
+        let ratio = block.get("ratio").unwrap().as_num().unwrap();
+        assert!((ratio - 160.0 / 45.0).abs() < 1e-3, "ratio {ratio}");
+        // A block missing a measured field is schema drift.
+        let drifted = text.replace("\"p99_migration_us\"", "\"p99_mig\"");
+        assert!(validate(&drifted)
+            .unwrap_err()
+            .contains("shard_scaling.p99_migration_us"));
+    }
+
+    #[test]
     fn baseline_embedding_and_ratio() {
-        let base = render(&suite(), "base", None);
-        let text = render(&suite(), "6", Some(&base));
+        let base = render(&suite(), None, "base", None);
+        let text = render(&suite(), Some(&shard()), "6", Some(&base));
         validate(&text).unwrap();
         let doc = parse(&text).unwrap();
         assert_eq!(
@@ -452,7 +530,7 @@ mod tests {
 
     #[test]
     fn schema_drift_is_rejected() {
-        let text = render(&suite(), "6", None);
+        let text = render(&suite(), None, "6", None);
         // Wrong schema tag.
         let drifted = text.replace(SCHEMA, "pcsi-bench-snapshot/v0");
         assert!(validate(&drifted).unwrap_err().contains("schema"));

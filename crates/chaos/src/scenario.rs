@@ -20,10 +20,11 @@ use pcsi_cloud::CloudBuilder;
 use pcsi_core::api::CreateOptions;
 use pcsi_core::{CloudInterface, Consistency, ObjectId};
 use pcsi_metrics::Metrics;
-use pcsi_net::{Fabric, MessageFaults, NodeId};
+use pcsi_net::{Fabric, MessageFaults, NodeId, Topology};
 use pcsi_sim::rng::DetRng;
+use pcsi_sim::util::Pacer;
 use pcsi_sim::{Sim, SimHandle};
-use pcsi_store::{RetryPolicy, RetryStats, StoreConfig};
+use pcsi_store::{ReplicatedStore, RetryPolicy, RetryStats, StoreConfig};
 use pcsi_trace::{render_trace, AttrValue, Sampling};
 
 use crate::checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
@@ -51,6 +52,15 @@ pub enum FaultPlan {
     /// dropped message, or a dead primary with a live majority, must
     /// never surface as a client-visible error.
     Drops,
+    /// Live rebalancing under fire: the deployment starts with one
+    /// storage node held out of the placement ring, and mid-run the
+    /// fault driver joins it — migrating every affected shard — while
+    /// 5% fabric-wide drops persist and storage nodes crash and restart
+    /// *during* the migration. The drain retries around the faults,
+    /// finishes on the healed fabric, and the usual checkers then run
+    /// over a history that straddles the epoch change: freezes, moves
+    /// and stale-epoch rejections must all be invisible to clients.
+    Rebalance,
 }
 
 /// Scenario shape. The seed controls every random choice; the config
@@ -226,7 +236,7 @@ struct DriveOutcome {
 }
 
 async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
-    let retry = if cfg.plan == FaultPlan::Drops {
+    let retry = if matches!(cfg.plan, FaultPlan::Drops | FaultPlan::Rebalance) {
         // Per-attempt deadline below the fabric's 2 ms retransmit
         // timeout so dropped messages surface as client-side timeouts
         // (exercising `PcsiError::Timeout`), with enough retry and
@@ -243,6 +253,11 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
     } else {
         RetryPolicy::default()
     };
+    // The rebalance schedule deploys with the last node held out of the
+    // placement ring — the warm standby the fault driver joins mid-run.
+    // (The builder's default topology, restated here for the node list.)
+    let all_nodes = Topology::heterogeneous(2, 4).node_ids();
+    let spare = (cfg.plan == FaultPlan::Rebalance).then(|| *all_nodes.last().unwrap());
     let cloud = CloudBuilder::new()
         .tracing(cfg.sampling)
         .metrics(true)
@@ -251,6 +266,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
             // quiescence point is explicit and bounded.
             anti_entropy: None,
             retry,
+            ring_nodes: spare.map(|s| all_nodes.iter().copied().filter(|&n| n != s).collect()),
             ..StoreConfig::default()
         })
         .build(&h);
@@ -294,6 +310,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
     let stop = Rc::new(Cell::new(false));
     let driver = {
         let fabric = fabric.clone();
+        let store2 = store.clone();
         let h2 = h.clone();
         let log = fault_log.clone();
         let stop = stop.clone();
@@ -305,6 +322,9 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
                 drive_targeted_partitions(&h2, &fabric, laggard, &log, &stop).await;
             } else if plan == FaultPlan::Drops {
                 drive_drops(&h2, &fabric, primary, &log, &stop).await;
+            } else if plan == FaultPlan::Rebalance {
+                let spare = spare.expect("rebalance plan always picks a spare");
+                drive_rebalance(&h2, &fabric, &store2, spare, &log, &stop).await;
             } else {
                 drive_faults(&h2, &fabric, plan, &nodes, &log, &stop).await;
             }
@@ -474,6 +494,7 @@ async fn drive_faults(
             FaultPlan::MessageFaults => 2,
             FaultPlan::Mixed => rng.gen_range(0..3),
             FaultPlan::Drops => unreachable!("Drops runs its own driver"),
+            FaultPlan::Rebalance => unreachable!("Rebalance runs its own driver"),
         };
         match action {
             0 => match downed.take() {
@@ -578,6 +599,98 @@ async fn drive_drops(
     fabric.set_node_down(primary, false);
     fabric.clear_message_faults();
     log_fault(h, log, "heal-all".to_owned());
+}
+
+/// The rebalance schedule: 5% fabric-wide drops for the whole run;
+/// after the workers build some history on the reduced ring, the spare
+/// node joins and a paced drain migrates every affected shard — while
+/// a killer task crashes and restarts storage nodes *during* the
+/// migration, so moves race dead old owners, dead new owners, and lost
+/// snapshot/install traffic. Stalled drains simply retry. Once the
+/// workers finish, the faults heal and the drain runs to completion on
+/// the healthy fabric, so the checkers see a fully flipped epoch.
+async fn drive_rebalance(
+    h: &SimHandle,
+    fabric: &Fabric,
+    store: &ReplicatedStore,
+    spare: NodeId,
+    log: &Rc<std::cell::RefCell<Vec<String>>>,
+    stop: &Rc<Cell<bool>>,
+) {
+    let rng = h.rng().stream("chaos-fault-schedule");
+    fabric.set_message_faults(MessageFaults {
+        drop: 0.05,
+        duplicate: 0.0,
+        delay_spike: 0.0,
+        spike: Duration::ZERO,
+    });
+    log_fault(h, log, "message-faults drop=0.050".to_owned());
+    h.sleep(Duration::from_nanos(rng.gen_range(1_000_000..2_000_000)))
+        .await;
+
+    let pinned = store.begin_join(spare).len();
+    log_fault(h, log, format!("join {spare} pinned={pinned}"));
+
+    // Crash/restart one storage node at a time while shards move. The
+    // spare is spared: it must stay up to receive its data, and with at
+    // most one other node down a majority of every 3-replica set stays
+    // reachable.
+    let killer = {
+        let fabric = fabric.clone();
+        let h2 = h.clone();
+        let log = log.clone();
+        let stop = stop.clone();
+        let rng = h.rng().stream("chaos-rebalance-killer");
+        let candidates: Vec<NodeId> = fabric
+            .topology()
+            .node_ids()
+            .into_iter()
+            .filter(|&n| n != spare)
+            .collect();
+        h.spawn(async move {
+            while !stop.get() {
+                h2.sleep(Duration::from_nanos(rng.gen_range(800_000..2_000_000)))
+                    .await;
+                if stop.get() {
+                    break;
+                }
+                let victim = pick(&rng, &candidates);
+                fabric.set_node_down(victim, true);
+                log_fault(&h2, &log, format!("crash {victim}"));
+                h2.sleep(Duration::from_nanos(rng.gen_range(600_000..1_500_000)))
+                    .await;
+                fabric.set_node_down(victim, false);
+                log_fault(&h2, &log, format!("restart {victim}"));
+            }
+        })
+    };
+
+    // Paced drain under fire; a stalled drain surfaces a retryable
+    // error and the loop tries again (each stall already slept through
+    // its backoff rounds, so this cannot spin on virtual time).
+    let pacer = Pacer::new(h.clone(), Duration::from_micros(400));
+    while !stop.get() && !store.placement().pending_moves().is_empty() {
+        let _ = store.drain_moves(Some(&pacer)).await;
+    }
+    while !stop.get() {
+        h.sleep(Duration::from_micros(250)).await;
+    }
+    killer.await;
+    fabric.clear_message_faults();
+    log_fault(h, log, "heal-all".to_owned());
+
+    // Finish any moves the faulty window left behind, on a healthy
+    // fabric, so quiescence and the checkers run against the new ring.
+    while !store.placement().pending_moves().is_empty() {
+        if store.drain_moves(None).await.is_err() {
+            h.sleep(Duration::from_millis(1)).await;
+        }
+    }
+    log_fault(
+        h,
+        log,
+        format!("drain-complete epoch={}", store.placement().epoch()),
+    );
 }
 
 /// The injection schedule: repeatedly partition exactly `laggard`

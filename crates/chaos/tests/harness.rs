@@ -33,6 +33,7 @@ fn every_fault_plan_passes_individually() {
         FaultPlan::PartitionHeal,
         FaultPlan::MessageFaults,
         FaultPlan::Drops,
+        FaultPlan::Rebalance,
     ] {
         for seed in 7000..7003u64 {
             let report = run_scenario(
@@ -89,6 +90,66 @@ fn drop_faults_are_fully_masked_by_client_recovery() {
     assert!(
         retries > 0 && failovers > 0 && timeouts > 0,
         "recovery layer never exercised: retries={retries} failovers={failovers} timeouts={timeouts}"
+    );
+}
+
+#[test]
+fn rebalance_sweep_survives_kills_and_drops_during_migration() {
+    // Live rebalancing under fire: the spare node joins mid-run, shards
+    // migrate across the epoch flip while 5% of all messages drop and
+    // storage nodes crash and restart *during* the moves. Every history
+    // must still linearize (no lost or duplicated appends, no stale
+    // reads) and every register must converge on the post-join ring.
+    // Unlike `Drops`, a handful of client-visible *retryable* failures
+    // are legitimate here — a frozen object whose move is stalled by a
+    // crashed old owner can outlast the 50 ms op deadline — but they
+    // must stay rare (the bound below), and they must never corrupt
+    // the history. 16 seeds by default; the CI `rebalance` job widens
+    // it to 128 via CHAOS_SEEDS.
+    let cfg = ScenarioConfig {
+        plan: FaultPlan::Rebalance,
+        ..ScenarioConfig::default()
+    };
+    let (mut crashes_mid_move, mut dropped) = (0u64, 0u64);
+    let (mut errors, mut ops) = (0u64, 0u64);
+    for &seed in &sweep_seeds(0x9EBA_0000, 16) {
+        let report = run_scenario(seed, &cfg);
+        assert!(
+            report.ok(),
+            "seed {seed} violated the contract:\n{}",
+            report.render()
+        );
+        errors += report.client_errors;
+        ops += report.ops.len() as u64;
+        // The schedule must actually have interleaved: join begun, at
+        // least one crash after it, and the drain completed.
+        let join_at = report
+            .faults
+            .iter()
+            .position(|f| f.contains("join "))
+            .unwrap_or_else(|| panic!("seed {seed}: no join event"));
+        assert!(
+            report.faults.iter().any(|f| f.contains("drain-complete")),
+            "seed {seed}: migration never completed:\n{}",
+            report.render()
+        );
+        crashes_mid_move += report.faults[join_at..]
+            .iter()
+            .filter(|f| f.contains("crash "))
+            .count() as u64;
+        dropped += report.net_faults.0;
+    }
+    assert!(
+        dropped > 0,
+        "the rebalance schedule never dropped a message"
+    );
+    assert!(
+        crashes_mid_move > 0,
+        "no node was ever killed during a migration window"
+    );
+    assert!(
+        errors * 100 <= ops,
+        "migration windows leaked too many client errors: {errors} of {ops} ops"
     );
 }
 

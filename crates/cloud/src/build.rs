@@ -146,6 +146,15 @@ impl CloudBuilder {
         self
     }
 
+    /// Restricts the initial storage placement ring to `nodes`
+    /// (shorthand over [`CloudBuilder::store`]). Replica engines still
+    /// launch on every node, so the excluded ones are warm standbys a
+    /// later [`Cloud::join_storage_node`] can admit without restarts.
+    pub fn storage_ring(mut self, nodes: Vec<pcsi_net::NodeId>) -> Self {
+        self.store.ring_nodes = Some(nodes);
+        self
+    }
+
     /// Sets the runtime configuration.
     pub fn runtime(mut self, c: RuntimeConfig) -> Self {
         self.runtime = c;
@@ -271,6 +280,32 @@ pub struct Cloud {
     pub metrics: Option<Metrics>,
 }
 
+impl Cloud {
+    /// Admits a warm-standby node into the storage ring and migrates
+    /// every affected shard onto it; returns the number of objects
+    /// moved. Kernel traffic needs no coordination with the change:
+    /// clients re-resolve placement on every attempt, so operations in
+    /// flight during the move retry against the object's current
+    /// owners.
+    pub async fn join_storage_node(
+        &self,
+        node: pcsi_net::NodeId,
+    ) -> Result<usize, pcsi_core::PcsiError> {
+        self.store.join_node(node).await
+    }
+
+    /// Removes a node from the storage ring and migrates every shard it
+    /// owned off it; returns the number of objects moved. Once this
+    /// returns the node serves no placement role and is safe to take
+    /// down.
+    pub async fn decommission_storage_node(
+        &self,
+        node: pcsi_net::NodeId,
+    ) -> Result<usize, pcsi_core::PcsiError> {
+        self.store.decommission_node(node).await
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +369,57 @@ mod tests {
                 .await
                 .unwrap();
             assert!(c.read(&null, 0, 8).await.unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn storage_ring_subset_routes_and_survives_a_join() {
+        use pcsi_core::api::CreateOptions;
+        use pcsi_core::CloudInterface;
+        use pcsi_net::NodeId;
+
+        let mut sim = Sim::new(9);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let topo = Topology::uniform(2, 3);
+            let nodes = topo.node_ids();
+            let spare = *nodes.last().unwrap();
+            let ring: Vec<NodeId> = nodes[..nodes.len() - 1].to_vec();
+            let cloud = CloudBuilder::new()
+                .topology(topo)
+                .deterministic_network()
+                .storage_ring(ring.clone())
+                .build(&h);
+            let mut members = cloud.store.placement().storage_nodes();
+            members.sort();
+            assert_eq!(members, ring);
+
+            let c = cloud.kernel.client(NodeId(0), "t");
+            let mut refs = Vec::new();
+            for k in 0..24u8 {
+                let r = c
+                    .create(CreateOptions::regular().with_initial(vec![k; 48]))
+                    .await
+                    .unwrap();
+                refs.push((k, r));
+            }
+
+            // Admit the spare node mid-flight and keep the data readable
+            // through the kernel both during and after the migration.
+            let moved = cloud.join_storage_node(spare).await.unwrap();
+            assert!(moved > 0, "a 6th node must attract some shards");
+            assert!(cloud.store.placement().is_member(spare));
+            for (k, r) in &refs {
+                assert_eq!(c.read(r, 0, 48).await.unwrap(), vec![*k; 48]);
+            }
+
+            // And back out again: decommission restores a spare-free ring.
+            let moved_back = cloud.decommission_storage_node(spare).await.unwrap();
+            assert!(moved_back > 0);
+            assert!(!cloud.store.placement().is_member(spare));
+            for (k, r) in &refs {
+                assert_eq!(c.read(r, 0, 48).await.unwrap(), vec![*k; 48]);
+            }
         });
     }
 

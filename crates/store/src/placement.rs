@@ -1,30 +1,128 @@
-//! Replica placement: rendezvous hashing across fault domains.
+//! Replica placement: consistent hashing over virtual nodes.
 //!
-//! Each object's replica set is derived deterministically from its id with
-//! highest-random-weight (rendezvous) hashing, preferring distinct racks
-//! so a rack failure cannot take out a whole replica set. The first
-//! replica in the set is the object's *primary* (the mutation serializer).
+//! Each ring member contributes [`VNODES_PER_NODE`] points on a 64-bit
+//! hash ring. An object's candidate order is the distinct-node order of a
+//! clockwise walk from the object's own hash point; the replica set is
+//! drawn from that order preferring distinct racks, so a rack failure
+//! cannot take out a whole replica set. The first replica in the set is
+//! the object's *primary* (the mutation serializer).
+//!
+//! Unlike the seed's static rendezvous placement, the ring is **mutable**:
+//! [`Placement::begin_join`] / [`Placement::begin_leave`] change the
+//! membership, bump the topology *epoch*, and pin every object whose
+//! replica set changed to its old owners until a background migration
+//! calls [`Placement::complete_move`]. All clones of a `Placement` share
+//! one ring (`Rc` inner), so replicas, clients, and the kernel observe a
+//! topology change at the same instant; the memo cache is epoch-tagged so
+//! a stale entry can never be served across a change.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use fxhash::FxHashMap;
 use pcsi_core::ObjectId;
 use pcsi_net::{NodeId, Topology};
 
+/// Virtual nodes contributed to the ring by each member.
+pub const VNODES_PER_NODE: u32 = 64;
+
 /// Upper bound on memoized replica sets; the cache resets when full so a
 /// scan over a huge keyspace cannot grow it without bound.
 const CACHE_MAX: usize = 4096;
 
-/// Deterministic replica-set computation.
+/// An object pinned to its pre-change replica set while data moves.
+#[derive(Debug, Clone)]
+struct MoveState {
+    /// The replica set that owns the data until the move completes.
+    old: Vec<NodeId>,
+    /// While frozen, replicas reject coordinate/apply for the object so
+    /// the migration snapshot cannot race a committing write.
+    frozen: bool,
+}
+
+#[derive(Debug)]
+struct RingState {
+    /// Monotonic topology epoch; bumped by every join/leave.
+    epoch: u64,
+    /// Current ring members with their racks, sorted by node id.
+    members: Vec<(NodeId, u32)>,
+    /// Sorted vnode points: (point, node, rack).
+    ring: Vec<(u64, NodeId, u32)>,
+    /// Epoch-tagged memo of ring-derived replica sets. Entries from an
+    /// older epoch are ignored (and overwritten), so a topology change
+    /// invalidates the cache without touching every entry.
+    cache: FxHashMap<ObjectId, (u64, Vec<NodeId>)>,
+    /// In-flight migrations: object -> pinned old owners.
+    moves: FxHashMap<ObjectId, MoveState>,
+}
+
+impl RingState {
+    fn rebuild_ring(&mut self) {
+        self.ring.clear();
+        for &(n, rack) in &self.members {
+            for v in 0..VNODES_PER_NODE {
+                self.ring.push((vnode_point(n, v), n, rack));
+            }
+        }
+        // NodeId tiebreak on equal points for full determinism.
+        self.ring.sort_unstable_by_key(|a| (a.0, a.1));
+    }
+
+    /// The ring-derived replica set (ignores move pins).
+    fn select(&self, id: ObjectId, n_replicas: usize) -> Vec<NodeId> {
+        debug_assert!(n_replicas <= self.members.len());
+        let len = self.ring.len();
+        let h = object_point(id);
+        let start = self.ring.partition_point(|&(p, _, _)| p < h) % len;
+        // Candidate nodes in clockwise first-appearance order.
+        let mut cands: Vec<(NodeId, u32)> = Vec::with_capacity(self.members.len());
+        let mut i = start;
+        while cands.len() < self.members.len() {
+            let (_, n, rack) = self.ring[i];
+            if !cands.iter().any(|&(c, _)| c == n) {
+                cands.push((n, rack));
+            }
+            i = (i + 1) % len;
+        }
+
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(n_replicas);
+        let mut used_racks: Vec<u32> = Vec::new();
+        // Pass 1: distinct racks in candidate order.
+        for &(n, rack) in &cands {
+            if chosen.len() == n_replicas {
+                break;
+            }
+            if !used_racks.contains(&rack) {
+                chosen.push(n);
+                used_racks.push(rack);
+            }
+        }
+        // Pass 2: fill from the remainder.
+        for &(n, _) in &cands {
+            if chosen.len() == n_replicas {
+                break;
+            }
+            if !chosen.contains(&n) {
+                chosen.push(n);
+            }
+        }
+        chosen
+    }
+}
+
+#[derive(Debug)]
+struct PlacementInner {
+    n_replicas: usize,
+    state: RefCell<RingState>,
+}
+
+/// Deterministic, shared, epoch-versioned replica-set computation.
+///
+/// Cloning is cheap and **shares** the ring: a topology change through any
+/// clone is visible to all of them.
 #[derive(Debug, Clone)]
 pub struct Placement {
-    storage_nodes: Vec<(NodeId, u32)>, // (node, rack)
-    n_replicas: usize,
-    // Replica sets are a pure function of (storage_nodes, n_replicas, id)
-    // and both inputs are fixed at construction, so memoizing per object
-    // is invisible to callers. It turns the per-op rendezvous sort into a
-    // hash lookup on the quorum hot path.
-    cache: RefCell<FxHashMap<ObjectId, Vec<NodeId>>>,
+    inner: Rc<PlacementInner>,
 }
 
 impl Placement {
@@ -41,36 +139,60 @@ impl Placement {
             n_replicas,
             storage_nodes.len()
         );
-        let storage_nodes = storage_nodes
+        let mut members: Vec<(NodeId, u32)> = storage_nodes
             .into_iter()
             .map(|n| (n, topology.spec(n).rack))
             .collect();
+        members.sort_unstable_by_key(|&(n, _)| n);
+        let mut state = RingState {
+            epoch: 1,
+            members,
+            ring: Vec::new(),
+            cache: FxHashMap::default(),
+            moves: FxHashMap::default(),
+        };
+        state.rebuild_ring();
         Placement {
-            storage_nodes,
-            n_replicas,
-            cache: RefCell::new(FxHashMap::default()),
+            inner: Rc::new(PlacementInner {
+                n_replicas,
+                state: RefCell::new(state),
+            }),
         }
     }
 
     /// Replication factor.
     pub fn replication_factor(&self) -> usize {
-        self.n_replicas
+        self.inner.n_replicas
     }
 
     /// Majority quorum size (`floor(n/2) + 1`).
     pub fn majority(&self) -> usize {
-        self.n_replicas / 2 + 1
+        self.inner.n_replicas / 2 + 1
     }
 
-    /// The storage nodes participating in placement.
+    /// The current ring members.
     pub fn storage_nodes(&self) -> Vec<NodeId> {
-        self.storage_nodes.iter().map(|(n, _)| *n).collect()
+        let st = self.inner.state.borrow();
+        st.members.iter().map(|(n, _)| *n).collect()
     }
 
-    /// The replica set for an object, primary first.
+    /// True if `node` is a current ring member.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        let st = self.inner.state.borrow();
+        st.members.iter().any(|&(n, _)| n == node)
+    }
+
+    /// The current topology epoch (starts at 1, bumped by join/leave).
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.borrow().epoch
+    }
+
+    /// The *effective* replica set for an object, primary first.
     ///
     /// Rack-aware: replicas are drawn from distinct racks while distinct
-    /// racks remain, then filled from the remaining highest-weight nodes.
+    /// racks remain, then filled from the remaining ring-order candidates.
+    /// An object mid-migration stays pinned to its old owners until
+    /// [`Placement::complete_move`].
     ///
     /// # Examples
     ///
@@ -90,52 +212,46 @@ impl Placement {
         self.with_replicas(id, <[NodeId]>::to_vec)
     }
 
-    /// Runs `f` on the (memoized) replica set without cloning it.
+    /// Runs `f` on the (memoized) effective replica set without cloning it.
     fn with_replicas<R>(&self, id: ObjectId, f: impl FnOnce(&[NodeId]) -> R) -> R {
-        if let Some(set) = self.cache.borrow().get(&id) {
-            return f(set);
+        {
+            let st = self.inner.state.borrow();
+            if let Some(mv) = st.moves.get(&id) {
+                return f(&mv.old);
+            }
+            if let Some((epoch, set)) = st.cache.get(&id) {
+                if *epoch == st.epoch {
+                    return f(set);
+                }
+            }
         }
-        let chosen = self.compute_replicas(id);
-        let out = f(&chosen);
-        let mut cache = self.cache.borrow_mut();
-        if cache.len() >= CACHE_MAX {
-            cache.clear();
-        }
-        cache.insert(id, chosen);
-        out
+        let chosen = {
+            let mut st = self.inner.state.borrow_mut();
+            let chosen = st.select(id, self.inner.n_replicas);
+            if st.cache.len() >= CACHE_MAX {
+                st.cache.clear();
+            }
+            let epoch = st.epoch;
+            st.cache.insert(id, (epoch, chosen.clone()));
+            chosen
+        };
+        f(&chosen)
     }
 
-    fn compute_replicas(&self, id: ObjectId) -> Vec<NodeId> {
-        let mut scored: Vec<(u64, NodeId, u32)> = self
-            .storage_nodes
-            .iter()
-            .map(|&(n, rack)| (weight(id, n), n, rack))
-            .collect();
-        // Highest weight first; NodeId tiebreak for full determinism.
-        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    /// The ring-derived *target* replica set, ignoring move pins.
+    ///
+    /// During a migration this is where the data is headed; once
+    /// [`Placement::complete_move`] runs it coincides with
+    /// [`Placement::replicas`].
+    pub fn ring_replicas(&self, id: ObjectId) -> Vec<NodeId> {
+        let st = self.inner.state.borrow();
+        st.select(id, self.inner.n_replicas)
+    }
 
-        let mut chosen: Vec<NodeId> = Vec::with_capacity(self.n_replicas);
-        let mut used_racks: Vec<u32> = Vec::new();
-        // Pass 1: distinct racks.
-        for &(_, n, rack) in &scored {
-            if chosen.len() == self.n_replicas {
-                break;
-            }
-            if !used_racks.contains(&rack) {
-                chosen.push(n);
-                used_racks.push(rack);
-            }
-        }
-        // Pass 2: fill from the remainder.
-        for &(_, n, _) in &scored {
-            if chosen.len() == self.n_replicas {
-                break;
-            }
-            if !chosen.contains(&n) {
-                chosen.push(n);
-            }
-        }
-        chosen
+    /// True when `node` is in the effective replica set of `id` (no
+    /// clone; replica-side membership checks run per request).
+    pub fn is_replica(&self, id: ObjectId, node: NodeId) -> bool {
+        self.with_replicas(id, |set| set.contains(&node))
     }
 
     /// The primary (mutation serializer) for an object.
@@ -151,14 +267,155 @@ impl Placement {
                 .expect("replica set non-empty")
         })
     }
+
+    /// Adds `node` to the ring, bumps the epoch, and pins every object in
+    /// `objects` whose replica set changed to its old owners. Returns the
+    /// newly pinned objects (sorted); [`Placement::pending_moves`] holds
+    /// the full migration queue, including pins from earlier changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already a ring member.
+    pub fn begin_join(
+        &self,
+        topology: &Topology,
+        node: NodeId,
+        objects: &[ObjectId],
+    ) -> Vec<ObjectId> {
+        let rack = topology.spec(node).rack;
+        let mut st = self.inner.state.borrow_mut();
+        assert!(
+            !st.members.iter().any(|&(n, _)| n == node),
+            "node {node:?} already in ring"
+        );
+        let n_replicas = self.inner.n_replicas;
+        let old_sets: Vec<(ObjectId, Vec<NodeId>)> = objects
+            .iter()
+            .map(|&id| (id, st.select(id, n_replicas)))
+            .collect();
+        st.members.push((node, rack));
+        st.members.sort_unstable_by_key(|&(n, _)| n);
+        st.rebuild_ring();
+        st.epoch += 1;
+        st.cache.clear();
+        Self::pin_changed(&mut st, old_sets, n_replicas)
+    }
+
+    /// Removes `node` from the ring, bumps the epoch, and pins every
+    /// object in `objects` whose replica set changed to its old owners
+    /// (which may include the departing node — it keeps serving until the
+    /// data moves). Returns the newly pinned objects (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a member or removal would leave fewer
+    /// members than the replication factor.
+    pub fn begin_leave(&self, node: NodeId, objects: &[ObjectId]) -> Vec<ObjectId> {
+        let mut st = self.inner.state.borrow_mut();
+        let n_replicas = self.inner.n_replicas;
+        assert!(
+            st.members.iter().any(|&(n, _)| n == node),
+            "node {node:?} not in ring"
+        );
+        assert!(
+            st.members.len() > n_replicas,
+            "removing {node:?} leaves fewer members than the replication factor"
+        );
+        let old_sets: Vec<(ObjectId, Vec<NodeId>)> = objects
+            .iter()
+            .map(|&id| (id, st.select(id, n_replicas)))
+            .collect();
+        st.members.retain(|&(n, _)| n != node);
+        st.rebuild_ring();
+        st.epoch += 1;
+        st.cache.clear();
+        Self::pin_changed(&mut st, old_sets, n_replicas)
+    }
+
+    fn pin_changed(
+        st: &mut RingState,
+        old_sets: Vec<(ObjectId, Vec<NodeId>)>,
+        n_replicas: usize,
+    ) -> Vec<ObjectId> {
+        let mut pinned = Vec::new();
+        for (id, old) in old_sets {
+            // An object already mid-move keeps its original pin: the data
+            // still lives on those owners, only the target changed.
+            if st.moves.contains_key(&id) {
+                continue;
+            }
+            if st.select(id, n_replicas) != old {
+                st.moves.insert(id, MoveState { old, frozen: false });
+                pinned.push(id);
+            }
+        }
+        pinned.sort_unstable();
+        pinned
+    }
+
+    /// Objects pinned to old owners, awaiting migration (sorted).
+    pub fn pending_moves(&self) -> Vec<ObjectId> {
+        let st = self.inner.state.borrow();
+        let mut ids: Vec<ObjectId> = st.moves.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The pinned old replica set of an object mid-migration.
+    pub fn move_old_set(&self, id: ObjectId) -> Option<Vec<NodeId>> {
+        let st = self.inner.state.borrow();
+        st.moves.get(&id).map(|mv| mv.old.clone())
+    }
+
+    /// Blocks coordinate/apply for a mid-move object while its state is
+    /// snapshotted and installed on the new owners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has no pending move.
+    pub fn freeze(&self, id: ObjectId) {
+        let mut st = self.inner.state.borrow_mut();
+        st.moves
+            .get_mut(&id)
+            .expect("freeze without a pending move")
+            .frozen = true;
+    }
+
+    /// Re-admits writes for a mid-move object (no-op if the move is gone).
+    pub fn unfreeze(&self, id: ObjectId) {
+        let mut st = self.inner.state.borrow_mut();
+        if let Some(mv) = st.moves.get_mut(&id) {
+            mv.frozen = false;
+        }
+    }
+
+    /// True while a migration holds the object's write path shut.
+    pub fn is_frozen(&self, id: ObjectId) -> bool {
+        let st = self.inner.state.borrow();
+        st.moves.get(&id).is_some_and(|mv| mv.frozen)
+    }
+
+    /// Flips an object to its ring-derived owners: drops the pin (and any
+    /// freeze) installed by `begin_join`/`begin_leave`.
+    pub fn complete_move(&self, id: ObjectId) {
+        let mut st = self.inner.state.borrow_mut();
+        st.moves.remove(&id);
+    }
 }
 
-/// Rendezvous weight of `(object, node)`.
-fn weight(id: ObjectId, node: NodeId) -> u64 {
-    let mut x = (id.as_u128() as u64)
-        ^ ((id.as_u128() >> 64) as u64)
-        ^ (u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    // SplitMix64 finalizer.
+/// Ring point of a vnode.
+fn vnode_point(node: NodeId, vnode: u32) -> u64 {
+    splitmix((u64::from(node.0) << 32) | u64::from(vnode))
+}
+
+/// Ring point of an object.
+fn object_point(id: ObjectId) -> u64 {
+    splitmix((id.as_u128() as u64) ^ ((id.as_u128() >> 64) as u64))
+}
+
+/// SplitMix64 finalizer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
@@ -224,11 +481,7 @@ mod tests {
         // Overflow the cache so both the hit path and the reset path run.
         for round in 0..2 {
             for i in 0..(CACHE_MAX as u64 + 10) {
-                assert_eq!(
-                    p.replicas(oid(i)),
-                    p.compute_replicas(oid(i)),
-                    "round {round}"
-                );
+                assert_eq!(p.replicas(oid(i)), p.ring_replicas(oid(i)), "round {round}");
             }
         }
     }
@@ -260,5 +513,112 @@ mod tests {
     fn too_many_replicas_rejected() {
         let topo = Topology::uniform(1, 2);
         let _ = Placement::new(&topo, topo.node_ids(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let topo = Topology::uniform(4, 3);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes[..11].to_vec(), 3);
+        let clone = p.clone();
+        assert_eq!(clone.epoch(), 1);
+        let moved = p.begin_join(&topo, nodes[11], &[]);
+        assert!(moved.is_empty());
+        assert_eq!(clone.epoch(), 2);
+        assert!(clone.is_member(nodes[11]));
+    }
+
+    /// Regression: a replica set memoized before a join must not be served
+    /// afterwards — the epoch tag invalidates it, pins route to the old
+    /// owners mid-move, and completion routes to the new owner set.
+    #[test]
+    fn memo_cache_invalidated_on_join() {
+        let topo = Topology::uniform(4, 3);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes[..11].to_vec(), 3);
+        let clone = p.clone();
+        let ids: Vec<ObjectId> = (0..500).map(oid).collect();
+        // Warm the clone's memo cache with pre-join replica sets.
+        let before: Vec<Vec<NodeId>> = ids.iter().map(|&id| clone.replicas(id)).collect();
+        let moved = p.begin_join(&topo, nodes[11], &ids);
+        assert!(!moved.is_empty(), "join relocated nothing");
+        for (i, &id) in ids.iter().enumerate() {
+            if moved.contains(&id) {
+                // Pinned: still the old owners (data has not moved yet).
+                assert_eq!(clone.replicas(id), before[i]);
+                assert_eq!(p.move_old_set(id).unwrap(), before[i]);
+                p.complete_move(id);
+                // Flipped: the stale memo entry must not resurface.
+                assert_eq!(clone.replicas(id), p.ring_replicas(id));
+                assert_ne!(clone.replicas(id), before[i]);
+            } else {
+                assert_eq!(clone.replicas(id), before[i], "unpinned set changed");
+            }
+        }
+        // At least one relocated object now routes to the joined node.
+        assert!(moved
+            .iter()
+            .any(|&id| clone.replicas(id).contains(&nodes[11])));
+        assert!(p.pending_moves().is_empty());
+    }
+
+    #[test]
+    fn join_pins_only_changed_sets_and_leave_restores() {
+        let topo = Topology::uniform(4, 3);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes[..11].to_vec(), 3);
+        let ids: Vec<ObjectId> = (0..300).map(oid).collect();
+        let before: Vec<Vec<NodeId>> = ids.iter().map(|&id| p.ring_replicas(id)).collect();
+        let joined = p.begin_join(&topo, nodes[11], &ids);
+        // Minimal movement: every changed set involves the joined node.
+        for &id in &joined {
+            assert!(p.ring_replicas(id).contains(&nodes[11]), "{id:?}");
+            p.complete_move(id);
+        }
+        let left = p.begin_leave(nodes[11], &ids);
+        assert_eq!(left, joined, "leave must relocate exactly the joined keys");
+        for &id in &left {
+            p.complete_move(id);
+        }
+        // Ring is a pure function of membership: sets are fully restored.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.ring_replicas(id), before[i]);
+        }
+        assert_eq!(p.epoch(), 3);
+    }
+
+    #[test]
+    fn freeze_unfreeze_lifecycle() {
+        let topo = Topology::uniform(4, 3);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes[..11].to_vec(), 3);
+        let ids: Vec<ObjectId> = (0..100).map(oid).collect();
+        let moved = p.begin_join(&topo, nodes[11], &ids);
+        let id = moved[0];
+        assert!(!p.is_frozen(id));
+        p.freeze(id);
+        assert!(p.is_frozen(id));
+        p.unfreeze(id);
+        assert!(!p.is_frozen(id));
+        p.freeze(id);
+        p.complete_move(id);
+        // Completion clears the freeze along with the pin.
+        assert!(!p.is_frozen(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in ring")]
+    fn double_join_rejected() {
+        let topo = Topology::uniform(2, 2);
+        let p = Placement::new(&topo, topo.node_ids(), 2);
+        let _ = p.begin_join(&topo, topo.node_ids()[0], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer members")]
+    fn leave_below_replication_factor_rejected() {
+        let topo = Topology::uniform(1, 3);
+        let p = Placement::new(&topo, topo.node_ids(), 3);
+        let _ = p.begin_leave(topo.node_ids()[0], &[]);
     }
 }

@@ -15,7 +15,7 @@
 //! peer so asynchronously replicated (eventual) writes converge even when
 //! the original replication message was lost to a crash or partition.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use fxhash::FxHashMap;
@@ -28,6 +28,7 @@ use pcsi_metrics::{Counter, Histogram, Metrics};
 use pcsi_net::fabric::{CallCtx, NetError, RpcHandler};
 use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::sync::mpsc;
+use pcsi_sim::SimTime;
 use pcsi_trace::{SpanHandle, TraceContext, Tracer};
 
 use crate::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
@@ -64,12 +65,20 @@ struct Inner {
     /// Which client requests the local state provably contains — the
     /// exactly-once ledger. See [`ReqLedger`].
     ledger: RefCell<ReqLedger>,
+    /// When the node's storage device is next idle. [`charge_io`] queues
+    /// FIFO behind this, so concurrent operations on one node contend for
+    /// its media bandwidth instead of overlapping for free — without it a
+    /// single node would serve unbounded parallel IO and adding nodes
+    /// could never raise aggregate throughput. Uncontended operations see
+    /// exactly the seed's latency (the gate is never in the future).
+    io_free_at: Cell<SimTime>,
     coordinated: Counter,
     applied: Counter,
     reads: Counter,
     fetched: Counter,
     synced_in: Counter,
     repaired: Counter,
+    migrated_in: Counter,
     /// Synchronous-ack quorum sizes observed per coordination round
     /// (this node included). Recorded only when a registry is installed.
     quorum_acks: RefCell<Option<Histogram>>,
@@ -88,12 +97,14 @@ impl ReplicaNode {
             engine: RefCell::new(StorageEngine::new(tier)),
             seen_coordinates: RefCell::new(BTreeMap::new()),
             ledger: RefCell::new(ReqLedger::default()),
+            io_free_at: Cell::new(SimTime::ZERO),
             coordinated: Counter::new(),
             applied: Counter::new(),
             reads: Counter::new(),
             fetched: Counter::new(),
             synced_in: Counter::new(),
             repaired: Counter::new(),
+            migrated_in: Counter::new(),
             quorum_acks: RefCell::new(None),
             tracer: RefCell::new(None),
         });
@@ -143,6 +154,11 @@ impl ReplicaNode {
         self.inner.repaired.get()
     }
 
+    /// Sealed snapshots installed by shard migration.
+    pub fn migrated_in_count(&self) -> u64 {
+        self.inner.migrated_in.get()
+    }
+
     /// Full-object fetches served (anti-entropy pulls, write-back reads).
     pub fn fetched_count(&self) -> u64 {
         self.inner.fetched.get()
@@ -187,6 +203,7 @@ impl ReplicaNode {
                 m.bind_counter("replica.fetched", &labels, &self.inner.fetched);
                 m.bind_counter("replica.synced_in", &labels, &self.inner.synced_in);
                 m.bind_counter("replica.repaired", &labels, &self.inner.repaired);
+                m.bind_counter("replica.migrated_in", &labels, &self.inner.migrated_in);
                 *self.inner.quorum_acks.borrow_mut() =
                     Some(m.histogram("replica.quorum_acks", &labels));
             }
@@ -303,10 +320,20 @@ impl ReqLedger {
     }
 }
 
-/// Charges the engine's media time for an operation touching `bytes`.
+/// Charges the engine's media time for an operation touching `bytes`,
+/// queuing FIFO behind any IO already in flight on this node. The device
+/// is a serial resource: an uncontended operation pays exactly
+/// `io_time(bytes)` (identical to the seed), while concurrent operations
+/// on one node back up behind each other — which is what lets a scaling
+/// experiment observe aggregate throughput grow with node count.
 async fn charge_io(inner: &Inner, bytes: usize) {
     let t = inner.engine.borrow().tier().io_time(bytes);
-    inner.fabric.handle().sleep(t).await;
+    let h = inner.fabric.handle();
+    let now = h.now();
+    let start = inner.io_free_at.get().max(now);
+    let end = start + t;
+    inner.io_free_at.set(end);
+    h.sleep_until(end).await;
 }
 
 /// The server-side span name for a request kind.
@@ -319,6 +346,7 @@ fn request_span_name(req: &Request) -> &'static str {
         Request::Fetch { .. } => "replica.fetch",
         Request::Inventory => "replica.inventory",
         Request::Push { .. } => "replica.push",
+        Request::Migrate { .. } => "replica.migrate",
     }
 }
 
@@ -344,7 +372,19 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             mutation,
             sync_replicas,
             req_id,
-        } => coordinate_dedup(&inner, req_id, id, mutation, sync_replicas, child_ctx).await,
+            expires_ns,
+        } => {
+            coordinate_dedup(
+                &inner,
+                req_id,
+                id,
+                mutation,
+                sync_replicas,
+                expires_ns,
+                child_ctx,
+            )
+            .await
+        }
         Request::Apply {
             id,
             tag,
@@ -352,6 +392,15 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             req_id,
         } => {
             charge_io(&inner, mutation_bytes(&mutation)).await;
+            // Post-IO, pre-apply gates (no awaits below, so neither can
+            // go stale between check and apply):
+            //
+            // * a frozen object is mid-migration-snapshot — acking an
+            //   apply now would commit a write the snapshot cannot see;
+            // * a node outside the effective replica set is a post-flip
+            //   old owner — its ack would count toward a quorum no
+            //   future reader consults.
+            //
             // Exactly-once by req_id, before any tag math: a failed-over
             // coordinator re-orders the same client request at a fresh
             // higher tag, and a replica that already applied it must not
@@ -359,7 +408,16 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             let duplicate = (req_id != 0)
                 .then(|| inner.ledger.borrow().lookup(id, req_id))
                 .flatten();
-            if let Some(recorded) = duplicate {
+            if inner.placement.is_frozen(id) {
+                Response::Err(WireError::Other(format!(
+                    "{id:?} is frozen for shard migration"
+                )))
+            } else if !effective_member(&inner, id) {
+                Response::Err(WireError::Other(format!(
+                    "node {} no longer replicates {id:?}",
+                    inner.node
+                )))
+            } else if let Some(recorded) = duplicate {
                 Response::AlreadyApplied { tag: recorded }
             } else {
                 let resp = {
@@ -388,14 +446,28 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             }
         }
         Request::Read { id, offset, len } => {
-            read_local(&inner, id, offset, len, u64::MAX, false).await
+            // Stale-routing rejection: a post-flip old owner must not
+            // serve (possibly stale) data for an object it no longer
+            // replicates; the retryable error sends the client back to
+            // recompute the replica set under the current epoch.
+            if effective_member(&inner, id) {
+                read_local(&inner, id, offset, len, u64::MAX, false).await
+            } else {
+                stale_route(&inner, id)
+            }
         }
         Request::ReadWithTag {
             id,
             offset,
             len,
             inline_limit,
-        } => read_local(&inner, id, offset, len, inline_limit, true).await,
+        } => {
+            if effective_member(&inner, id) {
+                read_local(&inner, id, offset, len, inline_limit, true).await
+            } else {
+                stale_route(&inner, id)
+            }
+        }
         Request::TagOf { id } => Response::TagIs {
             tag: inner.engine.borrow().tag_of(id),
         },
@@ -420,9 +492,85 @@ async fn handle(inner: Rc<Inner>, payload: Bytes, call_ctx: CallCtx) -> Bytes {
             inner.repaired.incr();
             Response::Applied
         }
+        Request::Migrate {
+            epoch,
+            id,
+            object,
+            reqs,
+            tombstone,
+        } => {
+            charge_io(&inner, object.data.len()).await;
+            migrate_install(&inner, epoch, id, object, reqs, tombstone)
+        }
     };
     span.finish();
     wire::encode_response(&response)
+}
+
+/// True when this node is in the *effective* replica set of `id` (the
+/// pinned old owners mid-migration, the ring owners otherwise).
+fn effective_member(inner: &Inner, id: ObjectId) -> bool {
+    inner.placement.is_replica(id, inner.node)
+}
+
+/// The retryable rejection for a request routed under a stale replica set.
+fn stale_route(inner: &Inner, id: ObjectId) -> Response {
+    Response::Err(WireError::Other(format!(
+        "node {} no longer replicates {id:?} (epoch {})",
+        inner.node,
+        inner.placement.epoch()
+    )))
+}
+
+/// Installs a migration snapshot on a new owner.
+///
+/// The install is gated three ways:
+///
+/// * the sender's topology epoch must match ours ([`Response::WrongEpoch`]
+///   otherwise) — a driver that raced a further topology change must
+///   recompute its target set;
+/// * this node must be a *ring* owner of the object (not an effective
+///   owner: mid-move the effective set is still the old one);
+/// * the local newest tag must not exceed the incoming seal. A newer
+///   local tag means either a zombie line (a never-acknowledged local
+///   apply the snapshot fetch could not see) or, for a late duplicate
+///   frame, state the flipped object has legitimately moved past. Both
+///   answer [`Response::Stale`]: the driver re-seals above the reported
+///   tag and re-sends, erasing zombies without ever regressing state.
+fn migrate_install(
+    inner: &Inner,
+    epoch: u64,
+    id: ObjectId,
+    object: StoredObject,
+    reqs: Vec<(u64, Tag)>,
+    tombstone: bool,
+) -> Response {
+    let current = inner.placement.epoch();
+    if epoch != current {
+        return Response::WrongEpoch { current };
+    }
+    if !inner.placement.ring_replicas(id).contains(&inner.node) {
+        return stale_route(inner, id);
+    }
+    let newest = inner.engine.borrow().tag_of(id);
+    if newest > object.tag {
+        return Response::Stale { newest };
+    }
+    if tombstone {
+        // The move found a majority-committed delete newer than any live
+        // state it fetched: land the tombstone itself (at the seal tag)
+        // so a stale old owner can never resurrect the object through
+        // anti-entropy inventory pulls.
+        let _ = inner
+            .engine
+            .borrow_mut()
+            .apply(id, object.tag, &Mutation::Delete);
+        inner.ledger.borrow_mut().replace(id, reqs);
+    } else {
+        install_state(inner, id, object, reqs);
+    }
+    inner.migrated_in.incr();
+    Response::Applied
 }
 
 /// Serves a local read. For one-RTT quorum reads (`absent_as_tag`), an
@@ -497,6 +645,7 @@ async fn coordinate_dedup(
     id: ObjectId,
     mutation: Mutation,
     sync_replicas: u32,
+    expires_ns: u64,
     ctx: Option<TraceContext>,
 ) -> Response {
     loop {
@@ -516,7 +665,7 @@ async fn coordinate_dedup(
         }
         inner.fabric.handle().sleep(Duration::from_micros(50)).await;
     }
-    let resp = coordinate(inner, id, mutation, sync_replicas, req_id, ctx).await;
+    let resp = coordinate(inner, id, mutation, sync_replicas, req_id, expires_ns, ctx).await;
     {
         let mut seen = inner.seen_coordinates.borrow_mut();
         if matches!(resp, Response::Coordinated { .. }) {
@@ -538,6 +687,14 @@ async fn coordinate_dedup(
         }
     }
     resp
+}
+
+/// Whether a [`Request::Coordinate`] attempt's absolute expiry has
+/// passed (`expires_ns == 0` means no expiry). Simulated clocks are
+/// global, so the coordinator can evaluate the client's deadline
+/// exactly.
+fn attempt_expired(inner: &Rc<Inner>, expires_ns: u64) -> bool {
+    expires_ns != 0 && inner.fabric.handle().now().as_nanos() > expires_ns
 }
 
 /// How the synchronous part of a replication round ended.
@@ -591,8 +748,19 @@ async fn coordinate(
     mutation: Mutation,
     sync_replicas: u32,
     req_id: u64,
+    expires_ns: u64,
     ctx: Option<TraceContext>,
 ) -> Response {
+    if attempt_expired(inner, expires_ns) {
+        return Response::Err(WireError::Other(format!(
+            "attempt for {id:?} expired before coordination started"
+        )));
+    }
+    if inner.placement.is_frozen(id) {
+        return Response::Err(WireError::Other(format!(
+            "{id:?} is frozen for shard migration"
+        )));
+    }
     let replicas = inner.placement.replicas(id);
     if !replicas.contains(&inner.node) {
         return Response::Err(WireError::Other(format!(
@@ -641,6 +809,30 @@ async fn coordinate(
                 }),
             };
         }
+        // Re-check the freeze *after* every await since the entry check
+        // (the IO charge, catch-up rounds): the check below and the
+        // local apply share one borrow with no await between them, so a
+        // mutation can never be minted inside a migration's freeze
+        // window — the snapshot fetch would miss it, and its tag would
+        // survive as a zombie line above the seal.
+        if inner.placement.is_frozen(id) {
+            return Response::Err(WireError::Other(format!(
+                "{id:?} is frozen for shard migration"
+            )));
+        }
+        // Never mint a fresh tag for an attempt the client has already
+        // abandoned (its per-attempt deadline passed while this
+        // coordination sat in IO queues or catch-up rounds). The client
+        // may long since have succeeded through another coordinator and
+        // issued *later* acknowledged writes; minting now would apply
+        // this mutation at a tag above all of them on this node alone —
+        // a zombie line that quorum reads and newest-tag-wins
+        // anti-entropy would surface as a rollback of those writes.
+        if attempt_expired(inner, expires_ns) {
+            return Response::Err(WireError::Other(format!(
+                "attempt for {id:?} expired before ordering"
+            )));
+        }
         // Order and apply locally. Charge the media time first: the tag
         // read and the apply must not straddle an await, or two
         // concurrent coordinations for the same object would both read
@@ -686,12 +878,28 @@ async fn coordinate(
 /// Fans an ordered mutation to `peers` and waits for `need` acks.
 ///
 /// What counts as an ack is deliberately narrow — a peer's reply is an
-/// ack only when it **proves** the peer's state contains this request:
+/// ack only when it **proves** two things: the peer's state contains
+/// this request, AND the peer's state-tag is at least the ordered tag.
+/// The second half is what keeps the acked tag the maximum over every
+/// line that contains the request — a majority then holds tags `>=`
+/// the acked tag, so any later coordination that mints below it can
+/// never assemble its own ack majority (the sets intersect, and the
+/// intersection answers `Stale`). The qualifying replies:
 ///
-/// * [`Response::Applied`] — it applied it just now;
-/// * [`Response::AlreadyApplied`] — its ledger records the request
-///   (possibly at a different tag after a failover re-order; both
-///   lines contain the request, so whichever wins LWW keeps it);
+/// * [`Response::Applied`] — it applied it just now (state `>=` tag);
+/// * [`Response::AlreadyApplied`] at a recorded tag `>=` the ordered
+///   tag — its ledger records the request on a line at or above ours;
+/// * [`Response::AlreadyApplied`] at a **lower** recorded tag — the
+///   peer holds the request on an older line (it acked a previous
+///   coordination of this request that later failed over). Both lines
+///   contain the request, but counting this alone once let an acked
+///   write live only on the coordinator: the next coordination on the
+///   behind peer minted *below* the acked tag and a quorum read
+///   surfaced the old value as a rollback. The coordinator therefore
+///   first pushes its full state (which contains the ordered tag) to
+///   the peer and counts the ack only when the push round-trips — the
+///   peer then provably holds state `>=` the ordered tag, installed or
+///   already newer;
 /// * in `replay` mode, [`Response::Stale`] at **exactly** the replayed
 ///   tag — tags are minted once, so state at that tag *is* this
 ///   mutation's apply (covers a peer whose ledger entry was evicted).
@@ -727,13 +935,23 @@ async fn replicate(
     );
     for &peer in peers {
         let tx = tx.clone();
-        let fabric = inner.fabric.clone();
+        let task_inner = inner.clone();
         let from = inner.node;
         let req = frame.clone();
         inner.fabric.handle().spawn_detached(async move {
+            let fabric = task_inner.fabric.clone();
             let outcome = match apply_on(&fabric, from, peer, req).await {
                 Ok(Response::Applied) => Ok(()),
-                Ok(Response::AlreadyApplied { .. }) => Ok(()),
+                Ok(Response::AlreadyApplied { tag: recorded }) if recorded >= tag => Ok(()),
+                Ok(Response::AlreadyApplied { .. }) => {
+                    // The peer holds this request on an older line. Its
+                    // dedup refusal is correct, but before this reply
+                    // may count toward the quorum the peer must be
+                    // brought up to (at least) the ordered tag — see
+                    // the ack rules above. Push the local state, which
+                    // contains the ordered apply.
+                    push_state_to(&task_inner, id, peer).await
+                }
                 Ok(Response::Stale { newest }) if replay && newest == tag => Ok(()),
                 Ok(Response::Stale { newest }) => Err(Some((newest, peer))),
                 _ => Err(None),
@@ -790,6 +1008,29 @@ fn install_state(inner: &Inner, id: ObjectId, object: StoredObject, reqs: Vec<(u
     let installed = inner.engine.borrow_mut().sync_in(id, object);
     if installed {
         inner.ledger.borrow_mut().replace(id, reqs);
+    }
+}
+
+/// Pushes the full local state of `id` (object plus request ledger) to
+/// `peer`, returning `Ok(())` only when the peer acknowledged the push.
+/// The peer installs it newest-wins, so a successful round-trip proves
+/// the peer's state-tag is at least the local tag at snapshot time —
+/// the guarantee [`replicate`] needs before counting a behind peer's
+/// [`Response::AlreadyApplied`] as a quorum ack.
+async fn push_state_to(
+    inner: &Rc<Inner>,
+    id: ObjectId,
+    peer: NodeId,
+) -> Result<(), Option<(Tag, NodeId)>> {
+    let snapshot = inner.engine.borrow().get(id).cloned();
+    let Some(object) = snapshot else {
+        return Err(None);
+    };
+    let reqs = inner.ledger.borrow().snapshot(id);
+    let frame = wire::encode_request(&Request::Push { id, object, reqs });
+    match apply_on(&inner.fabric, inner.node, peer, frame).await {
+        Ok(Response::Applied) => Ok(()),
+        _ => Err(None),
     }
 }
 

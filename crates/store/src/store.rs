@@ -27,6 +27,7 @@
 
 use fxhash::FxHashMap;
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -36,11 +37,12 @@ use pcsi_metrics::{Counter, Metrics};
 use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
 use pcsi_sim::sync::mpsc;
+use pcsi_sim::util::{join_all, Pacer};
 use pcsi_sim::SimTime;
 use pcsi_trace::{AttrValue, SpanHandle, TraceContext, Tracer};
 
 use crate::cache::ObjectCache;
-use crate::engine::{MediaTier, Mutation};
+use crate::engine::{MediaTier, Mutation, StoredObject};
 use crate::placement::Placement;
 use crate::replica::{ReplicaNode, STORE_SERVICE, STORE_TRANSPORT};
 use crate::retry::{RetryPolicy, RetryStats, RETRY_RNG_STREAM};
@@ -68,6 +70,12 @@ pub struct StoreConfig {
     /// Client-side fault recovery: per-attempt deadlines, bounded
     /// seeded-jitter retries, and coordination failover.
     pub retry: RetryPolicy,
+    /// Nodes initially in the placement ring. `None` (the default) puts
+    /// every storage node in the ring. A subset leaves the rest running
+    /// as warm standbys that hold no data until
+    /// [`ReplicatedStore::join_node`] admits them — the elastic-scaling
+    /// path.
+    pub ring_nodes: Option<Vec<NodeId>>,
 }
 
 impl Default for StoreConfig {
@@ -79,6 +87,7 @@ impl Default for StoreConfig {
             inline_read_max: 64 * 1024,
             cache_bytes: 256 * 1024 * 1024,
             retry: RetryPolicy::default(),
+            ring_nodes: None,
         }
     }
 }
@@ -172,6 +181,11 @@ struct StoreInner {
     /// Fault-recovery counters, aggregated across every client of this
     /// store.
     retry_counters: RetryCounters,
+    /// Objects a migration driver is currently moving. A freeze window
+    /// must belong to exactly one driver — a second drain unfreezing an
+    /// object mid-snapshot would readmit writes the first driver's
+    /// snapshot cannot see — so concurrent drains skip claimed objects.
+    migrating: RefCell<BTreeSet<ObjectId>>,
     /// Optional metrics registry. When installed, the always-on cells
     /// above (and every lazily created cache's) are published as named
     /// series; nothing is double-counted.
@@ -200,9 +214,22 @@ impl RetryCounters {
 }
 
 impl ReplicatedStore {
-    /// Launches replicas on `storage_nodes` and returns the store.
+    /// Launches replicas on `storage_nodes` and returns the store. The
+    /// placement ring covers [`StoreConfig::ring_nodes`] when set (a
+    /// subset of `storage_nodes`; the rest are warm standbys awaiting
+    /// [`ReplicatedStore::join_node`]), else all of `storage_nodes`.
     pub fn launch(fabric: Fabric, storage_nodes: Vec<NodeId>, config: StoreConfig) -> Self {
-        let placement = Placement::new(fabric.topology(), storage_nodes.clone(), config.n_replicas);
+        let ring = config
+            .ring_nodes
+            .clone()
+            .unwrap_or_else(|| storage_nodes.clone());
+        for n in &ring {
+            assert!(
+                storage_nodes.contains(n),
+                "ring node {n:?} is not a storage node"
+            );
+        }
+        let placement = Placement::new(fabric.topology(), ring, config.n_replicas);
         let replicas: Vec<ReplicaNode> = storage_nodes
             .iter()
             .map(|&node| ReplicaNode::start(fabric.clone(), placement.clone(), node, config.tier))
@@ -223,6 +250,7 @@ impl ReplicatedStore {
                 tracer: RefCell::new(None),
                 next_req_id: Cell::new(0),
                 retry_counters: RetryCounters::default(),
+                migrating: RefCell::new(BTreeSet::new()),
                 metrics: RefCell::new(None),
             }),
         }
@@ -381,7 +409,329 @@ impl ReplicatedStore {
             cache.admit(id, served.mutability, served.tag, served.data.clone())
         });
     }
+
+    // ---- live rebalancing ----------------------------------------------
+
+    /// Every object id any replica engine currently stores (sorted,
+    /// deduplicated) — the work list scanned at a topology change.
+    pub fn all_object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = Vec::new();
+        for r in &self.inner.replicas {
+            ids.extend(
+                r.with_engine(|e| e.inventory())
+                    .into_iter()
+                    .map(|(id, _)| id),
+            );
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Admits `node` into the placement ring and pins every object whose
+    /// replica set changes to its old owners; returns the pinned ids.
+    /// Reads and writes keep routing to the old owners until
+    /// [`ReplicatedStore::drain_moves`] migrates the data. `node` must be
+    /// a storage node (a warm standby launched outside the initial ring,
+    /// see [`StoreConfig::ring_nodes`]).
+    pub fn begin_join(&self, node: NodeId) -> Vec<ObjectId> {
+        assert!(
+            self.replica_on(node).is_some(),
+            "cannot join {node:?}: no replica engine runs there"
+        );
+        let ids = self.all_object_ids();
+        self.inner
+            .placement
+            .begin_join(self.inner.fabric.topology(), node, &ids)
+    }
+
+    /// Removes `node` from the placement ring and pins every object whose
+    /// replica set changes; returns the pinned ids. The departing node
+    /// keeps serving its pinned objects until they migrate, so call
+    /// [`ReplicatedStore::drain_moves`] before taking it down.
+    pub fn begin_decommission(&self, node: NodeId) -> Vec<ObjectId> {
+        let ids = self.all_object_ids();
+        self.inner.placement.begin_leave(node, &ids)
+    }
+
+    /// Joins `node` and migrates every affected object before returning
+    /// the number of objects moved.
+    pub async fn join_node(&self, node: NodeId) -> Result<usize, PcsiError> {
+        self.begin_join(node);
+        self.drain_moves(None).await
+    }
+
+    /// Decommissions `node` and migrates every affected object off it
+    /// before returning the number of objects moved. The node is safe to
+    /// take down once this returns.
+    pub async fn decommission_node(&self, node: NodeId) -> Result<usize, PcsiError> {
+        self.begin_decommission(node);
+        self.drain_moves(None).await
+    }
+
+    /// Migrates every pending move to completion, optionally paced (one
+    /// object per [`Pacer`] tick) so background data movement spreads
+    /// over time instead of saturating the fabric. Failed moves retry on
+    /// the next round; a round that makes no progress at all backs off,
+    /// and [`MAX_STALLED_ROUNDS`] fruitless rounds in a row surface a
+    /// retryable error (e.g. a quorum of old owners stayed unreachable).
+    /// Returns the number of objects moved by *this* call.
+    pub async fn drain_moves(&self, pacer: Option<&Pacer>) -> Result<usize, PcsiError> {
+        let handle = self.inner.fabric.handle().clone();
+        let mut moved = 0usize;
+        let mut stalled_rounds = 0u32;
+        loop {
+            let pending = self.inner.placement.pending_moves();
+            if pending.is_empty() {
+                return Ok(moved);
+            }
+            let mut progressed = false;
+            for id in pending {
+                if let Some(p) = pacer {
+                    p.tick().await;
+                }
+                match self.migrate_object(id).await {
+                    Ok(true) => {
+                        moved += 1;
+                        progressed = true;
+                    }
+                    // Already moved (or claimed by a concurrent drain).
+                    Ok(false) => {}
+                    // Retryable: the next round tries again.
+                    Err(_) => {}
+                }
+            }
+            if progressed {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds >= MAX_STALLED_ROUNDS {
+                    return Err(PcsiError::Fault(format!(
+                        "shard migration stalled: {} moves pending after {stalled_rounds} fruitless rounds",
+                        self.inner.placement.pending_moves().len(),
+                    )));
+                }
+                handle.sleep(DRAIN_RETRY_DELAY).await;
+            }
+        }
+    }
+
+    /// Migrates one pinned object: freezes writes, snapshots a majority
+    /// of the old owners, installs a sealed copy on a majority of the
+    /// new owners, and flips routing. `Ok(false)` when the object is not
+    /// (or no longer) pinned, or another drain already claimed it. On
+    /// error the freeze lifts and the pin stays — writes resume on the
+    /// old owners and the move retries later.
+    pub async fn migrate_object(&self, id: ObjectId) -> Result<bool, PcsiError> {
+        // Claim before freezing (no await between): a second drain
+        // unfreezing this object mid-snapshot would readmit writes the
+        // first drain's snapshot cannot see.
+        let Some(old) = self.inner.placement.move_old_set(id) else {
+            return Ok(false);
+        };
+        if !self.inner.migrating.borrow_mut().insert(id) {
+            return Ok(false);
+        }
+        self.inner.placement.freeze(id);
+        let result = self.migrate_frozen(id, &old).await;
+        match &result {
+            Ok(()) => self.inner.placement.complete_move(id),
+            Err(_) => self.inner.placement.unfreeze(id),
+        }
+        self.inner.migrating.borrow_mut().remove(&id);
+        result.map(|()| true)
+    }
+
+    /// The move itself, run with `id` frozen.
+    ///
+    /// Exactly-once survives the move because the request ledger travels
+    /// with the bytes: a client retrying a pre-move write replays against
+    /// the new owners and is answered `AlreadyApplied` at its recorded
+    /// tag instead of being applied twice.
+    ///
+    /// The installed copy is *sealed* one sequence number above the
+    /// newest tag any reachable old owner reported (writer `u32::MAX`
+    /// wins ties), so an uncommitted line a failed coordination left
+    /// behind orders below the moved state and anti-entropy cannot
+    /// resurrect lost-race bytes over it. A receiver holding an even
+    /// newer tag answers [`Response::Stale`] and the driver re-seals
+    /// above that.
+    ///
+    /// A committed delete survives the move the same way: an old owner
+    /// whose tombstone tag exceeds every live tag turns the move into a
+    /// tombstone install, so the delete cannot be undone by a stale
+    /// minority holder feeding anti-entropy after the flip.
+    async fn migrate_frozen(&self, id: ObjectId, old: &[NodeId]) -> Result<(), PcsiError> {
+        let majority = self.inner.placement.majority();
+        // The object's first new owner pulls: the transfer is charged
+        // from the network position of the node that will own the data.
+        let from = self.inner.placement.ring_replicas(id)[0];
+        let tag_frame = wire::encode_request(&Request::TagOf { id });
+        let fetch_frame = wire::encode_request(&Request::Fetch { id });
+        // Snapshot every reachable old owner — a majority must answer,
+        // and asking all of them lets the seal cover zombie tags on
+        // reachable minorities too. TagOf runs *before* Fetch on each
+        // node so a `reported > live` surplus can only mean a tombstone
+        // (writes are frozen; anti-entropy can only raise the live tag).
+        let replies = join_all(old.iter().map(|&n| {
+            let fabric = self.inner.fabric.clone();
+            let tag_frame = tag_frame.clone();
+            let fetch_frame = fetch_frame.clone();
+            async move {
+                let tag = call_store_raw(
+                    fabric.clone(),
+                    from,
+                    n,
+                    tag_frame,
+                    Some(MIGRATE_RPC_TIMEOUT),
+                )
+                .await;
+                let state =
+                    call_store_raw(fabric, from, n, fetch_frame, Some(MIGRATE_RPC_TIMEOUT)).await;
+                (tag, state)
+            }
+        }))
+        .await;
+        let mut heard = 0usize;
+        let mut best: Option<(StoredObject, Vec<(u64, Tag)>)> = None;
+        // Newest tag seen anywhere reachable (zombies and tombstones
+        // included) — the seal floor.
+        let mut max_seen = Tag::ZERO;
+        // Newest committed-delete tag among the old owners.
+        let mut tombstone = Tag::ZERO;
+        for (tag, state) in replies {
+            let reported = match tag {
+                Ok(Response::TagIs { tag }) => tag,
+                _ => continue,
+            };
+            let live = match state {
+                Ok(Response::Object { object, reqs }) => {
+                    let t = object.tag;
+                    if best.as_ref().is_none_or(|(b, _)| t > b.tag) {
+                        best = Some((object, reqs));
+                    }
+                    t
+                }
+                Ok(Response::Absent) => Tag::ZERO,
+                _ => continue,
+            };
+            heard += 1;
+            max_seen = max_seen.max(reported).max(live);
+            if reported > live {
+                tombstone = tombstone.max(reported);
+            }
+        }
+        if heard < majority {
+            return Err(PcsiError::QuorumUnavailable {
+                needed: majority,
+                got: heard,
+            });
+        }
+        let best_tag = best.as_ref().map_or(Tag::ZERO, |(b, _)| b.tag);
+        let deleted = tombstone > best_tag;
+        if best.is_none() && !deleted {
+            // Never written on any reachable old owner: nothing to move.
+            return Ok(());
+        }
+        let (snapshot, reqs) = best.unwrap_or_else(|| {
+            (
+                StoredObject {
+                    data: Bytes::new(),
+                    tag: Tag::ZERO,
+                    mutability: Mutability::Mutable,
+                    stable_len: 0,
+                },
+                Vec::new(),
+            )
+        });
+        let mut seal_seq = max_seen.seq + 1;
+        for _ in 0..MAX_SEAL_ROUNDS {
+            let epoch = self.inner.placement.epoch();
+            let targets = self.inner.placement.ring_replicas(id);
+            let sealed = StoredObject {
+                data: if deleted {
+                    Bytes::new()
+                } else {
+                    snapshot.data.clone()
+                },
+                tag: Tag {
+                    seq: seal_seq,
+                    writer: u32::MAX,
+                },
+                mutability: snapshot.mutability,
+                stable_len: if deleted { 0 } else { snapshot.stable_len },
+            };
+            let frame = wire::encode_request(&Request::Migrate {
+                epoch,
+                id,
+                object: sealed,
+                reqs: reqs.clone(),
+                tombstone: deleted,
+            });
+            let installs =
+                join_all(targets.iter().map(|&n| {
+                    let fabric = self.inner.fabric.clone();
+                    let frame = frame.clone();
+                    async move {
+                        call_store_raw(fabric, from, n, frame, Some(MIGRATE_RPC_TIMEOUT)).await
+                    }
+                }))
+                .await;
+            let mut acks = 0usize;
+            let mut newer: Option<Tag> = None;
+            let mut raced_epoch = false;
+            for reply in installs {
+                match reply {
+                    Ok(Response::Applied) => acks += 1,
+                    Ok(Response::Stale { newest }) => {
+                        newer = Some(newer.map_or(newest, |z| z.max(newest)));
+                    }
+                    Ok(Response::WrongEpoch { .. }) => raced_epoch = true,
+                    _ => {}
+                }
+            }
+            if acks >= majority {
+                return Ok(());
+            }
+            if raced_epoch {
+                // A further topology change landed mid-install; the
+                // retry recomputes its targets under the new epoch.
+                return Err(PcsiError::Fault(format!(
+                    "migration of {id:?} raced a topology change"
+                )));
+            }
+            match newer {
+                Some(t) if t.seq >= seal_seq => seal_seq = t.seq + 1,
+                _ => {
+                    return Err(PcsiError::QuorumUnavailable {
+                        needed: majority,
+                        got: acks,
+                    });
+                }
+            }
+        }
+        Err(PcsiError::Fault(format!(
+            "migration of {id:?} kept losing seal races"
+        )))
+    }
 }
+
+/// Per-RPC deadline for migration traffic (snapshot fetches and sealed
+/// installs). Short: a failed move just retries on the next drain round.
+const MIGRATE_RPC_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// Seal-raise rounds per install attempt. Each round seals above the
+/// newest tag any receiver reported, so two is enough for every
+/// quiescent race; more only lose to a live writer, which means the
+/// epoch raced anyway.
+const MAX_SEAL_ROUNDS: u32 = 4;
+
+/// Consecutive fruitless drain rounds tolerated before the drain reports
+/// the migration stalled.
+const MAX_STALLED_ROUNDS: u32 = 512;
+
+/// Back-off between fruitless drain rounds.
+const DRAIN_RETRY_DELAY: Duration = Duration::from_millis(2);
 
 /// A read as served by a replica (or the cache): payload plus the
 /// metadata that drives caching decisions.
@@ -557,6 +907,9 @@ impl StoreClient {
             mutation,
             sync_replicas,
             req_id,
+            // Stamped per attempt by `coordinate_with_recovery` when the
+            // policy carries an attempt deadline.
+            expires_ns: 0,
         };
         let mut span = self.op_span("store.mutate");
         span.attr("op", op);
@@ -599,8 +952,6 @@ impl StoreClient {
         let policy = self.store.inner.config.retry.clone();
         let handle = self.store.inner.fabric.handle().clone();
         let start = handle.now();
-        let replicas = self.store.placement().replicas(id);
-        let n_targets = if policy.failover { replicas.len() } else { 1 };
         let per_target = policy.attempts_per_target.max(1);
         let rng = handle.rng().stream(RETRY_RNG_STREAM);
         let counters = &self.store.inner.retry_counters;
@@ -613,7 +964,18 @@ impl StoreClient {
         // and failovers. Sampled attempts still encode per-span: their
         // trace context differs on every attempt.
         let mut untraced_frame: Option<Bytes> = None;
-        for (ti, &target) in replicas.iter().take(n_targets).enumerate() {
+        let mut ti = 0usize;
+        loop {
+            // Re-resolve placement at every failover step: a topology
+            // change (join/decommission) mid-operation must steer the
+            // remaining attempts at the object's *current* owners, not
+            // the set in force when the operation started.
+            let replicas = self.store.placement().replicas(id);
+            let n_targets = if policy.failover { replicas.len() } else { 1 };
+            if ti >= n_targets {
+                break;
+            }
+            let target = replicas[ti];
             if ti > 0 {
                 counters.failover();
             }
@@ -646,9 +1008,37 @@ impl StoreClient {
                 if ti > 0 {
                     att.attr("failover", ti as u64);
                 }
-                let frame = match att.ctx() {
-                    ctx @ Some(_) => wire::encode_request_traced(req, ctx),
-                    None => untraced_frame
+                let deadline = policy.attempt_deadline(remaining);
+                // Stamp the attempt's absolute expiry into the request:
+                // the coordinator refuses to order past it, so an
+                // abandoned attempt can never mint a fresh tag after
+                // this client has moved on (and possibly acknowledged
+                // the operation through another coordinator). The stamp
+                // differs per attempt, so stamped frames bypass the
+                // shared untraced-frame cache.
+                let stamped = match (deadline, req) {
+                    (
+                        Some(d),
+                        Request::Coordinate {
+                            id,
+                            mutation,
+                            sync_replicas,
+                            req_id,
+                            ..
+                        },
+                    ) => Some(Request::Coordinate {
+                        id: *id,
+                        mutation: mutation.clone(),
+                        sync_replicas: *sync_replicas,
+                        req_id: *req_id,
+                        expires_ns: (handle.now() + d).as_nanos(),
+                    }),
+                    _ => None,
+                };
+                let frame = match (&stamped, att.ctx()) {
+                    (Some(s), ctx) => wire::encode_request_traced(s, ctx),
+                    (None, ctx @ Some(_)) => wire::encode_request_traced(req, ctx),
+                    (None, None) => untraced_frame
                         .get_or_insert_with(|| wire::encode_request(req))
                         .clone(),
                 };
@@ -657,7 +1047,7 @@ impl StoreClient {
                     self.origin,
                     target,
                     frame,
-                    policy.attempt_deadline(remaining),
+                    deadline,
                 )
                 .await;
                 if let Err(e) = &outcome {
@@ -686,6 +1076,7 @@ impl StoreClient {
                     }
                 }
             }
+            ti += 1;
         }
         Err(server_err.or(transport_err).unwrap_or(PcsiError::Timeout))
     }
@@ -1465,10 +1856,16 @@ mod tests {
             async move {
                 let id = oid(4);
                 let replicas = store.placement().replicas(id);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
                 fabric.set_node_down(replicas[1], true);
                 fabric.set_node_down(replicas[2], true);
                 store
-                    .client(NodeId(0))
+                    .client(client_node)
                     .put(
                         id,
                         Bytes::from_static(b"x"),
@@ -1930,6 +2327,7 @@ mod tests {
                     attempt_timeout: Some(Duration::from_millis(1)),
                     ..RetryPolicy::default()
                 },
+                ring_nodes: None,
             },
         );
         sim.block_on({
@@ -1998,6 +2396,7 @@ mod tests {
                 cache_bytes: 1 << 20,
                 // Single-shot so the ambiguous verdict surfaces directly.
                 retry: RetryPolicy::none(),
+                ring_nodes: None,
             },
         );
         sim.block_on({
@@ -2071,6 +2470,7 @@ mod tests {
             },
             sync_replicas: 1,
             req_id,
+            expires_ns: 0,
         });
         let raw = fabric
             .call(from, target, STORE_SERVICE, STORE_TRANSPORT, req)
@@ -2121,6 +2521,7 @@ mod tests {
                     max_backoff: Duration::from_micros(10),
                     jitter: 0.0,
                 },
+                ring_nodes: None,
             },
         );
         sim.block_on({
@@ -2233,6 +2634,7 @@ mod tests {
                     max_backoff: Duration::from_millis(5),
                     jitter: 0.0,
                 },
+                ring_nodes: None,
             },
         );
         sim.block_on({
@@ -2311,6 +2713,275 @@ mod tests {
                         replica_bytes(&store, node, id),
                         b"pabx",
                         "acknowledged append must survive convergence on {node}",
+                    );
+                }
+            }
+        });
+    }
+
+    /// 9 storage nodes with an 8-node initial ring: `NodeId(8)` runs a
+    /// replica engine but holds no data until joined.
+    fn deploy_with_standby(sim: &Sim) -> (Fabric, ReplicatedStore) {
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let all = fabric.topology().node_ids();
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            all.clone(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 0,
+                ring_nodes: Some(all[..8].to_vec()),
+                ..StoreConfig::default()
+            },
+        );
+        (fabric, store)
+    }
+
+    #[test]
+    fn join_migrates_data_and_flips_routing() {
+        let mut sim = Sim::new(42);
+        let (_fabric, store) = deploy_with_standby(&sim);
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                let spare = NodeId(8);
+                assert!(!store.placement().is_member(spare));
+                let c = store.client(NodeId(0));
+                for n in 0..50u64 {
+                    c.put(
+                        oid(n),
+                        Bytes::from(vec![n as u8; 64]),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                }
+                let epoch_before = store.placement().epoch();
+                let moved = store.join_node(spare).await.unwrap();
+                assert!(moved >= 1, "a 50-object join moved nothing");
+                assert!(store.placement().is_member(spare));
+                assert_eq!(store.placement().epoch(), epoch_before + 1);
+                assert!(store.placement().pending_moves().is_empty());
+                // The joiner owns (and physically holds) part of the space.
+                let owns = (0..50u64)
+                    .filter(|&n| store.placement().replicas(oid(n)).contains(&spare))
+                    .count();
+                assert!(owns >= 1, "the joiner took over no replica sets");
+                assert!(
+                    store.replica_on(spare).unwrap().migrated_in_count() >= 1,
+                    "no sealed snapshot landed on the joiner"
+                );
+                // Every object still reads back correctly — including the
+                // migrated ones, served by their new owners.
+                for n in 0..50u64 {
+                    let (_, data) = c.read_all(oid(n), Consistency::Linearizable).await.unwrap();
+                    assert_eq!(&data[..], &vec![n as u8; 64][..], "object {n} corrupted");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn decommission_moves_data_off_the_departing_node() {
+        let mut sim = Sim::new(42);
+        let (fabric, store) = deploy(&sim, false);
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                for n in 0..50u64 {
+                    c.put(
+                        oid(n),
+                        Bytes::from(vec![n as u8; 64]),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                }
+                let leaving = NodeId(3);
+                store.decommission_node(leaving).await.unwrap();
+                assert!(!store.placement().is_member(leaving));
+                assert!(store.placement().pending_moves().is_empty());
+                for n in 0..50u64 {
+                    assert!(
+                        !store.placement().replicas(oid(n)).contains(&leaving),
+                        "object {n} still routed at the decommissioned node"
+                    );
+                }
+                // The node can now actually go away without data loss.
+                fabric.set_node_down(leaving, true);
+                for n in 0..50u64 {
+                    let (_, data) = c.read_all(oid(n), Consistency::Linearizable).await.unwrap();
+                    assert_eq!(&data[..], &vec![n as u8; 64][..], "object {n} lost");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn migration_preserves_a_partially_replicated_delete() {
+        // A delete lands on a majority but one replica keeps stale live
+        // bytes (its replication message was dropped). Migrating the
+        // object off the tombstoned primary must move the *delete*, not
+        // resurrect the stale survivor's data — and anti-entropy
+        // afterwards must not bring it back either.
+        let mut sim = Sim::new(42);
+        let fabric = Fabric::new(
+            sim.handle(),
+            Topology::uniform(3, 3),
+            LatencyModel::deterministic(NetworkGeneration::Dc2021),
+        );
+        let store = ReplicatedStore::launch(
+            fabric.clone(),
+            fabric.topology().node_ids(),
+            StoreConfig {
+                n_replicas: 3,
+                tier: MediaTier::Dram,
+                anti_entropy: None,
+                inline_read_max: 64 * 1024,
+                cache_bytes: 0,
+                retry: RetryPolicy::none(),
+                ..StoreConfig::default()
+            },
+        );
+        sim.block_on({
+            let store = store.clone();
+            let fabric = fabric.clone();
+            async move {
+                let id = oid(60);
+                let replicas = store.placement().replicas(id);
+                let client_node = fabric
+                    .topology()
+                    .node_ids()
+                    .into_iter()
+                    .find(|n| !replicas.contains(n))
+                    .unwrap();
+                let c = store.client(client_node);
+                c.put(
+                    id,
+                    Bytes::from_static(b"doomed"),
+                    Mutability::Mutable,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                // Drop the delete's replication to the last replica: the
+                // tombstone lands on a majority, the straggler keeps the
+                // live bytes.
+                fabric.set_link_faults(
+                    replicas[0],
+                    replicas[2],
+                    pcsi_net::MessageFaults {
+                        drop: 1.0,
+                        duplicate: 0.0,
+                        delay_spike: 0.0,
+                        spike: Duration::ZERO,
+                    },
+                );
+                let err = c.delete(id).await.unwrap_err();
+                assert!(err.is_retryable(), "delete should be ambiguous: {err:?}");
+                fabric.clear_message_faults();
+                assert_eq!(replica_bytes(&store, replicas[2], id), b"doomed");
+                // Move the object off its (tombstoned) primary.
+                store.decommission_node(replicas[0]).await.unwrap();
+                let r = c.read_all(id, Consistency::Linearizable).await;
+                assert!(
+                    matches!(r, Err(PcsiError::NotFound(_))),
+                    "migration resurrected a deleted object: {r:?}"
+                );
+                // The stale survivor must not resurrect it later either.
+                for _ in 0..8 {
+                    for r in store.replicas() {
+                        r.anti_entropy_once().await;
+                    }
+                }
+                let r = c.read_all(id, Consistency::Linearizable).await;
+                assert!(
+                    matches!(r, Err(PcsiError::NotFound(_))),
+                    "anti-entropy resurrected a deleted object: {r:?}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn writes_issued_during_a_migration_land_exactly_once() {
+        // Client appends race a join's drain loop: every acknowledged
+        // append must appear exactly once in the final bytes, no matter
+        // how the freeze windows interleave with the writes.
+        let mut sim = Sim::new(7);
+        let (fabric, store) = deploy_with_standby(&sim);
+        let h = fabric.handle().clone();
+        sim.block_on({
+            let store = store.clone();
+            async move {
+                let c = store.client(NodeId(0));
+                let id = oid(70);
+                c.put(
+                    id,
+                    Bytes::new(),
+                    Mutability::AppendOnly,
+                    Consistency::Linearizable,
+                )
+                .await
+                .unwrap();
+                for n in 0..20u64 {
+                    c.put(
+                        oid(100 + n),
+                        Bytes::from(vec![n as u8; 256]),
+                        Mutability::Mutable,
+                        Consistency::Linearizable,
+                    )
+                    .await
+                    .unwrap();
+                }
+                // Background writer: one appender racing the drain.
+                let writer = {
+                    let store = store.clone();
+                    let h = h.clone();
+                    async move {
+                        let c = store.client(NodeId(4));
+                        let mut acked = Vec::new();
+                        for i in 0..30u8 {
+                            let payload = Bytes::from(vec![i]);
+                            if c.append(id, payload.clone(), Consistency::Linearizable)
+                                .await
+                                .is_ok()
+                            {
+                                acked.push(i);
+                            }
+                            h.sleep(Duration::from_micros(200)).await;
+                        }
+                        acked
+                    }
+                };
+                let writer_task = h.spawn(writer);
+                let pacer = Pacer::new(h.clone(), Duration::from_micros(500));
+                store.begin_join(NodeId(8));
+                store.drain_moves(Some(&pacer)).await.unwrap();
+                let acked = writer_task.await;
+                // Quiesce: every replica of the final set converges.
+                for _ in 0..8 {
+                    for r in store.replicas() {
+                        r.anti_entropy_once().await;
+                    }
+                }
+                let (_, data) = c.read_all(id, Consistency::Linearizable).await.unwrap();
+                for &b in &acked {
+                    let count = data.iter().filter(|&&x| x == b).count();
+                    assert_eq!(
+                        count, 1,
+                        "acked append {b} appears {count} times in {data:?}"
                     );
                 }
             }

@@ -36,6 +36,15 @@ pub enum Request {
         /// this id and replays the recorded response instead of ordering
         /// the mutation twice.
         req_id: u64,
+        /// Absolute virtual-time expiry of this *attempt* in
+        /// nanoseconds, or 0 for "never". Set from the client's
+        /// per-attempt deadline: past it the client has provably
+        /// abandoned the attempt, so the coordinator must not order the
+        /// mutation at a fresh tag — a slow coordination that mints
+        /// after the client already succeeded through another
+        /// coordinator would resurrect the mutation on top of later
+        /// acknowledged writes.
+        expires_ns: u64,
     },
     /// Primary → secondary: apply an ordered mutation.
     Apply {
@@ -100,6 +109,28 @@ pub enum Request {
         /// Installed alongside the state so exactly-once dedup survives
         /// state transfer.
         reqs: Vec<(u64, Tag)>,
+    },
+    /// Migration driver → new owner: install a frozen object snapshot as
+    /// part of a shard move. Semantically a [`Request::Push`] (newest tag
+    /// wins, ledger installed alongside), but tagged with the topology
+    /// epoch the driver computed the target set under: a receiver on a
+    /// different epoch rejects with [`Response::WrongEpoch`] so a stale
+    /// driver can never install state under an outdated ring.
+    Migrate {
+        /// Topology epoch the sender routed under.
+        epoch: u64,
+        /// Target object.
+        id: ObjectId,
+        /// The sealed snapshot to install.
+        object: StoredObject,
+        /// The old owners' request ledger for the object (see
+        /// [`Request::Push::reqs`]).
+        reqs: Vec<(u64, Tag)>,
+        /// The move found a committed delete newer than any live state:
+        /// install a tombstone at `object.tag` (whose `data` is empty)
+        /// instead of live state, so stale old owners cannot resurrect
+        /// the object after the flip.
+        tombstone: bool,
     },
 }
 
@@ -166,6 +197,13 @@ pub enum Response {
         /// The tag the receiver recorded the request at (may differ
         /// from the sender's tag after a failover re-order).
         tag: Tag,
+    },
+    /// The sender's [`Request::Migrate`] carried a topology epoch that
+    /// does not match the receiver's ring. The install was refused; the
+    /// driver must recompute the target set under the current epoch.
+    WrongEpoch {
+        /// The receiver's current topology epoch.
+        current: u64,
     },
     /// A PCSI-level error.
     Err(WireError),
@@ -528,11 +566,13 @@ fn write_request(w: &mut Writer, req: &Request) {
             mutation,
             sync_replicas,
             req_id,
+            expires_ns,
         } => {
             w.u8(0);
             w.id(*id);
             w.u32(*sync_replicas);
             w.u64(*req_id);
+            w.u64(*expires_ns);
             w.mutation(mutation);
         }
         Request::Apply {
@@ -583,6 +623,23 @@ fn write_request(w: &mut Writer, req: &Request) {
             w.bytes(&object.data);
             w.reqs(reqs);
         }
+        Request::Migrate {
+            epoch,
+            id,
+            object,
+            reqs,
+            tombstone,
+        } => {
+            w.u8(8);
+            w.u64(*epoch);
+            w.u8(u8::from(*tombstone));
+            w.id(*id);
+            w.tag(object.tag);
+            w.mutability(object.mutability);
+            w.u64(object.stable_len);
+            w.bytes(&object.data);
+            w.reqs(reqs);
+        }
     }
 }
 
@@ -622,11 +679,13 @@ fn read_request(r: &mut Reader) -> Result<Request, CodecError> {
             let id = r.id()?;
             let sync_replicas = r.u32()?;
             let req_id = r.u64()?;
+            let expires_ns = r.u64()?;
             Request::Coordinate {
                 id,
                 mutation: r.mutation()?,
                 sync_replicas,
                 req_id,
+                expires_ns,
             }
         }
         1 => Request::Apply {
@@ -665,6 +724,32 @@ fn read_request(r: &mut Reader) -> Result<Request, CodecError> {
                     stable_len,
                 },
                 reqs,
+            }
+        }
+        8 => {
+            let epoch = r.u64()?;
+            let tombstone = match r.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(CodecError(format!("bad tombstone flag {b}"))),
+            };
+            let id = r.id()?;
+            let tag = r.tag()?;
+            let mutability = r.mutability()?;
+            let stable_len = r.u64()?;
+            let data = r.bytes()?;
+            let reqs = r.reqs()?;
+            Request::Migrate {
+                epoch,
+                id,
+                object: StoredObject {
+                    data,
+                    tag,
+                    mutability,
+                    stable_len,
+                },
+                reqs,
+                tombstone,
             }
         }
         b => return Err(CodecError(format!("bad request op {b}"))),
@@ -723,6 +808,10 @@ pub fn encode_response(resp: &Response) -> Bytes {
         Response::AlreadyApplied { tag } => {
             w.u8(9);
             w.tag(*tag);
+        }
+        Response::WrongEpoch { current } => {
+            w.u8(10);
+            w.u64(*current);
         }
         Response::Err(e) => {
             w.u8(7);
@@ -816,6 +905,7 @@ pub fn decode_response(buf: &Bytes) -> Result<Response, CodecError> {
         }),
         8 => Response::Stale { newest: r.tag()? },
         9 => Response::AlreadyApplied { tag: r.tag()? },
+        10 => Response::WrongEpoch { current: r.u64()? },
         b => return Err(CodecError(format!("bad response op {b}"))),
     };
     r.done()?;
@@ -885,6 +975,7 @@ mod tests {
                 },
                 sync_replicas: 2,
                 req_id: 1,
+                expires_ns: 0,
             },
             Request::Apply {
                 id: oid(2),
@@ -908,6 +999,7 @@ mod tests {
                 mutation: Mutation::Delete,
                 sync_replicas: 3,
                 req_id: u64::MAX,
+                expires_ns: u64::MAX,
             },
             Request::Apply {
                 id: oid(7),

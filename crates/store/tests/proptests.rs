@@ -97,14 +97,22 @@ fn arb_object() -> impl Strategy<Value = StoredObject> {
 /// `ReadWithTag` and `Push`.
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (arb_id(), arb_wire_mutation(), any::<u32>(), any::<u64>()).prop_map(
-            |(id, mutation, sync_replicas, req_id)| Request::Coordinate {
-                id,
-                mutation,
-                sync_replicas,
-                req_id,
-            }
-        ),
+        (
+            arb_id(),
+            arb_wire_mutation(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(id, mutation, sync_replicas, req_id, expires_ns)| {
+                Request::Coordinate {
+                    id,
+                    mutation,
+                    sync_replicas,
+                    req_id,
+                    expires_ns,
+                }
+            }),
         (arb_id(), arb_tag(), arb_wire_mutation(), any::<u64>()).prop_map(
             |(id, tag, mutation, req_id)| Request::Apply {
                 id,
@@ -134,6 +142,20 @@ fn arb_request() -> impl Strategy<Value = Request> {
             object,
             reqs
         }),
+        (
+            any::<u64>(),
+            arb_id(),
+            arb_object(),
+            arb_reqs(),
+            any::<bool>()
+        )
+            .prop_map(|(epoch, id, object, reqs, tombstone)| Request::Migrate {
+                epoch,
+                id,
+                object,
+                reqs,
+                tombstone,
+            }),
     ]
 }
 
@@ -180,6 +202,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .prop_map(|entries| Response::InventoryIs { entries }),
         arb_tag().prop_map(|newest| Response::Stale { newest }),
         arb_tag().prop_map(|tag| Response::AlreadyApplied { tag }),
+        any::<u64>().prop_map(|current| Response::WrongEpoch { current }),
         arb_wire_error().prop_map(Response::Err),
     ]
 }
@@ -381,5 +404,142 @@ proptest! {
         rs.sort_unstable();
         rs.dedup();
         prop_assert_eq!(rs.len(), 3, "replicas must span 3 racks");
+    }
+
+    /// Ring balance: with 64 vnodes per node the primary-replica load
+    /// across nodes stays within a bounded max/min ratio — no node owns
+    /// a disproportionate arc of the ring.
+    #[test]
+    fn ring_load_is_balanced(racks in 3u32..6, per_rack in 2u32..4, salt in any::<u64>()) {
+        let topo = Topology::uniform(racks, per_rack);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes.clone(), 3);
+        let mut load = std::collections::BTreeMap::new();
+        const OBJECTS: u64 = 2048;
+        for i in 0..OBJECTS {
+            let id = ObjectId::from_parts(salt, i);
+            for n in p.replicas(id) {
+                *load.entry(n).or_insert(0u64) += 1;
+            }
+        }
+        prop_assert_eq!(load.len(), nodes.len(), "every node must own some keys");
+        let max = *load.values().max().unwrap();
+        let min = *load.values().min().unwrap();
+        prop_assert!(
+            max <= min * 3,
+            "vnode load imbalance: max {} vs min {} over {} nodes",
+            max, min, nodes.len()
+        );
+    }
+
+    /// Minimal movement: joining one node relocates only the keys the
+    /// new node takes over — every changed replica set gains the joined
+    /// node, keeps a majority of its old members, and the total number
+    /// of changed sets is near the consistent-hashing expectation of
+    /// `replication · objects / (nodes + 1)`.
+    #[test]
+    fn ring_join_moves_the_minimum(racks in 3u32..6, per_rack in 2u32..4, salt in any::<u64>()) {
+        let topo = Topology::uniform(racks, per_rack);
+        let nodes = topo.node_ids();
+        let (joiner, initial) = nodes.split_last().unwrap();
+        let p = Placement::new(&topo, initial.to_vec(), 3);
+        const OBJECTS: u64 = 512;
+        let ids: Vec<ObjectId> =
+            (0..OBJECTS).map(|i| ObjectId::from_parts(salt, i)).collect();
+        let before: Vec<Vec<_>> = ids.iter().map(|&id| p.replicas(id)).collect();
+
+        let pinned = p.begin_join(&topo, *joiner, &ids);
+        for &id in &pinned {
+            p.complete_move(id);
+        }
+
+        let mut changed = 0u64;
+        for (i, &id) in ids.iter().enumerate() {
+            let after = p.replicas(id);
+            if after == before[i] {
+                continue;
+            }
+            changed += 1;
+            prop_assert!(
+                after.contains(joiner),
+                "replica set changed without involving the joined node"
+            );
+            let kept = after.iter().filter(|n| before[i].contains(n)).count();
+            prop_assert!(
+                kept >= 2,
+                "join displaced more than one replica: {:?} -> {:?}",
+                &before[i], &after
+            );
+        }
+        prop_assert_eq!(changed, pinned.len() as u64);
+        // Expectation: 3·objects/(n+1) replica slots touch the joiner;
+        // allow 2× for vnode-placement variance.
+        let bound = 2 * 3 * OBJECTS / (initial.len() as u64 + 1) + 8;
+        prop_assert!(
+            changed <= bound,
+            "join relocated {} of {} keys (bound {})",
+            changed, OBJECTS, bound
+        );
+    }
+
+    /// Minimal movement, leave direction: removing a node changes only
+    /// the replica sets that contained it.
+    #[test]
+    fn ring_leave_touches_only_the_leavers_keys(
+        racks in 4u32..6, per_rack in 2u32..4, salt in any::<u64>()
+    ) {
+        let topo = Topology::uniform(racks, per_rack);
+        let nodes = topo.node_ids();
+        let p = Placement::new(&topo, nodes.clone(), 3);
+        const OBJECTS: u64 = 512;
+        let ids: Vec<ObjectId> =
+            (0..OBJECTS).map(|i| ObjectId::from_parts(salt, i)).collect();
+        let before: Vec<Vec<_>> = ids.iter().map(|&id| p.replicas(id)).collect();
+        let leaver = nodes[nodes.len() / 2];
+
+        let pinned = p.begin_leave(leaver, &ids);
+        for &id in &pinned {
+            p.complete_move(id);
+        }
+
+        for (i, &id) in ids.iter().enumerate() {
+            let after = p.replicas(id);
+            prop_assert!(!after.contains(&leaver), "leaver still owns {:?}", id);
+            if !before[i].contains(&leaver) {
+                prop_assert_eq!(
+                    &after, &before[i],
+                    "a set without the leaver moved anyway"
+                );
+            }
+        }
+    }
+
+    /// Lookup determinism across rebuilds: two placements built from the
+    /// same membership — even via different join orders — agree on every
+    /// replica set.
+    #[test]
+    fn ring_lookup_is_deterministic_across_rebuilds(
+        racks in 3u32..6, per_rack in 2u32..4, obj in any::<u64>(), salt in any::<u64>()
+    ) {
+        let topo = Topology::uniform(racks, per_rack);
+        let nodes = topo.node_ids();
+        let id = ObjectId::from_parts(salt, obj);
+
+        let a = Placement::new(&topo, nodes.clone(), 3);
+        let b = Placement::new(&topo, nodes.clone(), 3);
+        prop_assert_eq!(a.replicas(id), b.replicas(id));
+
+        // Build the same membership by joining the last node late; once
+        // its moves complete, lookups are indistinguishable from a ring
+        // born with that membership.
+        let (last, initial) = nodes.split_last().unwrap();
+        let c = Placement::new(&topo, initial.to_vec(), 3);
+        let all: Vec<ObjectId> = (0..256).map(|i| ObjectId::from_parts(salt, i)).collect();
+        for pin in c.begin_join(&topo, *last, &all) {
+            c.complete_move(pin);
+        }
+        for &probe in &all {
+            prop_assert_eq!(c.replicas(probe), a.replicas(probe));
+        }
     }
 }

@@ -111,6 +111,7 @@ fn one_rtt_reads_stay_fresh_and_repair_stale_replicas() {
                     // Single-shot: this test pins down the raw one-RTT
                     // read/repair protocol, not the recovery layer.
                     retry: RetryPolicy::none(),
+                    ring_nodes: None,
                 },
             );
             let id = ObjectId::from_parts(9, 1);

@@ -217,6 +217,52 @@ fn chaos_scenarios_fingerprint_identically_per_seed() {
     );
 }
 
+/// Live rebalancing is part of the reproducibility contract: a run in
+/// which a node joins mid-flight, shards migrate across an epoch flip,
+/// and nodes crash *during* the moves must replay byte-identically —
+/// fault schedule, migration events, operation history, end-of-run
+/// metrics snapshot, all of it. With tracing on, the span ids drawn
+/// must match too (same id-draw count), so traced migration runs stay
+/// as reproducible as untraced ones.
+#[test]
+fn rebalance_scenarios_fingerprint_identically_per_seed() {
+    use pcsi_chaos::{run_scenario, FaultPlan, ScenarioConfig};
+
+    let cfg = ScenarioConfig {
+        plan: FaultPlan::Rebalance,
+        ..ScenarioConfig::default()
+    };
+    let a = run_scenario(0x9EBA_0001, &cfg);
+    let b = run_scenario(0x9EBA_0001, &cfg);
+    assert!(
+        a.faults.iter().any(|f| f.contains("join "))
+            && a.faults.iter().any(|f| f.contains("drain-complete")),
+        "the schedule never migrated:\n{}",
+        a.render()
+    );
+    // render() embeds the fault schedule (join, crashes, drain), every
+    // op interval, and the rendered metrics snapshot — byte-identical.
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.metrics_snapshot, b.metrics_snapshot);
+
+    let traced = ScenarioConfig {
+        sampling: pcsi_trace::Sampling::Always,
+        ..cfg.clone()
+    };
+    let ta = run_scenario(0x9EBA_0001, &traced);
+    let tb = run_scenario(0x9EBA_0001, &traced);
+    assert_eq!(ta.render(), tb.render());
+    assert_eq!(ta.fingerprint(), tb.fingerprint());
+
+    let c = run_scenario(0x9EBA_0002, &cfg);
+    assert_ne!(
+        a.fingerprint(),
+        c.fingerprint(),
+        "different seeds must explore different migration schedules"
+    );
+}
+
 /// The fault-recovery layer draws its backoff jitter from a dedicated
 /// RNG stream, so a retried/failed-over run is as reproducible as a
 /// healthy one: same seed + same fault schedule → the identical
@@ -357,35 +403,35 @@ fn trace_fingerprints_are_deterministic_under_faults() {
     );
 }
 
-/// The hot-path rewrites (timer-wheel scheduler, zero-copy wire path,
-/// pooled buffers, fast hashing) are pure mechanism swaps: they must
-/// not move the simulation by a single poll, byte, or RNG draw. These
-/// constants were captured on the heap-based, copying tree; every
-/// later tree must reproduce them exactly, so a perf change that
-/// perturbs the schedule fails here rather than silently shifting
-/// every experiment in the repository.
+/// Golden fingerprints: pure mechanism swaps (scheduler, codec,
+/// buffering) must not move the simulation by a single poll, byte, or
+/// RNG draw, so these constants pin the whole schedule. They are
+/// re-captured only when a PR *deliberately* changes the modeled
+/// behavior — most recently the sharding PR, whose ring placement,
+/// per-attempt expiry wire field, and per-node IO gate all reshape the
+/// schedule on purpose. Any other drift is a bug.
 #[test]
-fn fingerprints_match_the_heap_based_golden_values() {
+fn fingerprints_match_the_golden_values() {
     use pcsi_chaos::{run_scenario, FaultPlan, ScenarioConfig};
 
     let f = run(424242);
     assert_eq!(
         f,
         (
-            3043331600,
-            62147,
-            452716,
-            620,
-            247463936,
-            "5.966411437039e-4|cache 0/1705/0|retry 0/0/0".to_owned()
+            GOLDEN_MIXED.0,
+            GOLDEN_MIXED.1,
+            GOLDEN_MIXED.2,
+            GOLDEN_MIXED.3,
+            GOLDEN_MIXED.4,
+            GOLDEN_MIXED.5.to_owned()
         ),
-        "mixed-workload universe drifted from the heap-based seed"
+        "mixed-workload universe drifted from the golden seed"
     );
 
     let chaos = run_scenario(0xC0FFEE, &ScenarioConfig::default()).fingerprint();
     assert_eq!(
-        chaos, 0x45c2_29c8_a364_3b20,
-        "chaos scenario report drifted from the heap-based seed"
+        chaos, GOLDEN_CHAOS,
+        "chaos scenario report drifted from the golden seed"
     );
 
     let drops = run_scenario(
@@ -397,14 +443,41 @@ fn fingerprints_match_the_heap_based_golden_values() {
     )
     .fingerprint();
     assert_eq!(
-        drops, 0xa2ee_2214_27f0_c2a6,
-        "drop-recovery scenario report drifted from the heap-based seed"
+        drops, GOLDEN_DROPS,
+        "drop-recovery scenario report drifted from the golden seed"
+    );
+
+    let rebalance = run_scenario(
+        0x9EBA_0001,
+        &ScenarioConfig {
+            plan: FaultPlan::Rebalance,
+            ..ScenarioConfig::default()
+        },
+    )
+    .fingerprint();
+    assert_eq!(
+        rebalance, GOLDEN_REBALANCE,
+        "rebalance scenario report drifted from the golden seed"
     );
 
     let (_, _, snapshot) = run_with(90210, None, true);
     let metrics = pcsi_metrics::fingerprint(&snapshot.unwrap());
     assert_eq!(
-        metrics, 0x28cf_183c_8b58_4348,
-        "metrics snapshot drifted from the heap-based seed"
+        metrics, GOLDEN_METRICS,
+        "metrics snapshot drifted from the golden seed"
     );
 }
+
+/// Captured on the tree that introduced consistent-hash sharding.
+const GOLDEN_MIXED: (u64, u64, u64, u64, u64, &str) = (
+    3043445277,
+    62339,
+    454768,
+    620,
+    247463936,
+    "5.979504589381e-4|cache 0/1705/0|retry 0/0/0",
+);
+const GOLDEN_CHAOS: u64 = 0xe17b_eb3a_f5f1_cd9e;
+const GOLDEN_DROPS: u64 = 0x544f_8426_2737_31a2;
+const GOLDEN_REBALANCE: u64 = 0xa63a_96c5_4e5a_78fe;
+const GOLDEN_METRICS: u64 = 0x5806_da3c_44e9_a4e1;
