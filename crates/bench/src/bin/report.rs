@@ -263,7 +263,42 @@ fn report_efficiency() {
         ]);
     }
     print!("{}", t.render());
-    println!();
+
+    println!("\n### diurnal multi-tenant re-run: reactive vs predictive autoscaling\n");
+    let (r, p) = efficiency::run_diurnal_pair(DEFAULT_SEED, Duration::from_secs(180));
+    let mut t = Table::new(&[
+        "policy",
+        "requests",
+        "cold starts",
+        "cold/1k req",
+        "SLO(300ms)",
+        "mean CPU util",
+        "prewarms",
+        "steals",
+    ]);
+    for m in [&r, &p] {
+        t.row(&[
+            m.policy.label().into(),
+            format!("{}", m.completed),
+            format!("{}", m.cold_starts),
+            format!("{:.2}", 1000.0 * m.cold_start_rate()),
+            format!("{:.2}%", 100.0 * m.slo_attainment),
+            format!("{:.1}%", 100.0 * m.mean_cpu_util),
+            format!("{}", m.prewarms),
+            format!("{}", m.rebalances),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\npredictive pre-warming cuts the diurnal cold-start rate {:.1}x at {:.2}x the",
+        r.cold_start_rate() / p.cold_start_rate().max(1e-12),
+        p.mean_cpu_util / r.mean_cpu_util.max(1e-12)
+    );
+    println!("cluster utilization, with equal-or-better SLO attainment.");
+    match efficiency::diurnal_shape_holds(&r, &p) {
+        Ok(()) => println!("shape check: PASS\n"),
+        Err(e) => println!("shape check: FAIL — {e}\n"),
+    }
 }
 
 fn report_flexibility() {
@@ -522,12 +557,31 @@ fn report_bench() {
         shard.objects_moved
     );
 
+    println!("\n## Diurnal autoscale comparison (reactive vs predictive)\n");
+    let autoscale = efficiency::run_diurnal_pair(DEFAULT_SEED, Duration::from_secs(180));
+    println!(
+        "cold-start rate: {:.4} -> {:.4} ({:.1}x); mean CPU util {:.3} -> {:.3}; SLO {:.4} -> {:.4}",
+        autoscale.0.cold_start_rate(),
+        autoscale.1.cold_start_rate(),
+        autoscale.0.cold_start_rate() / autoscale.1.cold_start_rate().max(1e-12),
+        autoscale.0.mean_cpu_util,
+        autoscale.1.mean_cpu_util,
+        autoscale.0.slo_attainment,
+        autoscale.1.slo_attainment,
+    );
+
     let pr = std::env::var("BENCH_PR").unwrap_or_else(|_| "dev".into());
     let baseline = std::env::var("BENCH_BASELINE").ok().map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read BENCH_BASELINE {path}: {e}"))
     });
-    let json = snapshot::render(&suite, Some(&shard), &pr, baseline.as_deref());
+    let json = snapshot::render(
+        &suite,
+        Some(&shard),
+        Some(&autoscale),
+        &pr,
+        baseline.as_deref(),
+    );
     snapshot::validate(&json).expect("emitted snapshot must conform to its own schema");
     let path = format!("BENCH_{pr}.json");
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::experiments::efficiency::DiurnalResult;
 use crate::experiments::hotpath::SuiteResult;
 use crate::experiments::shard_scaling::ShardScalingResult;
 
@@ -73,6 +74,11 @@ impl Json {
 /// carries a `shard_scaling` block proving the measured scale-out gain
 /// and migration-window tail inside the committed artifact itself.
 ///
+/// `autoscale` is the diurnal reactive-vs-predictive comparison
+/// ([`crate::experiments::efficiency::run_diurnal_pair`]); when present
+/// the snapshot carries an `autoscale` block proving the measured
+/// cold-start reduction and utilization lift inside the artifact.
+///
 /// `baseline` is a previously emitted snapshot (the pre-change tree,
 /// same harness); when present its headline events/sec is embedded and
 /// the speedup ratio computed, which is how a PR proves its measured
@@ -80,6 +86,7 @@ impl Json {
 pub fn render(
     suite: &SuiteResult,
     shard: Option<&ShardScalingResult>,
+    autoscale: Option<&(DiurnalResult, DiurnalResult)>,
     pr: &str,
     baseline: Option<&str>,
 ) -> String {
@@ -142,8 +149,50 @@ pub fn render(
         );
         let _ = writeln!(out, "      \"p99_after_us\": {},", num(s.p99_after_us));
         let _ = writeln!(out, "      \"objects_moved\": {}", s.objects_moved);
+        out.push_str("    }");
+        if autoscale.is_none() {
+            out.push('\n');
+        }
+    }
+    if let Some((reactive, predictive)) = autoscale {
+        out.push_str(",\n    \"autoscale\": {\n");
+        let _ = writeln!(
+            out,
+            "      \"reactive_cold_start_rate\": {:.6},",
+            reactive.cold_start_rate()
+        );
+        let _ = writeln!(
+            out,
+            "      \"predictive_cold_start_rate\": {:.6},",
+            predictive.cold_start_rate()
+        );
+        let ratio = reactive.cold_start_rate() / predictive.cold_start_rate().max(1e-12);
+        let _ = writeln!(out, "      \"cold_start_ratio\": {},", num(ratio));
+        let _ = writeln!(
+            out,
+            "      \"reactive_mean_cpu_util\": {:.6},",
+            reactive.mean_cpu_util
+        );
+        let _ = writeln!(
+            out,
+            "      \"predictive_mean_cpu_util\": {:.6},",
+            predictive.mean_cpu_util
+        );
+        let _ = writeln!(
+            out,
+            "      \"reactive_slo_attainment\": {:.6},",
+            reactive.slo_attainment
+        );
+        let _ = writeln!(
+            out,
+            "      \"predictive_slo_attainment\": {:.6},",
+            predictive.slo_attainment
+        );
+        let _ = writeln!(out, "      \"prewarms\": {},", predictive.prewarms);
+        let _ = writeln!(out, "      \"preemptions\": {},", predictive.preemptions);
+        let _ = writeln!(out, "      \"rebalances\": {}", predictive.rebalances);
         out.push_str("    }\n");
-    } else {
+    } else if shard.is_none() {
         out.push('\n');
     }
     out.push_str("  }");
@@ -248,6 +297,26 @@ pub fn validate(text: &str) -> Result<(), String> {
             shard.get(field).and_then(Json::as_num).ok_or(format!(
                 "missing number field: snapshot.shard_scaling.{field}"
             ))?;
+        }
+    }
+    // The autoscale block is optional (older snapshots predate it), but
+    // when present must carry every measured field.
+    if let Some(auto) = snap.get("autoscale") {
+        for field in [
+            "reactive_cold_start_rate",
+            "predictive_cold_start_rate",
+            "cold_start_ratio",
+            "reactive_mean_cpu_util",
+            "predictive_mean_cpu_util",
+            "reactive_slo_attainment",
+            "predictive_slo_attainment",
+            "prewarms",
+            "preemptions",
+            "rebalances",
+        ] {
+            auto.get(field)
+                .and_then(Json::as_num)
+                .ok_or(format!("missing number field: snapshot.autoscale.{field}"))?;
         }
     }
     // Baseline block is optional, but when present must be well-formed.
@@ -492,15 +561,42 @@ mod tests {
         }
     }
 
+    fn diurnal() -> (DiurnalResult, DiurnalResult) {
+        use crate::experiments::efficiency::ScalePolicy;
+        let base = DiurnalResult {
+            policy: ScalePolicy::Reactive,
+            completed: 20_000,
+            cold_starts: 160,
+            p99_ns: 150_000_000,
+            slo_attainment: 0.994,
+            mean_cpu_util: 0.18,
+            prewarms: 0,
+            preemptions: 0,
+            rebalances: 0,
+        };
+        let predictive = DiurnalResult {
+            policy: ScalePolicy::Predictive,
+            completed: 20_000,
+            cold_starts: 20,
+            slo_attainment: 0.999,
+            mean_cpu_util: 0.35,
+            prewarms: 700,
+            preemptions: 2,
+            rebalances: 500,
+            ..base.clone()
+        };
+        (base, predictive)
+    }
+
     #[test]
     fn rendered_snapshot_validates() {
-        let text = render(&suite(), None, "6", None);
+        let text = render(&suite(), None, None, "6", None);
         validate(&text).unwrap();
     }
 
     #[test]
     fn shard_scaling_block_renders_and_validates() {
-        let text = render(&suite(), Some(&shard()), "7", None);
+        let text = render(&suite(), Some(&shard()), None, "7", None);
         validate(&text).unwrap();
         let doc = parse(&text).unwrap();
         let block = doc.get("snapshot").unwrap().get("shard_scaling").unwrap();
@@ -515,9 +611,28 @@ mod tests {
     }
 
     #[test]
+    fn autoscale_block_renders_and_validates() {
+        // With and without the shard block — both comma paths.
+        for shard_block in [None, Some(shard())] {
+            let text = render(&suite(), shard_block.as_ref(), Some(&diurnal()), "8", None);
+            validate(&text).unwrap();
+            let doc = parse(&text).unwrap();
+            let block = doc.get("snapshot").unwrap().get("autoscale").unwrap();
+            let ratio = block.get("cold_start_ratio").unwrap().as_num().unwrap();
+            assert!((ratio - 8.0).abs() < 1e-3, "ratio {ratio}");
+            assert_eq!(block.get("prewarms").unwrap().as_num(), Some(700.0));
+            // A block missing a measured field is schema drift.
+            let drifted = text.replace("\"predictive_mean_cpu_util\"", "\"util\"");
+            assert!(validate(&drifted)
+                .unwrap_err()
+                .contains("autoscale.predictive_mean_cpu_util"));
+        }
+    }
+
+    #[test]
     fn baseline_embedding_and_ratio() {
-        let base = render(&suite(), None, "base", None);
-        let text = render(&suite(), Some(&shard()), "6", Some(&base));
+        let base = render(&suite(), None, None, "base", None);
+        let text = render(&suite(), Some(&shard()), Some(&diurnal()), "6", Some(&base));
         validate(&text).unwrap();
         let doc = parse(&text).unwrap();
         assert_eq!(
@@ -530,7 +645,7 @@ mod tests {
 
     #[test]
     fn schema_drift_is_rejected() {
-        let text = render(&suite(), None, "6", None);
+        let text = render(&suite(), None, None, "6", None);
         // Wrong schema tag.
         let drifted = text.replace(SCHEMA, "pcsi-bench-snapshot/v0");
         assert!(validate(&drifted).unwrap_err().contains("schema"));

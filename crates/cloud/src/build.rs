@@ -173,6 +173,20 @@ impl CloudBuilder {
         self
     }
 
+    /// Enables (or tunes) the predictive warm-pool autoscaler
+    /// (shorthand over [`CloudBuilder::runtime`]). Off by default.
+    pub fn autoscale(mut self, c: pcsi_faas::AutoscaleConfig) -> Self {
+        self.runtime.autoscale = c;
+        self
+    }
+
+    /// Lets provisioned placements evict scavenged warm instances when
+    /// the cluster is full (shorthand over [`CloudBuilder::runtime`]).
+    pub fn preemption(mut self, enabled: bool) -> Self {
+        self.runtime.preemption = enabled;
+        self
+    }
+
     /// Sets the kernel's default variant-selection goal.
     pub fn goal(mut self, g: Goal) -> Self {
         self.goal = g;

@@ -77,6 +77,28 @@ impl Variant {
         }
     }
 
+    /// A Firecracker-style microVM variant using `cores` cores: stronger
+    /// isolation than a container, half the boot time.
+    pub fn microvm(cores: u32) -> Self {
+        Variant {
+            name: "microvm".into(),
+            backend: Backend::MicroVm,
+            demand: Resources::cpu(cores, 2 * cores),
+            speedup: 1.0,
+        }
+    }
+
+    /// An in-process WebAssembly sandbox variant using `cores` cores:
+    /// near-instant boot, so predictive warm pools for it stay shallow.
+    pub fn wasm(cores: u32) -> Self {
+        Variant {
+            name: "wasm".into(),
+            backend: Backend::Wasm,
+            demand: Resources::cpu(cores, cores),
+            speedup: 1.0,
+        }
+    }
+
     /// Wall-clock execution time for `work` on this variant.
     pub fn exec_time(&self, work: Duration) -> Duration {
         work.div_f64(self.speedup.max(1e-9))

@@ -52,6 +52,34 @@ impl Backend {
         }
     }
 
+    /// Warm-pool depth a predictive pre-warmer should hold for this
+    /// backend at an arrival rate (per second) and per-invocation service
+    /// time: the steady-state concurrency (Little's law, padded by
+    /// `headroom`) plus a buffer proportional to the boot cost — the
+    /// arrivals that would stall behind a cold start if the prediction
+    /// undershoots. Expensive boots (containers, microVMs) justify deep
+    /// pools; a Wasm sandbox boots in a millisecond, so its pool stays
+    /// shallow.
+    ///
+    /// Pure integer/float arithmetic over the arguments — deterministic,
+    /// no clock or RNG involved.
+    pub fn prewarm_depth(self, rate_per_sec: f64, service: Duration, headroom: f64) -> usize {
+        if rate_per_sec <= 0.0 {
+            return 0;
+        }
+        let steady = rate_per_sec * service.as_secs_f64() * headroom;
+        let boot_buffer =
+            rate_per_sec * self.cold_start().as_secs_f64() * (headroom - 1.0).max(0.0);
+        let depth = steady + boot_buffer;
+        // Rates that predict less than a quarter of an instance round to
+        // zero so idle pools drain instead of pinning one slot forever.
+        if depth < 0.25 {
+            0
+        } else {
+            depth.ceil() as usize
+        }
+    }
+
     /// Table-1-style row label.
     pub fn label(self) -> &'static str {
         match self {
@@ -83,6 +111,23 @@ mod tests {
             assert!(Backend::Wasm.call_overhead() <= b.call_overhead());
             assert!(Backend::Wasm.cold_start() <= b.cold_start());
         }
+    }
+
+    #[test]
+    fn prewarm_pools_scale_with_boot_cost() {
+        // Same traffic, same service time: the container pool must run
+        // deeper than the Wasm pool because its boot is 250x costlier.
+        let svc = Duration::from_millis(20);
+        let deep = Backend::Container.prewarm_depth(100.0, svc, 1.5);
+        let shallow = Backend::Wasm.prewarm_depth(100.0, svc, 1.5);
+        assert!(deep > shallow, "container {deep} vs wasm {shallow}");
+        assert!(shallow <= 4, "wasm pools stay shallow: {shallow}");
+        // Near-zero rates pin nothing.
+        assert_eq!(Backend::Container.prewarm_depth(0.0, svc, 1.5), 0);
+        assert_eq!(
+            Backend::Container.prewarm_depth(0.05, Duration::from_millis(1), 1.5),
+            0
+        );
     }
 
     #[test]

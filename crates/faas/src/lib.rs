@@ -20,6 +20,10 @@
 //!   scavenging, load-balancing) and autoscaler bookkeeping,
 //! * [`runtime::Runtime`] — per-node warm pools, cold starts, scale from
 //!   zero, idle reaping, pay-per-use accounting,
+//! * [`autoscale`] — the predictive warm-pool autoscaler: deterministic
+//!   EWMA arrival-rate estimators, backend-aware pre-warm depth, and
+//!   graph-aware phantom arrivals; plus the scavenged (preemptible)
+//!   capacity class in the runtime,
 //! * [`graph::TaskGraph`] — ahead-of-time task graphs with the
 //!   co-location grouping used by experiment E4 (§4.1).
 //!
@@ -27,6 +31,7 @@
 //! bodies receive a [`function::DataPlane`] capability and the explicit
 //! input/output references from the invocation request — nothing else.
 
+pub mod autoscale;
 pub mod cluster;
 pub mod function;
 pub mod graph;
@@ -35,6 +40,7 @@ pub mod registry;
 pub mod runtime;
 pub mod scheduler;
 
+pub use autoscale::AutoscaleConfig;
 pub use cluster::ClusterState;
 pub use function::{DataPlane, FnCtx, FunctionImage, Variant, WorkModel};
 pub use graph::TaskGraph;

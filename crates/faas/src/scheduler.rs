@@ -40,6 +40,18 @@ pub struct PlacementRequest {
     pub warm_nodes: Vec<NodeId>,
 }
 
+/// A placement decision together with its capacity class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placed {
+    /// The chosen node.
+    pub node: NodeId,
+    /// True if the slot was scavenged from consolidated spare capacity
+    /// rather than provisioned intentionally: the instance should be
+    /// tagged preemptible so a provisioned placement that later finds no
+    /// room can reclaim it (§4.2).
+    pub scavenged: bool,
+}
+
 /// Picks a node under `policy`; `None` if nothing fits.
 ///
 /// Deterministic: all ties break toward the lower node id.
@@ -48,32 +60,57 @@ pub fn place(
     policy: PlacementPolicy,
     req: &PlacementRequest,
 ) -> Option<NodeId> {
+    place_classed(cluster, policy, req).map(|p| p.node)
+}
+
+/// [`place`] plus the capacity class of the decision: scavenge-style
+/// placements (the `Scavenge` policy, or `Locality` falling through to
+/// its consolidating step 4) are marked `scavenged` so the runtime can
+/// tag the instance preemptible.
+pub fn place_classed(
+    cluster: &ClusterState,
+    policy: PlacementPolicy,
+    req: &PlacementRequest,
+) -> Option<Placed> {
     let fits = |n: &NodeId| cluster.fits(*n, &req.demand);
     let candidates: Vec<NodeId> = cluster.nodes().into_iter().filter(fits).collect();
     if candidates.is_empty() {
         return None;
     }
+    let provisioned = |node: Option<NodeId>| {
+        node.map(|node| Placed {
+            node,
+            scavenged: false,
+        })
+    };
     match policy {
-        PlacementPolicy::FirstFit => candidates.first().copied(),
-        PlacementPolicy::LoadBalance => candidates.iter().copied().min_by(|a, b| {
+        PlacementPolicy::FirstFit => provisioned(candidates.first().copied()),
+        PlacementPolicy::LoadBalance => provisioned(candidates.iter().copied().min_by(|a, b| {
             utilization_key(cluster, *a)
                 .cmp(&utilization_key(cluster, *b))
                 .then(a.cmp(b))
-        }),
-        PlacementPolicy::Scavenge => candidates.iter().copied().max_by(|a, b| {
-            utilization_key(cluster, *a)
-                .cmp(&utilization_key(cluster, *b))
-                .then(b.cmp(a)) // Reversed so min id wins ties under max_by.
-        }),
+        })),
+        PlacementPolicy::Scavenge => candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                utilization_key(cluster, *a)
+                    .cmp(&utilization_key(cluster, *b))
+                    .then(b.cmp(a)) // Reversed so min id wins ties under max_by.
+            })
+            .map(|node| Placed {
+                node,
+                scavenged: true,
+            }),
         PlacementPolicy::Locality => {
             // 1. A warm node that still fits.
             if let Some(n) = req.warm_nodes.iter().copied().filter(fits).min() {
-                return Some(n);
+                return provisioned(Some(n));
             }
             // 2. The co-location hint itself.
             if let Some(hint) = req.prefer_node {
                 if cluster.fits(hint, &req.demand) {
-                    return Some(hint);
+                    return provisioned(Some(hint));
                 }
                 // 3. Any node in the hint's rack.
                 let rack = cluster.rack(hint);
@@ -83,11 +120,11 @@ pub fn place(
                     .filter(|&n| cluster.rack(n) == rack)
                     .min()
                 {
-                    return Some(n);
+                    return provisioned(Some(n));
                 }
             }
-            // 4. Consolidating fallback.
-            place(
+            // 4. Consolidating fallback — a scavenged slot.
+            place_classed(
                 cluster,
                 PlacementPolicy::Scavenge,
                 &PlacementRequest {
@@ -101,7 +138,7 @@ pub fn place(
 }
 
 /// Integer utilization key (per-mille) so ordering is exact.
-fn utilization_key(cluster: &ClusterState, n: NodeId) -> u32 {
+pub(crate) fn utilization_key(cluster: &ClusterState, n: NodeId) -> u32 {
     (cluster.node_utilization(n) * 1000.0).round() as u32
 }
 
@@ -201,6 +238,26 @@ mod tests {
         r.warm_nodes = vec![NodeId(4)];
         let got = place(&c, PlacementPolicy::Locality, &r).unwrap();
         assert_ne!(got, NodeId(4));
+    }
+
+    #[test]
+    fn scavenge_paths_are_classed_preemptible() {
+        let c = cluster();
+        // Direct scavenging is always a scavenged slot.
+        let p = place_classed(&c, PlacementPolicy::Scavenge, &req(4)).unwrap();
+        assert!(p.scavenged);
+        // Provisioned policies never are.
+        for policy in [PlacementPolicy::FirstFit, PlacementPolicy::LoadBalance] {
+            assert!(!place_classed(&c, policy, &req(4)).unwrap().scavenged);
+        }
+        // Locality via the hint is provisioned ...
+        let mut r = req(4);
+        r.prefer_node = Some(NodeId(1));
+        let p = place_classed(&c, PlacementPolicy::Locality, &r).unwrap();
+        assert_eq!((p.node, p.scavenged), (NodeId(1), false));
+        // ... but the step-4 consolidating fallback is scavenged.
+        let p = place_classed(&c, PlacementPolicy::Locality, &req(4)).unwrap();
+        assert!(p.scavenged);
     }
 
     #[test]

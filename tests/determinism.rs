@@ -403,6 +403,108 @@ fn trace_fingerprints_are_deterministic_under_faults() {
     );
 }
 
+/// The predictive warm-pool autoscaler draws no randomness of its own:
+/// scan ticks, EWMA updates, pre-warm boots, preemptions and steals are
+/// all driven by virtual time and deterministic tie-breaks. An
+/// autoscaled diurnal run must therefore replay byte-identically per
+/// seed — including every `faas.*` counter — and diverge across seeds.
+#[test]
+fn autoscaled_diurnal_runs_fingerprint_identically() {
+    fn run_autoscaled(seed: u64) -> (u64, u64, u64, u64, String) {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        let fp = sim.block_on(async move {
+            let cloud = CloudBuilder::new()
+                .placement(pcsi_faas::PlacementPolicy::Scavenge)
+                .preemption(true)
+                .keep_alive(Duration::from_secs(1))
+                .autoscale(pcsi_faas::AutoscaleConfig {
+                    interval: Duration::from_millis(100),
+                    window: Duration::from_secs(2),
+                    ..pcsi_faas::AutoscaleConfig::enabled()
+                })
+                .build(&h);
+            cloud.kernel.register_body(
+                "mix",
+                Rc::new(|ctx| {
+                    Box::pin(async move {
+                        ctx.compute(Duration::from_millis(2)).await;
+                        Ok(Bytes::from_static(b"done"))
+                    })
+                }),
+            );
+            let c = cloud.kernel.client(NodeId(0), "auto");
+            let image = FunctionImage::simple("mix", WorkModel::fixed(Duration::from_millis(2)), 1);
+            let f = c
+                .create(CreateOptions {
+                    kind: pcsi_core::ObjectKind::Function,
+                    mutability: pcsi_core::Mutability::Mutable,
+                    consistency: Consistency::Linearizable,
+                    initial: image.encode(),
+                })
+                .await
+                .unwrap();
+            let rng = h.rng().stream("driver");
+            let stats = drive_open_loop(
+                &h,
+                &rng,
+                RateShape::Diurnal {
+                    base_rps: 120.0,
+                    amplitude_rps: 110.0,
+                    day: Duration::from_secs(2),
+                },
+                Duration::from_secs(4),
+                {
+                    let c = c.clone();
+                    let f = f.clone();
+                    move |_| {
+                        let c = c.clone();
+                        let f = f.clone();
+                        boxed(async move {
+                            c.invoke(&f, InvokeRequest::with_body(Bytes::new()))
+                                .await
+                                .map(|_| ())
+                                .map_err(|e| e.to_string())
+                        })
+                    }
+                },
+            )
+            .await;
+            let rt = &cloud.runtime;
+            (
+                h.now().as_nanos(),
+                stats.issued.get(),
+                stats.latency.quantile(0.99),
+                format!(
+                    "cold {} prewarm {} preempt {} steal {} fail {}",
+                    rt.cold_starts(),
+                    rt.prewarms(),
+                    rt.preemptions(),
+                    rt.rebalances(),
+                    rt.failures(),
+                ),
+            )
+        });
+        (fp.0, sim.poll_count(), fp.1, fp.2, fp.3)
+    }
+
+    let a = run_autoscaled(0x00A5_CA1E);
+    let b = run_autoscaled(0x00A5_CA1E);
+    assert_eq!(a, b, "autoscaled run must replay byte-identically");
+    assert!(
+        a.4.contains("prewarm") && !a.4.contains("prewarm 0 "),
+        "the diurnal ramp never triggered a predictive boot: {}",
+        a.4
+    );
+    let c = run_autoscaled(0x00A5_CA1F);
+    assert_ne!(a, c, "different seeds must diverge under autoscaling");
+    assert_eq!(
+        (a.0, a.1, a.2, a.3, a.4.as_str()),
+        GOLDEN_AUTOSCALED,
+        "autoscaled diurnal universe drifted from the golden seed"
+    );
+}
+
 /// Golden fingerprints: pure mechanism swaps (scheduler, codec,
 /// buffering) must not move the simulation by a single poll, byte, or
 /// RNG draw, so these constants pin the whole schedule. They are
@@ -468,7 +570,9 @@ fn fingerprints_match_the_golden_values() {
     );
 }
 
-/// Captured on the tree that introduced consistent-hash sharding.
+/// Captured on the tree that introduced consistent-hash sharding. The
+/// mixed-workload golden survived the autoscaler PR untouched — the
+/// predictive warm-pool machinery is fully inert unless enabled.
 const GOLDEN_MIXED: (u64, u64, u64, u64, u64, &str) = (
     3043445277,
     62339,
@@ -477,7 +581,22 @@ const GOLDEN_MIXED: (u64, u64, u64, u64, u64, &str) = (
     247463936,
     "5.979504589381e-4|cache 0/1705/0|retry 0/0/0",
 );
-const GOLDEN_CHAOS: u64 = 0xe17b_eb3a_f5f1_cd9e;
-const GOLDEN_DROPS: u64 = 0x544f_8426_2737_31a2;
-const GOLDEN_REBALANCE: u64 = 0xa63a_96c5_4e5a_78fe;
-const GOLDEN_METRICS: u64 = 0x5806_da3c_44e9_a4e1;
+// The scenario/metrics goldens were re-captured on the autoscaler PR:
+// `Runtime::set_metrics` now always binds the `faas.failures`,
+// `faas.preemptions`, `faas.prewarms`, and `faas.rebalances` counter
+// series, which appear (at zero) in every rendered metrics snapshot
+// embedded in scenario reports. No schedule, RNG draw, or wire byte
+// moved — only the snapshot text.
+/// Captured on the autoscaler PR: a diurnal workload over the
+/// Scavenge policy with prediction, preemption and work stealing on.
+const GOLDEN_AUTOSCALED: (u64, u64, u64, u64, &str) = (
+    4001897051,
+    23828,
+    462,
+    251658240,
+    "cold 48 prewarm 3 preempt 0 steal 5 fail 0",
+);
+const GOLDEN_CHAOS: u64 = 0x6215_d2ff_8d01_ad26;
+const GOLDEN_DROPS: u64 = 0x27b4_f910_079c_e5ca;
+const GOLDEN_REBALANCE: u64 = 0x68ae_1e50_6944_bc56;
+const GOLDEN_METRICS: u64 = 0xaeff_6bcd_3a63_d793;
