@@ -123,6 +123,7 @@ fn provisioning_modes(c: &mut Criterion) {
                             mutability: Mutability::Mutable,
                             consistency: Consistency::Linearizable,
                             initial: image.encode(),
+                            fifo_capacity: None,
                         })
                         .await
                         .unwrap();

@@ -7,7 +7,7 @@
 //!
 //! Artifact names: `table1`, `rest-vs-nfs`, `mutability`, `pipeline`,
 //! `efficiency`, `flexibility`, `consistency`, `capability`, `crossover`,
-//! `ycsb`, `recovery`.
+//! `ycsb`, `recovery`, `streaming`.
 //!
 //! Perf-snapshot modes (opt-in, not part of the default run):
 //!
@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use pcsi_bench::experiments::{
     capability, consistency, crossover, efficiency, flexibility, hotpath, mutability, pipeline,
-    recovery, rest_vs_nfs, shard_scaling, stages, table1, ycsb, DEFAULT_SEED,
+    recovery, rest_vs_nfs, shard_scaling, stages, streaming, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
 use pcsi_bench::snapshot;
@@ -80,6 +80,9 @@ fn main() {
     }
     if want("recovery") {
         report_recovery();
+    }
+    if want("streaming") {
+        report_streaming();
     }
 }
 
@@ -505,6 +508,63 @@ fn report_crossover() {
     }
 }
 
+fn report_streaming() {
+    println!("## E10 — streaming: PCSI push vs SSE across network generations\n");
+    let r = streaming::run_all(DEFAULT_SEED);
+    print_streaming(&r);
+    match streaming::shape_holds(&r) {
+        Ok(()) => println!(
+            "\nshape check: PASS (PCSI push beats SSE per event on the fast network;\ndeltas reconstruct; PCSI TTFT <= SSE TTFT)\n"
+        ),
+        Err(e) => println!("\nshape check: FAIL — {e}\n"),
+    }
+}
+
+fn print_streaming(r: &streaming::StreamingResult) {
+    let mut t = Table::new(&[
+        "network",
+        "RTT",
+        "PCSI/event",
+        "SSE/event",
+        "SSE tax",
+        "PCSI x8",
+        "SSE x8",
+    ]);
+    for p in &r.points {
+        t.row(&[
+            p.generation.label().into(),
+            ns(p.rtt_ns),
+            ns(p.pcsi_event_ns),
+            ns(p.sse_event_ns),
+            format!("{:.1}x", p.sse_tax()),
+            ns(p.pcsi_fanout_ns),
+            ns(p.sse_fanout_ns),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nmetrics-delta streaming: {:.0} B/update vs {:.0} B full snapshot ({:.1}x smaller), \
+         reconstruction {}",
+        r.delta.mean_delta_bytes,
+        r.delta.mean_full_bytes,
+        r.delta.compression(),
+        if r.delta.reconstructed {
+            "byte-exact"
+        } else {
+            "FAILED"
+        }
+    );
+    println!(
+        "token streaming ({} tokens, 1 ms/token compute, 2021 network): \
+         TTFT {} (PCSI) vs {} (SSE); full stream {} vs {}",
+        r.tokens.tokens,
+        ns(r.tokens.pcsi_ttft_ns),
+        ns(r.tokens.sse_ttft_ns),
+        ns(r.tokens.pcsi_total_ns),
+        ns(r.tokens.sse_total_ns),
+    );
+}
+
 fn report_bench() {
     println!("## Hot-path events/sec suite (perf snapshot)\n");
     let suite = hotpath::run_suite(DEFAULT_SEED);
@@ -570,6 +630,11 @@ fn report_bench() {
         autoscale.1.slo_attainment,
     );
 
+    println!("\n## Streaming: PCSI push vs SSE\n");
+    let stream = streaming::run_all(DEFAULT_SEED);
+    print_streaming(&stream);
+    streaming::shape_holds(&stream).expect("streaming claims must hold in the snapshot run");
+
     let pr = std::env::var("BENCH_PR").unwrap_or_else(|_| "dev".into());
     let baseline = std::env::var("BENCH_BASELINE").ok().map(|path| {
         std::fs::read_to_string(&path)
@@ -579,6 +644,7 @@ fn report_bench() {
         &suite,
         Some(&shard),
         Some(&autoscale),
+        Some(&stream),
         &pr,
         baseline.as_deref(),
     );

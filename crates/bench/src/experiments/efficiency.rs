@@ -120,6 +120,7 @@ pub fn run_mode(seed: u64, mode: Mode, burst_rps: f64, run_for: Duration) -> Mod
                 mutability: Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();
@@ -409,6 +410,7 @@ pub fn run_diurnal(seed: u64, policy: ScalePolicy, run_for: Duration) -> Diurnal
                         mutability: Mutability::Mutable,
                         consistency: Consistency::Linearizable,
                         initial: image.encode(),
+                        fifo_capacity: None,
                     })
                     .await
                     .unwrap()

@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use crate::experiments::efficiency::DiurnalResult;
 use crate::experiments::hotpath::SuiteResult;
 use crate::experiments::shard_scaling::ShardScalingResult;
+use crate::experiments::streaming::{self, StreamingResult};
 
 /// Schema identifier embedded in (and required of) every snapshot.
 pub const SCHEMA: &str = "pcsi-bench-snapshot/v1";
@@ -79,6 +80,14 @@ impl Json {
 /// the snapshot carries an `autoscale` block proving the measured
 /// cold-start reduction and utilization lift inside the artifact.
 ///
+/// `streaming` is the push-vs-SSE streaming comparison
+/// ([`crate::experiments::streaming::run_all`]); when present the
+/// snapshot carries a `streaming` block with the per-generation
+/// per-event latencies, fan-out means, metrics-delta wire savings, and
+/// token-serving TTFT — and [`validate`] additionally enforces the
+/// headline claim (PCSI beats SSE per event on the fast network)
+/// against the emitted numbers.
+///
 /// `baseline` is a previously emitted snapshot (the pre-change tree,
 /// same harness); when present its headline events/sec is embedded and
 /// the speedup ratio computed, which is how a PR proves its measured
@@ -87,6 +96,7 @@ pub fn render(
     suite: &SuiteResult,
     shard: Option<&ShardScalingResult>,
     autoscale: Option<&(DiurnalResult, DiurnalResult)>,
+    streaming: Option<&StreamingResult>,
     pr: &str,
     baseline: Option<&str>,
 ) -> String {
@@ -150,9 +160,6 @@ pub fn render(
         let _ = writeln!(out, "      \"p99_after_us\": {},", num(s.p99_after_us));
         let _ = writeln!(out, "      \"objects_moved\": {}", s.objects_moved);
         out.push_str("    }");
-        if autoscale.is_none() {
-            out.push('\n');
-        }
     }
     if let Some((reactive, predictive)) = autoscale {
         out.push_str(",\n    \"autoscale\": {\n");
@@ -191,10 +198,69 @@ pub fn render(
         let _ = writeln!(out, "      \"prewarms\": {},", predictive.prewarms);
         let _ = writeln!(out, "      \"preemptions\": {},", predictive.preemptions);
         let _ = writeln!(out, "      \"rebalances\": {}", predictive.rebalances);
-        out.push_str("    }\n");
-    } else if shard.is_none() {
-        out.push('\n');
+        out.push_str("    }");
     }
+    if let Some(st) = streaming {
+        out.push_str(",\n    \"streaming\": {\n");
+        let _ = writeln!(out, "      \"fan_out\": {},", streaming::FAN_OUT);
+        for p in &st.points {
+            let k = streaming::key(p.generation);
+            let _ = writeln!(out, "      \"{k}_rtt_ns\": {},", num(p.rtt_ns));
+            let _ = writeln!(
+                out,
+                "      \"{k}_pcsi_event_ns\": {},",
+                num(p.pcsi_event_ns)
+            );
+            let _ = writeln!(out, "      \"{k}_sse_event_ns\": {},", num(p.sse_event_ns));
+            let _ = writeln!(
+                out,
+                "      \"{k}_pcsi_fanout_ns\": {},",
+                num(p.pcsi_fanout_ns)
+            );
+            let _ = writeln!(
+                out,
+                "      \"{k}_sse_fanout_ns\": {},",
+                num(p.sse_fanout_ns)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "      \"metrics_delta_bytes\": {},",
+            num(st.delta.mean_delta_bytes)
+        );
+        let _ = writeln!(
+            out,
+            "      \"metrics_full_bytes\": {},",
+            num(st.delta.mean_full_bytes)
+        );
+        let _ = writeln!(
+            out,
+            "      \"delta_compression\": {},",
+            num(st.delta.compression())
+        );
+        let _ = writeln!(
+            out,
+            "      \"ttft_pcsi_ns\": {},",
+            num(st.tokens.pcsi_ttft_ns)
+        );
+        let _ = writeln!(
+            out,
+            "      \"ttft_sse_ns\": {},",
+            num(st.tokens.sse_ttft_ns)
+        );
+        let _ = writeln!(
+            out,
+            "      \"total_pcsi_ns\": {},",
+            num(st.tokens.pcsi_total_ns)
+        );
+        let _ = writeln!(
+            out,
+            "      \"total_sse_ns\": {}",
+            num(st.tokens.sse_total_ns)
+        );
+        out.push_str("    }");
+    }
+    out.push('\n');
     out.push_str("  }");
     if let Some(base) = baseline.and_then(extract_baseline) {
         out.push_str(",\n");
@@ -317,6 +383,49 @@ pub fn validate(text: &str) -> Result<(), String> {
             auto.get(field)
                 .and_then(Json::as_num)
                 .ok_or(format!("missing number field: snapshot.autoscale.{field}"))?;
+        }
+    }
+    // The streaming block is optional (older snapshots predate it), but
+    // when present must carry every measured field — and must uphold
+    // the headline claim: PCSI push beats SSE per-event latency on the
+    // fast network generation.
+    if let Some(stream) = snap.get("streaming") {
+        let mut fields = vec![
+            "fan_out".to_owned(),
+            "metrics_delta_bytes".to_owned(),
+            "metrics_full_bytes".to_owned(),
+            "delta_compression".to_owned(),
+            "ttft_pcsi_ns".to_owned(),
+            "ttft_sse_ns".to_owned(),
+            "total_pcsi_ns".to_owned(),
+            "total_sse_ns".to_owned(),
+        ];
+        for gen in ["dc2005", "dc2021", "fast"] {
+            for metric in [
+                "rtt_ns",
+                "pcsi_event_ns",
+                "sse_event_ns",
+                "pcsi_fanout_ns",
+                "sse_fanout_ns",
+            ] {
+                fields.push(format!("{gen}_{metric}"));
+            }
+        }
+        for field in &fields {
+            stream
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or(format!("missing number field: snapshot.streaming.{field}"))?;
+        }
+        let fast_pcsi = stream.get("fast_pcsi_event_ns").and_then(Json::as_num);
+        let fast_sse = stream.get("fast_sse_event_ns").and_then(Json::as_num);
+        if let (Some(p), Some(s)) = (fast_pcsi, fast_sse) {
+            if p >= s {
+                return Err(format!(
+                    "streaming claim violated: fast-network PCSI per-event \
+                     ({p:.0}ns) must beat SSE ({s:.0}ns)"
+                ));
+            }
         }
     }
     // Baseline block is optional, but when present must be well-formed.
@@ -588,15 +697,94 @@ mod tests {
         (base, predictive)
     }
 
+    fn streaming_fixture() -> StreamingResult {
+        use crate::experiments::streaming::{MetricsDeltaResult, StreamPoint, TokenServingResult};
+        use pcsi_net::NetworkGeneration;
+        let point = |generation: NetworkGeneration, pcsi: f64, sse: f64| StreamPoint {
+            generation,
+            rtt_ns: generation.rtt().as_nanos() as f64,
+            pcsi_event_ns: pcsi,
+            sse_event_ns: sse,
+            pcsi_fanout_ns: pcsi * 1.4,
+            sse_fanout_ns: sse * 1.4,
+        };
+        StreamingResult {
+            points: vec![
+                point(NetworkGeneration::Dc2005, 600_000.0, 1_400_000.0),
+                point(NetworkGeneration::Dc2021, 130_000.0, 520_000.0),
+                point(NetworkGeneration::FastEmerging, 2_000.0, 310_000.0),
+            ],
+            delta: MetricsDeltaResult {
+                ticks: 20,
+                mean_delta_bytes: 400.0,
+                mean_full_bytes: 4_000.0,
+                reconstructed: true,
+            },
+            tokens: TokenServingResult {
+                tokens: 32,
+                pcsi_ttft_ns: 1_200_000.0,
+                sse_ttft_ns: 1_700_000.0,
+                pcsi_total_ns: 33_000_000.0,
+                sse_total_ns: 49_000_000.0,
+            },
+        }
+    }
+
     #[test]
     fn rendered_snapshot_validates() {
-        let text = render(&suite(), None, None, "6", None);
+        let text = render(&suite(), None, None, None, "6", None);
         validate(&text).unwrap();
     }
 
     #[test]
+    fn streaming_block_renders_and_validates() {
+        // Alone, and stacked behind the other optional blocks — every
+        // comma path.
+        for (shard_block, auto_block) in [
+            (None, None),
+            (Some(shard()), None),
+            (None, Some(diurnal())),
+            (Some(shard()), Some(diurnal())),
+        ] {
+            let text = render(
+                &suite(),
+                shard_block.as_ref(),
+                auto_block.as_ref(),
+                Some(&streaming_fixture()),
+                "9",
+                None,
+            );
+            validate(&text).unwrap();
+            let doc = parse(&text).unwrap();
+            let block = doc.get("snapshot").unwrap().get("streaming").unwrap();
+            assert_eq!(block.get("fan_out").unwrap().as_num(), Some(8.0));
+            assert_eq!(
+                block.get("fast_pcsi_event_ns").unwrap().as_num(),
+                Some(2_000.0)
+            );
+            let comp = block.get("delta_compression").unwrap().as_num().unwrap();
+            assert!((comp - 10.0).abs() < 1e-3, "compression {comp}");
+            // A block missing a measured field is schema drift.
+            let drifted = text.replace("\"dc2021_sse_fanout_ns\"", "\"dc2021_sse_fo\"");
+            assert!(validate(&drifted)
+                .unwrap_err()
+                .contains("streaming.dc2021_sse_fanout_ns"));
+        }
+    }
+
+    #[test]
+    fn streaming_claim_is_enforced_on_the_artifact() {
+        // A snapshot whose fast-network numbers show SSE winning is
+        // rejected even though it is structurally well-formed.
+        let mut fixture = streaming_fixture();
+        fixture.points[2].pcsi_event_ns = 500_000.0;
+        let text = render(&suite(), None, None, Some(&fixture), "9", None);
+        assert!(validate(&text).unwrap_err().contains("streaming claim"));
+    }
+
+    #[test]
     fn shard_scaling_block_renders_and_validates() {
-        let text = render(&suite(), Some(&shard()), None, "7", None);
+        let text = render(&suite(), Some(&shard()), None, None, "7", None);
         validate(&text).unwrap();
         let doc = parse(&text).unwrap();
         let block = doc.get("snapshot").unwrap().get("shard_scaling").unwrap();
@@ -614,7 +802,14 @@ mod tests {
     fn autoscale_block_renders_and_validates() {
         // With and without the shard block — both comma paths.
         for shard_block in [None, Some(shard())] {
-            let text = render(&suite(), shard_block.as_ref(), Some(&diurnal()), "8", None);
+            let text = render(
+                &suite(),
+                shard_block.as_ref(),
+                Some(&diurnal()),
+                None,
+                "8",
+                None,
+            );
             validate(&text).unwrap();
             let doc = parse(&text).unwrap();
             let block = doc.get("snapshot").unwrap().get("autoscale").unwrap();
@@ -631,8 +826,15 @@ mod tests {
 
     #[test]
     fn baseline_embedding_and_ratio() {
-        let base = render(&suite(), None, None, "base", None);
-        let text = render(&suite(), Some(&shard()), Some(&diurnal()), "6", Some(&base));
+        let base = render(&suite(), None, None, None, "base", None);
+        let text = render(
+            &suite(),
+            Some(&shard()),
+            Some(&diurnal()),
+            None,
+            "6",
+            Some(&base),
+        );
         validate(&text).unwrap();
         let doc = parse(&text).unwrap();
         assert_eq!(
@@ -645,7 +847,7 @@ mod tests {
 
     #[test]
     fn schema_drift_is_rejected() {
-        let text = render(&suite(), None, None, "6", None);
+        let text = render(&suite(), None, None, None, "6", None);
         // Wrong schema tag.
         let drifted = text.replace(SCHEMA, "pcsi-bench-snapshot/v0");
         assert!(validate(&drifted).unwrap_err().contains("schema"));

@@ -15,7 +15,11 @@
 //! * [`checker`] validates the recorded history: a Wing–Gong-style
 //!   linearizability search for `Linearizable` objects, plus
 //!   replica-convergence and reads-observe-writes checks for
-//!   `Eventual` ones.
+//!   `Eventual` ones,
+//! * [`stream`] does the same for the streaming layer: cross-node FIFO
+//!   subscriptions under message drops and silent subscriber death,
+//!   checking exactly-once in-order delivery within the credit window
+//!   and bounded buffer memory on both sides.
 //!
 //! Everything runs inside the deterministic simulator, so any failing
 //! seed reproduces byte-identically: `run_scenario(seed, cfg)` twice
@@ -26,7 +30,9 @@
 pub mod checker;
 pub mod history;
 pub mod scenario;
+pub mod stream;
 
 pub use checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
 pub use history::{decode_value, encode_value, Op, OpKind, Recorder};
 pub use scenario::{run_scenario, sweep_seeds, FaultPlan, ScenarioConfig, ScenarioReport};
+pub use stream::{run_stream_scenario, StreamScenarioConfig, StreamScenarioReport};

@@ -183,13 +183,18 @@ impl ScenarioReport {
     /// FNV-1a of [`ScenarioReport::render`]; two runs of the same seed
     /// must fingerprint identically.
     pub fn fingerprint(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.render().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        fnv1a(&self.render())
     }
+}
+
+/// FNV-1a over a rendered report (shared by every scenario kind).
+pub(crate) fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// The seeds a sweep test should run: `base..base + n`, where `n` is
@@ -460,7 +465,7 @@ async fn drive(h: SimHandle, cfg: &ScenarioConfig) -> DriveOutcome {
     }
 }
 
-fn log_fault(h: &SimHandle, log: &Rc<std::cell::RefCell<Vec<String>>>, what: String) {
+pub(crate) fn log_fault(h: &SimHandle, log: &Rc<std::cell::RefCell<Vec<String>>>, what: String) {
     log.borrow_mut()
         .push(format!("t={}ns {what}", h.now().as_nanos()));
 }

@@ -5,7 +5,9 @@
 //! and reject a deliberately injected freshness bug — with the failing
 //! seed printed and byte-identically reproducible.
 
-use pcsi_chaos::{run_scenario, sweep_seeds, FaultPlan, ScenarioConfig};
+use pcsi_chaos::{
+    run_scenario, run_stream_scenario, sweep_seeds, FaultPlan, ScenarioConfig, StreamScenarioConfig,
+};
 use pcsi_trace::Sampling;
 
 #[test]
@@ -324,5 +326,57 @@ fn mixed_plan_actually_exercises_message_faults() {
     assert!(
         dropped > 0 && duplicated > 0 && delayed > 0,
         "message faults never fired: {dropped}/{duplicated}/{delayed}"
+    );
+}
+
+#[test]
+fn streaming_sweep_survives_drops_and_subscriber_kill() {
+    // Fabric-wide drops plus one subscriber killed silently mid-stream
+    // (16 seeds by default; CHAOS_SEEDS widens it in CI). Survivors
+    // must see every event exactly once and in order, every buffer
+    // must stay within its credit window, and the owner must end fully
+    // drained. The schedule must also provably have fired: messages
+    // dropped, credit backpressure hit, and retransmit dedup exercised
+    // somewhere across the sweep.
+    let cfg = StreamScenarioConfig::default();
+    let (mut dropped, mut stalls, mut dups) = (0u64, 0u64, 0u64);
+    for &seed in &sweep_seeds(0x57F0_0000, 16) {
+        let report = run_stream_scenario(seed, &cfg);
+        assert!(
+            report.ok(),
+            "seed {seed} violated the streaming contract:\n{}",
+            report.render()
+        );
+        let killed: Vec<_> = report.subs.iter().filter(|s| s.killed).collect();
+        assert_eq!(killed.len(), 1, "seed {seed}: kill never happened");
+        assert_eq!(
+            killed[0].close, "subscriber-lost",
+            "seed {seed}: killed subscriber closed as {}",
+            killed[0].close
+        );
+        dropped += report.net_faults.0;
+        stalls += report.producer_stalls;
+        dups += report.subs.iter().map(|s| s.duplicates).sum::<u64>();
+    }
+    assert!(dropped > 0, "the drop schedule never dropped a message");
+    assert!(stalls > 0, "credit backpressure never fired");
+    assert!(
+        dups > 0,
+        "no retransmit was ever deduped — drops missed the push path"
+    );
+}
+
+#[test]
+fn streaming_scenario_reproduces_byte_identically() {
+    let cfg = StreamScenarioConfig::default();
+    let a = run_stream_scenario(0x57F0_1234, &cfg);
+    let b = run_stream_scenario(0x57F0_1234, &cfg);
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    let c = run_stream_scenario(0x57F0_1235, &cfg);
+    assert_ne!(
+        a.fingerprint(),
+        c.fingerprint(),
+        "different seeds should produce different streams"
     );
 }

@@ -97,6 +97,7 @@ pub struct CloudBuilder {
     sampling: Sampling,
     trace_capacity: usize,
     metrics: bool,
+    fifo_capacity: Option<usize>,
 }
 
 impl Default for CloudBuilder {
@@ -111,6 +112,7 @@ impl Default for CloudBuilder {
             sampling: Sampling::Off,
             trace_capacity: 16384,
             metrics: false,
+            fifo_capacity: None,
         }
     }
 }
@@ -225,6 +227,16 @@ impl CloudBuilder {
         self
     }
 
+    /// Sets the default FIFO/socket queue bound for objects created
+    /// without an explicit [`pcsi_core::api::CreateOptions::fifo_capacity`].
+    /// Appends beyond the bound fail with a retryable
+    /// [`pcsi_core::PcsiError::Overloaded`] instead of growing without
+    /// limit. Defaults to [`crate::kernel::DEFAULT_FIFO_CAPACITY`].
+    pub fn fifo_capacity(mut self, capacity: usize) -> Self {
+        self.fifo_capacity = Some(capacity);
+        self
+    }
+
     /// Deploys the cloud onto a simulation.
     pub fn build(self, handle: &SimHandle) -> Cloud {
         let latency = if self.deterministic_net {
@@ -245,6 +257,9 @@ impl CloudBuilder {
             billing.clone(),
             self.goal,
         );
+        if let Some(capacity) = self.fifo_capacity {
+            kernel.set_fifo_capacity(capacity);
+        }
         // Metrics install before device registration: the `metrics`
         // device handler snapshots the registry it captures here.
         let metrics = if self.metrics {
@@ -350,6 +365,7 @@ mod tests {
                 mutability: Mutability::Immutable,
                 consistency: Consistency::Eventual,
                 initial: bytes::Bytes::new(),
+                fifo_capacity: None,
             };
             // clock advances with virtual time.
             let clock = c.create(mk("clock")).await.unwrap();

@@ -279,6 +279,7 @@ mod tests {
                 mutability: Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
     }

@@ -15,7 +15,7 @@
 //! the scheduler picked — data locality is visible to them too.
 
 use fxhash::FxHashMap;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -35,6 +35,7 @@ use pcsi_net::{Fabric, NodeId, Transport};
 use pcsi_sim::executor::LocalBoxFuture;
 use pcsi_sim::SimTime;
 use pcsi_store::{gc, ReplicatedStore};
+use pcsi_stream::{Publisher, StreamConfig, Subscription};
 use pcsi_trace::{AttrValue, SpanHandle, TraceContext, Tracer};
 
 use crate::billing::Billing;
@@ -52,6 +53,11 @@ struct Inner {
     meta: RefCell<FxHashMap<ObjectId, MetaEntry>>,
     fifos: RefCell<FxHashMap<ObjectId, FifoQueue>>,
     devices: RefCell<DeviceRegistry>,
+    /// Cross-node push fan-out for subscribed FIFOs/sockets.
+    publisher: Publisher,
+    /// Queue bound applied to FIFO/socket objects created without an
+    /// explicit [`CreateOptions::fifo_capacity`].
+    fifo_capacity: Cell<usize>,
     goal: Goal,
     /// Optional deterministic tracer: every `CloudInterface` op opens a
     /// root span here, and the context flows down through the store and
@@ -69,6 +75,11 @@ struct Inner {
     op_series: RefCell<FxHashMap<&'static str, (pcsi_metrics::Counter, pcsi_metrics::Histogram)>>,
 }
 
+/// Default FIFO/socket queue bound when neither the builder knob nor
+/// [`CreateOptions::fifo_capacity`] overrides it. Appends beyond it
+/// fail with a retryable [`PcsiError::Overloaded`].
+pub const DEFAULT_FIFO_CAPACITY: usize = 1024;
+
 /// The provider kernel. Cheap to clone.
 #[derive(Clone)]
 pub struct Kernel {
@@ -85,6 +96,7 @@ impl Kernel {
         goal: Goal,
     ) -> Self {
         let realm = fabric.handle().rng().seed() ^ 0x5043_5349; // "PCSI"
+        let publisher = Publisher::deploy(fabric.clone(), StreamConfig::default());
         Kernel {
             inner: Rc::new(Inner {
                 fabric,
@@ -95,6 +107,8 @@ impl Kernel {
                 meta: RefCell::new(FxHashMap::default()),
                 fifos: RefCell::new(FxHashMap::default()),
                 devices: RefCell::new(DeviceRegistry::new()),
+                publisher,
+                fifo_capacity: Cell::new(DEFAULT_FIFO_CAPACITY),
                 goal,
                 tracer: RefCell::new(None),
                 metrics: RefCell::new(None),
@@ -137,6 +151,7 @@ impl Kernel {
         self.inner.fabric.set_metrics(metrics.as_ref());
         self.inner.store.set_metrics(metrics.clone());
         self.inner.runtime.set_metrics(metrics.as_ref());
+        self.inner.publisher.set_metrics(metrics.clone());
         self.inner.op_series.borrow_mut().clear();
         *self.inner.metrics.borrow_mut() = metrics;
     }
@@ -174,6 +189,22 @@ impl Kernel {
     /// The datacenter fabric (graph executors charge cross-group hops).
     pub fn fabric(&self) -> &Fabric {
         &self.inner.fabric
+    }
+
+    /// The streaming publisher (owner-side subscription state).
+    pub fn publisher(&self) -> &Publisher {
+        &self.inner.publisher
+    }
+
+    /// Overrides the default FIFO/socket queue bound for objects
+    /// created without an explicit per-object capacity.
+    pub fn set_fifo_capacity(&self, capacity: usize) {
+        self.inner.fifo_capacity.set(capacity.max(1));
+    }
+
+    /// The default FIFO/socket queue bound.
+    pub fn fifo_capacity(&self) -> usize {
+        self.inner.fifo_capacity.get()
     }
 
     /// Number of live (metadata-tracked) objects.
@@ -226,7 +257,10 @@ impl Kernel {
         let mut fifos = self.inner.fifos.borrow_mut();
         for id in &dead {
             meta.remove(id);
-            fifos.remove(id);
+            if let Some(fifo) = fifos.remove(id) {
+                fifo.close();
+                self.inner.publisher.close_object(*id);
+            }
             self.inner.store.invalidate_cached(*id);
         }
         dead.len()
@@ -450,6 +484,53 @@ impl KernelClient {
             current = vec![resolved.clone()];
         }
         Ok(resolved)
+    }
+
+    /// Opens a cross-node subscription on a FIFO or socket object: the
+    /// object's home node pushes every subsequent append to this
+    /// client's node under credit-based flow control. `window` is the
+    /// credit window (and receive-buffer bound); `0` takes the provider
+    /// default. Requires [`Rights::READ`].
+    ///
+    /// While an object has subscribers it is in push mode: appends fan
+    /// out instead of queueing for [`CloudInterface::pop`].
+    pub async fn subscribe(&self, r: &Reference, window: u32) -> Result<Subscription, PcsiError> {
+        let span = self.op_span("kernel.subscribe");
+        let started = self.inner().fabric.handle().now();
+        let this = self.with_ctx(span.ctx());
+        let result = this.subscribe_impl(r, window).await;
+        self.record_op("subscribe", started, result.is_ok());
+        finish_op(span, &result);
+        result
+    }
+
+    async fn subscribe_impl(&self, r: &Reference, window: u32) -> Result<Subscription, PcsiError> {
+        let meta = self.kernel.check(r, Rights::READ)?;
+        if !matches!(meta.kind, ObjectKind::Fifo | ObjectKind::Socket) {
+            return Err(PcsiError::WrongKind {
+                id: r.id(),
+                expected: "fifo or socket",
+                actual: meta.kind.name(),
+            });
+        }
+        let publisher = self.inner().publisher.clone();
+        let window = if window == 0 {
+            publisher.config().default_window
+        } else {
+            window
+        };
+        let home = self.inner().store.placement().primary(r.id());
+        Subscription::open(
+            self.inner().fabric.clone(),
+            publisher.alloc_sub(self.node),
+            self.node,
+            r.id(),
+            home,
+            window,
+            publisher.config().transport,
+            self.kernel.metrics(),
+        )
+        .await
     }
 
     /// Invokes with an explicit optimizer goal (the `CloudInterface`
@@ -745,10 +826,16 @@ impl KernelClient {
                     .await?;
             }
             ObjectKind::Fifo | ObjectKind::Socket => {
+                // Queues are always bounded: an unconsumed backlog turns
+                // into retryable backpressure, never unbounded memory.
+                let capacity = opts
+                    .fifo_capacity
+                    .unwrap_or_else(|| self.inner().fifo_capacity.get())
+                    .max(1);
                 self.inner()
                     .fifos
                     .borrow_mut()
-                    .insert(id, FifoQueue::unbounded());
+                    .insert(id, FifoQueue::bounded(capacity));
             }
             ObjectKind::Device(_) => {}
         }
@@ -807,6 +894,11 @@ impl KernelClient {
                     .get(&r.id())
                     .cloned()
                     .ok_or(PcsiError::NotFound(r.id()))?;
+                if self.inner().publisher.has_subscribers(r.id()) {
+                    let ts = self.inner().fabric.handle().now().as_nanos();
+                    self.inner().publisher.publish(r.id(), data, ts)?;
+                    return Ok(());
+                }
                 fifo.push(data)
             }
             other => Err(PcsiError::WrongKind {
@@ -850,6 +942,15 @@ impl KernelClient {
                         .transfer(self.node, home, data.len().max(64), Transport::Rdma)
                         .await
                         .map_err(|e| PcsiError::Fault(e.to_string()))?;
+                }
+                // A subscribed queue is in push mode: the event fans out
+                // to subscribers instead of accumulating for poppers,
+                // and backpressure comes from the slowest credit window.
+                if self.inner().publisher.has_subscribers(r.id()) {
+                    let ts = self.inner().fabric.handle().now().as_nanos();
+                    let seq = self.inner().publisher.publish(r.id(), data, ts)?;
+                    self.kernel.update_meta(r.id(), |m| m.version += 1);
+                    return Ok(seq);
                 }
                 let at = fifo.total_pushed();
                 fifo.push(data)?;
@@ -923,7 +1024,13 @@ impl KernelClient {
             self.store_client().delete(r.id()).await?;
         }
         self.inner().meta.borrow_mut().remove(&r.id());
-        self.inner().fifos.borrow_mut().remove(&r.id());
+        if let Some(fifo) = self.inner().fifos.borrow_mut().remove(&r.id()) {
+            // Wake blocked poppers (they see the queue close) and end
+            // any cross-node subscriptions after their buffered frames
+            // drain.
+            fifo.close();
+            self.inner().publisher.close_object(r.id());
+        }
         Ok(())
     }
 

@@ -10,7 +10,8 @@
 //!   everything-is-a-file state, two-item consistency menu, functions and
 //!   task graphs; and
 //! * the **web-services baselines** — [`rest::RestGateway`], a
-//!   DynamoDB/S3-style HTTP + JSON + per-request-signature service, and
+//!   DynamoDB/S3-style HTTP + JSON + per-request-signature service,
+//!   [`sse::SseHub`], its Server-Sent-Events streaming sibling, and
 //!   [`nfs::NfsServer`], an NFS-like stateful session protocol — the
 //!   §2.1 comparison targets.
 //!
@@ -28,6 +29,7 @@ pub mod kernel;
 pub mod nfs;
 pub mod pipelines;
 pub mod rest;
+pub mod sse;
 pub mod workload;
 
 pub use billing::Billing;

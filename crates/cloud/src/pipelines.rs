@@ -169,6 +169,7 @@ impl ModelServing {
                 mutability: Mutability::Immutable,
                 consistency: Consistency::Linearizable,
                 initial: Bytes::from(vec![0x57u8; weights_bytes]), // 'W'.
+                fifo_capacity: None,
             })
             .await?;
 

@@ -61,11 +61,11 @@ pub fn scope() -> Scope {
     Scope::new("sim-west-1", "storage")
 }
 
-fn marshal_cpu(bytes: usize) -> Duration {
+pub(crate) fn marshal_cpu(bytes: usize) -> Duration {
     MARSHAL_CPU_FIXED + MARSHAL_CPU_PER_BYTE * (bytes as u32)
 }
 
-fn auth_cpu(bytes: usize) -> Duration {
+pub(crate) fn auth_cpu(bytes: usize) -> Duration {
     AUTH_CPU_FIXED + AUTH_CPU_PER_BYTE * (bytes as u32)
 }
 
@@ -393,7 +393,7 @@ fn record_request(metrics: &Option<Metrics>, method: &str, resp: &Response, elap
     }
 }
 
-fn error_json(code: &str, message: &str) -> Vec<u8> {
+pub(crate) fn error_json(code: &str, message: &str) -> Vec<u8> {
     json::encode(&Value::object([
         ("error", Value::from(code)),
         ("message", Value::from(message)),

@@ -31,6 +31,11 @@ pub struct CreateOptions {
     pub consistency: Consistency,
     /// Initial contents (must be empty for directories and FIFOs).
     pub initial: Bytes,
+    /// Queue bound for FIFO/socket objects: at most this many messages
+    /// may sit unconsumed before appends fail with a retryable
+    /// backpressure error. `None` uses the provider's default bound;
+    /// ignored for other kinds.
+    pub fifo_capacity: Option<usize>,
 }
 
 impl CreateOptions {
@@ -41,6 +46,7 @@ impl CreateOptions {
             mutability: Mutability::Mutable,
             consistency: Consistency::Eventual,
             initial: Bytes::new(),
+            fifo_capacity: None,
         }
     }
 
@@ -51,6 +57,7 @@ impl CreateOptions {
             mutability: Mutability::Immutable,
             consistency: Consistency::Eventual,
             initial: data.into(),
+            fifo_capacity: None,
         }
     }
 
@@ -61,6 +68,7 @@ impl CreateOptions {
             mutability: Mutability::Mutable,
             consistency: Consistency::Linearizable,
             initial: Bytes::new(),
+            fifo_capacity: None,
         }
     }
 
@@ -71,6 +79,7 @@ impl CreateOptions {
             mutability: Mutability::AppendOnly,
             consistency: Consistency::Linearizable,
             initial: Bytes::new(),
+            fifo_capacity: None,
         }
     }
 
@@ -95,6 +104,12 @@ impl CreateOptions {
     /// Sets the initial contents, builder-style.
     pub fn with_initial(mut self, data: impl Into<Bytes>) -> Self {
         self.initial = data.into();
+        self
+    }
+
+    /// Sets the FIFO/socket queue bound, builder-style.
+    pub fn with_fifo_capacity(mut self, capacity: usize) -> Self {
+        self.fifo_capacity = Some(capacity);
         self
     }
 }

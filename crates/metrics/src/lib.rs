@@ -528,6 +528,95 @@ pub fn fingerprint(rendered: &str) -> u64 {
     hash
 }
 
+/// The identity of a snapshot line: comment lines are their own key;
+/// series lines are keyed by `<kind> <name>{labels}` (the first two
+/// tokens), so a value change keeps the key while changing the line.
+fn line_key(line: &str) -> &str {
+    if line.starts_with('#') {
+        return line;
+    }
+    let mut spaces = 0;
+    for (i, b) in line.bytes().enumerate() {
+        if b == b' ' {
+            spaces += 1;
+            if spaces == 2 {
+                return &line[..i];
+            }
+        }
+    }
+    line
+}
+
+/// Computes a compact line-diff between two rendered snapshots — the
+/// unit the `metrics` device streams instead of whole snapshots.
+///
+/// Format, one edit per line:
+/// - `~ <line>` — a series whose value changed (replace in place)
+/// - `+ <index> <line>` — a new line, at `index` in the new snapshot
+/// - `- <key>` — a line whose key disappeared
+///
+/// The diff of two identical snapshots is empty. Reconstruction via
+/// [`apply_delta`] is byte-exact because [`Metrics::render`] keeps
+/// common lines in the same relative order across snapshots.
+pub fn delta(prev: &str, cur: &str) -> String {
+    use std::collections::{HashMap, HashSet};
+    let prev_map: HashMap<&str, &str> = prev.lines().map(|l| (line_key(l), l)).collect();
+    let cur_keys: HashSet<&str> = cur.lines().map(line_key).collect();
+    let mut out = String::new();
+    for l in prev.lines() {
+        let k = line_key(l);
+        if !cur_keys.contains(k) {
+            out.push_str("- ");
+            out.push_str(k);
+            out.push('\n');
+        }
+    }
+    for (i, l) in cur.lines().enumerate() {
+        match prev_map.get(line_key(l)) {
+            Some(&old) if old == l => {}
+            Some(_) => {
+                out.push_str("~ ");
+                out.push_str(l);
+                out.push('\n');
+            }
+            None => {
+                out.push_str(&format!("+ {i} {l}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Applies a [`delta`] to the snapshot it was computed against,
+/// reproducing the newer snapshot byte-for-byte.
+pub fn apply_delta(prev: &str, delta: &str) -> String {
+    let mut lines: Vec<String> = prev.lines().map(str::to_owned).collect();
+    let mut inserts: Vec<(usize, String)> = Vec::new();
+    for d in delta.lines() {
+        if let Some(key) = d.strip_prefix("- ") {
+            lines.retain(|l| line_key(l) != key);
+        } else if let Some(l) = d.strip_prefix("~ ") {
+            let key = line_key(l);
+            if let Some(slot) = lines.iter_mut().find(|s| line_key(s) == key) {
+                *slot = l.to_owned();
+            }
+        } else if let Some(rest) = d.strip_prefix("+ ") {
+            let (idx, l) = rest.split_once(' ').unwrap_or((rest, ""));
+            inserts.push((idx.parse().unwrap_or(usize::MAX), l.to_owned()));
+        }
+    }
+    inserts.sort_by_key(|(i, _)| *i);
+    for (i, l) in inserts {
+        let at = i.min(lines.len());
+        lines.insert(at, l);
+    }
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
 /// The closure-deferred call-site sugar for `Option<Metrics>` holders:
 /// `metrics.with(|m| …)` runs only when enabled, so label formatting and
 /// handle lookups inside the closure cost nothing when disabled.
@@ -729,5 +818,63 @@ mod tests {
         let mut ran = false;
         some.with(|_| ran = true);
         assert!(ran);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let m = Metrics::new();
+        m.counter("a.ops", &[]).add(3);
+        m.gauge("b.depth", &[]).set(7);
+        let snap = m.render();
+        assert_eq!(delta(&snap, &snap), "");
+        assert_eq!(apply_delta(&snap, ""), snap);
+    }
+
+    #[test]
+    fn delta_carries_only_changed_lines() {
+        let m = Metrics::new();
+        let hot = m.counter("a.hot", &[("node", "0")]);
+        m.counter("a.cold", &[]).add(9);
+        m.gauge("b.depth", &[]).set(1);
+        let prev = m.render();
+        hot.add(5);
+        let cur = m.render();
+        let d = delta(&prev, &cur);
+        // Exactly one edit: the hot counter's line, replaced in place.
+        assert_eq!(d.lines().count(), 1, "{d:?}");
+        assert!(d.starts_with("~ counter a.hot"), "{d:?}");
+        assert_eq!(apply_delta(&prev, &d), cur);
+    }
+
+    #[test]
+    fn delta_reconstructs_after_adds_and_value_changes() {
+        let m = Metrics::new();
+        let ops = m.counter("k.ops", &[]);
+        ops.add(1);
+        let prev = m.render();
+        ops.add(41);
+        m.counter("k.errors", &[("kind", "timeout")]).incr();
+        m.histogram("k.latency", &[]).record(128);
+        let cur = m.render();
+        let d = delta(&prev, &cur);
+        assert_eq!(apply_delta(&prev, &d), cur);
+        // The delta must be smaller than re-sending the snapshot once
+        // unchanged series dominate.
+        assert!(d.len() < cur.len());
+    }
+
+    #[test]
+    fn delta_handles_removed_lines() {
+        // Renders from unrelated registries exercise the removal path.
+        let a = Metrics::new();
+        a.counter("x.one", &[]).add(1);
+        a.counter("x.two", &[]).add(2);
+        let b = Metrics::new();
+        b.counter("x.two", &[]).add(5);
+        b.counter("y.three", &[]).add(3);
+        let (prev, cur) = (a.render(), b.render());
+        let d = delta(&prev, &cur);
+        assert!(d.contains("- counter x.one"), "{d:?}");
+        assert_eq!(apply_delta(&prev, &d), cur);
     }
 }

@@ -293,6 +293,17 @@ impl Fabric {
             .insert(service.to_owned(), handler);
     }
 
+    /// Removes a service binding; later calls to it fail with
+    /// [`NetError::NoService`]. Needed for ephemeral per-subscription
+    /// endpoints (streaming) so closed subscriptions don't leak
+    /// handlers. Unbinding a name that was never bound is a no-op.
+    pub fn unbind(&self, node: NodeId, service: &str) {
+        let mut s = self.inner.state.borrow_mut();
+        if let Some(services) = s.services.get_mut(&node) {
+            services.remove(service);
+        }
+    }
+
     /// Marks a node crashed (`true`) or recovered (`false`).
     pub fn set_node_down(&self, node: NodeId, down: bool) {
         let mut s = self.inner.state.borrow_mut();
@@ -703,6 +714,43 @@ mod tests {
         });
         assert_eq!(out.unwrap(), Bytes::from_static(b"hi"));
         assert_eq!(fabric.message_count(), 2);
+    }
+
+    #[test]
+    fn unbind_removes_the_service() {
+        let mut sim = Sim::new(1);
+        let fabric = build(&sim, NetworkGeneration::Dc2021);
+        fabric.bind(NodeId(2), "ephemeral", echo_handler());
+        // Unbinding an unknown name is a no-op.
+        fabric.unbind(NodeId(3), "ephemeral");
+        fabric.unbind(NodeId(2), "never-bound");
+        let (first, second) = sim.block_on({
+            let fabric = fabric.clone();
+            async move {
+                let first = fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(2),
+                        "ephemeral",
+                        Transport::Tcp,
+                        Bytes::from_static(b"a"),
+                    )
+                    .await;
+                fabric.unbind(NodeId(2), "ephemeral");
+                let second = fabric
+                    .call(
+                        NodeId(0),
+                        NodeId(2),
+                        "ephemeral",
+                        Transport::Tcp,
+                        Bytes::from_static(b"b"),
+                    )
+                    .await;
+                (first, second)
+            }
+        });
+        assert_eq!(first.unwrap(), Bytes::from_static(b"a"));
+        assert_eq!(second.unwrap_err(), NetError::NoService("ephemeral".into()));
     }
 
     #[test]

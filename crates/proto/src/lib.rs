@@ -13,7 +13,9 @@
 //!   signature scheme ([`sign`]) — the REST baseline's stateless
 //!   per-request access-control check,
 //! * a compact length-prefixed binary codec ([`binary`]) — the PCSI-native
-//!   alternative the paper argues for.
+//!   alternative the paper argues for,
+//! * Server-Sent Events framing plus HTTP chunked transfer encoding
+//!   ([`sse`]) — the REST *streaming* baseline's per-event framing.
 //!
 //! Everything here is deterministic, allocation-conscious, and free of
 //! third-party dependencies (apart from [`bytes`]) so the criterion
@@ -24,6 +26,7 @@ pub mod hash;
 pub mod http;
 pub mod json;
 pub mod sign;
+pub mod sse;
 pub mod value;
 
 pub use value::Value;

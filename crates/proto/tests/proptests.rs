@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 use pcsi_proto::http::{Method, Request, Response};
 use pcsi_proto::sign::{sign_request, verify_request, Credentials, Scope};
+use pcsi_proto::sse::{self, Event, SseError};
 use pcsi_proto::{binary, hash, json, Value};
 
 /// A strategy producing arbitrary `Value` trees (bounded depth/size).
@@ -118,6 +119,61 @@ proptest! {
         h.update(&data[..split]);
         h.update(&data[split..]);
         prop_assert_eq!(h.finalize(), hash::Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sse_event_roundtrip_is_identity(
+        id in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+        event in prop_oneof![Just(None), "[a-z-]{1,16}".prop_map(Some)],
+        // SSE payloads are event text: no CR, newlines allowed (they
+        // split into multiple data: lines and rejoin on decode).
+        data in "[^\r]{0,128}",
+    ) {
+        let ev = Event { id, event, data: Bytes::from(data) };
+        let wire = ev.encode();
+        let (back, used) = Event::decode(&wire).unwrap();
+        prop_assert_eq!(back, ev);
+        prop_assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn sse_truncation_always_detected(
+        id in any::<u64>(),
+        data in "[^\r]{0,64}",
+    ) {
+        let wire = Event::new(id, Bytes::from(data)).encode();
+        for cut in 0..wire.len() {
+            prop_assert_eq!(
+                Event::decode(&wire[..cut]).unwrap_err(),
+                SseError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn sse_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Event::decode(&bytes);
+        let _ = sse::decode_chunk(&bytes);
+    }
+
+    #[test]
+    fn chunk_roundtrip_and_truncation(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let wire = sse::encode_chunk(&payload);
+        let (back, used) = sse::decode_chunk(&wire).unwrap();
+        prop_assert_eq!(&back[..], &payload[..]);
+        prop_assert_eq!(used, wire.len());
+        for cut in 0..wire.len() {
+            // A prefix is either recognizably incomplete or — when the
+            // cut lands inside a payload that itself contains chunk
+            // framing — a shorter valid chunk; it must never decode to
+            // the full payload or panic.
+            match sse::decode_chunk(&wire[..cut]) {
+                Ok((_, u)) => prop_assert!(u <= cut),
+                Err(e) => prop_assert_eq!(e, SseError::Truncated),
+            }
+        }
     }
 
     #[test]

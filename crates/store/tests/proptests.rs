@@ -8,8 +8,10 @@ use pcsi_net::Topology;
 use pcsi_store::engine::{MediaTier, Mutation, StorageEngine, StoredObject};
 use pcsi_store::version::{Tag, VersionVector};
 use pcsi_store::wire::{
-    decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,
-    encode_response, Request, Response, WireError,
+    decode_request, decode_request_traced, decode_response, decode_stream_frame,
+    decode_stream_reply, encode_request, encode_request_traced, encode_response,
+    encode_stream_frame, encode_stream_reply, CloseReason, Request, Response, StreamFrame,
+    StreamReply, WireError,
 };
 use pcsi_store::Placement;
 use pcsi_trace::{SpanId, TraceContext, TraceId};
@@ -207,6 +209,36 @@ fn arb_response() -> impl Strategy<Value = Response> {
     ]
 }
 
+/// Every [`StreamFrame`] variant.
+fn arb_stream_frame() -> impl Strategy<Value = StreamFrame> {
+    let reason = prop_oneof![
+        Just(CloseReason::Cancelled),
+        Just(CloseReason::ObjectClosed),
+        Just(CloseReason::SubscriberLost),
+    ];
+    prop_oneof![
+        (arb_id(), any::<u64>(), any::<u32>())
+            .prop_map(|(id, sub, window)| StreamFrame::Subscribe { id, sub, window }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(sub, consumed)| StreamFrame::Grant { sub, consumed }),
+        (any::<u64>(), any::<u64>(), arb_bytes()).prop_map(|(seq, ts_ns, payload)| {
+            StreamFrame::Push {
+                seq,
+                ts_ns,
+                payload,
+            }
+        }),
+        (any::<u64>(), reason).prop_map(|(sub, reason)| StreamFrame::Close { sub, reason }),
+    ]
+}
+
+fn arb_stream_reply() -> impl Strategy<Value = StreamReply> {
+    prop_oneof![
+        Just(StreamReply::Ok),
+        arb_wire_error().prop_map(StreamReply::Err),
+    ]
+}
+
 /// Applies a scripted history to a fresh engine, tagging writes 1..n.
 fn apply_history(ops: &[(u64, Mutation)]) -> StorageEngine {
     let mut e = StorageEngine::new(MediaTier::Dram);
@@ -384,6 +416,36 @@ proptest! {
         let mut wire = encode_response(&resp).to_vec();
         wire.push(junk);
         prop_assert!(decode_response(&Bytes::from(wire)).is_err());
+    }
+
+    /// Stream frames round-trip exactly through the wire codec.
+    #[test]
+    fn wire_stream_frames_roundtrip(frame in arb_stream_frame()) {
+        let wire = encode_stream_frame(&frame);
+        prop_assert_eq!(decode_stream_frame(&wire).unwrap(), frame);
+    }
+
+    /// Stream replies round-trip exactly through the wire codec.
+    #[test]
+    fn wire_stream_replies_roundtrip(reply in arb_stream_reply()) {
+        let wire = encode_stream_reply(&reply);
+        prop_assert_eq!(decode_stream_reply(&wire).unwrap(), reply);
+    }
+
+    /// Every proper prefix of a stream frame fails to decode, and
+    /// trailing garbage is rejected.
+    #[test]
+    fn wire_stream_frame_truncation_always_detected(
+        frame in arb_stream_frame(),
+        junk in any::<u8>(),
+    ) {
+        let wire = encode_stream_frame(&frame);
+        for cut in 0..wire.len() {
+            prop_assert!(decode_stream_frame(&wire.slice(..cut)).is_err(), "cut {} decoded", cut);
+        }
+        let mut extended = wire.to_vec();
+        extended.push(junk);
+        prop_assert!(decode_stream_frame(&Bytes::from(extended)).is_err());
     }
 
     /// Placement: deterministic, correct cardinality, no duplicates, and

@@ -76,6 +76,7 @@ fn run(predictive: bool) -> Outcome {
                 mutability: Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();

@@ -51,6 +51,7 @@ fn main() {
                 mutability: Mutability::Immutable,
                 consistency: Consistency::Eventual,
                 initial: Bytes::new(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();

@@ -38,6 +38,7 @@ fn main() {
                 mutability: Mutability::AppendOnly,
                 consistency: Consistency::Linearizable,
                 initial: Bytes::new(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();
@@ -137,6 +138,7 @@ fn main() {
                         mutability: Mutability::Mutable,
                         consistency: Consistency::Linearizable,
                         initial: image.encode(),
+                        fifo_capacity: None,
                     })
                     .await
                     .unwrap()

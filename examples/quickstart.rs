@@ -136,6 +136,7 @@ fn main() {
                 mutability: Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();

@@ -259,6 +259,7 @@ fn invocations_fail_over_when_a_warm_node_crashes() {
                 mutability: pcsi_core::Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();

@@ -68,6 +68,7 @@ fn run_with(
                 mutability: pcsi_core::Mutability::Mutable,
                 consistency: Consistency::Linearizable,
                 initial: image.encode(),
+                fifo_capacity: None,
             })
             .await
             .unwrap();
@@ -441,6 +442,7 @@ fn autoscaled_diurnal_runs_fingerprint_identically() {
                     mutability: pcsi_core::Mutability::Mutable,
                     consistency: Consistency::Linearizable,
                     initial: image.encode(),
+                    fifo_capacity: None,
                 })
                 .await
                 .unwrap();
@@ -568,6 +570,14 @@ fn fingerprints_match_the_golden_values() {
         metrics, GOLDEN_METRICS,
         "metrics snapshot drifted from the golden seed"
     );
+
+    let stream =
+        pcsi_chaos::run_stream_scenario(0x57BEA7, &pcsi_chaos::StreamScenarioConfig::default())
+            .fingerprint();
+    assert_eq!(
+        stream, GOLDEN_STREAM,
+        "streaming scenario report drifted from the golden seed"
+    );
 }
 
 /// Captured on the tree that introduced consistent-hash sharding. The
@@ -600,3 +610,6 @@ const GOLDEN_CHAOS: u64 = 0x6215_d2ff_8d01_ad26;
 const GOLDEN_DROPS: u64 = 0x27b4_f910_079c_e5ca;
 const GOLDEN_REBALANCE: u64 = 0x68ae_1e50_6944_bc56;
 const GOLDEN_METRICS: u64 = 0xaeff_6bcd_3a63_d793;
+/// Captured on the streaming PR that introduced the scenario itself:
+/// drops plus a mid-stream subscriber kill over one FIFO's fan-out.
+const GOLDEN_STREAM: u64 = 0x0c03_c8ff_8361_a885;

@@ -43,6 +43,7 @@ async fn publish(
         mutability: pcsi_core::Mutability::Mutable,
         consistency: pcsi_core::Consistency::Linearizable,
         initial: image.encode(),
+        fifo_capacity: None,
     })
     .await
 }

@@ -247,6 +247,136 @@ fn fifo_connects_producers_and_consumers() {
 }
 
 #[test]
+fn bounded_fifo_appends_hit_retryable_backpressure() {
+    // Regression: the kernel used to create every FIFO unbounded,
+    // ignoring capacity — a stalled consumer grew the queue without
+    // limit. Appends past the bound must now fail with a retryable
+    // Overloaded, and draining must re-admit the producer.
+    with_cloud(14, |cloud| {
+        Box::pin(async move {
+            let c = cloud.kernel.client(NodeId(0), "tenant-a");
+            let fifo = c
+                .create(CreateOptions::fifo().with_fifo_capacity(2))
+                .await
+                .unwrap();
+            c.append(&fifo, Bytes::from_static(b"a")).await.unwrap();
+            c.append(&fifo, Bytes::from_static(b"b")).await.unwrap();
+            let err = c.append(&fifo, Bytes::from_static(b"c")).await.unwrap_err();
+            assert!(
+                matches!(err, PcsiError::Overloaded(_)),
+                "expected Overloaded, got {err:?}"
+            );
+            // Draining one slot re-admits the producer — the error is
+            // retryable, not fatal.
+            assert_eq!(&c.pop(&fifo).await.unwrap()[..], b"a");
+            c.append(&fifo, Bytes::from_static(b"c")).await.unwrap();
+            assert_eq!(&c.pop(&fifo).await.unwrap()[..], b"b");
+            assert_eq!(&c.pop(&fifo).await.unwrap()[..], b"c");
+        })
+    });
+}
+
+#[test]
+fn builder_fifo_capacity_applies_to_unannotated_creates() {
+    let mut sim = Sim::new(15);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let cloud = CloudBuilder::new()
+            .deterministic_network()
+            .fifo_capacity(1)
+            .build(&h);
+        let c = cloud.kernel.client(NodeId(0), "tenant-a");
+        let fifo = c.create(CreateOptions::fifo()).await.unwrap();
+        c.append(&fifo, Bytes::from_static(b"only")).await.unwrap();
+        assert!(matches!(
+            c.append(&fifo, Bytes::from_static(b"over")).await,
+            Err(PcsiError::Overloaded(_))
+        ));
+        // An explicit per-object capacity still wins over the default.
+        let wide = c
+            .create(CreateOptions::fifo().with_fifo_capacity(8))
+            .await
+            .unwrap();
+        for i in 0..8u8 {
+            c.append(&wide, Bytes::from(vec![i])).await.unwrap();
+        }
+        assert!(matches!(
+            c.append(&wide, Bytes::from_static(b"over")).await,
+            Err(PcsiError::Overloaded(_))
+        ));
+    });
+}
+
+#[test]
+fn subscribed_fifo_streams_appends_to_a_remote_consumer() {
+    with_cloud(16, |cloud| {
+        Box::pin(async move {
+            let producer = cloud.kernel.client(NodeId(0), "tenant-a");
+            let consumer = cloud.kernel.client(NodeId(5), "tenant-a");
+            let fifo = producer.create(CreateOptions::fifo()).await.unwrap();
+            let tail = fifo.attenuate(Rights::READ).unwrap();
+            let sub = consumer.subscribe(&tail, 8).await.unwrap();
+
+            // Appends now fan out to the subscriber instead of queueing
+            // for poppers.
+            for i in 0..4u8 {
+                producer.append(&fifo, Bytes::from(vec![i])).await.unwrap();
+            }
+            for want in 0..4u64 {
+                let ev = sub.next().await.unwrap();
+                assert_eq!(ev.seq, want);
+                assert_eq!(ev.payload, Bytes::from(vec![want as u8]));
+                assert!(ev.latency > Duration::ZERO, "pushes must cost time");
+            }
+            sub.cancel();
+
+            // Subscribing needs READ; a write-only capability is refused.
+            let append_only = fifo.attenuate(Rights::APPEND).unwrap();
+            assert!(matches!(
+                consumer.subscribe(&append_only, 8).await,
+                Err(PcsiError::AccessDenied { .. })
+            ));
+            // And non-stream kinds are rejected.
+            let file = producer
+                .create(CreateOptions::regular().with_initial(&b"x"[..]))
+                .await
+                .unwrap();
+            assert!(matches!(
+                consumer.subscribe(&file, 8).await,
+                Err(PcsiError::WrongKind { .. })
+            ));
+        })
+    });
+}
+
+#[test]
+fn deleting_a_subscribed_fifo_closes_the_stream() {
+    with_cloud(17, |cloud| {
+        Box::pin(async move {
+            let h = cloud.fabric.handle().clone();
+            let producer = cloud.kernel.client(NodeId(0), "tenant-a");
+            let consumer = cloud.kernel.client(NodeId(4), "tenant-a");
+            let fifo = producer.create(CreateOptions::fifo()).await.unwrap();
+            let sub = consumer.subscribe(&fifo, 4).await.unwrap();
+
+            producer
+                .append(&fifo, Bytes::from_static(b"last"))
+                .await
+                .unwrap();
+            producer.delete(&fifo).await.unwrap();
+
+            // The in-flight event drains, then the stream ends cleanly.
+            let ev = sub.next().await.unwrap();
+            assert_eq!(&ev.payload[..], b"last");
+            assert!(sub.next().await.is_none());
+            assert!(sub.is_closed());
+            h.sleep(Duration::from_millis(2)).await;
+            assert!(!cloud.kernel.publisher().has_subscribers(fifo.id()));
+        })
+    });
+}
+
+#[test]
 fn device_objects_route_to_system_services() {
     with_cloud(7, |cloud| {
         Box::pin(async move {
@@ -265,6 +395,7 @@ fn device_objects_route_to_system_services() {
                     mutability: Mutability::Immutable,
                     consistency: Consistency::Eventual,
                     initial: Bytes::new(),
+                    fifo_capacity: None,
                 })
                 .await
                 .unwrap();
@@ -277,6 +408,7 @@ fn device_objects_route_to_system_services() {
                     mutability: Mutability::Immutable,
                     consistency: Consistency::Eventual,
                     initial: Bytes::new(),
+                    fifo_capacity: None,
                 })
                 .await
                 .unwrap_err();
