@@ -19,6 +19,12 @@
 //! cargo run --release -p pcsi-bench --bin report -- bench-check <file>
 //!     # validate a snapshot against the current schema; exits nonzero
 //!     # on drift
+//! cargo run --release -p pcsi-bench --bin report -- trend
+//!     # render the perf trajectory across every BENCH_*.json here
+//! cargo run --release -p pcsi-bench --bin report -- bench-check --trend
+//!     # regression gate: the newest numeric-PR snapshot must not sit
+//!     # more than 20% behind the best prior value of any tracked
+//!     # metric; exits nonzero when it does
 //! ```
 
 use std::time::Duration;
@@ -28,18 +34,30 @@ use pcsi_bench::experiments::{
     recovery, rest_vs_nfs, shard_scaling, stages, streaming, table1, ycsb, DEFAULT_SEED,
 };
 use pcsi_bench::reportfmt::{ns, Table};
-use pcsi_bench::snapshot;
+use pcsi_bench::{snapshot, trend};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-check") {
-        bench_check(args.get(1).map(String::as_str));
+        if args.get(1).map(String::as_str) == Some("--trend") {
+            trend_gate();
+        } else {
+            bench_check(args.get(1).map(String::as_str));
+        }
         return;
     }
     // The perf suite is opt-in: it burns real wall-clock by design.
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     if args.iter().any(|a| a == "bench") {
         report_bench();
+        if args.len() == 1 {
+            return;
+        }
+    }
+    // Trend reads committed files rather than running experiments, so
+    // like `bench` it only runs when asked for by name.
+    if args.iter().any(|a| a == "trend") {
+        report_trend();
         if args.len() == 1 {
             return;
         }
@@ -659,6 +677,55 @@ fn report_bench() {
         println!("speedup vs baseline: {ratio:.2}x events/sec");
     }
     println!();
+}
+
+fn report_trend() {
+    println!("## Perf trajectory (committed BENCH_*.json snapshots)\n");
+    let rows = trend::load_dir(std::path::Path::new(".")).unwrap_or_else(|e| {
+        eprintln!("trend: {e}");
+        std::process::exit(2);
+    });
+    if rows.is_empty() {
+        println!("no BENCH_*.json snapshots found\n");
+        return;
+    }
+    print!("{}", trend::render_table(&rows));
+    println!();
+    match trend::check(&rows, trend::DEFAULT_TOLERANCE) {
+        Ok(verdicts) => {
+            for v in verdicts {
+                println!("  {v}");
+            }
+            println!("\ntrend gate: PASS\n");
+        }
+        Err(regressions) => {
+            for r in regressions {
+                println!("  {r}");
+            }
+            println!("\ntrend gate: FAIL (informational here; `bench-check --trend` enforces)\n");
+        }
+    }
+}
+
+fn trend_gate() {
+    let rows = trend::load_dir(std::path::Path::new(".")).unwrap_or_else(|e| {
+        eprintln!("bench-check --trend: {e}");
+        std::process::exit(2);
+    });
+    match trend::check(&rows, trend::DEFAULT_TOLERANCE) {
+        Ok(verdicts) => {
+            for v in verdicts {
+                println!("bench-check --trend: {v}");
+            }
+            println!("bench-check --trend: PASS");
+        }
+        Err(regressions) => {
+            for r in regressions {
+                eprintln!("bench-check --trend: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn bench_check(path: Option<&str>) {

@@ -25,3 +25,4 @@
 pub mod experiments;
 pub mod reportfmt;
 pub mod snapshot;
+pub mod trend;

@@ -1,0 +1,436 @@
+//! Perf trajectory over the committed `BENCH_*.json` snapshots.
+//!
+//! Each PR that touches performance commits one snapshot
+//! ([`crate::snapshot`]); this module reads them *all* back and turns
+//! the pile of per-PR files into a per-metric trajectory:
+//!
+//! * `report -- trend` renders the table — one row per snapshot, one
+//!   column per tracked metric (headline events/sec, shard scale-out
+//!   ratio, diurnal cold-start reduction, fast-network streaming
+//!   latency, token TTFT) — so the repository's perf history is
+//!   readable without opening a single JSON file;
+//! * `report -- bench-check --trend` is the regression gate: the
+//!   newest numeric-PR snapshot is compared against the **best prior**
+//!   value of every tracked metric, and any regression beyond
+//!   [`DEFAULT_TOLERANCE`] (20%) fails with a nonzero exit.
+//!
+//! Only snapshots whose `pr` field parses as a number participate in
+//! the gate: those are the numbers of record (see README "Perf
+//! snapshots"). Ad-hoc snapshots (`dev`, `ci`) still show up in the
+//! table — CI runners are too noisy to gate on, but the trajectory
+//! should display what was measured.
+//!
+//! Metrics split by provenance. **Virtual-time** metrics (shard
+//! scale-out ratio, cold-start reduction, streaming latencies) come
+//! out of the deterministic simulator: the same code produces the same
+//! number on any machine, so a slide past tolerance can only be a real
+//! code change and the gate fails hard. **Wall-clock** metrics
+//! (events/sec) move with the hardware that captured the snapshot —
+//! the committed history already swings ±40% across machines — so
+//! they are compared and reported but never fail the gate.
+
+use std::path::Path;
+
+use crate::reportfmt::Table;
+use crate::snapshot::{self, Json};
+
+/// Maximum tolerated regression of the latest snapshot against the
+/// best prior value of a metric, as a fraction (0.20 = 20%).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One tracked metric: where it lives in the snapshot document and
+/// which direction is an improvement.
+struct Metric {
+    /// Column header and the name used in regression messages.
+    label: &'static str,
+    /// Path below `snapshot`, e.g. `["shard_scaling", "ratio"]`.
+    path: &'static [&'static str],
+    /// `true` when larger values are better (throughput, ratios);
+    /// `false` when smaller values are better (latencies).
+    higher_is_better: bool,
+    /// `true` for metrics measured in real wall-clock time, which vary
+    /// with the capturing machine: reported, never gated. Virtual-time
+    /// metrics are machine-independent and gate hard.
+    wall_clock: bool,
+}
+
+/// The tracked metrics, in table-column order. Every entry is optional
+/// per snapshot — older snapshots predate the newer blocks — and a
+/// metric only gates when both the latest and some prior snapshot
+/// carry it.
+const METRICS: &[Metric] = &[
+    Metric {
+        label: "events/sec",
+        path: &["events_per_sec"],
+        higher_is_better: true,
+        wall_clock: true,
+    },
+    Metric {
+        label: "shard ratio",
+        path: &["shard_scaling", "ratio"],
+        higher_is_better: true,
+        wall_clock: false,
+    },
+    Metric {
+        label: "cold-start ratio",
+        path: &["autoscale", "cold_start_ratio"],
+        higher_is_better: true,
+        wall_clock: false,
+    },
+    Metric {
+        label: "fast push ns",
+        path: &["streaming", "fast_pcsi_event_ns"],
+        higher_is_better: false,
+        wall_clock: false,
+    },
+    Metric {
+        label: "ttft ns",
+        path: &["streaming", "ttft_pcsi_ns"],
+        higher_is_better: false,
+        wall_clock: false,
+    },
+];
+
+/// One snapshot's tracked metrics, in [`METRICS`] order (`None` where
+/// the snapshot predates the metric's block).
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// The snapshot's `pr` field, verbatim.
+    pub pr: String,
+    /// `pr` parsed as a number, when it is one — only these rows gate.
+    pub pr_num: Option<u64>,
+    /// Metric values in [`METRICS`] order.
+    values: Vec<Option<f64>>,
+}
+
+fn extract(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = doc.get("snapshot")?;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_num()
+}
+
+/// Parses one snapshot document into a trend row. The document must
+/// validate against the current schema — a drifted snapshot is an
+/// error, not a silent gap in the trajectory.
+pub fn parse_row(text: &str) -> Result<TrendRow, String> {
+    snapshot::validate(text)?;
+    let doc = snapshot::parse(text)?;
+    let pr = doc
+        .get("pr")
+        .and_then(Json::as_str)
+        .ok_or("missing string field: pr")?
+        .to_owned();
+    let pr_num = pr.parse::<u64>().ok();
+    let values = METRICS.iter().map(|m| extract(&doc, m.path)).collect();
+    Ok(TrendRow { pr, pr_num, values })
+}
+
+/// Reads every `BENCH_*.json` in `dir` into trend rows, sorted:
+/// numeric PRs ascending first, then the rest by name. Any unreadable
+/// or schema-drifted file is an error naming the file.
+pub fn load_dir(dir: &Path) -> Result<Vec<TrendRow>, String> {
+    let mut rows = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir:?}: {e}"))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    for name in names {
+        let path = dir.join(&name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {name}: {e}"))?;
+        let row = parse_row(&text).map_err(|e| format!("{name}: {e}"))?;
+        rows.push(row);
+    }
+    rows.sort_by(|a, b| match (a.pr_num, b.pr_num) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.pr.cmp(&b.pr),
+    });
+    Ok(rows)
+}
+
+/// Renders the trajectory table: one row per snapshot, one column per
+/// tracked metric, `—` where a snapshot predates the metric.
+pub fn render_table(rows: &[TrendRow]) -> String {
+    let mut headers = vec!["pr"];
+    headers.extend(METRICS.iter().map(|m| m.label));
+    let mut t = Table::new(&headers);
+    for row in rows {
+        let mut cells = vec![row.pr.clone()];
+        for v in &row.values {
+            cells.push(match v {
+                Some(v) => format!("{v:.3}"),
+                None => "—".into(),
+            });
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+/// The regression gate: compares the newest numeric-PR snapshot
+/// against the best prior numeric-PR value of each tracked metric.
+///
+/// Returns the per-metric verdict lines on success, or the regression
+/// messages when any virtual-time metric slid more than `tolerance`
+/// (wall-clock metrics are reported but never fail — see the module
+/// docs). Fewer than two numeric-PR snapshots means there is nothing
+/// to gate yet — trivially ok.
+pub fn check(rows: &[TrendRow], tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let numeric: Vec<&TrendRow> = rows.iter().filter(|r| r.pr_num.is_some()).collect();
+    let Some((latest, priors)) = numeric.split_last() else {
+        return Ok(vec!["no numeric-PR snapshots; nothing to gate".into()]);
+    };
+    if priors.is_empty() {
+        return Ok(vec![format!(
+            "only one numeric-PR snapshot (pr {}); nothing to gate",
+            latest.pr
+        )]);
+    }
+    let mut verdicts = Vec::new();
+    let mut regressions = Vec::new();
+    for (i, m) in METRICS.iter().enumerate() {
+        let Some(cur) = latest.values[i] else {
+            verdicts.push(format!(
+                "{}: absent from pr {}, skipped",
+                m.label, latest.pr
+            ));
+            continue;
+        };
+        let best = priors
+            .iter()
+            .filter_map(|r| r.values[i].map(|v| (v, r.pr.as_str())))
+            .reduce(|a, b| {
+                let a_wins = if m.higher_is_better {
+                    a.0 >= b.0
+                } else {
+                    a.0 <= b.0
+                };
+                if a_wins {
+                    a
+                } else {
+                    b
+                }
+            });
+        let Some((best, best_pr)) = best else {
+            verdicts.push(format!(
+                "{}: no prior snapshot carries it, skipped",
+                m.label
+            ));
+            continue;
+        };
+        if best <= 0.0 {
+            verdicts.push(format!("{}: prior best is nonpositive, skipped", m.label));
+            continue;
+        }
+        let slide = if m.higher_is_better {
+            (best - cur) / best
+        } else {
+            (cur - best) / best
+        };
+        let line = format!(
+            "{}: pr {} at {:.3} vs best {:.3} (pr {best_pr}) — {}{:.1}%",
+            m.label,
+            latest.pr,
+            cur,
+            best,
+            if slide <= 0.0 {
+                "ahead by "
+            } else {
+                "behind by "
+            },
+            slide.abs() * 100.0
+        );
+        if m.wall_clock {
+            verdicts.push(format!("{line} (wall-clock, informational)"));
+        } else if slide > tolerance {
+            regressions.push(format!(
+                "{line} — exceeds the {:.0}% tolerance",
+                tolerance * 100.0
+            ));
+        } else {
+            verdicts.push(line);
+        }
+    }
+    if regressions.is_empty() {
+        Ok(verdicts)
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pr: &str, eps: f64, shard_ratio: Option<f64>) -> String {
+        let shard = shard_ratio
+            .map(|r| {
+                format!(
+                    ",\n    \"shard_scaling\": {{\"nodes_before\": 3, \"nodes_after\": 12, \
+                     \"tput_before\": 1.0, \"tput_after\": 2.0, \"ratio\": {r:.3}, \
+                     \"p99_before_us\": 1.0, \"p99_migration_us\": 2.0, \"p99_after_us\": 0.5, \
+                     \"objects_moved\": 4}}"
+                )
+            })
+            .unwrap_or_default();
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"pr\": \"{pr}\",\n  \"seed\": 7,\n  \"snapshot\": {{\n    \
+             \"events_per_sec\": {eps:.3},\n    \
+             \"experiments\": {{\"driver_sweep\": {{\"wall_ms\": 1.0, \"events\": 10, \
+             \"events_per_sec\": {eps:.3}}}}},\n    \
+             \"table1_ns\": {{\"x\": 1.0}},\n    \
+             \"alloc\": {{\"pool_hits\": 1, \"pool_misses\": 0}}{shard}\n  }}\n}}\n",
+            snapshot::SCHEMA
+        )
+    }
+
+    #[test]
+    fn rows_sort_numeric_prs_first_and_ascending() {
+        let texts = [
+            doc("10", 1.0, None),
+            doc("ci", 1.0, None),
+            doc("9", 1.0, None),
+        ];
+        let mut rows: Vec<TrendRow> = texts.iter().map(|t| parse_row(t).unwrap()).collect();
+        rows.sort_by(|a, b| match (a.pr_num, b.pr_num) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.pr.cmp(&b.pr),
+        });
+        let order: Vec<&str> = rows.iter().map(|r| r.pr.as_str()).collect();
+        assert_eq!(order, ["9", "10", "ci"]);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_ignores_ad_hoc_snapshots() {
+        // 10% below the best prior: within the 20% gate. The "dev" row
+        // with a catastrophic number must not participate.
+        let rows: Vec<TrendRow> = [
+            doc("8", 1000.0, Some(3.0)),
+            doc("9", 900.0, Some(3.1)),
+            doc("dev", 1.0, None),
+        ]
+        .iter()
+        .map(|t| parse_row(t).unwrap())
+        .collect();
+        let verdicts = check(&rows, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            verdicts.iter().any(|v| v.contains("events/sec")),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_a_virtual_time_regression_beyond_tolerance() {
+        let rows: Vec<TrendRow> = [doc("8", 1000.0, Some(3.0)), doc("9", 1000.0, Some(2.0))]
+            .iter()
+            .map(|t| parse_row(t).unwrap())
+            .collect();
+        let regressions = check(&rows, DEFAULT_TOLERANCE).unwrap_err();
+        assert_eq!(regressions.len(), 1);
+        assert!(
+            regressions[0].contains("shard ratio") && regressions[0].contains("tolerance"),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn gate_compares_against_the_best_prior_not_the_last() {
+        // PR 8 dipped; PR 9 must still be judged against PR 7's peak.
+        let rows: Vec<TrendRow> = [
+            doc("7", 1000.0, Some(4.0)),
+            doc("8", 1000.0, Some(2.0)),
+            doc("9", 1000.0, Some(3.1)),
+        ]
+        .iter()
+        .map(|t| parse_row(t).unwrap())
+        .collect();
+        let regressions = check(&rows, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(
+            regressions[0].contains("shard ratio") && regressions[0].contains("pr 7"),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_metrics_report_but_never_fail() {
+        // A 60% events/sec collapse — the kind a slower capture machine
+        // produces — must surface in the verdict lines, not the gate.
+        let rows: Vec<TrendRow> = [doc("8", 1000.0, None), doc("9", 400.0, None)]
+            .iter()
+            .map(|t| parse_row(t).unwrap())
+            .collect();
+        let verdicts = check(&rows, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| v.contains("events/sec") && v.contains("informational")),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn lower_is_better_metrics_gate_in_the_right_direction() {
+        // A streaming latency that *rose* past tolerance must fail even
+        // while throughput improves.
+        let mk = |pr: &str, eps: f64, fast_ns: f64| {
+            let mut row = parse_row(&doc(pr, eps, None)).unwrap();
+            let idx = METRICS
+                .iter()
+                .position(|m| m.label == "fast push ns")
+                .unwrap();
+            row.values[idx] = Some(fast_ns);
+            row
+        };
+        let rows = vec![mk("8", 1000.0, 2000.0), mk("9", 1200.0, 2600.0)];
+        let regressions = check(&rows, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(regressions[0].contains("fast push ns"), "{regressions:?}");
+        // And a drop in latency is an improvement, not a regression.
+        let rows = vec![mk("8", 1000.0, 2000.0), mk("9", 1200.0, 1500.0)];
+        assert!(check(&rows, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn missing_blocks_skip_rather_than_gate() {
+        // The latest snapshot lacks shard scaling; the metric skips.
+        let rows: Vec<TrendRow> = [doc("8", 1000.0, Some(3.0)), doc("9", 950.0, None)]
+            .iter()
+            .map(|t| parse_row(t).unwrap())
+            .collect();
+        let verdicts = check(&rows, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| v.contains("shard ratio") && v.contains("skipped")),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn fewer_than_two_numeric_snapshots_is_trivially_ok() {
+        let rows = vec![parse_row(&doc("ci", 1.0, None)).unwrap()];
+        assert!(check(&rows, DEFAULT_TOLERANCE).is_ok());
+        let rows = vec![parse_row(&doc("6", 1.0, None)).unwrap()];
+        assert!(check(&rows, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn table_renders_every_row_with_gaps_dashed() {
+        let rows: Vec<TrendRow> = [doc("6", 1000.0, None), doc("7", 900.0, Some(3.1))]
+            .iter()
+            .map(|t| parse_row(t).unwrap())
+            .collect();
+        let table = render_table(&rows);
+        assert!(table.contains("| 6 "), "{table}");
+        assert!(table.contains("—"), "{table}");
+        assert!(table.contains("3.100"), "{table}");
+    }
+}

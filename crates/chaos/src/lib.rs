@@ -29,10 +29,12 @@
 
 pub mod checker;
 pub mod history;
+pub mod obs;
 pub mod scenario;
 pub mod stream;
 
 pub use checker::{check_converged, check_linearizable, check_reads_observe_writes, Violation};
 pub use history::{decode_value, encode_value, Op, OpKind, Recorder};
+pub use obs::{run_obs_scenario, ObsScenarioReport};
 pub use scenario::{run_scenario, sweep_seeds, FaultPlan, ScenarioConfig, ScenarioReport};
 pub use stream::{run_stream_scenario, StreamScenarioConfig, StreamScenarioReport};

@@ -13,12 +13,19 @@ use pcsi_faas::runtime::{Runtime, RuntimeConfig};
 use pcsi_faas::scheduler::PlacementPolicy;
 use pcsi_metrics::Metrics;
 use pcsi_net::{Fabric, LatencyModel, NetworkGeneration, Topology};
+use pcsi_obs::{Obs, ObsConfig};
 use pcsi_sim::SimHandle;
 use pcsi_store::{ReplicatedStore, StoreConfig};
 use pcsi_trace::{Sampling, Tracer};
 
 use crate::billing::Billing;
 use crate::kernel::Kernel;
+
+/// Retained-message bound of the control plane's `alerts` FIFO. With no
+/// subscriber the queue keeps the newest `ALERTS_FIFO_CAPACITY` lines
+/// (oldest evicted — the kernel never blocks on its own control
+/// stream); with subscribers the stream layer's credit flow applies.
+pub const ALERTS_FIFO_CAPACITY: usize = 256;
 
 /// Registers the standard device classes every namespace can expect
 /// (§3.2's "device interfaces to system services").
@@ -33,7 +40,12 @@ use crate::kernel::Kernel;
 /// * `metrics` — read returns the rendered metrics snapshot of the
 ///   deployment's registry (a marker comment when metrics are off), so a
 ///   function can observe the system with a plain file read through its
-///   capability-scoped namespace.
+///   capability-scoped namespace,
+/// * `events` — read returns the rendered structured event journal (a
+///   marker comment when observability is off). Seek-then-read for
+///   deltas: writing `since N` arms a one-shot cursor, and the next
+///   read returns only records with sequence numbers above `N` — how a
+///   tailing client resends nothing.
 fn register_standard_devices(kernel: &Kernel, handle: &SimHandle) {
     use bytes::Bytes;
     use std::cell::RefCell;
@@ -83,6 +95,35 @@ fn register_standard_devices(kernel: &Kernel, handle: &SimHandle) {
             None => Ok(Bytes::from_static(b"# pcsi-metrics disabled\n")),
         }),
     );
+
+    // Like `metrics`, the class exists either way so namespaces look
+    // identical; only the journal's presence differs. Kernel device
+    // reads carry no payload, so the delta form is seek-then-read: a
+    // write of `since N` arms a one-shot cursor the next read consumes.
+    let journal = kernel.journal();
+    let cursor: Rc<std::cell::Cell<Option<u64>>> = Rc::new(std::cell::Cell::new(None));
+    kernel.register_device(
+        "events",
+        Rc::new(move |input: Bytes| {
+            let Some(j) = &journal else {
+                return Ok(Bytes::from_static(b"# pcsi-obs disabled\n"));
+            };
+            if !input.is_empty() {
+                let after = std::str::from_utf8(&input)
+                    .ok()
+                    .and_then(|s| s.trim().strip_prefix("since "))
+                    .and_then(|n| n.trim().parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        pcsi_core::PcsiError::BadPayload(
+                            "events device accepts only `since <seq>`".into(),
+                        )
+                    })?;
+                cursor.set(Some(after));
+                return Ok(Bytes::new());
+            }
+            Ok(Bytes::from(j.render_since(cursor.take())))
+        }),
+    );
 }
 
 /// Configuration for a simulated cloud deployment.
@@ -98,6 +139,7 @@ pub struct CloudBuilder {
     trace_capacity: usize,
     metrics: bool,
     fifo_capacity: Option<usize>,
+    observability: Option<ObsConfig>,
 }
 
 impl Default for CloudBuilder {
@@ -113,6 +155,7 @@ impl Default for CloudBuilder {
             trace_capacity: 16384,
             metrics: false,
             fifo_capacity: None,
+            observability: None,
         }
     }
 }
@@ -227,6 +270,24 @@ impl CloudBuilder {
         self
     }
 
+    /// Enables the observability control plane: a structured event
+    /// journal every layer appends typed records to (exposed as the
+    /// `events` device), an SLO engine evaluating `config.rules` on
+    /// virtual-clock ticks, and an `alerts` FIFO carrying every alert
+    /// transition as an appended line — tailed with a plain
+    /// `subscribe()` like any other stream.
+    ///
+    /// The default is off: no journal exists, every hook collapses to an
+    /// `Option` check, no RNG stream is created and no task is spawned,
+    /// so disabled runs are bit-for-bit identical to builds predating
+    /// this crate. Rule evaluation needs the metrics registry; with
+    /// [`CloudBuilder::metrics`] off the journal and devices still work
+    /// but no evaluator task runs.
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.observability = Some(config);
+        self
+    }
+
     /// Sets the default FIFO/socket queue bound for objects created
     /// without an explicit [`pcsi_core::api::CreateOptions::fifo_capacity`].
     /// Appends beyond the bound fail with a retryable
@@ -269,6 +330,13 @@ impl CloudBuilder {
         } else {
             None
         };
+        // Observability installs before device registration so the
+        // `events` device handler captures the journal it will render.
+        let obs = self.observability.as_ref().map(|cfg| {
+            let o = Obs::new(handle, cfg).expect("malformed SLO rule");
+            kernel.set_journal(Some(o.journal()));
+            o
+        });
         register_standard_devices(&kernel, handle);
         let tracer = match self.sampling {
             Sampling::Off => None,
@@ -278,6 +346,33 @@ impl CloudBuilder {
                 Some(t)
             }
         };
+        // The alerts FIFO and the evaluator task. The FIFO exists
+        // whenever observability is on (uniform namespaces); the ticker
+        // only runs when there is a registry to evaluate against.
+        let alerts = obs.as_ref().map(|o| {
+            let r = kernel.create_system_fifo(ALERTS_FIFO_CAPACITY);
+            if let Some(m) = &metrics {
+                let interval = self.observability.as_ref().expect("obs is set").interval;
+                let (o, m, k, h, r) = (
+                    o.clone(),
+                    m.clone(),
+                    kernel.clone(),
+                    handle.clone(),
+                    r.clone(),
+                );
+                handle.spawn_detached(async move {
+                    loop {
+                        h.sleep(interval).await;
+                        for line in o.tick(&m, h.now().as_nanos()) {
+                            let mut bytes = line.into_bytes();
+                            bytes.push(b'\n');
+                            let _ = k.append_system_fifo(&r, bytes::Bytes::from(bytes));
+                        }
+                    }
+                });
+            }
+            r
+        });
         Cloud {
             fabric,
             store,
@@ -286,6 +381,8 @@ impl CloudBuilder {
             kernel,
             tracer,
             metrics,
+            obs,
+            alerts,
         }
     }
 }
@@ -307,6 +404,11 @@ pub struct Cloud {
     pub tracer: Option<Tracer>,
     /// The unified metrics registry, when metrics are enabled.
     pub metrics: Option<Metrics>,
+    /// The observability control plane, when enabled.
+    pub obs: Option<Obs>,
+    /// A reference to the `alerts` FIFO (subscribe to tail alert
+    /// transitions), when observability is enabled.
+    pub alerts: Option<pcsi_core::Reference>,
 }
 
 impl Cloud {

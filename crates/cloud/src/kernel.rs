@@ -32,6 +32,7 @@ use pcsi_fs::device::{DeviceHandler, DeviceRegistry};
 use pcsi_fs::{DirEntry, Directory, FifoQueue};
 use pcsi_metrics::Metrics;
 use pcsi_net::{Fabric, NodeId, Transport};
+use pcsi_obs::{Journal, JournalExt};
 use pcsi_sim::executor::LocalBoxFuture;
 use pcsi_sim::SimTime;
 use pcsi_store::{gc, ReplicatedStore};
@@ -73,6 +74,11 @@ struct Inner {
     /// error counter is *not* cached: it is registered lazily on first
     /// error, keeping rendered snapshots identical to the uncached path.
     op_series: RefCell<FxHashMap<&'static str, (pcsi_metrics::Counter, pcsi_metrics::Histogram)>>,
+    /// Optional structured event journal (the observability control
+    /// plane): control-plane transitions — deletes, revocations, GC
+    /// sweeps — append typed records here, and the handle propagates to
+    /// the store and the FaaS runtime like the tracer does.
+    journal: RefCell<Option<Journal>>,
 }
 
 /// Default FIFO/socket queue bound when neither the builder knob nor
@@ -113,6 +119,7 @@ impl Kernel {
                 tracer: RefCell::new(None),
                 metrics: RefCell::new(None),
                 op_series: RefCell::new(FxHashMap::default()),
+                journal: RefCell::new(None),
             }),
         }
     }
@@ -159,6 +166,75 @@ impl Kernel {
     /// The installed metrics registry, if any.
     pub fn metrics(&self) -> Option<Metrics> {
         self.inner.metrics.borrow().clone()
+    }
+
+    /// Installs (or removes) the structured event journal, propagating
+    /// it to the store (failover/migration records) and the FaaS runtime
+    /// (cold-start/preemption records). With `None` (the default) no
+    /// journal exists anywhere and every hook collapses to an `Option`
+    /// check — the same inertness contract as tracing and metrics.
+    pub fn set_journal(&self, journal: Option<Journal>) {
+        self.inner.store.set_journal(journal.clone());
+        self.inner.runtime.set_journal(journal.clone());
+        *self.inner.journal.borrow_mut() = journal;
+    }
+
+    /// The installed event journal, if any.
+    pub fn journal(&self) -> Option<Journal> {
+        self.inner.journal.borrow().clone()
+    }
+
+    /// Creates a provider-internal FIFO synchronously (no client, no
+    /// fabric hop, no span): the control plane's path for namespace
+    /// infrastructure like the `alerts` stream, which must exist before
+    /// any workload task runs. The returned reference is a perfectly
+    /// ordinary FIFO reference — clients `subscribe()` / `pop` it like
+    /// any PR 9 stream.
+    pub fn create_system_fifo(&self, capacity: usize) -> Reference {
+        let id = self.inner.alloc.borrow_mut().alloc();
+        let now = self.inner.fabric.handle().now().as_nanos();
+        let meta = ObjectMeta::new(
+            ObjectKind::Fifo,
+            Mutability::AppendOnly,
+            Consistency::Linearizable,
+            now,
+        );
+        self.inner
+            .fifos
+            .borrow_mut()
+            .insert(id, FifoQueue::bounded(capacity.max(1)));
+        self.inner.meta.borrow_mut().insert(id, MetaEntry { meta });
+        Reference::mint(id, Rights::ALL, 0)
+    }
+
+    /// Appends to a provider-internal FIFO synchronously. Subscribed
+    /// queues push to their subscribers (credit-controlled); otherwise
+    /// the payload queues for poppers, and when the queue is full the
+    /// *oldest* entry is evicted — a control-plane stream is a ring of
+    /// recent history, not a backpressure source for the kernel itself.
+    pub fn append_system_fifo(&self, r: &Reference, data: Bytes) -> Result<(), PcsiError> {
+        let fifo = self
+            .inner
+            .fifos
+            .borrow()
+            .get(&r.id())
+            .cloned()
+            .ok_or(PcsiError::NotFound(r.id()))?;
+        if self.inner.publisher.has_subscribers(r.id()) {
+            let ts = self.inner.fabric.handle().now().as_nanos();
+            self.inner.publisher.publish(r.id(), data, ts)?;
+            self.update_meta(r.id(), |m| m.version += 1);
+            return Ok(());
+        }
+        if let Some(back) = fifo.try_push(data)? {
+            fifo.try_pop();
+            fifo.try_push(back)?;
+        }
+        self.update_meta(r.id(), |m| {
+            m.size += 1;
+            m.version += 1;
+        });
+        Ok(())
     }
 
     /// Registers a host body for a function image name.
@@ -219,7 +295,12 @@ impl Kernel {
         let mut meta = self.inner.meta.borrow_mut();
         let entry = meta.get_mut(&id).ok_or(PcsiError::NotFound(id))?;
         entry.meta.generation += 1;
-        Ok(Reference::mint(id, Rights::ALL, entry.meta.generation))
+        let generation = entry.meta.generation;
+        drop(meta);
+        self.inner
+            .journal
+            .with(|j| j.append("kernel", "revoke", format!("id={id:?} gen={generation}")));
+        Ok(Reference::mint(id, Rights::ALL, generation))
     }
 
     /// Runs a reachability GC from `roots`.
@@ -262,6 +343,11 @@ impl Kernel {
                 self.inner.publisher.close_object(*id);
             }
             self.inner.store.invalidate_cached(*id);
+        }
+        if !dead.is_empty() {
+            self.inner
+                .journal
+                .with(|j| j.append("kernel", "gc", format!("collected={}", dead.len())));
         }
         dead.len()
     }
@@ -349,7 +435,10 @@ impl KernelClient {
 
     /// Records one completed `CloudInterface` op into the registry (if
     /// installed): per-op count, per-op error count, latency histogram.
-    fn record_op(&self, op: &'static str, started: SimTime, ok: bool) {
+    /// When the op ran under a sampled trace, the latency histogram also
+    /// retains `(trace, elapsed)` as the bucket's exemplar — the join
+    /// key that lets a firing latency alert name its offending trace.
+    fn record_op(&self, op: &'static str, started: SimTime, ok: bool, trace: Option<u64>) {
         let inner = self.inner();
         let cached = {
             let mut cache = inner.op_series.borrow_mut();
@@ -378,6 +467,10 @@ impl KernelClient {
             }
             let elapsed = inner.fabric.handle().now() - started;
             op_ns.record_duration(elapsed);
+            if let Some(trace) = trace {
+                let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                op_ns.exemplar(ns, trace);
+            }
         }
     }
 
@@ -499,7 +592,12 @@ impl KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.subscribe_impl(r, window).await;
-        self.record_op("subscribe", started, result.is_ok());
+        self.record_op(
+            "subscribe",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -545,7 +643,12 @@ impl KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.invoke_goal_impl(f, req, goal).await;
-        self.record_op("invoke", started, result.is_ok());
+        self.record_op(
+            "invoke",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -666,7 +769,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.create_impl(opts).await;
-        self.record_op("create", started, result.is_ok());
+        self.record_op(
+            "create",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -676,7 +784,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.read_impl(r, offset, len).await;
-        self.record_op("read", started, result.is_ok());
+        self.record_op(
+            "read",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -686,7 +799,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.write_impl(r, offset, data).await;
-        self.record_op("write", started, result.is_ok());
+        self.record_op(
+            "write",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -696,7 +814,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.append_impl(r, data).await;
-        self.record_op("append", started, result.is_ok());
+        self.record_op(
+            "append",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -706,7 +829,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.pop_impl(r).await;
-        self.record_op("pop", started, result.is_ok());
+        self.record_op(
+            "pop",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -715,7 +843,12 @@ impl CloudInterface for KernelClient {
         let span = self.op_span("kernel.stat");
         let started = self.inner().fabric.handle().now();
         let result = self.kernel.check(r, Rights::READ);
-        self.record_op("stat", started, result.is_ok());
+        self.record_op(
+            "stat",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -725,7 +858,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.set_mutability_impl(r, to).await;
-        self.record_op("set_mutability", started, result.is_ok());
+        self.record_op(
+            "set_mutability",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -735,7 +873,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.delete_impl(r).await;
-        self.record_op("delete", started, result.is_ok());
+        self.record_op(
+            "delete",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -745,7 +888,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.link_impl(dir, name, target).await;
-        self.record_op("link", started, result.is_ok());
+        self.record_op(
+            "link",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -755,7 +903,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.unlink_impl(dir, name).await;
-        self.record_op("unlink", started, result.is_ok());
+        self.record_op(
+            "unlink",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -765,7 +918,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.lookup_impl(dir, path).await;
-        self.record_op("lookup", started, result.is_ok());
+        self.record_op(
+            "lookup",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }
@@ -775,7 +933,12 @@ impl CloudInterface for KernelClient {
         let started = self.inner().fabric.handle().now();
         let this = self.with_ctx(span.ctx());
         let result = this.list_impl(dir).await;
-        self.record_op("list", started, result.is_ok());
+        self.record_op(
+            "list",
+            started,
+            result.is_ok(),
+            span.ctx().map(|c| c.trace.0),
+        );
         finish_op(span, &result);
         result
     }

@@ -260,7 +260,7 @@ async fn handle_request(
         Ok(r) => r,
         Err(e) => {
             let resp = Response::new(400).with_body(error_json("BadHttp", &e.to_string()));
-            record_request(&metrics, "-", &resp, h.now() - started);
+            record_request(&metrics, "-", &resp, h.now() - started, span.ctx());
             return resp;
         }
     };
@@ -274,7 +274,7 @@ async fn handle_request(
     let lookup = |id: &str| keys.get(id).cloned();
     if let Err(e) = verify_request(&request, lookup, &scope(), now_s, 3600) {
         let resp = Response::new(403).with_body(error_json("AccessDenied", &e.to_string()));
-        record_request(&metrics, method, &resp, h.now() - started);
+        record_request(&metrics, method, &resp, h.now() - started, span.ctx());
         return resp;
     }
     auth_span.finish();
@@ -376,20 +376,33 @@ async fn handle_request(
         Err(e) => Response::new(500).with_body(error_json("InternalError", &e.to_string())),
     };
     span.attr("status", u64::from(resp.status));
+    let ctx = span.ctx();
     span.finish();
-    record_request(&metrics, method, &resp, h.now() - started);
+    record_request(&metrics, method, &resp, h.now() - started, ctx);
     resp
 }
 
 /// Counts one gateway request by method and status, and records the
-/// gateway-side latency histogram. A no-op when metrics are off.
-fn record_request(metrics: &Option<Metrics>, method: &str, resp: &Response, elapsed: Duration) {
+/// gateway-side latency histogram. A no-op when metrics are off. Sampled
+/// requests (a live trace context) additionally pin a histogram
+/// exemplar, joining the latency bucket back to the offending trace.
+fn record_request(
+    metrics: &Option<Metrics>,
+    method: &str,
+    resp: &Response,
+    elapsed: Duration,
+    ctx: Option<pcsi_trace::TraceContext>,
+) {
     if let Some(m) = metrics {
         let status = resp.status.to_string();
         m.counter("rest.requests", &[("method", method), ("status", &status)])
             .incr();
-        m.histogram("rest.request_ns", &[("method", method)])
-            .record_duration(elapsed);
+        let hist = m.histogram("rest.request_ns", &[("method", method)]);
+        hist.record_duration(elapsed);
+        if let Some(ctx) = ctx {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            hist.exemplar(ns, ctx.trace.0);
+        }
     }
 }
 

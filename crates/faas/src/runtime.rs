@@ -33,6 +33,7 @@ use pcsi_core::PcsiError;
 use pcsi_metrics::{Counter, Gauge, Histogram, Metrics};
 use pcsi_net::node::Resources;
 use pcsi_net::NodeId;
+use pcsi_obs::{Journal, JournalExt};
 use pcsi_sim::{SimHandle, SimTime};
 use pcsi_trace::Tracer;
 
@@ -210,6 +211,9 @@ struct Inner {
     /// Optional tracer: invocations record cold-start and body spans
     /// under the caller's context.
     tracer: RefCell<Option<Tracer>>,
+    /// Optional structured event journal: cold starts and preemptions
+    /// record typed events. Absent means disabled.
+    journal: RefCell<Option<Journal>>,
 }
 
 /// Histograms recorded per invocation when metrics are enabled.
@@ -247,6 +251,7 @@ impl Runtime {
                 peak_in_flight: std::cell::Cell::new(0),
                 hists: RefCell::new(None),
                 tracer: RefCell::new(None),
+                journal: RefCell::new(None),
             }),
         };
         rt.start_reaper();
@@ -277,6 +282,12 @@ impl Runtime {
     /// Installs (or removes) the tracer invocation spans record into.
     pub fn set_tracer(&self, tracer: Option<Tracer>) {
         *self.inner.tracer.borrow_mut() = tracer;
+    }
+
+    /// Installs (or removes) the structured event journal. Cold starts
+    /// and preemptions record typed events into it.
+    pub fn set_journal(&self, journal: Option<Journal>) {
+        *self.inner.journal.borrow_mut() = journal;
     }
 
     /// Installs (or removes) the metrics registry: the runtime's
@@ -569,6 +580,13 @@ impl Runtime {
         let victim = pool.remove(pos).expect("position valid");
         self.inner.cluster.release(victim.node, &victim.demand);
         self.inner.preemptions.incr();
+        self.inner.journal.with(|j| {
+            j.append(
+                "faas",
+                "preemption",
+                format!("fn={} variant={} node={}", key.0, key.1, node.0),
+            );
+        });
         true
     }
 
@@ -640,6 +658,13 @@ impl Runtime {
         let started = self.inner.handle.now();
         if cold_start {
             self.inner.cold_starts.incr();
+            self.inner.journal.with(|j| {
+                j.append(
+                    "faas",
+                    "cold_start",
+                    format!("fn={} variant={} node={}", image.name, variant.name, node.0),
+                );
+            });
             let boot = variant.backend.cold_start();
             if let Some(h) = self.inner.hists.borrow().as_ref() {
                 h.cold_start_ns.record_duration(boot);

@@ -60,6 +60,13 @@ const N_BUCKETS: usize = 64 * SUB_BUCKETS;
 /// a detached cell and the family counts them in its `dropped` line.
 pub const MAX_SERIES_PER_FAMILY: usize = 64;
 
+/// The self-monitoring family counting label sets refused by the
+/// cardinality bound, one series per overflowing family
+/// (`metrics.dropped_series{family="<name>"}`). Registered lazily on the
+/// first drop so drop-free snapshots are byte-identical to snapshots
+/// rendered before this family existed.
+pub const DROPPED_SERIES_FAMILY: &str = "metrics.dropped_series";
+
 /// A monotone event counter (`Rc<Cell<u64>>`; clone to share).
 #[derive(Clone, Debug, Default)]
 pub struct Counter {
@@ -116,6 +123,28 @@ impl Gauge {
     }
 }
 
+/// Exemplars retained per histogram before the stalest bucket is evicted.
+///
+/// Exemplars exist to answer "show me one offending trace per latency
+/// bucket", so only the hot tail of buckets needs representation; the
+/// bound keeps a histogram's footprint independent of how many distinct
+/// buckets a long run touches.
+pub const MAX_EXEMPLARS: usize = 64;
+
+/// One retained `(trace, value)` sample for a histogram bucket — the
+/// join key from a metric back into the `TraceSink` (see `pcsi-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Lower edge of the bucket this exemplar represents.
+    pub bucket_lo: u64,
+    /// The exact recorded value.
+    pub value: u64,
+    /// The trace id active when the value was recorded.
+    pub trace: u64,
+    /// Recording sequence number (per histogram; later = fresher).
+    pub seq: u64,
+}
+
 #[derive(Debug)]
 struct HistogramInner {
     buckets: RefCell<Vec<u64>>,
@@ -123,6 +152,12 @@ struct HistogramInner {
     sum: Cell<u128>,
     min: Cell<u64>,
     max: Cell<u64>,
+    /// Bucket index → most recent exemplar. Only populated through
+    /// [`Histogram::exemplar`], which call sites gate on tracing being
+    /// enabled — plain [`Histogram::record`] never touches this, so
+    /// metrics-only runs stay byte-identical.
+    exemplars: RefCell<BTreeMap<usize, Exemplar>>,
+    exemplar_seq: Cell<u64>,
 }
 
 /// A log₂-bucketed histogram over `u64` values (typically nanoseconds).
@@ -173,6 +208,8 @@ impl Histogram {
                 sum: Cell::new(0),
                 min: Cell::new(u64::MAX),
                 max: Cell::new(0),
+                exemplars: RefCell::new(BTreeMap::new()),
+                exemplar_seq: Cell::new(0),
             }),
         }
     }
@@ -289,6 +326,64 @@ impl Histogram {
         below as f64 / n as f64
     }
 
+    /// Exact number of samples recorded in buckets at or below `value`'s
+    /// bucket. The integer form of [`Histogram::fraction_le`]: windowed
+    /// SLO math (`pcsi-obs`) differences cumulative `(count_le, count)`
+    /// pairs between evaluation ticks, so each sample is attributed to
+    /// exactly one window and never double-counted.
+    pub fn count_le(&self, value: u64) -> u64 {
+        let idx = Self::index_of(value);
+        self.inner.buckets.borrow()[..=idx].iter().sum()
+    }
+
+    /// Retains `(trace, value)` as the exemplar for `value`'s bucket,
+    /// replacing the bucket's previous exemplar. Call sites gate this on
+    /// tracing being enabled *and* the surrounding span being sampled —
+    /// [`Histogram::record`] itself never stores exemplars, so runs
+    /// without tracing are byte-identical to runs before exemplars
+    /// existed. When more than [`MAX_EXEMPLARS`] buckets hold exemplars
+    /// the one with the oldest sequence number is evicted
+    /// (deterministic: ties cannot occur, seq is unique per histogram).
+    pub fn exemplar(&self, value: u64, trace: u64) {
+        let seq = self.inner.exemplar_seq.get();
+        self.inner.exemplar_seq.set(seq + 1);
+        let idx = Self::index_of(value);
+        let mut ex = self.inner.exemplars.borrow_mut();
+        ex.insert(
+            idx,
+            Exemplar {
+                bucket_lo: Self::value_of(idx),
+                value,
+                trace,
+                seq,
+            },
+        );
+        if ex.len() > MAX_EXEMPLARS {
+            if let Some((&stalest, _)) = ex.iter().min_by_key(|(_, e)| e.seq) {
+                ex.remove(&stalest);
+            }
+        }
+    }
+
+    /// All retained exemplars, ordered by bucket (ascending value).
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.inner.exemplars.borrow().values().copied().collect()
+    }
+
+    /// The worst retained offender at or above `value`: the exemplar in
+    /// the highest bucket whose lower edge is ≥ `value`'s bucket lower
+    /// edge. This is the "p99 offender" joined against the trace sink
+    /// when a latency SLO fires.
+    pub fn exemplar_ge(&self, value: u64) -> Option<Exemplar> {
+        let idx = Self::index_of(value);
+        self.inner
+            .exemplars
+            .borrow()
+            .range(idx..)
+            .next_back()
+            .map(|(_, e)| *e)
+    }
+
     /// The fixed p50/p95/p99/p999 snapshot used by snapshots and tables.
     pub fn quantiles(&self) -> Quantiles {
         Quantiles {
@@ -314,6 +409,7 @@ impl Histogram {
         self.inner.sum.set(0);
         self.inner.min.set(u64::MAX);
         self.inner.max.set(0);
+        self.inner.exemplars.borrow_mut().clear();
     }
 }
 
@@ -403,22 +499,34 @@ impl Metrics {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> Series,
     ) -> Series {
-        let mut families = self.inner.families.borrow_mut();
-        let family = families.entry(name).or_insert_with(|| Family {
-            series: BTreeMap::new(),
-            dropped: Cell::new(0),
-        });
-        let key = label_string(labels);
-        if let Some(existing) = family.series.get(&key) {
-            return existing.clone();
-        }
-        let make = make();
-        if family.series.len() >= MAX_SERIES_PER_FAMILY {
+        let made = {
+            let mut families = self.inner.families.borrow_mut();
+            let family = families.entry(name).or_insert_with(|| Family {
+                series: BTreeMap::new(),
+                dropped: Cell::new(0),
+            });
+            let key = label_string(labels);
+            if let Some(existing) = family.series.get(&key) {
+                return existing.clone();
+            }
+            let made = make();
+            if family.series.len() < MAX_SERIES_PER_FAMILY {
+                family.series.insert(key, made.clone());
+                return made;
+            }
             family.dropped.set(family.dropped.get() + 1);
-            return make; // Detached: still records, never rendered.
+            made // Detached: still records, never rendered.
+        };
+        // Borrow released: record the drop on the self-family so the
+        // snapshot carries it as a queryable series, not only a comment.
+        // Drops of the self-family itself are not self-counted, bounding
+        // the re-entrancy to one level. The self-family appears only
+        // after the first drop, so drop-free runs render identically.
+        if name != DROPPED_SERIES_FAMILY {
+            self.counter(DROPPED_SERIES_FAMILY, &[("family", name)])
+                .incr();
         }
-        family.series.insert(key, make.clone());
-        make
+        made
     }
 
     /// Gets or creates the counter series `name{labels}`.
@@ -468,6 +576,32 @@ impl Metrics {
         self.get_or_insert(name, labels, || Series::Histogram(histo.clone()));
     }
 
+    /// Read-only series lookup by runtime name (no `&'static` needed and
+    /// nothing is created): the accessor SLO rules use, since rules are
+    /// parsed from text at build time. Returns `None` for an unknown
+    /// family or label set.
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<Series> {
+        let families = self.inner.families.borrow();
+        let family = families.get(name)?;
+        family.series.get(&label_string(labels)).cloned()
+    }
+
+    /// Looks up an existing counter series without creating it.
+    pub fn find_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<Counter> {
+        match self.find(name, labels) {
+            Some(Series::Counter(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Looks up an existing histogram series without creating it.
+    pub fn find_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        match self.find(name, labels) {
+            Some(Series::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     /// Number of registered series across all families (tests).
     pub fn series_count(&self) -> usize {
         self.inner
@@ -483,6 +617,7 @@ impl Metrics {
     /// sorted by canonical label string, all values integers.
     pub fn render(&self) -> String {
         let mut out = String::from("# pcsi-metrics snapshot\n");
+        let mut total_dropped = 0u64;
         for (name, family) in self.inner.families.borrow().iter() {
             for (labels, series) in &family.series {
                 match series {
@@ -502,11 +637,17 @@ impl Metrics {
                 }
             }
             if family.dropped.get() > 0 {
+                total_dropped += family.dropped.get();
                 out.push_str(&format!(
                     "# {name}: {} series dropped over cardinality bound\n",
                     family.dropped.get()
                 ));
             }
+        }
+        if total_dropped > 0 {
+            out.push_str(&format!(
+                "# dropped series total: {total_dropped} (per-family: {DROPPED_SERIES_FAMILY})\n"
+            ));
         }
         out
     }
@@ -699,16 +840,92 @@ mod tests {
             let v = format!("{i}");
             m.counter("hot.family", &[("id", &v)]).incr();
         }
-        assert_eq!(m.series_count(), MAX_SERIES_PER_FAMILY);
+        // 64 admitted series plus the lazily created self-counter.
+        assert_eq!(m.series_count(), MAX_SERIES_PER_FAMILY + 1);
         let r = m.render();
         assert!(
             r.contains("# hot.family: 9 series dropped over cardinality bound\n"),
+            "{r}"
+        );
+        // The drops are self-counted as a first-class series and totaled
+        // in the snapshot footer — not just buried in a comment.
+        assert!(
+            r.contains("counter metrics.dropped_series{family=\"hot.family\"} 9\n"),
+            "{r}"
+        );
+        assert!(
+            r.contains("# dropped series total: 9 (per-family: metrics.dropped_series)\n"),
             "{r}"
         );
         // Dropped label sets still record into a working (detached) cell.
         let c = m.counter("hot.family", &[("id", "overflow-again")]);
         c.add(5);
         assert_eq!(c.get(), 5);
+        assert!(m
+            .render()
+            .contains("counter metrics.dropped_series{family=\"hot.family\"} 10\n"),);
+    }
+
+    #[test]
+    fn drop_free_registries_never_mention_the_self_family() {
+        let m = Metrics::new();
+        m.counter("a.ops", &[]).incr();
+        m.histogram("a.lat", &[]).record(3);
+        let r = m.render();
+        assert!(!r.contains("dropped"), "{r}");
+        assert!(!r.contains(DROPPED_SERIES_FAMILY), "{r}");
+    }
+
+    #[test]
+    fn count_le_is_the_integer_fraction_le() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for probe in [0u64, 1, 31, 500, 999, 1000, u64::MAX] {
+            let frac = h.count_le(probe) as f64 / h.count() as f64;
+            assert_eq!(frac, h.fraction_le(probe), "probe {probe}");
+        }
+        assert_eq!(h.count_le(u64::MAX), 1000);
+        let empty = Histogram::new();
+        assert_eq!(empty.count_le(5), 0);
+    }
+
+    #[test]
+    fn exemplars_track_the_latest_sample_per_bucket() {
+        let h = Histogram::new();
+        h.record(100);
+        // Plain record never stores exemplars.
+        assert!(h.exemplars().is_empty());
+        h.exemplar(100, 0xaaaa);
+        h.exemplar(101, 0xbbbb); // Same bucket (96..112): replaces.
+        h.exemplar(5000, 0xcccc);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].trace, 0xbbbb);
+        assert_eq!(ex[0].value, 101);
+        assert_eq!(ex[1].trace, 0xcccc);
+        // Worst offender at or above a threshold.
+        assert_eq!(h.exemplar_ge(0).unwrap().trace, 0xcccc);
+        assert_eq!(h.exemplar_ge(200).unwrap().trace, 0xcccc);
+        assert!(h.exemplar_ge(10_000).is_none());
+        h.reset();
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_are_bounded_with_stalest_bucket_evicted() {
+        let h = Histogram::new();
+        // Values 0..MAX_EXEMPLARS+8 land in distinct unit buckets
+        // (all below SUB_BUCKETS would be needed for that — use spread
+        // values across major buckets instead).
+        for i in 0..(MAX_EXEMPLARS as u64 + 8) {
+            h.exemplar(1u64 << (i % 48) | i << 48, i);
+        }
+        assert!(h.exemplars().len() <= MAX_EXEMPLARS);
+        // The freshest exemplar always survives.
+        let max_seq = h.exemplars().iter().map(|e| e.seq).max().unwrap();
+        assert_eq!(max_seq, MAX_EXEMPLARS as u64 + 7);
     }
 
     #[test]

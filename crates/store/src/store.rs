@@ -36,6 +36,7 @@ use pcsi_core::{Consistency, Mutability, ObjectId, PcsiError};
 use pcsi_metrics::{Counter, Metrics};
 use pcsi_net::fabric::NetError;
 use pcsi_net::{Fabric, NodeId};
+use pcsi_obs::{Journal, JournalExt};
 use pcsi_sim::sync::mpsc;
 use pcsi_sim::util::{join_all, Pacer};
 use pcsi_sim::SimTime;
@@ -190,6 +191,10 @@ struct StoreInner {
     /// above (and every lazily created cache's) are published as named
     /// series; nothing is double-counted.
     metrics: RefCell<Option<Metrics>>,
+    /// Optional structured event journal. Failovers and object
+    /// migrations append typed records; absent means disabled and the
+    /// hooks cost one pointer check.
+    journal: RefCell<Option<Journal>>,
 }
 
 #[derive(Default)]
@@ -252,6 +257,7 @@ impl ReplicatedStore {
                 retry_counters: RetryCounters::default(),
                 migrating: RefCell::new(BTreeSet::new()),
                 metrics: RefCell::new(None),
+                journal: RefCell::new(None),
             }),
         }
     }
@@ -303,6 +309,17 @@ impl ReplicatedStore {
     /// The installed metrics registry, if any.
     pub fn metrics(&self) -> Option<Metrics> {
         self.inner.metrics.borrow().clone()
+    }
+
+    /// Installs (or removes) the structured event journal. Failovers
+    /// and migrations record typed events into it.
+    pub fn set_journal(&self, journal: Option<Journal>) {
+        *self.inner.journal.borrow_mut() = journal;
+    }
+
+    /// The installed journal, if any.
+    pub fn journal(&self) -> Option<Journal> {
+        self.inner.journal.borrow().clone()
     }
 
     fn emit_tap(&self, make: impl FnOnce() -> TapEvent) {
@@ -535,7 +552,16 @@ impl ReplicatedStore {
         self.inner.placement.freeze(id);
         let result = self.migrate_frozen(id, &old).await;
         match &result {
-            Ok(()) => self.inner.placement.complete_move(id),
+            Ok(()) => {
+                self.inner.placement.complete_move(id);
+                self.inner.journal.with(|j| {
+                    j.append(
+                        "store",
+                        "migration",
+                        format!("id={id:?} old_owners={}", old.len()),
+                    );
+                });
+            }
             Err(_) => self.inner.placement.unfreeze(id),
         }
         self.inner.migrating.borrow_mut().remove(&id);
@@ -978,6 +1004,9 @@ impl StoreClient {
             let target = replicas[ti];
             if ti > 0 {
                 counters.failover();
+                self.store.inner.journal.with(|j| {
+                    j.append("store", "failover", format!("id={id:?} target={ti}"));
+                });
             }
             for _ in 0..per_target {
                 if attempt_no > 0 {

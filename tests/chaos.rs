@@ -77,6 +77,25 @@ fn eventual_convergence_survives_seeded_fault_sweeps() {
     }
 }
 
+/// Seeded observability sweeps: under a primary kill plus a drop
+/// spike, the SLO engine must raise *exactly* the expected alerts —
+/// per rule one pending → firing → resolved walk, no flap, no miss —
+/// the `alerts` FIFO subscription must deliver the engine's transition
+/// log losslessly, and the firing latency rule must pin a histogram
+/// exemplar that joins back to a rendered trace. `CHAOS_SEEDS` widens
+/// the sweep in CI.
+#[test]
+fn alert_fidelity_survives_seeded_fault_sweeps() {
+    for &seed in &sweep_seeds(0x0B5_0001, 6) {
+        let report = pcsi_chaos::run_obs_scenario(seed);
+        assert!(
+            report.ok(),
+            "seed {seed} violated alert fidelity:\n{}",
+            report.render()
+        );
+    }
+}
+
 /// One-RTT linearizable reads under a partition: a lagging replica's
 /// stale tag must never win the read quorum, and once the partition
 /// heals, quorum reads that observe the laggard must read-repair it —

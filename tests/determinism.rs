@@ -507,6 +507,33 @@ fn autoscaled_diurnal_runs_fingerprint_identically() {
     );
 }
 
+/// The observability chaos scenario — SLO rules evaluated on virtual
+/// ticks, alert transitions streamed through a kernel FIFO, a journal
+/// appended to by three layers, and an exemplar joined back to its
+/// trace — replays byte-identically per seed and diverges across
+/// seeds. The alert lifecycle itself (exactly pending → firing →
+/// resolved per rule, stream == engine log) is asserted by the
+/// report's own fidelity checks.
+#[test]
+fn obs_scenarios_fingerprint_identically_per_seed() {
+    let a = pcsi_chaos::run_obs_scenario(0x0B51);
+    let b = pcsi_chaos::run_obs_scenario(0x0B51);
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "same seed must render byte-identical obs reports"
+    );
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(a.ok(), "alert fidelity violated:\n{}", a.render());
+
+    let c = pcsi_chaos::run_obs_scenario(0x0B52);
+    assert_ne!(
+        a.fingerprint(),
+        c.fingerprint(),
+        "different seeds must produce different obs reports"
+    );
+}
+
 /// Golden fingerprints: pure mechanism swaps (scheduler, codec,
 /// buffering) must not move the simulation by a single poll, byte, or
 /// RNG draw, so these constants pin the whole schedule. They are
@@ -578,6 +605,12 @@ fn fingerprints_match_the_golden_values() {
         stream, GOLDEN_STREAM,
         "streaming scenario report drifted from the golden seed"
     );
+
+    let obs = pcsi_chaos::run_obs_scenario(0x0B5E).fingerprint();
+    assert_eq!(
+        obs, GOLDEN_OBS,
+        "observability scenario report drifted from the golden seed"
+    );
 }
 
 /// Captured on the tree that introduced consistent-hash sharding. The
@@ -613,3 +646,8 @@ const GOLDEN_METRICS: u64 = 0xaeff_6bcd_3a63_d793;
 /// Captured on the streaming PR that introduced the scenario itself:
 /// drops plus a mid-stream subscriber kill over one FIFO's fan-out.
 const GOLDEN_STREAM: u64 = 0x0c03_c8ff_8361_a885;
+/// Captured on the observability PR that introduced the scenario: a
+/// primary kill plus a 10% drop spike must walk both SLO rules through
+/// exactly pending → firing → resolved, streamed losslessly through
+/// the `alerts` FIFO, with the p90 offender joined back to its trace.
+const GOLDEN_OBS: u64 = 0x788c_7502_490a_babc;
